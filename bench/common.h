@@ -1,0 +1,84 @@
+#ifndef ALC_BENCH_COMMON_H_
+#define ALC_BENCH_COMMON_H_
+
+// Shared scenario definitions for the figure-reproduction benches. All
+// benches run the same calibrated paper-scale system (see db/config.h and
+// DESIGN.md "Reconstructions / substitutions") so their numbers are
+// comparable with each other.
+
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "core/optimum.h"
+#include "core/report.h"
+#include "core/scenario.h"
+
+namespace alc::bench {
+
+/// The canonical stationary scenario: defaults of db/config.h, admission
+/// bound range 5..750 (the paper's figure axes), measurement interval 1 s
+/// (a few hundred departures per interval, paper section 5).
+inline core::ScenarioConfig PaperScenario(uint64_t seed = 42) {
+  core::ScenarioConfig scenario = core::DefaultScenario();
+  scenario.system.seed = seed;
+  scenario.duration = 300.0;
+  scenario.warmup = 60.0;
+  scenario.control.measurement_interval = 1.0;
+  scenario.control.initial_limit = 50.0;
+
+  scenario.control.is.initial_bound = 50.0;
+  scenario.control.is.min_bound = 5.0;
+  scenario.control.is.max_bound = 750.0;
+  scenario.control.is.beta = 1.0;
+  scenario.control.is.gamma = 10.0;
+  scenario.control.is.delta = 25.0;
+
+  scenario.control.pa.initial_bound = 50.0;
+  scenario.control.pa.min_bound = 5.0;
+  scenario.control.pa.max_bound = 750.0;
+  scenario.control.pa.forgetting = 0.95;
+  scenario.control.pa.dither = 15.0;
+
+  scenario.control.iyer.initial_bound = 50.0;
+  scenario.control.iyer.min_bound = 5.0;
+  scenario.control.iyer.max_bound = 750.0;
+  scenario.control.iyer.gain = 60.0;
+  return scenario;
+}
+
+/// The figures-13/14 dynamic scenario: the optimum's position jumps
+/// abruptly at t=333 and back at t=666 (query-fraction jump 0.3 -> 0.85,
+/// which moves n_opt from ~195 to ~330 and roughly doubles the peak).
+inline core::ScenarioConfig JumpScenario(uint64_t seed = 42) {
+  core::ScenarioConfig scenario = PaperScenario(seed);
+  scenario.duration = 1000.0;
+  scenario.warmup = 50.0;
+  scenario.dynamics.query_fraction =
+      db::Schedule::Steps(0.30, {{333.0, 0.85}, {666.0, 0.30}});
+  return scenario;
+}
+
+/// Search settings that keep the offline true-optimum sweeps affordable.
+inline core::OptimumSearchConfig FastSearch() {
+  core::OptimumSearchConfig search;
+  search.n_lo = 10.0;
+  search.n_hi = 750.0;
+  search.coarse_points = 9;
+  search.refine_rounds = 1;
+  search.refine_points = 5;
+  search.sim_duration = 60.0;
+  search.sim_warmup = 15.0;
+  return search;
+}
+
+inline void PrintHeader(const char* figure, const char* claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", figure);
+  std::printf("Paper: Heiss & Wagner, VLDB 1991, pp. 47-54\n");
+  std::printf("Claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+}  // namespace alc::bench
+
+#endif  // ALC_BENCH_COMMON_H_

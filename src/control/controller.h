@@ -1,0 +1,33 @@
+#ifndef ALC_CONTROL_CONTROLLER_H_
+#define ALC_CONTROL_CONTROLLER_H_
+
+#include <string_view>
+
+#include "control/sample.h"
+
+namespace alc::control {
+
+/// A load controller maps the series of measurement samples to a new upper
+/// bound n* for the concurrency level (paper section 3: a dynamic optimum
+/// search over (load, performance) pairs — deliberately model independent).
+/// Controllers are pure policy objects: they never touch the simulated
+/// system, only samples in and a bound out.
+class LoadController {
+ public:
+  virtual ~LoadController() = default;
+
+  /// Consumes one measurement sample and returns the new threshold n*.
+  virtual double Update(const Sample& sample) = 0;
+
+  /// Clears internal state and re-arms at the given initial bound.
+  virtual void Reset(double initial_bound) = 0;
+
+  /// Current threshold without consuming a sample.
+  virtual double bound() const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace alc::control
+
+#endif  // ALC_CONTROL_CONTROLLER_H_

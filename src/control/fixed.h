@@ -1,0 +1,47 @@
+#ifndef ALC_CONTROL_FIXED_H_
+#define ALC_CONTROL_FIXED_H_
+
+#include <string_view>
+
+#include "control/controller.h"
+
+namespace alc::control {
+
+/// "Do nothing" (paper section 1, option 1): an effectively unbounded
+/// threshold; the system runs open-loop and will thrash under overload.
+class NoControlController : public LoadController {
+ public:
+  /// Far above any realizable concurrency level, yet printable.
+  static constexpr double kUnbounded = 1e9;
+
+  double Update(const Sample& sample) override {
+    (void)sample;
+    return kUnbounded;
+  }
+  void Reset(double initial_bound) override { (void)initial_bound; }
+  double bound() const override { return kUnbounded; }
+  std::string_view name() const override { return "none"; }
+};
+
+/// "Fixed upper bound" (paper section 1, option 2): the commercial-DBMS
+/// practice of a statically tuned MPL limit. Correct only while the
+/// workload matches the tuning assumption.
+class FixedLimitController : public LoadController {
+ public:
+  explicit FixedLimitController(double limit) : limit_(limit) {}
+
+  double Update(const Sample& sample) override {
+    (void)sample;
+    return limit_;
+  }
+  void Reset(double initial_bound) override { limit_ = initial_bound; }
+  double bound() const override { return limit_; }
+  std::string_view name() const override { return "fixed"; }
+
+ private:
+  double limit_;
+};
+
+}  // namespace alc::control
+
+#endif  // ALC_CONTROL_FIXED_H_

@@ -1,0 +1,59 @@
+#ifndef ALC_CONTROL_GATE_H_
+#define ALC_CONTROL_GATE_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "db/system.h"
+#include "db/transaction.h"
+
+namespace alc::control {
+
+/// The admission gate of paper section 4.3 / figure 5: an arriving
+/// transaction is admitted iff the current load n is below the threshold
+/// n*; otherwise it waits in a FCFS queue and is admitted as soon as
+/// n < n* holds again.
+///
+/// With displacement enabled, lowering the threshold below the current load
+/// immediately aborts the youngest active transactions (the same victim
+/// criterion as deadlock breaking) and re-queues them at the head of the
+/// gate queue. The paper found admission control alone responsive enough
+/// and smoother, so displacement defaults to off.
+class AdmissionGate {
+ public:
+  /// Installs itself as the system's admission boundary.
+  AdmissionGate(db::TransactionSystem* system, double initial_limit);
+
+  AdmissionGate(const AdmissionGate&) = delete;
+  AdmissionGate& operator=(const AdmissionGate&) = delete;
+
+  /// Sets the threshold n*. Raising it admits queued transactions at once;
+  /// lowering it displaces excess transactions if displacement is enabled.
+  void SetLimit(double limit);
+  double limit() const { return limit_; }
+
+  void EnableDisplacement(bool enabled) { displacement_ = enabled; }
+  bool displacement_enabled() const { return displacement_; }
+
+  int queue_length() const { return static_cast<int>(queue_.size()); }
+  uint64_t total_admitted() const { return total_admitted_; }
+  uint64_t total_displaced() const { return total_displaced_; }
+
+ private:
+  void OnSubmit(db::Transaction* txn);
+  void OnDeparture(db::Transaction* txn);
+  void TryAdmit();
+  void DisplaceExcess();
+  void TrackQueue();
+
+  db::TransactionSystem* system_;
+  double limit_;
+  bool displacement_ = false;
+  std::deque<db::Transaction*> queue_;
+  uint64_t total_admitted_ = 0;
+  uint64_t total_displaced_ = 0;
+};
+
+}  // namespace alc::control
+
+#endif  // ALC_CONTROL_GATE_H_

@@ -1,0 +1,91 @@
+#include "control/golden_section.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace alc::control {
+namespace {
+constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+}  // namespace
+
+GoldenSectionController::GoldenSectionController(const GsConfig& config)
+    : config_(config),
+      bound_(0.5 * (config.min_bound + config.max_bound)),
+      lo_(config.min_bound),
+      hi_(config.max_bound) {
+  ALC_CHECK_GT(config.max_bound, config.min_bound);
+  ALC_CHECK_GT(config.samples_per_probe, 0);
+  ALC_CHECK_GT(config.min_bracket, 0.0);
+  PlaceProbes();
+}
+
+void GoldenSectionController::PlaceProbes() {
+  probe_a_ = hi_ - (hi_ - lo_) * kInvPhi;
+  probe_b_ = lo_ + (hi_ - lo_) * kInvPhi;
+  have_a_ = false;
+  measuring_b_ = false;
+  samples_seen_ = 0;
+  accum_ = 0.0;
+  bound_ = probe_a_;
+}
+
+void GoldenSectionController::RestartAround(double center) {
+  const double half =
+      0.5 * config_.min_bracket * config_.restart_width_factor;
+  lo_ = util::Clamp(center - half, config_.min_bound, config_.max_bound);
+  hi_ = util::Clamp(center + half, config_.min_bound, config_.max_bound);
+  if (hi_ - lo_ < config_.min_bracket) {
+    // Clamped into a corner: fall back to the full range.
+    lo_ = config_.min_bound;
+    hi_ = config_.max_bound;
+  }
+  ++restarts_;
+  PlaceProbes();
+}
+
+void GoldenSectionController::Reset(double initial_bound) {
+  lo_ = config_.min_bound;
+  hi_ = config_.max_bound;
+  restarts_ = 0;
+  PlaceProbes();
+  bound_ = initial_bound;
+}
+
+double GoldenSectionController::Update(const Sample& sample) {
+  accum_ += PerformanceValue(sample, config_.index);
+  if (++samples_seen_ < config_.samples_per_probe) {
+    return bound_;  // keep measuring the current probe point
+  }
+  const double value = accum_ / samples_seen_;
+  samples_seen_ = 0;
+  accum_ = 0.0;
+
+  if (!measuring_b_) {
+    value_a_ = value;
+    have_a_ = true;
+    measuring_b_ = true;
+    bound_ = probe_b_;
+    return bound_;
+  }
+  value_b_ = value;
+  ALC_CHECK(have_a_);
+
+  // Shrink the bracket toward the better probe.
+  if (value_a_ >= value_b_) {
+    hi_ = probe_b_;
+  } else {
+    lo_ = probe_a_;
+  }
+  if (hi_ - lo_ < config_.min_bracket) {
+    // Converged for the current regime: the workload may drift, so re-open
+    // a bracket around the winner and keep searching.
+    RestartAround(0.5 * (lo_ + hi_));
+    return bound_;
+  }
+  PlaceProbes();
+  return bound_;
+}
+
+}  // namespace alc::control

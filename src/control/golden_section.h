@@ -1,0 +1,64 @@
+#ifndef ALC_CONTROL_GOLDEN_SECTION_H_
+#define ALC_CONTROL_GOLDEN_SECTION_H_
+
+#include <string_view>
+
+#include "control/controller.h"
+
+namespace alc::control {
+
+/// Parameters for the golden-section search controller.
+struct GsConfig {
+  double min_bound = 5.0;
+  double max_bound = 1000.0;
+  /// Samples averaged per probe point before judging it.
+  int samples_per_probe = 3;
+  /// When the bracket has shrunk below this width the search restarts from
+  /// a widened bracket around the current best (the optimum may have moved;
+  /// a static-bracket golden search would converge once and go blind).
+  double min_bracket = 40.0;
+  /// Bracket width used on restarts, as a multiple of min_bracket.
+  double restart_width_factor = 6.0;
+  PerformanceIndex index = PerformanceIndex::kThroughput;
+};
+
+/// Golden-section search on the load-performance function — a third
+/// dynamic-optimum-search heuristic beyond the paper's IS and PA. The paper
+/// frames load control as a hill-climbing problem (section 3, citing its
+/// unimodality assumption); golden-section search is the classic bracketing
+/// algorithm for exactly that setting. Unlike IS/PA it commits to probe
+/// points for several intervals (slower, but derivative-free and
+/// monotone-convergent within a regime); to stay adaptive it re-opens its
+/// bracket whenever it has converged.
+class GoldenSectionController : public LoadController {
+ public:
+  explicit GoldenSectionController(const GsConfig& config);
+
+  double Update(const Sample& sample) override;
+  void Reset(double initial_bound) override;
+  double bound() const override { return bound_; }
+  std::string_view name() const override { return "golden-section"; }
+
+  double bracket_lo() const { return lo_; }
+  double bracket_hi() const { return hi_; }
+  int restarts() const { return restarts_; }
+
+ private:
+  void PlaceProbes();
+  void RestartAround(double center);
+
+  GsConfig config_;
+  double bound_;
+  double lo_, hi_;       // current bracket
+  double probe_a_, probe_b_;  // interior golden points, a < b
+  double value_a_ = 0.0, value_b_ = 0.0;
+  int samples_seen_ = 0;
+  double accum_ = 0.0;
+  bool measuring_b_ = false;  // which probe the system is currently at
+  bool have_a_ = false;
+  int restarts_ = 0;
+};
+
+}  // namespace alc::control
+
+#endif  // ALC_CONTROL_GOLDEN_SECTION_H_

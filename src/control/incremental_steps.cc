@@ -1,0 +1,78 @@
+#include "control/incremental_steps.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace alc::control {
+namespace {
+
+// Paper's convention: signum(x) = 1 for x > 0, -1 for x <= 0. The x == 0
+// case mattering: a freshly started controller keeps probing downward-free
+// (the first move defaults to -1 direction only if performance dropped).
+double Signum(double x) { return x > 0.0 ? 1.0 : -1.0; }
+
+}  // namespace
+
+IncrementalStepsController::IncrementalStepsController(const IsConfig& config)
+    : config_(config),
+      bound_(config.initial_bound),
+      prev_bound_(config.initial_bound),
+      prev_performance_(0.0) {
+  ALC_CHECK_GT(config.beta, 0.0);
+  ALC_CHECK_GT(config.gamma, 0.0);
+  ALC_CHECK_GE(config.delta, 0.0);
+  ALC_CHECK_GT(config.min_bound, 0.0);
+  ALC_CHECK_GT(config.max_bound, config.min_bound);
+}
+
+void IncrementalStepsController::Reset(double initial_bound) {
+  bound_ = initial_bound;
+  prev_bound_ = initial_bound;
+  prev_performance_ = 0.0;
+  has_prev_ = false;
+}
+
+double IncrementalStepsController::Update(const Sample& sample) {
+  const double performance = PerformanceValue(sample, config_.index);
+  const double load = sample.mean_active;
+
+  if (!has_prev_) {
+    // First interval: no P(t_{i-1}) yet. Take one exploratory step upward so
+    // the next interval has both a performance delta and a direction.
+    has_prev_ = true;
+    prev_performance_ = performance;
+    prev_bound_ = bound_;
+    bound_ = util::Clamp(bound_ + config_.gamma, config_.min_bound,
+                         config_.max_bound);
+    return bound_;
+  }
+
+  double next;
+  if (std::abs(bound_ - load) <= config_.delta) {
+    const double delta_p = performance - prev_performance_;
+    const double direction = Signum(bound_ - prev_bound_);
+    next = bound_ + config_.beta * delta_p * direction;
+    if (next == bound_) {
+      // Exactly flat performance (possible at a clamped bound or on a
+      // plateau) gives a zero step and IS would park forever; probe upward
+      // so the next interval regains a gradient signal. Measurement noise
+      // makes this unreachable in practice; it matters for deterministic
+      // inputs and at the static bounds of section 5.1.
+      next = bound_ + 0.5 * config_.gamma;
+    }
+  } else if (bound_ < load) {
+    next = bound_ + config_.gamma;
+  } else {
+    next = bound_ - config_.gamma;
+  }
+  next = util::Clamp(next, config_.min_bound, config_.max_bound);
+
+  prev_bound_ = bound_;
+  prev_performance_ = performance;
+  bound_ = next;
+  return bound_;
+}
+
+}  // namespace alc::control

@@ -1,0 +1,54 @@
+#ifndef ALC_CONTROL_INCREMENTAL_STEPS_H_
+#define ALC_CONTROL_INCREMENTAL_STEPS_H_
+
+#include <string_view>
+
+#include "control/controller.h"
+
+namespace alc::control {
+
+/// Parameters of the Method of Incremental Steps (paper section 4.1).
+struct IsConfig {
+  double beta = 2.0;    // step size per unit performance change
+  double gamma = 10.0;  // pull rate when bound and load drift apart
+  double delta = 20.0;  // drift dead band |n* - n| tolerated
+  double initial_bound = 50.0;
+  /// Static safety bounds for n* (paper section 5.1: required to let IS
+  /// recover when the optimum grows in height without moving).
+  double min_bound = 5.0;
+  double max_bound = 1000.0;
+  PerformanceIndex index = PerformanceIndex::kThroughput;
+};
+
+/// Method of Incremental Steps (IS): zig-zag hill climbing on the measured
+/// (load, performance) series. Implements the paper's control law verbatim:
+///
+///   n*(t_{i+1}) = n*(t_i) + beta (P(t_i) - P(t_{i-1})) signum(n*(t_i) - n*(t_{i-1}))
+///                                        if |n*(t_i) - n(t_i)| <= delta
+///   n*(t_{i+1}) = n*(t_i) + gamma        if drift apart and n* < n
+///   n*(t_{i+1}) = n*(t_i) - gamma        if drift apart and n* > n
+///
+/// with signum(x) = 1 for x > 0 and -1 for x <= 0, clamped into
+/// [min_bound, max_bound].
+class IncrementalStepsController : public LoadController {
+ public:
+  explicit IncrementalStepsController(const IsConfig& config);
+
+  double Update(const Sample& sample) override;
+  void Reset(double initial_bound) override;
+  double bound() const override { return bound_; }
+  std::string_view name() const override { return "incremental-steps"; }
+
+  const IsConfig& config() const { return config_; }
+
+ private:
+  IsConfig config_;
+  double bound_;
+  double prev_bound_;       // n*(t_{i-1})
+  double prev_performance_; // P(t_{i-1})
+  bool has_prev_ = false;
+};
+
+}  // namespace alc::control
+
+#endif  // ALC_CONTROL_INCREMENTAL_STEPS_H_

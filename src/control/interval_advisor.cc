@@ -1,0 +1,32 @@
+#include "control/interval_advisor.h"
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace alc::control {
+
+IntervalAdvisor::IntervalAdvisor(double cv, double epsilon, double confidence)
+    : cv_(cv), epsilon_(epsilon), confidence_(confidence) {
+  ALC_CHECK_GT(cv, 0.0);
+  ALC_CHECK_GT(epsilon, 0.0);
+  ALC_CHECK_GT(confidence, 0.0);
+  ALC_CHECK_LT(confidence, 1.0);
+}
+
+void IntervalAdvisor::set_cv(double cv) {
+  ALC_CHECK_GT(cv, 0.0);
+  cv_ = cv;
+}
+
+double IntervalAdvisor::RequiredDepartures() const {
+  const double z = util::NormalQuantileTwoSided(confidence_);
+  const double m = (z * cv_ / epsilon_) * (z * cv_ / epsilon_);
+  return m;
+}
+
+double IntervalAdvisor::RecommendedInterval(double throughput) const {
+  ALC_CHECK_GT(throughput, 0.0);
+  return RequiredDepartures() / throughput;
+}
+
+}  // namespace alc::control

@@ -1,0 +1,41 @@
+#ifndef ALC_CONTROL_INTERVAL_ADVISOR_H_
+#define ALC_CONTROL_INTERVAL_ADVISOR_H_
+
+namespace alc::control {
+
+/// Measurement-interval sizing (paper section 5, citing Heiss 1988): taking
+/// departures as a stochastic process and assuming within-interval
+/// stationarity, the number of departures needed to estimate throughput to
+/// relative accuracy `epsilon` at a given confidence level is
+///
+///   m >= (z * cv / epsilon)^2
+///
+/// where z is the two-sided normal quantile and cv the coefficient of
+/// variation of inter-departure times (the second moment of the departure
+/// process the paper highlights). The interval should be no longer than
+/// needed, to stay responsive; the paper's guidance "rather hundreds of
+/// departures than some tens" falls out for cv ~ 1, epsilon ~ 0.1.
+class IntervalAdvisor {
+ public:
+  /// cv: coefficient of variation of inter-departure times; epsilon:
+  /// relative half-width target (e.g. 0.1); confidence in (0,1).
+  IntervalAdvisor(double cv, double epsilon, double confidence);
+
+  /// Departures required per estimate.
+  double RequiredDepartures() const;
+
+  /// Interval length for a given (estimated) throughput in departures/s.
+  double RecommendedInterval(double throughput) const;
+
+  double cv() const { return cv_; }
+  void set_cv(double cv);
+
+ private:
+  double cv_;
+  double epsilon_;
+  double confidence_;
+};
+
+}  // namespace alc::control
+
+#endif  // ALC_CONTROL_INTERVAL_ADVISOR_H_

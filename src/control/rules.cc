@@ -1,0 +1,49 @@
+#include "control/rules.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace alc::control {
+
+TayRuleController::TayRuleController(double db_size,
+                                     std::function<double(double)> k_of_time,
+                                     double threshold)
+    : db_size_(db_size),
+      k_of_time_(std::move(k_of_time)),
+      threshold_(threshold),
+      bound_(1.0) {
+  ALC_CHECK_GT(db_size, 0.0);
+  ALC_CHECK(k_of_time_ != nullptr);
+  ALC_CHECK_GT(threshold, 0.0);
+}
+
+double TayRuleController::Update(const Sample& sample) {
+  const double k = k_of_time_(sample.time);
+  ALC_CHECK_GT(k, 0.0);
+  bound_ = std::max(1.0, threshold_ * db_size_ / (k * k));
+  return bound_;
+}
+
+void TayRuleController::Reset(double initial_bound) { bound_ = initial_bound; }
+
+IyerRuleController::IyerRuleController(const Config& config)
+    : config_(config), bound_(config.initial_bound) {
+  ALC_CHECK_GT(config.gain, 0.0);
+  ALC_CHECK_GT(config.min_bound, 0.0);
+  ALC_CHECK_GT(config.max_bound, config.min_bound);
+}
+
+double IyerRuleController::Update(const Sample& sample) {
+  const double error = config_.target_conflicts - sample.conflict_rate;
+  bound_ = util::Clamp(bound_ + config_.gain * error, config_.min_bound,
+                       config_.max_bound);
+  return bound_;
+}
+
+void IyerRuleController::Reset(double initial_bound) {
+  bound_ = initial_bound;
+}
+
+}  // namespace alc::control

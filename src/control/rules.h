@@ -1,0 +1,61 @@
+#ifndef ALC_CONTROL_RULES_H_
+#define ALC_CONTROL_RULES_H_
+
+#include <functional>
+#include <string_view>
+
+#include "control/controller.h"
+
+namespace alc::control {
+
+/// Tay's rule of thumb (paper section 1, option 3): keep k^2 n / D < 1.5,
+/// i.e. n* = threshold * D / k^2 [Tay et al. 1985]. k is a declared
+/// workload descriptor, not a measured quantity, so the controller is given
+/// a provider k(t); with a time-varying workload the rule adapts only as
+/// well as the declaration does.
+class TayRuleController : public LoadController {
+ public:
+  TayRuleController(double db_size, std::function<double(double)> k_of_time,
+                    double threshold = 1.5);
+
+  double Update(const Sample& sample) override;
+  void Reset(double initial_bound) override;
+  double bound() const override { return bound_; }
+  std::string_view name() const override { return "tay-rule"; }
+
+ private:
+  double db_size_;
+  std::function<double(double)> k_of_time_;
+  double threshold_;
+  double bound_;
+};
+
+/// Iyer's rule of thumb (paper section 1, option 3): the mean number of
+/// conflicts per transaction should not exceed 0.75 [Iyer 1988]. Realized
+/// as integral feedback on the measured conflict rate: the bound moves
+/// proportionally to (target - conflicts_per_txn).
+class IyerRuleController : public LoadController {
+ public:
+  struct Config {
+    double target_conflicts = 0.75;
+    double gain = 40.0;  // bound change per unit of conflict-rate error
+    double initial_bound = 50.0;
+    double min_bound = 5.0;
+    double max_bound = 1000.0;
+  };
+
+  explicit IyerRuleController(const Config& config);
+
+  double Update(const Sample& sample) override;
+  void Reset(double initial_bound) override;
+  double bound() const override { return bound_; }
+  std::string_view name() const override { return "iyer-rule"; }
+
+ private:
+  Config config_;
+  double bound_;
+};
+
+}  // namespace alc::control
+
+#endif  // ALC_CONTROL_RULES_H_

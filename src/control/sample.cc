@@ -1,0 +1,17 @@
+#include "control/sample.h"
+
+namespace alc::control {
+
+double PerformanceValue(const Sample& sample, PerformanceIndex index) {
+  switch (index) {
+    case PerformanceIndex::kThroughput:
+      return sample.throughput;
+    case PerformanceIndex::kInverseResponseTime:
+      return sample.mean_response > 0.0 ? 1.0 / sample.mean_response : 0.0;
+    case PerformanceIndex::kEffectiveCpuUtilization:
+      return sample.cpu_utilization * sample.useful_cpu_fraction;
+  }
+  return 0.0;
+}
+
+}  // namespace alc::control

@@ -1,0 +1,45 @@
+#include "control/tuner.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace alc::control {
+
+OuterTuner::OuterTuner(Monitor* monitor, const Config& config)
+    : monitor_(monitor), config_(config) {
+  ALC_CHECK(monitor != nullptr);
+  ALC_CHECK_GT(config.window_samples, 1);
+  ALC_CHECK_GT(config.min_interval, 0.0);
+  ALC_CHECK_GT(config.max_interval, config.min_interval);
+}
+
+void OuterTuner::Observe(const Sample& sample) {
+  counts_.Add(static_cast<double>(sample.commits));
+  if (++seen_ < config_.window_samples) return;
+
+  const double mean_count = counts_.mean();
+  if (mean_count > 1.0) {
+    // For a stationary point process observed over fixed windows, the
+    // index of dispersion of counts approximates cv^2 of the interpoint
+    // times (exact for renewal processes in the large-window limit).
+    const double dispersion = counts_.variance() / mean_count;
+    const double cv = std::sqrt(std::max(dispersion, 1e-3));
+    const double throughput = mean_count / sample.interval;
+    IntervalAdvisor advisor(cv, config_.epsilon, config_.confidence);
+    const double recommended = util::Clamp(
+        advisor.RecommendedInterval(throughput), config_.min_interval,
+        config_.max_interval);
+    last_recommendation_ = recommended;
+    if (std::fabs(recommended - monitor_->interval()) >
+        0.25 * monitor_->interval()) {
+      monitor_->SetInterval(recommended);
+      ++adjustments_;
+    }
+  }
+  counts_.Reset();
+  seen_ = 0;
+}
+
+}  // namespace alc::control

@@ -1,0 +1,53 @@
+#ifndef ALC_CONTROL_TUNER_H_
+#define ALC_CONTROL_TUNER_H_
+
+#include "control/interval_advisor.h"
+#include "control/monitor.h"
+#include "control/sample.h"
+#include "sim/stats.h"
+
+namespace alc::control {
+
+/// Outer control loop (paper section 5: "tuning ... can also be done
+/// automatically by an overlaid, outer control loop that takes long-term
+/// measurements to adjust the parameters of the inner control loop").
+///
+/// This tuner watches the departure process over a long window, estimates
+/// the coefficient of variation of inter-departure times from the interval
+/// counts (index-of-dispersion approximation), and retunes the monitor's
+/// measurement interval so each sample contains roughly the number of
+/// departures the IntervalAdvisor calls for — bounded to keep the inner
+/// loop responsive.
+class OuterTuner {
+ public:
+  struct Config {
+    int window_samples = 20;    // long-term window (inner intervals)
+    double epsilon = 0.10;      // relative throughput accuracy target
+    double confidence = 0.95;
+    double min_interval = 0.25; // s
+    /// The paper: the interval "should not be longer than required to
+    /// filter out stochastic noise"; controller-induced load oscillation
+    /// inflates the cv estimate, so the recommendation is capped.
+    double max_interval = 4.0;  // s
+  };
+
+  OuterTuner(Monitor* monitor, const Config& config);
+
+  /// Feed every inner-loop sample; adjusts the monitor at window boundaries.
+  void Observe(const Sample& sample);
+
+  double last_recommended_interval() const { return last_recommendation_; }
+  int adjustments() const { return adjustments_; }
+
+ private:
+  Monitor* monitor_;
+  Config config_;
+  sim::WelfordAccumulator counts_;
+  int seen_ = 0;
+  double last_recommendation_ = 0.0;
+  int adjustments_ = 0;
+};
+
+}  // namespace alc::control
+
+#endif  // ALC_CONTROL_TUNER_H_

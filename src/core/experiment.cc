@@ -1,0 +1,138 @@
+#include "core/experiment.h"
+
+#include <memory>
+
+#include "control/gate.h"
+#include "control/monitor.h"
+#include "control/tuner.h"
+#include "db/system.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "util/check.h"
+
+namespace alc::core {
+
+Experiment::Experiment(const ScenarioConfig& scenario) : scenario_(scenario) {
+  ALC_CHECK_GT(scenario.duration, 0.0);
+  ALC_CHECK_GE(scenario.warmup, 0.0);
+  ALC_CHECK_LT(scenario.warmup, scenario.duration);
+}
+
+ExperimentResult Experiment::Run() {
+  sim::Simulator simulator;
+  db::TransactionSystem system(&simulator, scenario_.system);
+  system.SetWorkloadDynamics(scenario_.dynamics);
+  system.SetActiveTerminalsSchedule(scenario_.active_terminals);
+
+  control::AdmissionGate gate(&system, scenario_.control.initial_limit);
+  gate.EnableDisplacement(scenario_.control.displacement);
+
+  std::unique_ptr<control::LoadController> controller =
+      MakeController(scenario_);
+
+  control::Monitor monitor(&simulator, &system,
+                           scenario_.control.measurement_interval);
+  std::unique_ptr<control::OuterTuner> tuner;
+  if (scenario_.control.outer_tuner) {
+    tuner = std::make_unique<control::OuterTuner>(
+        &monitor, control::OuterTuner::Config{});
+  }
+
+  ExperimentResult result;
+  result.duration = scenario_.duration;
+  result.warmup = scenario_.warmup;
+
+  monitor.SetCallback([&](const control::Sample& sample) {
+    const double bound = controller->Update(sample);
+    gate.SetLimit(bound);
+    if (tuner) tuner->Observe(sample);
+
+    TrajectoryPoint point;
+    point.time = sample.time;
+    point.bound = bound;
+    point.load = sample.mean_active;
+    point.throughput = sample.throughput;
+    point.response = sample.mean_response;
+    point.conflict_rate = sample.conflict_rate;
+    point.gate_queue = sample.gate_queue;
+    point.cpu_utilization = sample.cpu_utilization;
+    result.trajectory.push_back(point);
+  });
+
+  // Warmup boundary snapshot for summary statistics.
+  db::Counters at_warmup;
+  simulator.ScheduleAt(scenario_.warmup,
+                       [&] { at_warmup = system.metrics().counters; });
+
+  system.Start();
+  monitor.Start();
+  simulator.RunUntil(scenario_.duration);
+
+  const db::Counters& final = system.metrics().counters;
+  result.final_counters = final;
+  const double span = scenario_.duration - scenario_.warmup;
+  const uint64_t commits = final.commits - at_warmup.commits;
+  const uint64_t aborts = final.total_aborts() - at_warmup.total_aborts();
+  result.commits = commits;
+  result.aborts = aborts;
+  result.displacements =
+      final.aborts_displacement - at_warmup.aborts_displacement;
+  result.mean_throughput = static_cast<double>(commits) / span;
+  result.mean_response =
+      commits > 0
+          ? (final.response_time_sum - at_warmup.response_time_sum) / commits
+          : 0.0;
+  result.abort_ratio =
+      (commits + aborts) > 0
+          ? static_cast<double>(aborts) / static_cast<double>(commits + aborts)
+          : 0.0;
+  const double useful = final.useful_cpu - at_warmup.useful_cpu;
+  const double wasted = final.wasted_cpu - at_warmup.wasted_cpu;
+  result.wasted_cpu_fraction =
+      (useful + wasted) > 0.0 ? wasted / (useful + wasted) : 0.0;
+
+  double load_sum = 0.0;
+  int load_count = 0;
+  sim::BatchMeans throughput_batches(10);
+  for (const TrajectoryPoint& point : result.trajectory) {
+    if (point.time >= scenario_.warmup) {
+      load_sum += point.load;
+      ++load_count;
+      throughput_batches.Add(point.throughput);
+    }
+  }
+  result.mean_active = load_count > 0 ? load_sum / load_count : 0.0;
+  result.throughput_ci_half_width = throughput_batches.HalfWidth(0.95);
+  return result;
+}
+
+ScenarioConfig FrozenAt(const ScenarioConfig& base, double freeze_time) {
+  ScenarioConfig frozen = base;
+  frozen.dynamics.k =
+      db::Schedule::Constant(base.dynamics.k.Value(freeze_time));
+  frozen.dynamics.query_fraction =
+      db::Schedule::Constant(base.dynamics.query_fraction.Value(freeze_time));
+  frozen.dynamics.write_fraction =
+      db::Schedule::Constant(base.dynamics.write_fraction.Value(freeze_time));
+  frozen.active_terminals =
+      db::Schedule::Constant(base.active_terminals.Value(freeze_time));
+  return frozen;
+}
+
+double StationaryThroughput(const ScenarioConfig& base, double fixed_limit,
+                            double freeze_time, double duration,
+                            double warmup, uint64_t seed) {
+  ScenarioConfig scenario = FrozenAt(base, freeze_time);
+  scenario.control.kind = ControllerKind::kFixed;
+  scenario.control.fixed_limit = fixed_limit;
+  scenario.control.initial_limit = fixed_limit;
+  scenario.control.displacement = false;
+  scenario.control.outer_tuner = false;
+  scenario.duration = duration;
+  scenario.warmup = warmup;
+  scenario.system.seed = seed;
+  Experiment experiment(scenario);
+  return experiment.Run().mean_throughput;
+}
+
+}  // namespace alc::core

@@ -1,0 +1,77 @@
+#ifndef ALC_CORE_EXPERIMENT_H_
+#define ALC_CORE_EXPERIMENT_H_
+
+#include <vector>
+
+#include "core/scenario.h"
+#include "db/metrics.h"
+
+namespace alc::core {
+
+/// One point of a controller trajectory: what the paper's figures 13/14
+/// plot over time.
+struct TrajectoryPoint {
+  double time = 0.0;
+  double bound = 0.0;        // n*, the controller's threshold
+  double load = 0.0;         // measured mean active n
+  double throughput = 0.0;   // commits/s in the interval
+  double response = 0.0;     // mean response time of interval commits
+  double conflict_rate = 0.0;
+  double gate_queue = 0.0;
+  double cpu_utilization = 0.0;
+};
+
+/// Everything a finished run reports.
+struct ExperimentResult {
+  std::vector<TrajectoryPoint> trajectory;
+
+  // Summary over [warmup, duration]:
+  double mean_throughput = 0.0;   // commits / span
+  double mean_response = 0.0;     // response sum / commits
+  double mean_active = 0.0;       // trajectory average of load
+  double abort_ratio = 0.0;       // aborts / (aborts + commits)
+  double wasted_cpu_fraction = 0.0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t displacements = 0;
+
+  /// 95% batch-means confidence half-width for mean_throughput, from the
+  /// post-warmup interval series (batches of 10 intervals). Zero when the
+  /// run is too short for at least two batches. For a stationary scenario
+  /// this is a statistically sound interval; under dynamic workloads it
+  /// reports variability, not estimation error.
+  double throughput_ci_half_width = 0.0;
+
+  db::Counters final_counters;   // cumulative, including warmup
+  double duration = 0.0;
+  double warmup = 0.0;
+};
+
+/// Builds the full stack (simulator, transaction system, gate, monitor,
+/// controller, optional tuner) from a ScenarioConfig, runs it, and returns
+/// the trajectory plus summary statistics. Deterministic given the config.
+class Experiment {
+ public:
+  explicit Experiment(const ScenarioConfig& scenario);
+
+  ExperimentResult Run();
+
+  const ScenarioConfig& scenario() const { return scenario_; }
+
+ private:
+  ScenarioConfig scenario_;
+};
+
+/// Convenience: stationary throughput under a fixed admission limit with
+/// all schedules frozen at their value at `freeze_time`. The workhorse of
+/// the figure-12 sweep and the true-optimum search.
+double StationaryThroughput(const ScenarioConfig& base, double fixed_limit,
+                            double freeze_time, double duration,
+                            double warmup, uint64_t seed);
+
+/// Freezes all dynamic schedules of `base` at time `freeze_time`.
+ScenarioConfig FrozenAt(const ScenarioConfig& base, double freeze_time);
+
+}  // namespace alc::core
+
+#endif  // ALC_CORE_EXPERIMENT_H_

@@ -1,0 +1,67 @@
+#include "core/export.h"
+
+#include <fstream>
+
+#include "core/report.h"
+#include "util/csv.h"
+
+namespace alc::core {
+
+void WriteTrajectoryCsv(std::ostream& out,
+                        const std::vector<TrajectoryPoint>& trajectory,
+                        const std::vector<OptimumRegime>& timeline) {
+  util::CsvWriter csv(&out);
+  std::vector<std::string> header = {
+      "time",          "bound",      "load",
+      "throughput",    "response",   "conflict_rate",
+      "gate_queue",    "cpu_utilization"};
+  const bool with_optimum = !timeline.empty();
+  if (with_optimum) header.push_back("n_opt");
+  csv.WriteRow(header);
+  for (const TrajectoryPoint& point : trajectory) {
+    std::vector<double> row = {point.time,          point.bound,
+                               point.load,          point.throughput,
+                               point.response,      point.conflict_rate,
+                               point.gate_queue,    point.cpu_utilization};
+    if (with_optimum) row.push_back(OptimumAt(timeline, point.time));
+    csv.WriteNumericRow(row);
+  }
+}
+
+void WriteCurveCsv(std::ostream& out,
+                   const std::vector<std::pair<double, double>>& curve) {
+  util::CsvWriter csv(&out);
+  csv.WriteRow({"n", "throughput"});
+  for (const auto& [n, throughput] : curve) {
+    csv.WriteNumericRow({n, throughput});
+  }
+}
+
+void WriteTimelineCsv(std::ostream& out,
+                      const std::vector<OptimumRegime>& timeline) {
+  util::CsvWriter csv(&out);
+  csv.WriteRow({"start_time", "n_opt", "peak_throughput"});
+  for (const OptimumRegime& regime : timeline) {
+    csv.WriteNumericRow(
+        {regime.start_time, regime.n_opt, regime.peak_throughput});
+  }
+}
+
+bool ExportTrajectory(const std::string& path,
+                      const std::vector<TrajectoryPoint>& trajectory,
+                      const std::vector<OptimumRegime>& timeline) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  WriteTrajectoryCsv(out, trajectory, timeline);
+  return true;
+}
+
+bool ExportCurve(const std::string& path,
+                 const std::vector<std::pair<double, double>>& curve) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  WriteCurveCsv(out, curve);
+  return true;
+}
+
+}  // namespace alc::core

@@ -1,0 +1,45 @@
+#ifndef ALC_CORE_EXPORT_H_
+#define ALC_CORE_EXPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/optimum.h"
+
+namespace alc::core {
+
+/// CSV export of experiment artifacts, for plotting the paper's figures
+/// with external tooling. Column layouts are stable and documented here:
+///
+///   trajectory: time,bound,load,throughput,response,conflict_rate,
+///               gate_queue,cpu_utilization[,n_opt]
+///   curve:      n,throughput
+///   timeline:   start_time,n_opt,peak_throughput
+
+/// Writes a controller trajectory; if `timeline` is non-empty an `n_opt`
+/// column with the true-optimum overlay is appended.
+void WriteTrajectoryCsv(std::ostream& out,
+                        const std::vector<TrajectoryPoint>& trajectory,
+                        const std::vector<OptimumRegime>& timeline);
+
+/// Writes a stationary (n, throughput) curve (figure 1 / 12 data).
+void WriteCurveCsv(std::ostream& out,
+                   const std::vector<std::pair<double, double>>& curve);
+
+/// Writes the piecewise true-optimum timeline.
+void WriteTimelineCsv(std::ostream& out,
+                      const std::vector<OptimumRegime>& timeline);
+
+/// Convenience: writes the artifact to `path` (truncating). Returns false
+/// if the file cannot be opened.
+bool ExportTrajectory(const std::string& path,
+                      const std::vector<TrajectoryPoint>& trajectory,
+                      const std::vector<OptimumRegime>& timeline);
+bool ExportCurve(const std::string& path,
+                 const std::vector<std::pair<double, double>>& curve);
+
+}  // namespace alc::core
+
+#endif  // ALC_CORE_EXPORT_H_

@@ -1,0 +1,123 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/strformat.h"
+#include "util/table.h"
+
+namespace alc::core {
+
+double OptimumAt(const std::vector<OptimumRegime>& timeline, double t) {
+  ALC_CHECK(!timeline.empty());
+  double n_opt = timeline.front().n_opt;
+  for (const OptimumRegime& regime : timeline) {
+    if (t >= regime.start_time) {
+      n_opt = regime.n_opt;
+    } else {
+      break;
+    }
+  }
+  return n_opt;
+}
+
+namespace {
+
+double PeakAt(const std::vector<OptimumRegime>& timeline, double t) {
+  ALC_CHECK(!timeline.empty());
+  double peak = timeline.front().peak_throughput;
+  for (const OptimumRegime& regime : timeline) {
+    if (t >= regime.start_time) {
+      peak = regime.peak_throughput;
+    } else {
+      break;
+    }
+  }
+  return peak;
+}
+
+}  // namespace
+
+TrackingStats EvaluateTracking(const std::vector<TrajectoryPoint>& trajectory,
+                               const std::vector<OptimumRegime>& timeline,
+                               const TrackingOptions& options) {
+  TrackingStats stats;
+  ALC_CHECK(!timeline.empty());
+
+  double abs_sum = 0.0, rel_sum = 0.0;
+  int counted = 0, captured = 0;
+  for (const TrajectoryPoint& point : trajectory) {
+    if (point.time < options.skip_initial) continue;
+    const double n_opt = OptimumAt(timeline, point.time);
+    const double peak = PeakAt(timeline, point.time);
+    abs_sum += std::fabs(point.bound - n_opt);
+    if (n_opt > 0.0) rel_sum += std::fabs(point.bound - n_opt) / n_opt;
+    if (peak > 0.0 &&
+        point.throughput >= (1.0 - options.throughput_band) * peak) {
+      ++captured;
+    }
+    ++counted;
+  }
+  if (counted > 0) {
+    stats.mean_abs_error = abs_sum / counted;
+    stats.mean_rel_error = rel_sum / counted;
+    stats.throughput_capture = static_cast<double>(captured) / counted;
+  }
+
+  // Recovery time per regime change (skip the initial regime: that is
+  // convergence from the arbitrary start, not a change response).
+  for (size_t r = 1; r < timeline.size(); ++r) {
+    const double change_time = timeline[r].start_time;
+    const double target = timeline[r].n_opt;
+    const double regime_end = (r + 1 < timeline.size())
+                                  ? timeline[r + 1].start_time
+                                  : std::numeric_limits<double>::max();
+    int in_band = 0;
+    double recovery = -1.0;
+    for (const TrajectoryPoint& point : trajectory) {
+      if (point.time < change_time) continue;
+      if (point.time >= regime_end) break;
+      const bool ok =
+          std::fabs(point.bound - target) <= options.band * target;
+      in_band = ok ? in_band + 1 : 0;
+      if (in_band >= options.settle_intervals) {
+        recovery = point.time - change_time;
+        break;
+      }
+    }
+    stats.recovery_times.push_back(recovery);
+  }
+  return stats;
+}
+
+void PrintTrajectory(std::ostream& out,
+                     const std::vector<TrajectoryPoint>& trajectory,
+                     const std::vector<OptimumRegime>& timeline, int stride) {
+  ALC_CHECK_GE(stride, 1);
+  util::Table table({"time", "n* (bound)", "n (load)", "n_opt", "throughput",
+                     "resp(s)", "conflicts/txn"});
+  for (size_t i = 0; i < trajectory.size(); i += stride) {
+    const TrajectoryPoint& p = trajectory[i];
+    table.AddRow({util::StrFormat("%.0f", p.time),
+                  util::StrFormat("%.1f", p.bound),
+                  util::StrFormat("%.1f", p.load),
+                  util::StrFormat("%.0f", OptimumAt(timeline, p.time)),
+                  util::StrFormat("%.1f", p.throughput),
+                  util::StrFormat("%.3f", p.response),
+                  util::StrFormat("%.3f", p.conflict_rate)});
+  }
+  table.Print(out);
+}
+
+std::string SummaryLine(const std::string& label, const ExperimentResult& r) {
+  return util::StrFormat(
+      "%-24s  throughput=%7.2f/s  response=%6.3fs  load=%6.1f  "
+      "abort-ratio=%5.3f  wasted-cpu=%5.3f  commits=%llu",
+      label.c_str(), r.mean_throughput, r.mean_response, r.mean_active,
+      r.abort_ratio, r.wasted_cpu_fraction,
+      static_cast<unsigned long long>(r.commits));
+}
+
+}  // namespace alc::core

@@ -1,0 +1,56 @@
+#ifndef ALC_CORE_REPORT_H_
+#define ALC_CORE_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/optimum.h"
+
+namespace alc::core {
+
+/// Controller-tracking quality against the true-optimum timeline: what the
+/// paper's figures 13/14 let the reader judge visually, quantified.
+struct TrackingStats {
+  /// Mean |n* - n_opt| over the evaluated span.
+  double mean_abs_error = 0.0;
+  /// Mean |n* - n_opt| / n_opt.
+  double mean_rel_error = 0.0;
+  /// Per step-change: time from the change until the bound first stays
+  /// within +/- band of the new optimum for `settle_intervals` consecutive
+  /// trajectory points. Negative if it never settles.
+  std::vector<double> recovery_times;
+  /// Fraction of points whose throughput is within `throughput_band` of the
+  /// regime's peak throughput.
+  double throughput_capture = 0.0;
+};
+
+struct TrackingOptions {
+  double band = 0.25;            // relative n_opt band counted as "settled"
+  int settle_intervals = 5;
+  double throughput_band = 0.15; // relative shortfall from peak tolerated
+  double skip_initial = 0.0;     // ignore points before this time
+};
+
+/// Evaluates a trajectory against the piecewise-constant optimum timeline.
+TrackingStats EvaluateTracking(const std::vector<TrajectoryPoint>& trajectory,
+                               const std::vector<OptimumRegime>& timeline,
+                               const TrackingOptions& options);
+
+/// n_opt at time t from a piecewise timeline.
+double OptimumAt(const std::vector<OptimumRegime>& timeline, double t);
+
+/// Prints a figure-13/14 style trajectory table: time, n*(solid line),
+/// measured load, true optimum (broken line), throughput. `stride` thins
+/// the rows for readability.
+void PrintTrajectory(std::ostream& out,
+                     const std::vector<TrajectoryPoint>& trajectory,
+                     const std::vector<OptimumRegime>& timeline, int stride);
+
+/// One-line experiment summary used by the comparison benches.
+std::string SummaryLine(const std::string& label, const ExperimentResult& r);
+
+}  // namespace alc::core
+
+#endif  // ALC_CORE_REPORT_H_

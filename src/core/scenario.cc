@@ -1,0 +1,68 @@
+#include "core/scenario.h"
+
+#include "control/fixed.h"
+#include "util/check.h"
+
+namespace alc::core {
+
+const char* ControllerKindName(ControllerKind kind) {
+  switch (kind) {
+    case ControllerKind::kNone:
+      return "none";
+    case ControllerKind::kFixed:
+      return "fixed";
+    case ControllerKind::kTayRule:
+      return "tay-rule";
+    case ControllerKind::kIyerRule:
+      return "iyer-rule";
+    case ControllerKind::kIncrementalSteps:
+      return "incremental-steps";
+    case ControllerKind::kParabola:
+      return "parabola-approximation";
+    case ControllerKind::kGoldenSection:
+      return "golden-section";
+  }
+  return "?";
+}
+
+std::unique_ptr<control::LoadController> MakeController(
+    const ScenarioConfig& scenario) {
+  const ControlConfig& control = scenario.control;
+  switch (control.kind) {
+    case ControllerKind::kNone:
+      return std::make_unique<control::NoControlController>();
+    case ControllerKind::kFixed:
+      return std::make_unique<control::FixedLimitController>(
+          control.fixed_limit);
+    case ControllerKind::kTayRule: {
+      // The rule reads the *declared* workload descriptor k(t).
+      db::Schedule k_schedule = scenario.dynamics.k;
+      return std::make_unique<control::TayRuleController>(
+          static_cast<double>(scenario.system.logical.db_size),
+          [k_schedule](double t) { return k_schedule.Value(t); },
+          control.tay_threshold);
+    }
+    case ControllerKind::kIyerRule:
+      return std::make_unique<control::IyerRuleController>(control.iyer);
+    case ControllerKind::kIncrementalSteps:
+      return std::make_unique<control::IncrementalStepsController>(control.is);
+    case ControllerKind::kParabola:
+      return std::make_unique<control::ParabolaApproximationController>(
+          control.pa);
+    case ControllerKind::kGoldenSection:
+      return std::make_unique<control::GoldenSectionController>(control.gs);
+  }
+  ALC_CHECK(false);
+  return nullptr;
+}
+
+ScenarioConfig DefaultScenario() {
+  ScenarioConfig scenario;
+  scenario.dynamics =
+      db::WorkloadDynamics::FromConfig(scenario.system.logical);
+  scenario.active_terminals =
+      db::Schedule::Constant(scenario.system.physical.num_terminals);
+  return scenario;
+}
+
+}  // namespace alc::core

@@ -1,0 +1,74 @@
+#ifndef ALC_CORE_SCENARIO_H_
+#define ALC_CORE_SCENARIO_H_
+
+#include <memory>
+
+#include "control/controller.h"
+#include "control/golden_section.h"
+#include "control/incremental_steps.h"
+#include "control/parabola.h"
+#include "control/rules.h"
+#include "db/config.h"
+#include "db/schedule.h"
+#include "db/workload.h"
+
+namespace alc::core {
+
+/// Which load-control policy an experiment runs (paper section 1's options
+/// plus the two proposed algorithms).
+enum class ControllerKind {
+  kNone,              // option 1: do nothing
+  kFixed,             // option 2: static bound
+  kTayRule,           // option 3: k^2 n / D < 1.5
+  kIyerRule,          // option 3: conflicts/txn <= 0.75
+  kIncrementalSteps,  // section 4.1
+  kParabola,          // section 4.2
+  kGoldenSection,     // extension: bracketing dynamic optimum search
+};
+
+const char* ControllerKindName(ControllerKind kind);
+
+/// Load-control wiring for an experiment.
+struct ControlConfig {
+  ControllerKind kind = ControllerKind::kParabola;
+  /// Measurement interval length Delta-t (paper section 5).
+  double measurement_interval = 1.0;
+  double initial_limit = 50.0;
+  /// Enforce lowered bounds by aborting active transactions (section 4.3).
+  bool displacement = false;
+  /// Enable the outer tuning loop that retunes the interval (section 5).
+  bool outer_tuner = false;
+
+  control::IsConfig is;
+  control::PaConfig pa;
+  control::GsConfig gs;
+  control::IyerRuleController::Config iyer;
+  double tay_threshold = 1.5;
+  double fixed_limit = 50.0;
+};
+
+/// A complete experiment description: system, workload dynamics, control
+/// policy, and run horizon. Everything is reproducible from this struct.
+struct ScenarioConfig {
+  db::SystemConfig system;
+  db::WorkloadDynamics dynamics =
+      db::WorkloadDynamics::FromConfig(db::LogicalConfig{});
+  db::Schedule active_terminals =
+      db::Schedule::Constant(db::PhysicalConfig{}.num_terminals);
+  ControlConfig control;
+  double duration = 300.0;  // s of virtual time
+  double warmup = 30.0;     // s excluded from summary statistics
+};
+
+/// Builds the configured controller. The scenario is needed because the Tay
+/// rule reads the declared k(t) schedule and database size.
+std::unique_ptr<control::LoadController> MakeController(
+    const ScenarioConfig& scenario);
+
+/// Canonical scenario used throughout the benches: defaults calibrated to
+/// reproduce figure 12's thrashing shape (see db/config.h).
+ScenarioConfig DefaultScenario();
+
+}  // namespace alc::core
+
+#endif  // ALC_CORE_SCENARIO_H_

@@ -1,0 +1,51 @@
+#ifndef ALC_DB_CC_H_
+#define ALC_DB_CC_H_
+
+#include <functional>
+
+#include "db/transaction.h"
+#include "db/types.h"
+
+namespace alc::db {
+
+/// Interface between the transaction executor and a concurrency-control
+/// scheme. The paper's primary scheme is timestamp certification (optimistic,
+/// non-blocking); strict two-phase locking implements the blocking class the
+/// paper discusses in section 1.
+class ConcurrencyControl {
+ public:
+  /// Invoked when a waiting/blocked transaction must be aborted by the CC
+  /// layer itself (deadlock victim). The system reschedules the restart.
+  using AbortHook = std::function<void(Transaction*, AbortReason)>;
+
+  virtual ~ConcurrencyControl() = default;
+
+  /// Called at the start of every execution attempt.
+  virtual void OnAttemptStart(Transaction* txn) = 0;
+
+  /// Access phase `index` wants to touch txn->access_items[index]. The CC
+  /// scheme must either run `proceed` (now for OCC / granted locks, later
+  /// when a lock is granted), or abort the transaction through the abort
+  /// hook (deadlock victim) and drop `proceed`.
+  virtual void RequestAccess(Transaction* txn, int index,
+                             std::function<void()> proceed) = 0;
+
+  /// Commit point: certification for OCC (true = commit allowed), always
+  /// true for 2PL.
+  virtual bool CertifyCommit(Transaction* txn) = 0;
+
+  /// Commit succeeded: install writes / release locks.
+  virtual void OnCommit(Transaction* txn) = 0;
+
+  /// Attempt aborted (certification failure, deadlock, displacement):
+  /// release any CC resources held.
+  virtual void OnAbort(Transaction* txn) = 0;
+
+  /// Removes a transaction that is waiting in a lock queue (displacement of
+  /// a blocked transaction). No-op for OCC.
+  virtual void CancelWaiting(Transaction* txn) = 0;
+};
+
+}  // namespace alc::db
+
+#endif  // ALC_DB_CC_H_

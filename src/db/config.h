@@ -1,0 +1,91 @@
+#ifndef ALC_DB_CONFIG_H_
+#define ALC_DB_CONFIG_H_
+
+#include <cstdint>
+
+#include "db/types.h"
+
+namespace alc::db {
+
+/// CPU burst length distribution. The disk is always constant-time (paper
+/// fig. 11); CPU bursts default to exponential, with deterministic and
+/// Erlang-2 variants for sensitivity studies (service variability shifts
+/// the congestion knee).
+enum class ServiceDistribution { kExponential, kDeterministic, kErlang2 };
+
+/// Physical (closed) model of paper figure 11: N terminals -> admission gate
+/// -> homogeneous multiprocessor with one shared FCFS queue -> disk subsystem
+/// with constant service time and no contention.
+///
+/// The paper takes its parameters "roughly the same as in [Yu et al., 1987]"
+/// (customer workload traces we do not have). These defaults are calibrated
+/// so the uncontrolled stationary throughput curve reproduces figure 12's
+/// shape: near-linear rise, peak at a load in the low hundreds, pronounced
+/// thrashing drop within the 100-800 load range (see DESIGN.md,
+/// "Reconstructions / substitutions").
+struct PhysicalConfig {
+  int num_terminals = 850;
+  double think_time_mean = 1.0;    // s, exponential
+  int num_cpus = 16;               // homogeneous multiprocessor
+  double cpu_init_mean = 0.0015;   // s, exponential, initialization phase
+  double cpu_access_mean = 0.0015; // s, exponential, per access phase
+  double cpu_commit_mean = 0.002;  // s, exponential, commit bookkeeping
+  /// Commit processing per *written* item (install + log), s, exponential.
+  /// This is what couples the workload mix to the resource bottleneck: the
+  /// CPU-saturation knee — and with it the optimum MPL — moves when the
+  /// write volume changes, which is how varying the query/write fractions
+  /// relocates the optimum (paper section 7: "significant impact on both
+  /// height and position of the optimum").
+  double cpu_write_commit_mean = 0.010;
+  double io_time = 0.030;          // s, constant, no contention (inf. server)
+  double restart_delay_mean = 0.050;  // s, exponential backoff before rerun
+  ServiceDistribution cpu_distribution = ServiceDistribution::kExponential;
+};
+
+/// Logical model of paper section 7: each transaction accesses a constant
+/// number k of uniformly selected data items (no hot spots); execution has
+/// k+2 phases. Queries read only; updaters write each accessed item with
+/// probability `write_fraction`.
+struct LogicalConfig {
+  uint32_t db_size = 16000;      // D, number of granules
+  int accesses_per_txn = 16;     // k
+  double query_fraction = 0.30;  // fraction of read-only transactions
+  double write_fraction = 0.25;  // P(write) per access for updaters
+  /// Whether a restarted transaction draws a fresh access set. True matches
+  /// the common simulation assumption (Agrawal et al. 1987) and avoids
+  /// restart livelock.
+  bool resample_on_restart = true;
+  /// Optional hot spot: fraction `hotspot_access_prob` of accesses go to the
+  /// first `hotspot_size_fraction * db_size` items ("b-c rule"). Disabled by
+  /// default to match the paper ("no hot spots"); available as an extension.
+  double hotspot_access_prob = 0.0;
+  double hotspot_size_fraction = 0.0;
+};
+
+/// How work enters the system. The paper's model is closed (N circulating
+/// transactions with think times, fig. 11); the open mode replaces the
+/// terminals with a Poisson arrival stream — an extension that shows load
+/// control is even more critical when the population is unbounded (an
+/// overloaded open system grows its queue without limit instead of
+/// self-capping at N).
+enum class ArrivalMode { kClosed, kOpen };
+
+/// Everything needed to build a TransactionSystem.
+struct SystemConfig {
+  PhysicalConfig physical;
+  LogicalConfig logical;
+  CcScheme cc = CcScheme::kOptimisticCertification;
+  ArrivalMode arrivals = ArrivalMode::kClosed;
+  /// Open mode only: mean arrivals per second (Poisson). A time-varying
+  /// rate can be installed via TransactionSystem::SetArrivalRateSchedule.
+  double open_arrival_rate = 100.0;
+  uint64_t seed = 1;
+  /// Record (start_seq, commit_seq, read/write sets) of committed
+  /// transactions for serializability verification in tests. Costs memory;
+  /// off by default.
+  bool record_history = false;
+};
+
+}  // namespace alc::db
+
+#endif  // ALC_DB_CONFIG_H_

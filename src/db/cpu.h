@@ -1,0 +1,58 @@
+#ifndef ALC_DB_CPU_H_
+#define ALC_DB_CPU_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace alc::db {
+
+/// Homogeneous multiprocessor serving one shared FCFS queue (paper fig. 11).
+/// Service is non-preemptive; a request occupies one processor for its
+/// service time, then the completion callback runs.
+class CpuSubsystem {
+ public:
+  CpuSubsystem(sim::Simulator* sim, int num_processors);
+
+  CpuSubsystem(const CpuSubsystem&) = delete;
+  CpuSubsystem& operator=(const CpuSubsystem&) = delete;
+
+  /// Enqueues a request for `service_time` seconds of one processor;
+  /// `done` runs at completion.
+  void Request(double service_time, std::function<void()> done);
+
+  int num_processors() const { return num_processors_; }
+  int busy() const { return busy_; }
+  size_t queue_length() const { return queue_.size(); }
+  uint64_t completed() const { return completed_; }
+
+  /// Total processor-seconds delivered so far.
+  double busy_time() const;
+
+  /// Utilization over [0, now]: busy_time / (now * m).
+  double Utilization() const;
+
+ private:
+  struct Pending {
+    double service_time;
+    std::function<void()> done;
+  };
+
+  void StartService(double service_time, std::function<void()> done);
+  void OnServiceComplete(std::function<void()> done);
+
+  sim::Simulator* sim_;
+  int num_processors_;
+  int busy_ = 0;
+  std::deque<Pending> queue_;
+  uint64_t completed_ = 0;
+  double busy_time_accum_ = 0.0;
+  double busy_since_ = 0.0;  // time of last busy_ change
+};
+
+}  // namespace alc::db
+
+#endif  // ALC_DB_CPU_H_

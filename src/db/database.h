@@ -1,0 +1,56 @@
+#ifndef ALC_DB_DATABASE_H_
+#define ALC_DB_DATABASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "db/config.h"
+#include "db/transaction.h"
+#include "db/types.h"
+#include "sim/random.h"
+
+namespace alc::db {
+
+/// The database of D granules plus the per-item metadata needed by the CC
+/// schemes. No payload values are modelled — concurrency behaviour depends
+/// only on which items are touched, not on what is stored in them.
+class Database {
+ public:
+  explicit Database(uint32_t size);
+
+  uint32_t size() const { return size_; }
+
+  /// OCC: sequence number of the last committed write of `item` (0 = never).
+  uint64_t last_write_seq(ItemId item) const { return last_write_seq_[item]; }
+  void set_last_write_seq(ItemId item, uint64_t seq) {
+    last_write_seq_[item] = seq;
+  }
+
+ private:
+  uint32_t size_;
+  std::vector<uint64_t> last_write_seq_;
+};
+
+/// Draws the access plan of a transaction attempt: k distinct items selected
+/// uniformly at random (paper: "data items are selected randomly (i.e. no
+/// hot spots)"), plus planned access modes. An optional hot-spot extension
+/// skews a fraction of accesses into a small region.
+class AccessPatternGenerator {
+ public:
+  AccessPatternGenerator(const LogicalConfig* config, sim::RandomStream rng);
+
+  /// Fills txn->access_items / access_modes for a fresh attempt.
+  /// `k` and `write_fraction` are passed explicitly because they are
+  /// time-varying (workload schedules).
+  void PlanAccesses(Transaction* txn, uint32_t db_size, int k,
+                    double write_fraction);
+
+ private:
+  const LogicalConfig* config_;
+  sim::RandomStream rng_;
+  std::vector<uint32_t> scratch_;
+};
+
+}  // namespace alc::db
+
+#endif  // ALC_DB_DATABASE_H_

@@ -1,0 +1,24 @@
+#include "db/disk.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace alc::db {
+
+DiskSubsystem::DiskSubsystem(sim::Simulator* sim, double service_time)
+    : sim_(sim), service_time_(service_time) {
+  ALC_CHECK(sim != nullptr);
+  ALC_CHECK_GE(service_time, 0.0);
+}
+
+void DiskSubsystem::Request(std::function<void()> done) {
+  ++in_flight_;
+  sim_->Schedule(service_time_, [this, done = std::move(done)]() mutable {
+    --in_flight_;
+    ++completed_;
+    done();
+  });
+}
+
+}  // namespace alc::db

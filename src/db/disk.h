@@ -1,0 +1,37 @@
+#ifndef ALC_DB_DISK_H_
+#define ALC_DB_DISK_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/simulator.h"
+
+namespace alc::db {
+
+/// Disk subsystem with constant service times and no contention (paper
+/// fig. 11): an infinite-server station — every request is served
+/// immediately and completes after the fixed service time.
+class DiskSubsystem {
+ public:
+  DiskSubsystem(sim::Simulator* sim, double service_time);
+
+  DiskSubsystem(const DiskSubsystem&) = delete;
+  DiskSubsystem& operator=(const DiskSubsystem&) = delete;
+
+  /// Starts an I/O; `done` runs after the constant service time.
+  void Request(std::function<void()> done);
+
+  uint64_t completed() const { return completed_; }
+  int in_flight() const { return in_flight_; }
+  double service_time() const { return service_time_; }
+
+ private:
+  sim::Simulator* sim_;
+  double service_time_;
+  uint64_t completed_ = 0;
+  int in_flight_ = 0;
+};
+
+}  // namespace alc::db
+
+#endif  // ALC_DB_DISK_H_

@@ -1,0 +1,65 @@
+#ifndef ALC_DB_METRICS_H_
+#define ALC_DB_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "db/types.h"
+#include "sim/stats.h"
+
+namespace alc::db {
+
+/// Cumulative counters of the transaction system. The measurement subsystem
+/// (control/monitor) snapshots these and differences consecutive snapshots
+/// per interval, so the system itself never needs interval bookkeeping.
+struct Counters {
+  uint64_t submitted = 0;
+  uint64_t commits = 0;
+  uint64_t aborts_certification = 0;
+  uint64_t aborts_deadlock = 0;
+  uint64_t aborts_displacement = 0;
+  uint64_t lock_waits = 0;     // 2PL: access requests that had to block
+  uint64_t lock_requests = 0;  // 2PL: all access requests
+  double response_time_sum = 0.0;  // of committed transactions, submit->commit
+  double useful_cpu = 0.0;         // CPU of attempts that committed
+  double wasted_cpu = 0.0;         // CPU of attempts that aborted
+
+  uint64_t total_aborts() const {
+    return aborts_certification + aborts_deadlock + aborts_displacement;
+  }
+};
+
+/// Record of one committed transaction, for offline serializability checks.
+struct CommitRecord {
+  TxnId txn_id;
+  uint64_t start_seq;
+  uint64_t commit_seq;
+  std::vector<ItemId> read_set;
+  std::vector<ItemId> write_set;
+};
+
+/// Full metric surface of a TransactionSystem: cumulative counters,
+/// time-weighted load tracks, and the optional commit history.
+class Metrics {
+ public:
+  Counters counters;
+
+  /// Time-weighted number of admitted transactions n(t) (the paper's load).
+  sim::TimeWeightedAverage active_track;
+  /// Time-weighted number of blocked transactions (2PL; Tay's b(n)).
+  sim::TimeWeightedAverage blocked_track;
+  /// Time-weighted admission-gate queue length.
+  sim::TimeWeightedAverage queued_track;
+
+  /// Distribution of committed-transaction response times.
+  sim::WelfordAccumulator response_times;
+  /// Attempts needed per committed transaction.
+  sim::WelfordAccumulator attempts_per_commit;
+
+  bool record_history = false;
+  std::vector<CommitRecord> history;
+};
+
+}  // namespace alc::db
+
+#endif  // ALC_DB_METRICS_H_

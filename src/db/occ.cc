@@ -1,0 +1,56 @@
+#include "db/occ.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace alc::db {
+
+TimestampCertifier::TimestampCertifier(Database* db, Metrics* metrics)
+    : db_(db), metrics_(metrics) {
+  ALC_CHECK(db != nullptr);
+  ALC_CHECK(metrics != nullptr);
+}
+
+void TimestampCertifier::OnAttemptStart(Transaction* txn) {
+  txn->start_seq = commit_seq_;
+}
+
+void TimestampCertifier::RequestAccess(Transaction* txn, int index,
+                                       std::function<void()> proceed) {
+  // Optimistic execution: access proceeds immediately; conflicts surface at
+  // certification time.
+  (void)txn;
+  (void)index;
+  proceed();
+}
+
+bool TimestampCertifier::CertifyCommit(Transaction* txn) {
+  for (ItemId item : txn->read_set) {
+    if (db_->last_write_seq(item) > txn->start_seq) return false;
+  }
+  return true;
+}
+
+void TimestampCertifier::OnCommit(Transaction* txn) {
+  const uint64_t seq = ++commit_seq_;
+  for (ItemId item : txn->write_set) {
+    db_->set_last_write_seq(item, seq);
+  }
+  if (metrics_->record_history) {
+    metrics_->history.push_back(CommitRecord{txn->id, txn->start_seq, seq,
+                                             txn->read_set, txn->write_set});
+  }
+}
+
+void TimestampCertifier::OnAbort(Transaction* txn) {
+  // Nothing to release: optimistic transactions hold no CC resources.
+  (void)txn;
+}
+
+void TimestampCertifier::CancelWaiting(Transaction* txn) {
+  // OCC never blocks, so there is nothing to cancel.
+  (void)txn;
+}
+
+}  // namespace alc::db

@@ -1,0 +1,41 @@
+#ifndef ALC_DB_OCC_H_
+#define ALC_DB_OCC_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "db/cc.h"
+#include "db/database.h"
+#include "db/metrics.h"
+
+namespace alc::db {
+
+/// Timestamp certification scheme [Bernstein, Hadzilacos, Goodman 1987], the
+/// paper's CC algorithm (section 7). Execution is never blocked; at commit
+/// the transaction is certified by backward validation: it fails if any
+/// committed transaction wrote an item in its read set after the attempt
+/// started. On success the transaction receives the next commit sequence
+/// number and its writes are installed (per-item last-writer sequence).
+class TimestampCertifier : public ConcurrencyControl {
+ public:
+  TimestampCertifier(Database* db, Metrics* metrics);
+
+  void OnAttemptStart(Transaction* txn) override;
+  void RequestAccess(Transaction* txn, int index,
+                     std::function<void()> proceed) override;
+  bool CertifyCommit(Transaction* txn) override;
+  void OnCommit(Transaction* txn) override;
+  void OnAbort(Transaction* txn) override;
+  void CancelWaiting(Transaction* txn) override;
+
+  uint64_t commit_seq() const { return commit_seq_; }
+
+ private:
+  Database* db_;
+  Metrics* metrics_;
+  uint64_t commit_seq_ = 0;
+};
+
+}  // namespace alc::db
+
+#endif  // ALC_DB_OCC_H_

@@ -1,0 +1,137 @@
+#include "db/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace alc::db {
+
+Schedule Schedule::Constant(double value) {
+  Schedule s;
+  s.kind_ = Kind::kConstant;
+  s.constant_ = value;
+  return s;
+}
+
+Schedule Schedule::Steps(double initial,
+                         std::vector<std::pair<double, double>> steps) {
+  for (size_t i = 1; i < steps.size(); ++i) {
+    ALC_CHECK_LT(steps[i - 1].first, steps[i].first);
+  }
+  Schedule s;
+  s.kind_ = Kind::kSteps;
+  s.initial_ = initial;
+  s.points_ = std::move(steps);
+  return s;
+}
+
+Schedule Schedule::Sinusoid(double mean, double amplitude, double period,
+                            double phase) {
+  ALC_CHECK_GT(period, 0.0);
+  Schedule s;
+  s.kind_ = Kind::kSinusoid;
+  s.mean_ = mean;
+  s.amplitude_ = amplitude;
+  s.period_ = period;
+  s.phase_ = phase;
+  return s;
+}
+
+Schedule Schedule::PiecewiseLinear(
+    std::vector<std::pair<double, double>> points) {
+  ALC_CHECK(!points.empty());
+  for (size_t i = 1; i < points.size(); ++i) {
+    ALC_CHECK_LT(points[i - 1].first, points[i].first);
+  }
+  Schedule s;
+  s.kind_ = Kind::kPiecewise;
+  s.points_ = std::move(points);
+  return s;
+}
+
+double Schedule::Value(double t) const {
+  switch (kind_) {
+    case Kind::kConstant:
+      return constant_;
+    case Kind::kSteps: {
+      double v = initial_;
+      for (const auto& [time, value] : points_) {
+        if (t >= time) {
+          v = value;
+        } else {
+          break;
+        }
+      }
+      return v;
+    }
+    case Kind::kSinusoid:
+      return mean_ + amplitude_ * std::sin(2.0 * M_PI * t / period_ + phase_);
+    case Kind::kPiecewise: {
+      if (t <= points_.front().first) return points_.front().second;
+      if (t >= points_.back().first) return points_.back().second;
+      for (size_t i = 1; i < points_.size(); ++i) {
+        if (t <= points_[i].first) {
+          const auto& [x0, y0] = points_[i - 1];
+          const auto& [x1, y1] = points_[i];
+          const double frac = (t - x0) / (x1 - x0);
+          return y0 + frac * (y1 - y0);
+        }
+      }
+      return points_.back().second;
+    }
+  }
+  return 0.0;
+}
+
+std::vector<double> Schedule::ChangePoints() const {
+  std::vector<double> out;
+  if (kind_ == Kind::kSteps) {
+    out.reserve(points_.size());
+    for (const auto& [time, value] : points_) out.push_back(time);
+  }
+  return out;
+}
+
+std::pair<double, double> Schedule::Range(double horizon) const {
+  switch (kind_) {
+    case Kind::kConstant:
+      return {constant_, constant_};
+    case Kind::kSteps: {
+      double lo = initial_, hi = initial_;
+      for (const auto& [time, value] : points_) {
+        if (time > horizon) break;
+        lo = std::min(lo, value);
+        hi = std::max(hi, value);
+      }
+      return {lo, hi};
+    }
+    case Kind::kSinusoid: {
+      if (horizon >= period_) {
+        return {mean_ - std::fabs(amplitude_), mean_ + std::fabs(amplitude_)};
+      }
+      double lo = Value(0.0), hi = lo;
+      for (int i = 1; i <= 256; ++i) {
+        const double v = Value(horizon * i / 256.0);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      return {lo, hi};
+    }
+    case Kind::kPiecewise: {
+      double lo = points_.front().second, hi = lo;
+      for (const auto& [time, value] : points_) {
+        if (time > horizon) break;
+        lo = std::min(lo, value);
+        hi = std::max(hi, value);
+      }
+      const double v = Value(horizon);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      return {lo, hi};
+    }
+  }
+  return {0.0, 0.0};
+}
+
+}  // namespace alc::db

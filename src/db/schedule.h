@@ -1,0 +1,56 @@
+#ifndef ALC_DB_SCHEDULE_H_
+#define ALC_DB_SCHEDULE_H_
+
+#include <utility>
+#include <vector>
+
+namespace alc::db {
+
+/// A time-varying scalar parameter. Models the paper's dynamic workload
+/// variation (section 9): constant, jump-like (step) changes, sinusoidal
+/// changes, and piecewise-linear profiles.
+class Schedule {
+ public:
+  /// Constant value for all t.
+  static Schedule Constant(double value);
+
+  /// Starts at `initial`; at each (time, value) pair the value jumps. Times
+  /// must be strictly increasing.
+  static Schedule Steps(double initial,
+                        std::vector<std::pair<double, double>> steps);
+
+  /// mean + amplitude * sin(2*pi*(t/period) + phase).
+  static Schedule Sinusoid(double mean, double amplitude, double period,
+                           double phase = 0.0);
+
+  /// Piecewise-linear through the given (time, value) points; constant
+  /// extrapolation outside. Times must be strictly increasing.
+  static Schedule PiecewiseLinear(std::vector<std::pair<double, double>> points);
+
+  double Value(double t) const;
+
+  bool is_constant() const { return kind_ == Kind::kConstant; }
+
+  /// Times at which the value changes discontinuously (step times). Empty
+  /// for the other kinds. Used by the true-optimum tracker to split a run
+  /// into stationary regimes.
+  std::vector<double> ChangePoints() const;
+
+  /// Smallest and largest value attained over [0, horizon].
+  std::pair<double, double> Range(double horizon) const;
+
+ private:
+  enum class Kind { kConstant, kSteps, kSinusoid, kPiecewise };
+
+  Schedule() = default;
+
+  Kind kind_ = Kind::kConstant;
+  double constant_ = 0.0;
+  double initial_ = 0.0;
+  std::vector<std::pair<double, double>> points_;  // steps or pwl points
+  double mean_ = 0.0, amplitude_ = 0.0, period_ = 1.0, phase_ = 0.0;
+};
+
+}  // namespace alc::db
+
+#endif  // ALC_DB_SCHEDULE_H_

@@ -1,0 +1,381 @@
+#include "db/system.h"
+
+#include <cmath>
+#include <utility>
+
+#include "db/occ.h"
+#include "util/check.h"
+
+namespace alc::db {
+
+TransactionSystem::TransactionSystem(sim::Simulator* sim,
+                                     const SystemConfig& config)
+    : sim_(sim),
+      config_(config),
+      dynamics_(WorkloadDynamics::FromConfig(config.logical)),
+      active_terminals_(Schedule::Constant(config.physical.num_terminals)),
+      arrival_rate_(Schedule::Constant(config.open_arrival_rate)),
+      think_rng_(config.seed),
+      class_rng_(config.seed + 0x9e3779b97f4a7c15ULL),
+      service_rng_(config.seed + 0x3c6ef372fe94f82aULL),
+      restart_rng_(config.seed + 0x78dde6e5fd29f045ULL),
+      database_(config.logical.db_size),
+      access_gen_(&config_.logical, sim::RandomStream(config.seed ^ 0xa5a5a5a5a5a5a5a5ULL)),
+      cpu_(sim, config.physical.num_cpus),
+      disk_(sim, config.physical.io_time) {
+  ALC_CHECK(sim != nullptr);
+  ALC_CHECK_GT(config.physical.num_terminals, 0);
+  metrics_.record_history = config.record_history;
+
+  if (config_.cc == CcScheme::kTwoPhaseLocking) {
+    auto lm = std::make_unique<LockManager>(&database_, &metrics_, sim_);
+    lm->SetAbortHook([this](Transaction* txn, AbortReason reason) {
+      AbortAttempt(txn, reason);
+    });
+    lock_manager_ = lm.get();
+    cc_ = std::move(lm);
+  } else {
+    cc_ = std::make_unique<TimestampCertifier>(&database_, &metrics_);
+  }
+
+  if (config_.arrivals == ArrivalMode::kClosed) {
+    transactions_.resize(config.physical.num_terminals);
+    for (int i = 0; i < config.physical.num_terminals; ++i) {
+      transactions_[i].terminal_id = i;
+    }
+  }
+
+  on_submit_ = [this](Transaction* txn) { Admit(txn); };
+  on_departure_ = [](Transaction*) {};
+
+  metrics_.active_track.Start(0.0, 0.0);
+  metrics_.blocked_track.Start(0.0, 0.0);
+  metrics_.queued_track.Start(0.0, 0.0);
+}
+
+void TransactionSystem::SetSubmissionHook(
+    std::function<void(Transaction*)> on_submit) {
+  ALC_CHECK(on_submit != nullptr);
+  on_submit_ = std::move(on_submit);
+}
+
+void TransactionSystem::SetDepartureHook(
+    std::function<void(Transaction*)> on_departure) {
+  ALC_CHECK(on_departure != nullptr);
+  on_departure_ = std::move(on_departure);
+}
+
+void TransactionSystem::SetWorkloadDynamics(WorkloadDynamics dynamics) {
+  ALC_CHECK(!started_);
+  dynamics_ = std::move(dynamics);
+}
+
+void TransactionSystem::SetActiveTerminalsSchedule(Schedule schedule) {
+  ALC_CHECK(!started_);
+  active_terminals_ = std::move(schedule);
+}
+
+void TransactionSystem::SetArrivalRateSchedule(Schedule schedule) {
+  ALC_CHECK(!started_);
+  arrival_rate_ = std::move(schedule);
+}
+
+void TransactionSystem::Start() {
+  ALC_CHECK(!started_);
+  started_ = true;
+  if (config_.arrivals == ArrivalMode::kOpen) {
+    ScheduleNextArrival();
+    return;
+  }
+  for (int i = 0; i < config_.physical.num_terminals; ++i) {
+    ScheduleThink(i);
+  }
+}
+
+void TransactionSystem::ScheduleNextArrival() {
+  // Poisson process with a (slowly) time-varying rate: the next gap is
+  // drawn at the current rate. Exact for constant rates; for schedules the
+  // approximation error is one inter-arrival time of lag.
+  const double rate = std::max(arrival_rate_.Value(sim_->Now()), 1e-9);
+  sim_->Schedule(think_rng_.NextExponential(1.0 / rate),
+                 [this] { SubmitFromArrival(); });
+}
+
+Transaction* TransactionSystem::AcquireFromPool() {
+  if (!free_pool_.empty()) {
+    Transaction* txn = free_pool_.back();
+    free_pool_.pop_back();
+    return txn;
+  }
+  transactions_.emplace_back();
+  transactions_.back().terminal_id = -1;
+  return &transactions_.back();
+}
+
+void TransactionSystem::SubmitFromArrival() {
+  ScheduleNextArrival();
+  Transaction* txn = AcquireFromPool();
+  SetupNewWork(txn);
+}
+
+void TransactionSystem::ScheduleThink(int terminal_id) {
+  transactions_[terminal_id].state = TxnState::kThinking;
+  const double think =
+      think_rng_.NextExponential(config_.physical.think_time_mean);
+  sim_->Schedule(think, [this, terminal_id] { SubmitFromTerminal(terminal_id); });
+}
+
+void TransactionSystem::SubmitFromTerminal(int terminal_id) {
+  // Terminals beyond the scheduled participation count stay dormant and
+  // poll again after a think time (models operators joining/leaving).
+  const double quota = active_terminals_.Value(sim_->Now());
+  if (terminal_id >= static_cast<int>(std::lround(quota))) {
+    ScheduleThink(terminal_id);
+    return;
+  }
+  SetupNewWork(&transactions_[terminal_id]);
+}
+
+void TransactionSystem::SetupNewWork(Transaction* txn) {
+  const double now = sim_->Now();
+  txn->id = next_txn_id_++;
+  txn->cls = class_rng_.NextBernoulli(dynamics_.QueryFractionAt(now))
+                 ? TxnClass::kQuery
+                 : TxnClass::kUpdater;
+  txn->k = dynamics_.KAt(now, database_.size());
+  txn->first_submit_time = now;
+  txn->attempts = 0;
+  txn->doomed = false;
+  txn->displaced = false;
+  txn->state = TxnState::kQueued;
+  txn->ResetAttempt();
+  ++metrics_.counters.submitted;
+  on_submit_(txn);
+}
+
+void TransactionSystem::SetActive(int delta) {
+  active_ += delta;
+  ALC_CHECK_GE(active_, 0);
+  metrics_.active_track.Update(sim_->Now(), active_);
+}
+
+void TransactionSystem::Admit(Transaction* txn) {
+  ALC_CHECK(txn->state == TxnState::kQueued);
+  txn->admit_time = sim_->Now();
+  txn->displaced = false;
+  SetActive(+1);
+  StartAttempt(txn);
+}
+
+void TransactionSystem::StartAttempt(Transaction* txn) {
+  const double now = sim_->Now();
+  ++txn->attempts;
+  txn->attempt_start_time = now;
+  txn->state = TxnState::kRunning;
+  txn->doomed = false;
+  txn->restart_event = sim::EventHandle{};
+
+  const bool need_plan =
+      txn->access_items.empty() || config_.logical.resample_on_restart;
+  if (need_plan) {
+    // k is re-read on resample so long-running re-submissions follow the
+    // workload schedules; non-resampled restarts keep their original plan.
+    txn->k = dynamics_.KAt(now, database_.size());
+    access_gen_.PlanAccesses(txn, database_.size(), txn->k,
+                             dynamics_.WriteFractionAt(now));
+  }
+  txn->read_set.clear();
+  txn->write_set.clear();
+  txn->attempt_cpu = 0.0;
+  txn->phase = 0;
+
+  cc_->OnAttemptStart(txn);
+
+  // Phase 0: initialization (CPU burst + one I/O).
+  const double service = DrawCpu(txn, config_.physical.cpu_init_mean);
+  cpu_.Request(service, [this, txn] {
+    disk_.Request([this, txn] { RunAccessPhase(txn, 0); });
+  });
+}
+
+double TransactionSystem::DrawCpu(Transaction* txn, double mean) {
+  double service;
+  switch (config_.physical.cpu_distribution) {
+    case ServiceDistribution::kDeterministic:
+      service = mean;
+      break;
+    case ServiceDistribution::kErlang2:
+      service = 0.5 * (service_rng_.NextExponential(mean) +
+                       service_rng_.NextExponential(mean));
+      break;
+    case ServiceDistribution::kExponential:
+    default:
+      service = service_rng_.NextExponential(mean);
+      break;
+  }
+  txn->attempt_cpu += service;
+  return service;
+}
+
+void TransactionSystem::RunAccessPhase(Transaction* txn, int index) {
+  if (txn->doomed) {
+    AbortForDisplacement(txn);
+    return;
+  }
+  txn->phase = index + 1;
+  cc_->RequestAccess(txn, index, [this, txn, index] {
+    if (txn->doomed) {
+      AbortForDisplacement(txn);
+      return;
+    }
+    txn->state = TxnState::kRunning;
+    const double service = DrawCpu(txn, config_.physical.cpu_access_mean);
+    cpu_.Request(service, [this, txn, index] {
+      disk_.Request([this, txn, index] { CompleteAccess(txn, index); });
+    });
+  });
+}
+
+void TransactionSystem::CompleteAccess(Transaction* txn, int index) {
+  const ItemId item = txn->access_items[index];
+  txn->read_set.push_back(item);
+  if (txn->access_modes[index] == AccessMode::kWrite) {
+    txn->write_set.push_back(item);
+  }
+  if (index + 1 < static_cast<int>(txn->access_items.size())) {
+    RunAccessPhase(txn, index + 1);
+  } else {
+    RunCommitPhase(txn);
+  }
+}
+
+void TransactionSystem::RunCommitPhase(Transaction* txn) {
+  if (txn->doomed) {
+    AbortForDisplacement(txn);
+    return;
+  }
+  txn->phase = txn->k + 1;
+  // Commit processing: fixed bookkeeping plus install/log work per written
+  // item (queries commit cheaply, heavy updaters expensively).
+  double service = DrawCpu(txn, config_.physical.cpu_commit_mean);
+  for (size_t i = 0; i < txn->write_set.size(); ++i) {
+    service += DrawCpu(txn, config_.physical.cpu_write_commit_mean);
+  }
+  cpu_.Request(service, [this, txn] {
+    disk_.Request([this, txn] { Finalize(txn); });
+  });
+}
+
+void TransactionSystem::Finalize(Transaction* txn) {
+  if (txn->doomed) {
+    AbortForDisplacement(txn);
+    return;
+  }
+  if (cc_->CertifyCommit(txn)) {
+    Commit(txn);
+  } else {
+    AbortAttempt(txn, AbortReason::kCertificationFailure);
+  }
+}
+
+void TransactionSystem::Commit(Transaction* txn) {
+  const double now = sim_->Now();
+  cc_->OnCommit(txn);
+  ++metrics_.counters.commits;
+  const double response = now - txn->first_submit_time;
+  metrics_.counters.response_time_sum += response;
+  metrics_.response_times.Add(response);
+  metrics_.attempts_per_commit.Add(txn->attempts);
+  metrics_.counters.useful_cpu += txn->attempt_cpu;
+  SetActive(-1);
+  txn->state = TxnState::kThinking;
+  on_departure_(txn);
+  if (config_.arrivals == ArrivalMode::kOpen) {
+    // Open systems: committed work leaves; the slot returns to the pool.
+    free_pool_.push_back(txn);
+  } else {
+    ScheduleThink(txn->terminal_id);
+  }
+}
+
+void TransactionSystem::AbortAttempt(Transaction* txn, AbortReason reason) {
+  cc_->OnAbort(txn);
+  metrics_.counters.wasted_cpu += txn->attempt_cpu;
+  switch (reason) {
+    case AbortReason::kCertificationFailure:
+      ++metrics_.counters.aborts_certification;
+      break;
+    case AbortReason::kDeadlock:
+      ++metrics_.counters.aborts_deadlock;
+      break;
+    case AbortReason::kDisplacement:
+      ++metrics_.counters.aborts_displacement;
+      break;
+  }
+  if (reason == AbortReason::kDisplacement) {
+    // Leaves the admitted set and re-queues at the gate.
+    SetActive(-1);
+    txn->state = TxnState::kQueued;
+    txn->displaced = true;
+    txn->doomed = false;
+    txn->ResetAttempt();
+    on_submit_(txn);
+    return;
+  }
+  // Certification / deadlock: stays part of the load and reruns after an
+  // exponential restart delay.
+  txn->state = TxnState::kRestartWait;
+  const double delay =
+      restart_rng_.NextExponential(config_.physical.restart_delay_mean);
+  txn->restart_event = sim_->Schedule(delay, [this, txn] { StartAttempt(txn); });
+}
+
+void TransactionSystem::AbortForDisplacement(Transaction* txn) {
+  AbortAttempt(txn, AbortReason::kDisplacement);
+}
+
+void TransactionSystem::Displace(Transaction* txn) {
+  ALC_CHECK(txn->state == TxnState::kRunning ||
+            txn->state == TxnState::kBlocked ||
+            txn->state == TxnState::kRestartWait);
+  switch (txn->state) {
+    case TxnState::kBlocked:
+      // Safe to abort immediately: a blocked transaction has no scheduled
+      // events, only a lock-queue entry.
+      cc_->CancelWaiting(txn);
+      AbortAttempt(txn, AbortReason::kDisplacement);
+      break;
+    case TxnState::kRestartWait:
+      ALC_CHECK(sim_->Cancel(txn->restart_event));
+      AbortAttempt(txn, AbortReason::kDisplacement);
+      break;
+    case TxnState::kRunning:
+      // Mid CPU/IO: aborts at the next phase boundary. The residual phase
+      // work is part of the cost of displacement (paper section 4.3 notes
+      // aborts waste resources).
+      txn->doomed = true;
+      break;
+    default:
+      break;
+  }
+}
+
+void TransactionSystem::CollectActive(std::vector<Transaction*>* out) {
+  out->clear();
+  for (Transaction& txn : transactions_) {
+    if (txn.state == TxnState::kRunning || txn.state == TxnState::kBlocked ||
+        txn.state == TxnState::kRestartWait) {
+      if (!txn.doomed) out->push_back(&txn);
+    }
+  }
+}
+
+int TransactionSystem::CountThinking() const {
+  int thinking = 0;
+  for (const Transaction& txn : transactions_) {
+    if (txn.state == TxnState::kThinking) ++thinking;
+  }
+  return thinking;
+}
+
+}  // namespace alc::db

@@ -1,0 +1,154 @@
+#ifndef ALC_DB_SYSTEM_H_
+#define ALC_DB_SYSTEM_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "db/cc.h"
+#include "db/config.h"
+#include "db/cpu.h"
+#include "db/database.h"
+#include "db/disk.h"
+#include "db/metrics.h"
+#include "db/schedule.h"
+#include "db/transaction.h"
+#include "db/two_phase_locking.h"
+#include "db/workload.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace alc::db {
+
+/// The complete simulated transaction processing system of paper figure 11:
+/// a closed network of N terminals (think times), an admission boundary, a
+/// homogeneous multiprocessor with a shared FCFS queue, an infinite-server
+/// constant-time disk, and a concurrency-control scheme over a database of
+/// D granules. Each transaction executes k+2 phases (init, k accesses with
+/// gradually growing access set, commit).
+///
+/// The admission boundary is pluggable: a load-control gate (src/control)
+/// installs submission/departure hooks and calls Admit()/Displace(). With no
+/// hooks installed every submission is admitted immediately (the "do
+/// nothing" policy of paper section 1).
+class TransactionSystem {
+ public:
+  TransactionSystem(sim::Simulator* sim, const SystemConfig& config);
+
+  TransactionSystem(const TransactionSystem&) = delete;
+  TransactionSystem& operator=(const TransactionSystem&) = delete;
+
+  /// Called for every transaction that needs admission: fresh submissions
+  /// from terminals and displaced transactions (txn->displaced == true).
+  /// The callee must eventually call Admit(txn).
+  void SetSubmissionHook(std::function<void(Transaction*)> on_submit);
+
+  /// Called after a transaction commits and leaves the system (an admission
+  /// slot became free).
+  void SetDepartureHook(std::function<void(Transaction*)> on_departure);
+
+  /// Replaces the (default: constant) workload schedules. Must be called
+  /// before Start().
+  void SetWorkloadDynamics(WorkloadDynamics dynamics);
+
+  /// Time-varying number of participating terminals (<= num_terminals).
+  /// Terminals beyond the scheduled count stay dormant and re-check after a
+  /// think time. Closed mode only. Must be called before Start().
+  void SetActiveTerminalsSchedule(Schedule schedule);
+
+  /// Open mode: time-varying Poisson arrival rate (transactions per
+  /// second); overrides config.open_arrival_rate. Must be called before
+  /// Start().
+  void SetArrivalRateSchedule(Schedule schedule);
+
+  /// Schedules the initial think times; call once.
+  void Start();
+
+  /// Admits a queued transaction into execution (gate-facing API).
+  void Admit(Transaction* txn);
+
+  /// Displaces an admitted transaction (paper section 4.3): running
+  /// transactions are marked and abort at their next phase boundary;
+  /// blocked or restart-waiting transactions abort immediately. The
+  /// transaction re-enters through the submission hook with
+  /// txn->displaced == true.
+  void Displace(Transaction* txn);
+
+  /// Number of admitted transactions (the paper's load n): running, blocked,
+  /// or waiting out a restart delay.
+  int active() const { return active_; }
+
+  double Now() const { return sim_->Now(); }
+
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+  const SystemConfig& config() const { return config_; }
+  const WorkloadDynamics& dynamics() const { return dynamics_; }
+  Database& database() { return database_; }
+  CpuSubsystem& cpu() { return cpu_; }
+  DiskSubsystem& disk() { return disk_; }
+  ConcurrencyControl& cc() { return *cc_; }
+  /// Non-null only when config.cc == kTwoPhaseLocking.
+  LockManager* lock_manager() { return lock_manager_; }
+
+  /// All transactions currently admitted (for displacement victim search).
+  void CollectActive(std::vector<Transaction*>* out);
+
+  /// Sum of terminals in thinking state (for conservation checks in tests;
+  /// closed mode).
+  int CountThinking() const;
+
+ private:
+  void ScheduleThink(int terminal_id);
+  void SubmitFromTerminal(int terminal_id);
+  void ScheduleNextArrival();
+  void SubmitFromArrival();
+  Transaction* AcquireFromPool();
+  void SetupNewWork(Transaction* txn);
+  void StartAttempt(Transaction* txn);
+  void RunAccessPhase(Transaction* txn, int index);
+  void CompleteAccess(Transaction* txn, int index);
+  void RunCommitPhase(Transaction* txn);
+  void Finalize(Transaction* txn);
+  void Commit(Transaction* txn);
+  void AbortAttempt(Transaction* txn, AbortReason reason);
+  void AbortForDisplacement(Transaction* txn);
+  void SetActive(int delta);
+  /// Draws an exponential CPU demand and charges it to the attempt.
+  double DrawCpu(Transaction* txn, double mean);
+
+  sim::Simulator* sim_;
+  SystemConfig config_;
+  WorkloadDynamics dynamics_;
+  Schedule active_terminals_;
+  Schedule arrival_rate_;
+  Metrics metrics_;
+
+  sim::RandomStream think_rng_;
+  sim::RandomStream class_rng_;
+  sim::RandomStream service_rng_;
+  sim::RandomStream restart_rng_;
+
+  Database database_;
+  AccessPatternGenerator access_gen_;
+  CpuSubsystem cpu_;
+  DiskSubsystem disk_;
+  std::unique_ptr<ConcurrencyControl> cc_;
+  LockManager* lock_manager_ = nullptr;  // borrowed view into cc_
+
+  /// Closed mode: one slot per terminal, reused. Open mode: a growing pool
+  /// with a free list (stable addresses via deque).
+  std::deque<Transaction> transactions_;
+  std::vector<Transaction*> free_pool_;  // open mode: idle work units
+  std::function<void(Transaction*)> on_submit_;
+  std::function<void(Transaction*)> on_departure_;
+
+  int active_ = 0;
+  TxnId next_txn_id_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace alc::db
+
+#endif  // ALC_DB_SYSTEM_H_

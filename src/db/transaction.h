@@ -1,0 +1,73 @@
+#ifndef ALC_DB_TRANSACTION_H_
+#define ALC_DB_TRANSACTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "db/types.h"
+#include "sim/event_queue.h"
+
+namespace alc::db {
+
+/// One circulating work unit of the closed model. A Transaction object is
+/// owned by its terminal and reused: it is re-initialized when the terminal
+/// submits new work, and keeps its identity across restarts of the same work
+/// unit (attempts). Members are plain state manipulated by TransactionSystem
+/// and the CC schemes; this is deliberately a passive struct.
+struct Transaction {
+  TxnId id = 0;          // unique per submitted work unit
+  int terminal_id = -1;
+  TxnClass cls = TxnClass::kUpdater;
+  TxnState state = TxnState::kThinking;
+
+  int k = 0;                 // number of access phases this work unit
+  double first_submit_time = 0.0;  // for response time (includes gate wait)
+  double admit_time = 0.0;
+  double attempt_start_time = 0.0;
+  int attempts = 0;          // execution attempts including the current one
+  int phase = 0;             // 0 = init, 1..k = accesses, k+1 = commit
+
+  /// Items this attempt touches, in access order, with planned modes.
+  std::vector<ItemId> access_items;
+  std::vector<AccessMode> access_modes;
+
+  /// Sets accumulated as phases complete ("gradually increasing data set
+  /// size", paper section 7). write_set is a subset of the accessed items.
+  std::vector<ItemId> read_set;
+  std::vector<ItemId> write_set;
+
+  /// OCC: snapshot of the global commit sequence at attempt start.
+  uint64_t start_seq = 0;
+
+  /// 2PL: items on which locks are currently held (in acquisition order).
+  std::vector<ItemId> held_locks;
+  /// 2PL: item whose lock queue this transaction waits in, or -1.
+  int64_t blocked_on = -1;
+
+  /// CPU seconds consumed by the current attempt (for wasted-work accounting).
+  double attempt_cpu = 0.0;
+
+  /// Set by the displacement policy: abort at the next phase boundary.
+  bool doomed = false;
+  /// True while queued at the gate after being displaced.
+  bool displaced = false;
+
+  /// Pending restart-delay event, cancellable on displacement.
+  sim::EventHandle restart_event;
+
+  /// Clears per-attempt state (access plan, sets, locks, CPU accounting).
+  void ResetAttempt() {
+    access_items.clear();
+    access_modes.clear();
+    read_set.clear();
+    write_set.clear();
+    held_locks.clear();
+    blocked_on = -1;
+    attempt_cpu = 0.0;
+    phase = 0;
+  }
+};
+
+}  // namespace alc::db
+
+#endif  // ALC_DB_TRANSACTION_H_

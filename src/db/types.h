@@ -1,0 +1,45 @@
+#ifndef ALC_DB_TYPES_H_
+#define ALC_DB_TYPES_H_
+
+#include <cstdint>
+
+namespace alc::db {
+
+/// Identifier of a data granule (the paper's "data item").
+using ItemId = uint32_t;
+
+/// Identifier of a transaction (stable across restarts of the same work unit).
+using TxnId = uint64_t;
+
+/// Transaction classes of the logical model (paper section 7): queries are
+/// read-only; updaters write each accessed item with the configured write
+/// fraction.
+enum class TxnClass { kQuery, kUpdater };
+
+/// Concurrency-control scheme (paper section 1 distinguishes the two classes).
+enum class CcScheme {
+  kOptimisticCertification,  // timestamp certification [Bernstein et al. 87]
+  kTwoPhaseLocking,          // blocking CC with deadlock detection
+};
+
+enum class AccessMode { kRead, kWrite };
+
+/// Why a transaction attempt was aborted.
+enum class AbortReason {
+  kCertificationFailure,  // OCC backward validation failed
+  kDeadlock,              // 2PL deadlock victim
+  kDisplacement,          // load controller displaced it (paper section 4.3)
+};
+
+/// Lifecycle state, used for bookkeeping and invariant checks.
+enum class TxnState {
+  kThinking,    // at the terminal
+  kQueued,      // waiting in the admission gate
+  kRunning,     // executing a phase (CPU/IO) or certifying
+  kBlocked,     // waiting in a lock queue (2PL only)
+  kRestartWait, // aborted, waiting out the restart delay
+};
+
+}  // namespace alc::db
+
+#endif  // ALC_DB_TYPES_H_

@@ -1,0 +1,47 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace alc::sim {
+
+EventHandle EventQueue::Push(double time, Callback cb) {
+  const uint64_t seq = next_seq_++;
+  heap_.push(Entry{time, seq, seq, std::move(cb)});
+  live_ids_.insert(seq);
+  return EventHandle{seq};
+}
+
+bool EventQueue::Cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  // Erasing from live_ids_ is the cancellation; the heap entry is skipped
+  // lazily when it reaches the top.
+  return live_ids_.erase(handle.id) > 0;
+}
+
+void EventQueue::DropCancelledHead() {
+  while (!heap_.empty() && live_ids_.find(heap_.top().id) == live_ids_.end()) {
+    heap_.pop();
+  }
+}
+
+double EventQueue::PeekTime() {
+  DropCancelledHead();
+  ALC_CHECK(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::Pop() {
+  DropCancelledHead();
+  ALC_CHECK(!heap_.empty());
+  // priority_queue::top() returns const&; the callback must be moved out, so
+  // we const_cast the entry. The entry is popped immediately afterwards.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.time, std::move(top.cb)};
+  live_ids_.erase(top.id);
+  heap_.pop();
+  return fired;
+}
+
+}  // namespace alc::sim

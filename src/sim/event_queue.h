@@ -1,0 +1,74 @@
+#ifndef ALC_SIM_EVENT_QUEUE_H_
+#define ALC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace alc::sim {
+
+/// Opaque handle identifying a scheduled event; used for cancellation.
+struct EventHandle {
+  uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+/// Time-ordered queue of callbacks. Events with equal timestamps fire in
+/// scheduling order (stable), which makes runs deterministic. Cancellation is
+/// lazy: cancelled events stay in the heap and are skipped on pop.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `cb` at absolute time `time`. Returns a handle for Cancel().
+  EventHandle Push(double time, Callback cb);
+
+  /// Marks the event as cancelled if it has not fired yet. Returns true if
+  /// the event was live.
+  bool Cancel(EventHandle handle);
+
+  /// True if no live events remain.
+  bool empty() const { return live_ids_.empty(); }
+
+  size_t live_count() const { return live_ids_.size(); }
+
+  /// Time of the earliest live event. Requires !empty().
+  double PeekTime();
+
+  /// Removes and returns the earliest live event. Requires !empty().
+  struct Fired {
+    double time;
+    Callback cb;
+  };
+  Fired Pop();
+
+ private:
+  struct Entry {
+    double time;
+    uint64_t seq;
+    uint64_t id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void DropCancelledHead();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<uint64_t> live_ids_;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace alc::sim
+
+#endif  // ALC_SIM_EVENT_QUEUE_H_

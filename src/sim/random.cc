@@ -1,0 +1,135 @@
+#include "sim/random.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace alc::sim {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Xoshiro256pp::Xoshiro256pp(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(&sm);
+}
+
+uint64_t Xoshiro256pp::Next() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256pp::LongJump() {
+  static constexpr uint64_t kLongJump[] = {0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL,
+                                           0x77710069854ee241ULL, 0x39109bb02acbe635ULL};
+  uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (uint64_t jump : kLongJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (jump & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      Next();
+    }
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+RandomStream::RandomStream(uint64_t seed) : engine_(seed) {}
+
+RandomStream RandomStream::Spawn() {
+  Xoshiro256pp child = engine_;
+  engine_.LongJump();
+  return RandomStream(child);
+}
+
+double RandomStream::NextDouble() {
+  // 53 random bits scaled into [0, 1).
+  return static_cast<double>(engine_.Next() >> 11) * 0x1.0p-53;
+}
+
+uint64_t RandomStream::NextUint64(uint64_t bound) {
+  ALC_CHECK_GT(bound, 0u);
+  const uint64_t threshold = (0 - bound) % bound;  // 2^64 mod bound
+  for (;;) {
+    const uint64_t r = engine_.Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t RandomStream::NextInt(int64_t lo, int64_t hi) {
+  ALC_CHECK_LE(lo, hi);
+  return lo + static_cast<int64_t>(
+                  NextUint64(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double RandomStream::NextExponential(double mean) {
+  ALC_CHECK_GT(mean, 0.0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u == 0.0);
+  return -mean * std::log(u);
+}
+
+bool RandomStream::NextBernoulli(double p) { return NextDouble() < p; }
+
+double RandomStream::NextNormal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 == 0.0);
+  const double u2 = NextDouble();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+void RandomStream::SampleWithoutReplacement(uint64_t population, int k,
+                                            std::vector<uint32_t>* out) {
+  ALC_CHECK_GE(k, 0);
+  ALC_CHECK_LE(static_cast<uint64_t>(k), population);
+  out->clear();
+  out->reserve(static_cast<size_t>(k));
+  // Vitter's selection sampling (Algorithm S): O(population) worst case but
+  // the access-set sizes here are small relative to the database, so we use
+  // Floyd's algorithm instead: O(k) draws with a membership check.
+  // Floyd guarantees uniformity over k-subsets.
+  for (uint64_t j = population - static_cast<uint64_t>(k); j < population; ++j) {
+    const uint32_t t = static_cast<uint32_t>(NextUint64(j + 1));
+    bool present = false;
+    for (uint32_t v : *out) {
+      if (v == t) {
+        present = true;
+        break;
+      }
+    }
+    if (present) {
+      out->push_back(static_cast<uint32_t>(j));
+    } else {
+      out->push_back(t);
+    }
+  }
+}
+
+}  // namespace alc::sim

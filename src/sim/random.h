@@ -1,0 +1,68 @@
+#ifndef ALC_SIM_RANDOM_H_
+#define ALC_SIM_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace alc::sim {
+
+/// xoshiro256++ pseudo-random generator (Blackman & Vigna). Implemented from
+/// scratch so simulation results are bit-identical across platforms and
+/// standard-library versions. Seeded via splitmix64.
+class Xoshiro256pp {
+ public:
+  explicit Xoshiro256pp(uint64_t seed);
+
+  uint64_t Next();
+
+  /// Advances the state by 2^128 steps; used to derive statistically
+  /// independent child streams from one root seed.
+  void LongJump();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// A stream of random variates for one simulation component. Streams spawned
+/// from a common root are independent (long-jump separated), so adding a
+/// consumer never perturbs the variates seen by other components.
+class RandomStream {
+ public:
+  explicit RandomStream(uint64_t seed);
+
+  /// Spawns an independent child stream.
+  RandomStream Spawn();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound), bound > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  uint64_t NextUint64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Exponential with the given mean (> 0).
+  double NextExponential(double mean);
+
+  /// True with probability p.
+  bool NextBernoulli(double p);
+
+  /// Standard normal via Box-Muller (no cached spare; stateless per call).
+  double NextNormal(double mean, double stddev);
+
+  /// k distinct integers drawn uniformly from [0, population). Selection
+  /// sampling; ordering is ascending. Requires k <= population.
+  void SampleWithoutReplacement(uint64_t population, int k,
+                                std::vector<uint32_t>* out);
+
+ private:
+  explicit RandomStream(Xoshiro256pp engine) : engine_(engine) {}
+
+  Xoshiro256pp engine_;
+};
+
+}  // namespace alc::sim
+
+#endif  // ALC_SIM_RANDOM_H_

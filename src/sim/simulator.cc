@@ -1,0 +1,44 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace alc::sim {
+
+EventHandle Simulator::Schedule(double delay, Callback cb) {
+  ALC_CHECK_GE(delay, 0.0);
+  return queue_.Push(now_ + delay, std::move(cb));
+}
+
+EventHandle Simulator::ScheduleAt(double time, Callback cb) {
+  ALC_CHECK_GE(time, now_);
+  return queue_.Push(time, std::move(cb));
+}
+
+bool Simulator::Cancel(EventHandle handle) { return queue_.Cancel(handle); }
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  EventQueue::Fired fired = queue_.Pop();
+  ALC_CHECK_GE(fired.time, now_);
+  now_ = fired.time;
+  ++events_executed_;
+  fired.cb();
+  return true;
+}
+
+void Simulator::RunUntil(double until) {
+  ALC_CHECK_GE(until, now_);
+  while (!queue_.empty() && queue_.PeekTime() <= until) {
+    Step();
+  }
+  now_ = until;
+}
+
+void Simulator::RunAll() {
+  while (Step()) {
+  }
+}
+
+}  // namespace alc::sim

@@ -1,0 +1,142 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/math.h"
+
+namespace alc::sim {
+
+void WelfordAccumulator::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void WelfordAccumulator::Reset() { *this = WelfordAccumulator(); }
+
+double WelfordAccumulator::mean() const { return count_ > 0 ? mean_ : 0.0; }
+
+double WelfordAccumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double WelfordAccumulator::stddev() const { return std::sqrt(variance()); }
+
+void TimeWeightedAverage::Start(double t, double v) {
+  window_start_ = t;
+  last_time_ = t;
+  value_ = v;
+  weighted_sum_ = 0.0;
+  started_ = true;
+}
+
+void TimeWeightedAverage::Update(double t, double v) {
+  ALC_CHECK(started_);
+  ALC_CHECK_GE(t, last_time_);
+  weighted_sum_ += value_ * (t - last_time_);
+  last_time_ = t;
+  value_ = v;
+}
+
+double TimeWeightedAverage::AverageUntil(double t) const {
+  ALC_CHECK(started_);
+  ALC_CHECK_GE(t, last_time_);
+  const double span = t - window_start_;
+  if (span <= 0.0) return value_;
+  const double total = weighted_sum_ + value_ * (t - last_time_);
+  return total / span;
+}
+
+void TimeWeightedAverage::ResetWindow(double t) {
+  ALC_CHECK(started_);
+  ALC_CHECK_GE(t, last_time_);
+  window_start_ = t;
+  last_time_ = t;
+  weighted_sum_ = 0.0;
+}
+
+BatchMeans::BatchMeans(int batch_size) : batch_size_(batch_size) {
+  ALC_CHECK_GT(batch_size, 0);
+}
+
+void BatchMeans::Add(double x) {
+  current_sum_ += x;
+  if (++in_current_ == batch_size_) {
+    batch_means_.push_back(current_sum_ / batch_size_);
+    current_sum_ = 0.0;
+    in_current_ = 0;
+  }
+}
+
+double BatchMeans::mean() const {
+  if (batch_means_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double m : batch_means_) sum += m;
+  return sum / static_cast<double>(batch_means_.size());
+}
+
+double BatchMeans::HalfWidth(double confidence) const {
+  const int b = num_batches();
+  if (b < 2) return 0.0;
+  const double grand = mean();
+  double ss = 0.0;
+  for (double m : batch_means_) ss += (m - grand) * (m - grand);
+  const double var_of_mean = ss / (b - 1) / b;
+  return util::NormalQuantileTwoSided(confidence) * std::sqrt(var_of_mean);
+}
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / bins), bins_(bins, 0) {
+  ALC_CHECK_GT(hi, lo);
+  ALC_CHECK_GT(bins, 0);
+}
+
+void Histogram::Add(double x) {
+  ++count_;
+  int idx;
+  if (x < lo_) {
+    ++underflow_;
+    idx = 0;
+  } else if (x >= hi_) {
+    ++overflow_;
+    idx = static_cast<int>(bins_.size()) - 1;
+  } else {
+    idx = static_cast<int>((x - lo_) / width_);
+    idx = std::min(idx, static_cast<int>(bins_.size()) - 1);
+  }
+  ++bins_[idx];
+}
+
+double Histogram::BinLow(int i) const { return lo_ + width_ * i; }
+double Histogram::BinHigh(int i) const { return lo_ + width_ * (i + 1); }
+
+double Histogram::Quantile(double q) const {
+  ALC_CHECK_GE(q, 0.0);
+  ALC_CHECK_LE(q, 1.0);
+  if (count_ == 0) return lo_;
+  const double target = q * static_cast<double>(count_);
+  double cum = 0.0;
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    const double next = cum + static_cast<double>(bins_[i]);
+    if (next >= target) {
+      const double frac =
+          bins_[i] == 0 ? 0.0 : (target - cum) / static_cast<double>(bins_[i]);
+      return BinLow(static_cast<int>(i)) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+}  // namespace alc::sim

@@ -1,0 +1,114 @@
+#ifndef ALC_SIM_STATS_H_
+#define ALC_SIM_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace alc::sim {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class WelfordAccumulator {
+ public:
+  void Add(double x);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 when count < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Time-weighted average of a piecewise-constant quantity (e.g. number of
+/// active transactions). Call Update(t, v) whenever the value changes; the
+/// value is assumed constant between updates.
+class TimeWeightedAverage {
+ public:
+  /// Starts accumulation at time t with initial value v.
+  void Start(double t, double v);
+
+  /// Records that the value changed to v at time t (t must not decrease).
+  void Update(double t, double v);
+
+  /// Average over [start, t]; the current value is extended to t.
+  double AverageUntil(double t) const;
+
+  /// Resets the accumulation window to start at time t with the current
+  /// value (used at measurement-interval boundaries).
+  void ResetWindow(double t);
+
+  double current_value() const { return value_; }
+
+ private:
+  double window_start_ = 0.0;
+  double last_time_ = 0.0;
+  double value_ = 0.0;
+  double weighted_sum_ = 0.0;
+  bool started_ = false;
+};
+
+/// Batch-means confidence interval for the mean of a (weakly stationary,
+/// phi-mixing) sequence: partitions observations into equal batches and uses
+/// the batch means' sample variance.
+class BatchMeans {
+ public:
+  explicit BatchMeans(int batch_size);
+
+  void Add(double x);
+
+  int num_batches() const { return static_cast<int>(batch_means_.size()); }
+  double mean() const;
+
+  /// Half-width of the two-sided confidence interval at the given confidence
+  /// level using the normal quantile (valid for >= ~30 batches; approximate
+  /// below). Returns 0 when fewer than 2 batches are complete.
+  double HalfWidth(double confidence) const;
+
+ private:
+  int batch_size_;
+  int in_current_ = 0;
+  double current_sum_ = 0.0;
+  std::vector<double> batch_means_;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples are clamped into
+/// the first/last bin and counted separately.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  int64_t underflow() const { return underflow_; }
+  int64_t overflow() const { return overflow_; }
+  const std::vector<int64_t>& bins() const { return bins_; }
+  double BinLow(int i) const;
+  double BinHigh(int i) const;
+
+  /// Approximate quantile (q in [0,1]) by linear interpolation within the
+  /// containing bin. Returns lo when empty.
+  double Quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<int64_t> bins_;
+  int64_t count_ = 0;
+  int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
+};
+
+}  // namespace alc::sim
+
+#endif  // ALC_SIM_STATS_H_

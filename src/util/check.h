@@ -1,0 +1,44 @@
+#ifndef ALC_UTIL_CHECK_H_
+#define ALC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Always-on runtime invariant checks. The project does not use exceptions
+// (Google style); a violated CHECK is a programming error and aborts with a
+// source location. DCHECK compiles to a no-op in NDEBUG builds and is meant
+// for hot paths.
+
+namespace alc::util {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace alc::util
+
+#define ALC_CHECK(expr)                                    \
+  do {                                                     \
+    if (!(expr)) {                                         \
+      ::alc::util::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                      \
+  } while (0)
+
+#define ALC_CHECK_OP(a, op, b) ALC_CHECK((a)op(b))
+#define ALC_CHECK_EQ(a, b) ALC_CHECK_OP(a, ==, b)
+#define ALC_CHECK_NE(a, b) ALC_CHECK_OP(a, !=, b)
+#define ALC_CHECK_LT(a, b) ALC_CHECK_OP(a, <, b)
+#define ALC_CHECK_LE(a, b) ALC_CHECK_OP(a, <=, b)
+#define ALC_CHECK_GT(a, b) ALC_CHECK_OP(a, >, b)
+#define ALC_CHECK_GE(a, b) ALC_CHECK_OP(a, >=, b)
+
+#ifdef NDEBUG
+#define ALC_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define ALC_DCHECK(expr) ALC_CHECK(expr)
+#endif
+
+#endif  // ALC_UTIL_CHECK_H_

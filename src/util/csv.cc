@@ -1,0 +1,41 @@
+#include "util/csv.h"
+
+#include "util/check.h"
+#include "util/strformat.h"
+
+namespace alc::util {
+
+CsvWriter::CsvWriter(std::ostream* out) : out_(out) { ALC_CHECK(out != nullptr); }
+
+std::string CsvWriter::EscapeField(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out_ << ',';
+    *out_ << EscapeField(fields[i]);
+  }
+  *out_ << '\n';
+  ++rows_written_;
+}
+
+void CsvWriter::WriteNumericRow(const std::vector<double>& values, int precision) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) {
+    fields.push_back(StrFormat("%.*g", precision, v));
+  }
+  WriteRow(fields);
+}
+
+}  // namespace alc::util

@@ -1,0 +1,37 @@
+#ifndef ALC_UTIL_CSV_H_
+#define ALC_UTIL_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace alc::util {
+
+/// Streams rows of comma-separated values. Fields containing commas, quotes
+/// or newlines are quoted per RFC 4180. The writer does not own the stream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream* out);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Writes a header or data row of string fields.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Writes a row of doubles with the given precision (significant digits).
+  void WriteNumericRow(const std::vector<double>& values, int precision = 8);
+
+  int rows_written() const { return rows_written_; }
+
+  /// Quotes a single field per RFC 4180 if needed. Exposed for testing.
+  static std::string EscapeField(const std::string& field);
+
+ private:
+  std::ostream* out_;
+  int rows_written_ = 0;
+};
+
+}  // namespace alc::util
+
+#endif  // ALC_UTIL_CSV_H_

@@ -1,0 +1,25 @@
+#ifndef ALC_UTIL_LOGGING_H_
+#define ALC_UTIL_LOGGING_H_
+
+#include <string>
+
+namespace alc::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Minimal process-wide leveled logger writing to stderr. Simulation code is
+/// single threaded; no locking is needed or provided.
+class Logger {
+ public:
+  static void SetLevel(LogLevel level);
+  static LogLevel level();
+
+  static void Log(LogLevel level, const std::string& message);
+};
+
+}  // namespace alc::util
+
+#define ALC_LOG(level, msg) \
+  ::alc::util::Logger::Log(::alc::util::LogLevel::level, (msg))
+
+#endif  // ALC_UTIL_LOGGING_H_

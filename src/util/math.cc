@@ -1,0 +1,116 @@
+#include "util/math.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace alc::util {
+
+double InverseNormalCdf(double p) {
+  ALC_CHECK_GT(p, 0.0);
+  ALC_CHECK_LT(p, 1.0);
+  // Peter Acklam's algorithm.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  const double p_high = 1.0 - p_low;
+  double q, r;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+double NormalQuantileTwoSided(double confidence) {
+  ALC_CHECK_GT(confidence, 0.0);
+  ALC_CHECK_LT(confidence, 1.0);
+  return InverseNormalCdf(0.5 + confidence / 2.0);
+}
+
+double Clamp(double v, double lo, double hi) {
+  ALC_CHECK_LE(lo, hi);
+  return std::min(hi, std::max(lo, v));
+}
+
+double Lerp(double x0, double y0, double x1, double y1, double x) {
+  if (x1 == x0) return 0.5 * (y0 + y1);
+  const double t = (x - x0) / (x1 - x0);
+  return y0 + t * (y1 - y0);
+}
+
+bool SolveLinearSystem(std::vector<double>& a, std::vector<double>& b, int n) {
+  ALC_CHECK_EQ(a.size(), static_cast<size_t>(n) * n);
+  ALC_CHECK_EQ(b.size(), static_cast<size_t>(n));
+  for (int col = 0; col < n; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < n; ++row) {
+      if (std::fabs(a[row * n + col]) > std::fabs(a[pivot * n + col])) pivot = row;
+    }
+    if (std::fabs(a[pivot * n + col]) < 1e-12) return false;
+    if (pivot != col) {
+      for (int k = 0; k < n; ++k) std::swap(a[col * n + k], a[pivot * n + k]);
+      std::swap(b[col], b[pivot]);
+    }
+    for (int row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] / a[col * n + col];
+      for (int k = col; k < n; ++k) a[row * n + k] -= factor * a[col * n + k];
+      b[row] -= factor * b[col];
+    }
+  }
+  for (int row = n - 1; row >= 0; --row) {
+    double sum = b[row];
+    for (int k = row + 1; k < n; ++k) sum -= a[row * n + k] * b[k];
+    b[row] = sum / a[row * n + row];
+  }
+  return true;
+}
+
+std::vector<double> PolyFit(const std::vector<double>& xs,
+                            const std::vector<double>& ys, int order) {
+  ALC_CHECK_EQ(xs.size(), ys.size());
+  const int n = order + 1;
+  ALC_CHECK_GE(static_cast<int>(xs.size()), n);
+  // Normal equations: (X^T X) c = X^T y with X_{ij} = x_i^j.
+  std::vector<double> xtx(static_cast<size_t>(n) * n, 0.0);
+  std::vector<double> xty(n, 0.0);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    double powers[32];
+    ALC_CHECK_LT(2 * order, 32);
+    powers[0] = 1.0;
+    for (int j = 1; j <= 2 * order; ++j) powers[j] = powers[j - 1] * xs[i];
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) xtx[r * n + c] += powers[r + c];
+      xty[r] += powers[r] * ys[i];
+    }
+  }
+  if (!SolveLinearSystem(xtx, xty, n)) return {};
+  return xty;
+}
+
+double PolyEval(const std::vector<double>& coeffs, double x) {
+  double acc = 0.0;
+  for (size_t i = coeffs.size(); i-- > 0;) acc = acc * x + coeffs[i];
+  return acc;
+}
+
+}  // namespace alc::util

@@ -1,0 +1,24 @@
+#include "util/strformat.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace alc::util {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  ALC_CHECK_GE(needed, 0);
+  std::string out(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace alc::util

@@ -1,0 +1,13 @@
+#ifndef ALC_UTIL_STRFORMAT_H_
+#define ALC_UTIL_STRFORMAT_H_
+
+#include <string>
+
+namespace alc::util {
+
+/// printf-style formatting into a std::string (GCC 12 lacks <format>).
+[[gnu::format(printf, 1, 2)]] std::string StrFormat(const char* fmt, ...);
+
+}  // namespace alc::util
+
+#endif  // ALC_UTIL_STRFORMAT_H_

@@ -1,0 +1,51 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/strformat.h"
+
+namespace alc::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  ALC_CHECK(!headers_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  ALC_CHECK_EQ(row.size(), headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::AddNumericRow(const std::vector<double>& values, int decimals) {
+  std::vector<std::string> row;
+  row.reserve(values.size());
+  for (double v : values) {
+    row.push_back(StrFormat("%.*f", decimals, v));
+  }
+  AddRow(std::move(row));
+}
+
+void Table::Print(std::ostream& out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << "  ";
+      out << StrFormat("%*s", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w;
+  total += 2 * (widths.size() - 1);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace alc::util

@@ -1,0 +1,32 @@
+#ifndef ALC_UTIL_TABLE_H_
+#define ALC_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace alc::util {
+
+/// Right-aligned fixed-width console table used by the bench binaries to
+/// print figure/table series the way the paper reports them.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> row);
+  /// Convenience: formats each value with "%.*f".
+  void AddNumericRow(const std::vector<double>& values, int decimals = 2);
+
+  /// Renders the table with a separator line under the header.
+  void Print(std::ostream& out) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace alc::util
+
+#endif  // ALC_UTIL_TABLE_H_

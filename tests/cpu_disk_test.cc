@@ -1,0 +1,155 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "db/cpu.h"
+#include "db/disk.h"
+#include "sim/simulator.h"
+
+namespace alc::db {
+namespace {
+
+TEST(CpuTest, SingleRequestCompletesAfterServiceTime) {
+  sim::Simulator sim;
+  CpuSubsystem cpu(&sim, 1);
+  double done_at = -1.0;
+  cpu.Request(2.5, [&] { done_at = sim.Now(); });
+  sim.RunAll();
+  EXPECT_DOUBLE_EQ(done_at, 2.5);
+  EXPECT_EQ(cpu.completed(), 1u);
+}
+
+TEST(CpuTest, ParallelServiceUpToProcessorCount) {
+  sim::Simulator sim;
+  CpuSubsystem cpu(&sim, 2);
+  std::vector<double> done;
+  for (int i = 0; i < 2; ++i) {
+    cpu.Request(1.0, [&] { done.push_back(sim.Now()); });
+  }
+  sim.RunAll();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0], 1.0);
+  EXPECT_DOUBLE_EQ(done[1], 1.0);  // both in parallel
+}
+
+TEST(CpuTest, ExcessRequestsQueueFifo) {
+  sim::Simulator sim;
+  CpuSubsystem cpu(&sim, 1);
+  std::vector<int> order;
+  std::vector<double> times;
+  for (int i = 0; i < 3; ++i) {
+    cpu.Request(1.0, [&, i] {
+      order.push_back(i);
+      times.push_back(sim.Now());
+    });
+  }
+  EXPECT_EQ(cpu.queue_length(), 2u);
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+  EXPECT_DOUBLE_EQ(times[2], 3.0);
+}
+
+TEST(CpuTest, MServerBusyPeriod) {
+  // 4 requests of 1s on 2 servers: finish at 1,1,2,2.
+  sim::Simulator sim;
+  CpuSubsystem cpu(&sim, 2);
+  std::vector<double> done;
+  for (int i = 0; i < 4; ++i) {
+    cpu.Request(1.0, [&] { done.push_back(sim.Now()); });
+  }
+  sim.RunAll();
+  ASSERT_EQ(done.size(), 4u);
+  EXPECT_DOUBLE_EQ(done[0], 1.0);
+  EXPECT_DOUBLE_EQ(done[1], 1.0);
+  EXPECT_DOUBLE_EQ(done[2], 2.0);
+  EXPECT_DOUBLE_EQ(done[3], 2.0);
+}
+
+TEST(CpuTest, BusyCountReflectsInService) {
+  sim::Simulator sim;
+  CpuSubsystem cpu(&sim, 3);
+  cpu.Request(5.0, [] {});
+  cpu.Request(5.0, [] {});
+  EXPECT_EQ(cpu.busy(), 2);
+  EXPECT_EQ(cpu.queue_length(), 0u);
+  sim.RunAll();
+  EXPECT_EQ(cpu.busy(), 0);
+}
+
+TEST(CpuTest, UtilizationAccounting) {
+  sim::Simulator sim;
+  CpuSubsystem cpu(&sim, 2);
+  cpu.Request(4.0, [] {});  // one server busy 4s of 10s
+  sim.RunUntil(10.0);
+  EXPECT_NEAR(cpu.busy_time(), 4.0, 1e-12);
+  EXPECT_NEAR(cpu.Utilization(), 4.0 / 20.0, 1e-12);
+}
+
+TEST(CpuTest, UtilizationWhileStillBusy) {
+  sim::Simulator sim;
+  CpuSubsystem cpu(&sim, 1);
+  cpu.Request(10.0, [] {});
+  sim.RunUntil(5.0);
+  EXPECT_NEAR(cpu.busy_time(), 5.0, 1e-12);
+  EXPECT_NEAR(cpu.Utilization(), 1.0, 1e-12);
+}
+
+TEST(CpuTest, ChainedRequestsFromCompletion) {
+  // A completion callback issuing a new request must not deadlock or skip
+  // the queue.
+  sim::Simulator sim;
+  CpuSubsystem cpu(&sim, 1);
+  std::vector<double> done;
+  cpu.Request(1.0, [&] {
+    done.push_back(sim.Now());
+    cpu.Request(1.0, [&] { done.push_back(sim.Now()); });
+  });
+  cpu.Request(1.0, [&] { done.push_back(sim.Now()); });
+  sim.RunAll();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_DOUBLE_EQ(done[0], 1.0);
+  EXPECT_DOUBLE_EQ(done[1], 2.0);  // the queued request goes first
+  EXPECT_DOUBLE_EQ(done[2], 3.0);  // then the chained one
+}
+
+TEST(CpuTest, ZeroServiceTime) {
+  sim::Simulator sim;
+  CpuSubsystem cpu(&sim, 1);
+  bool fired = false;
+  cpu.Request(0.0, [&] { fired = true; });
+  sim.RunAll();
+  EXPECT_TRUE(fired);
+}
+
+TEST(DiskTest, ConstantServiceNoContention) {
+  sim::Simulator sim;
+  DiskSubsystem disk(&sim, 0.03);
+  std::vector<double> done;
+  // 10 simultaneous requests all complete at the same time: inf. server.
+  for (int i = 0; i < 10; ++i) {
+    disk.Request([&] { done.push_back(sim.Now()); });
+  }
+  EXPECT_EQ(disk.in_flight(), 10);
+  sim.RunAll();
+  ASSERT_EQ(done.size(), 10u);
+  for (double t : done) EXPECT_DOUBLE_EQ(t, 0.03);
+  EXPECT_EQ(disk.completed(), 10u);
+  EXPECT_EQ(disk.in_flight(), 0);
+}
+
+TEST(DiskTest, StaggeredRequests) {
+  sim::Simulator sim;
+  DiskSubsystem disk(&sim, 1.0);
+  std::vector<double> done;
+  sim.Schedule(0.0, [&] { disk.Request([&] { done.push_back(sim.Now()); }); });
+  sim.Schedule(0.5, [&] { disk.Request([&] { done.push_back(sim.Now()); }); });
+  sim.RunAll();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0], 1.0);
+  EXPECT_DOUBLE_EQ(done[1], 1.5);
+}
+
+}  // namespace
+}  // namespace alc::db

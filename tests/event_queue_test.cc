@@ -1,0 +1,191 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace alc::sim {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Push(3.0, [&] { order.push_back(3); });
+  queue.Push(1.0, [&] { order.push_back(1); });
+  queue.Push(2.0, [&] { order.push_back(2); });
+  while (!queue.empty()) queue.Pop().cb();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimesFireInScheduleOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    queue.Push(7.0, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) queue.Pop().cb();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, PeekTimeMatchesPop) {
+  EventQueue queue;
+  queue.Push(4.5, [] {});
+  queue.Push(2.5, [] {});
+  EXPECT_DOUBLE_EQ(queue.PeekTime(), 2.5);
+  EXPECT_DOUBLE_EQ(queue.Pop().time, 2.5);
+  EXPECT_DOUBLE_EQ(queue.PeekTime(), 4.5);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue queue;
+  bool fired = false;
+  EventHandle handle = queue.Push(1.0, [&] { fired = true; });
+  EXPECT_TRUE(queue.Cancel(handle));
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelTwiceFails) {
+  EventQueue queue;
+  EventHandle handle = queue.Push(1.0, [] {});
+  EXPECT_TRUE(queue.Cancel(handle));
+  EXPECT_FALSE(queue.Cancel(handle));
+}
+
+TEST(EventQueueTest, CancelAfterFireFails) {
+  EventQueue queue;
+  EventHandle handle = queue.Push(1.0, [] {});
+  queue.Pop().cb();
+  EXPECT_FALSE(queue.Cancel(handle));
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, CancelInvalidHandleFails) {
+  EventQueue queue;
+  EXPECT_FALSE(queue.Cancel(EventHandle{}));
+  EXPECT_FALSE(queue.Cancel(EventHandle{9999}));
+}
+
+TEST(EventQueueTest, CancelMiddleKeepsOthers) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Push(1.0, [&] { order.push_back(1); });
+  EventHandle mid = queue.Push(2.0, [&] { order.push_back(2); });
+  queue.Push(3.0, [&] { order.push_back(3); });
+  EXPECT_TRUE(queue.Cancel(mid));
+  EXPECT_EQ(queue.live_count(), 2u);
+  while (!queue.empty()) queue.Pop().cb();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, LiveCountTracksPushPopCancel) {
+  EventQueue queue;
+  EXPECT_EQ(queue.live_count(), 0u);
+  EventHandle a = queue.Push(1.0, [] {});
+  queue.Push(2.0, [] {});
+  EXPECT_EQ(queue.live_count(), 2u);
+  queue.Cancel(a);
+  EXPECT_EQ(queue.live_count(), 1u);
+  queue.Pop();
+  EXPECT_EQ(queue.live_count(), 0u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.Schedule(5.0, [&] { seen = sim.Now(); });
+  sim.RunAll();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+  EXPECT_DOUBLE_EQ(sim.Now(), 5.0);
+}
+
+TEST(SimulatorTest, NestedSchedulingUsesCurrentTime) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.Schedule(1.0, [&] {
+    times.push_back(sim.Now());
+    sim.Schedule(2.0, [&] { times.push_back(sim.Now()); });
+  });
+  sim.RunAll();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 3.0);
+}
+
+TEST(SimulatorTest, ZeroDelayFiresAfterCurrentEvent) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(1.0, [&] {
+    order.push_back(1);
+    sim.Schedule(0.0, [&] { order.push_back(2); });
+    order.push_back(3);
+  });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.ScheduleAt(t, [&] { ++fired; });
+  }
+  sim.RunUntil(2.5);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.Now(), 2.5);
+  sim.RunUntil(10.0);
+  EXPECT_EQ(fired, 4);
+  EXPECT_DOUBLE_EQ(sim.Now(), 10.0);
+}
+
+TEST(SimulatorTest, EventAtBoundaryIncluded) {
+  Simulator sim;
+  bool fired = false;
+  sim.ScheduleAt(2.0, [&] { fired = true; });
+  sim.RunUntil(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, CancelScheduledEvent) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle handle = sim.Schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(handle));
+  sim.RunAll();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+  sim.Schedule(1.0, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 10; ++i) sim.Schedule(i, [] {});
+  sim.RunAll();
+  EXPECT_EQ(sim.events_executed(), 10u);
+}
+
+TEST(SimulatorTest, ManyEventsDeterministicOrder) {
+  // Two identical simulations must execute identically.
+  auto run = [] {
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 500; ++i) {
+      sim.Schedule((i * 7919) % 100, [&order, i] { order.push_back(i); });
+    }
+    sim.RunAll();
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace alc::sim

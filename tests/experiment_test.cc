@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/optimum.h"
+#include "core/report.h"
+#include "core/scenario.h"
+
+namespace alc::core {
+namespace {
+
+/// Downscaled system so core-layer tests stay fast.
+ScenarioConfig SmallScenario(uint64_t seed = 5) {
+  ScenarioConfig scenario;
+  scenario.system.physical.num_terminals = 120;
+  scenario.system.physical.think_time_mean = 0.3;
+  scenario.system.physical.num_cpus = 4;
+  scenario.system.physical.cpu_init_mean = 0.001;
+  scenario.system.physical.cpu_access_mean = 0.001;
+  scenario.system.physical.cpu_commit_mean = 0.001;
+  scenario.system.physical.cpu_write_commit_mean = 0.004;
+  scenario.system.physical.io_time = 0.008;
+  scenario.system.physical.restart_delay_mean = 0.02;
+  scenario.system.logical.db_size = 600;
+  scenario.system.logical.accesses_per_txn = 8;
+  scenario.system.logical.query_fraction = 0.3;
+  scenario.system.logical.write_fraction = 0.4;
+  scenario.system.seed = seed;
+  scenario.dynamics = db::WorkloadDynamics::FromConfig(scenario.system.logical);
+  scenario.active_terminals = db::Schedule::Constant(120);
+  scenario.duration = 60.0;
+  scenario.warmup = 10.0;
+  scenario.control.measurement_interval = 0.5;
+  scenario.control.initial_limit = 20.0;
+  return scenario;
+}
+
+TEST(ExperimentTest, ProducesTrajectoryAndSummary) {
+  ScenarioConfig scenario = SmallScenario();
+  scenario.control.kind = ControllerKind::kFixed;
+  scenario.control.fixed_limit = 30.0;
+  Experiment experiment(scenario);
+  const ExperimentResult result = experiment.Run();
+  EXPECT_EQ(result.trajectory.size(), 120u);  // 60s / 0.5s
+  EXPECT_GT(result.mean_throughput, 10.0);
+  EXPECT_GT(result.commits, 0u);
+  EXPECT_GT(result.mean_response, 0.0);
+  for (const TrajectoryPoint& point : result.trajectory) {
+    EXPECT_DOUBLE_EQ(point.bound, 30.0);
+    EXPECT_GE(point.load, 0.0);
+  }
+}
+
+TEST(ExperimentTest, DeterministicAcrossRuns) {
+  ScenarioConfig scenario = SmallScenario(11);
+  scenario.control.kind = ControllerKind::kParabola;
+  const ExperimentResult a = Experiment(scenario).Run();
+  const ExperimentResult b = Experiment(scenario).Run();
+  ASSERT_EQ(a.trajectory.size(), b.trajectory.size());
+  EXPECT_EQ(a.commits, b.commits);
+  EXPECT_DOUBLE_EQ(a.mean_throughput, b.mean_throughput);
+  for (size_t i = 0; i < a.trajectory.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.trajectory[i].bound, b.trajectory[i].bound);
+  }
+}
+
+TEST(ExperimentTest, SeedChangesOutcome) {
+  ScenarioConfig a = SmallScenario(1);
+  ScenarioConfig b = SmallScenario(2);
+  a.control.kind = b.control.kind = ControllerKind::kFixed;
+  EXPECT_NE(Experiment(a).Run().commits, Experiment(b).Run().commits);
+}
+
+TEST(ExperimentTest, EveryControllerKindRuns) {
+  for (ControllerKind kind :
+       {ControllerKind::kNone, ControllerKind::kFixed, ControllerKind::kTayRule,
+        ControllerKind::kIyerRule, ControllerKind::kIncrementalSteps,
+        ControllerKind::kParabola}) {
+    ScenarioConfig scenario = SmallScenario();
+    scenario.duration = 20.0;
+    scenario.warmup = 5.0;
+    scenario.control.kind = kind;
+    const ExperimentResult result = Experiment(scenario).Run();
+    EXPECT_GT(result.commits, 0u) << ControllerKindName(kind);
+  }
+}
+
+TEST(ExperimentTest, DisplacementRunsAndDisplaces) {
+  ScenarioConfig scenario = SmallScenario();
+  scenario.control.kind = ControllerKind::kIncrementalSteps;
+  scenario.control.displacement = true;
+  scenario.control.is.initial_bound = 40.0;
+  scenario.control.is.beta = 3.0;
+  scenario.control.is.gamma = 8.0;
+  const ExperimentResult result = Experiment(scenario).Run();
+  EXPECT_GT(result.commits, 0u);
+  // A hill-climbing controller moving the bound down displaces sometimes.
+  EXPECT_GT(result.final_counters.aborts_displacement, 0u);
+}
+
+TEST(ExperimentTest, OuterTunerAdjustsInterval) {
+  ScenarioConfig scenario = SmallScenario();
+  scenario.control.kind = ControllerKind::kFixed;
+  scenario.control.fixed_limit = 30.0;
+  scenario.control.outer_tuner = true;
+  scenario.control.measurement_interval = 0.25;
+  const ExperimentResult result = Experiment(scenario).Run();
+  // With tuning enabled the tick spacing changes over the run, so the
+  // trajectory is not uniformly sampled at 0.25s any more.
+  ASSERT_GE(result.trajectory.size(), 3u);
+  bool nonuniform = false;
+  const double first_gap =
+      result.trajectory[1].time - result.trajectory[0].time;
+  for (size_t i = 2; i < result.trajectory.size(); ++i) {
+    const double gap =
+        result.trajectory[i].time - result.trajectory[i - 1].time;
+    if (std::abs(gap - first_gap) > 1e-6) nonuniform = true;
+  }
+  EXPECT_TRUE(nonuniform);
+}
+
+TEST(ExperimentTest, FrozenAtSnapshotsSchedules) {
+  ScenarioConfig scenario = SmallScenario();
+  scenario.dynamics.k = db::Schedule::Steps(8.0, {{20.0, 4.0}});
+  scenario.dynamics.query_fraction = db::Schedule::Sinusoid(0.5, 0.4, 100.0);
+  const ScenarioConfig early = FrozenAt(scenario, 0.0);
+  const ScenarioConfig late = FrozenAt(scenario, 25.0);  // sinusoid crest
+  EXPECT_TRUE(early.dynamics.k.is_constant());
+  EXPECT_DOUBLE_EQ(early.dynamics.k.Value(999.0), 8.0);
+  EXPECT_DOUBLE_EQ(late.dynamics.k.Value(0.0), 4.0);
+  EXPECT_NE(early.dynamics.query_fraction.Value(0.0),
+            late.dynamics.query_fraction.Value(0.0));
+}
+
+TEST(ExperimentTest, StationaryThroughputIsUnimodalish) {
+  // Low limits and very high limits must both underperform the middle.
+  ScenarioConfig scenario = SmallScenario();
+  scenario.system.logical.db_size = 150;  // strong contention
+  scenario.system.logical.write_fraction = 0.6;
+  const double low = StationaryThroughput(scenario, 2.0, 0.0, 40.0, 10.0, 9);
+  const double mid = StationaryThroughput(scenario, 25.0, 0.0, 40.0, 10.0, 9);
+  const double high =
+      StationaryThroughput(scenario, 120.0, 0.0, 40.0, 10.0, 9);
+  EXPECT_GT(mid, low);
+  EXPECT_GT(mid, high);
+}
+
+TEST(OptimumFinderTest, FindsKnownOptimumRegion) {
+  ScenarioConfig scenario = SmallScenario();
+  scenario.system.logical.db_size = 150;
+  scenario.system.logical.write_fraction = 0.6;
+  OptimumSearchConfig search;
+  search.n_lo = 2.0;
+  search.n_hi = 120.0;
+  search.coarse_points = 7;
+  search.refine_rounds = 1;
+  search.refine_points = 5;
+  search.sim_duration = 30.0;
+  search.sim_warmup = 8.0;
+  OptimumResult result = OptimumFinder(scenario, search).FindAt(0.0);
+  EXPECT_GT(result.n_opt, 5.0);
+  EXPECT_LT(result.n_opt, 90.0);
+  EXPECT_GT(result.peak_throughput, 0.0);
+  EXPECT_GE(result.curve.size(), 7u);
+  // Curve is sorted by n.
+  for (size_t i = 1; i < result.curve.size(); ++i) {
+    EXPECT_LT(result.curve[i - 1].first, result.curve[i].first);
+  }
+}
+
+TEST(OptimumFinderTest, TimelineSplitsAtChangePoints) {
+  ScenarioConfig scenario = SmallScenario();
+  scenario.system.logical.db_size = 150;
+  scenario.system.logical.write_fraction = 0.6;
+  scenario.dynamics.k = db::Schedule::Steps(8.0, {{30.0, 4.0}});
+  OptimumSearchConfig search;
+  search.n_lo = 2.0;
+  search.n_hi = 120.0;
+  search.coarse_points = 5;
+  search.refine_rounds = 0;
+  search.sim_duration = 20.0;
+  search.sim_warmup = 5.0;
+  const auto timeline = OptimumFinder(scenario, search).Timeline(60.0);
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_DOUBLE_EQ(timeline[0].start_time, 0.0);
+  EXPECT_DOUBLE_EQ(timeline[1].start_time, 30.0);
+  // k=4 sustains a higher optimal concurrency than k=8.
+  EXPECT_GE(timeline[1].n_opt, timeline[0].n_opt);
+}
+
+TEST(OptimumFinderTest, ChangePointsBeyondHorizonIgnored) {
+  ScenarioConfig scenario = SmallScenario();
+  scenario.dynamics.k = db::Schedule::Steps(8.0, {{500.0, 4.0}});
+  OptimumSearchConfig search;
+  search.coarse_points = 3;
+  search.refine_rounds = 0;
+  search.sim_duration = 10.0;
+  search.sim_warmup = 2.0;
+  search.n_lo = 5.0;
+  search.n_hi = 50.0;
+  const auto timeline = OptimumFinder(scenario, search).Timeline(100.0);
+  EXPECT_EQ(timeline.size(), 1u);
+}
+
+}  // namespace
+}  // namespace alc::core

@@ -1,0 +1,240 @@
+// Cross-configuration matrix: every controller must make progress and obey
+// its invariants under every combination of CC scheme, arrival mode, and
+// CPU service distribution. These are deliberately broad smoke+invariant
+// sweeps — the deep behavioural checks live in the per-module tests.
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/scenario.h"
+
+namespace alc {
+namespace {
+
+using MatrixParam =
+    std::tuple<db::CcScheme, db::ArrivalMode, core::ControllerKind,
+               db::ServiceDistribution>;
+
+std::string ParamName(const ::testing::TestParamInfo<MatrixParam>& info) {
+  const auto& [cc, arrivals, controller, dist] = info.param;
+  std::string name;
+  name += cc == db::CcScheme::kOptimisticCertification ? "Occ" : "TwoPl";
+  name += arrivals == db::ArrivalMode::kClosed ? "Closed" : "Open";
+  switch (controller) {
+    case core::ControllerKind::kNone: name += "None"; break;
+    case core::ControllerKind::kFixed: name += "Fixed"; break;
+    case core::ControllerKind::kTayRule: name += "Tay"; break;
+    case core::ControllerKind::kIyerRule: name += "Iyer"; break;
+    case core::ControllerKind::kIncrementalSteps: name += "Is"; break;
+    case core::ControllerKind::kParabola: name += "Pa"; break;
+    case core::ControllerKind::kGoldenSection: name += "Gs"; break;
+  }
+  switch (dist) {
+    case db::ServiceDistribution::kExponential: name += "Exp"; break;
+    case db::ServiceDistribution::kDeterministic: name += "Det"; break;
+    case db::ServiceDistribution::kErlang2: name += "Erl"; break;
+  }
+  return name;
+}
+
+class MatrixTest : public ::testing::TestWithParam<MatrixParam> {
+ protected:
+  core::ScenarioConfig MakeScenario() const {
+    const auto& [cc, arrivals, controller, dist] = GetParam();
+    core::ScenarioConfig scenario;
+    scenario.system.physical.num_terminals = 80;
+    scenario.system.physical.think_time_mean = 0.25;
+    scenario.system.physical.num_cpus = 4;
+    scenario.system.physical.cpu_init_mean = 0.001;
+    scenario.system.physical.cpu_access_mean = 0.001;
+    scenario.system.physical.cpu_commit_mean = 0.001;
+    scenario.system.physical.cpu_write_commit_mean = 0.003;
+    scenario.system.physical.io_time = 0.006;
+    scenario.system.physical.restart_delay_mean = 0.015;
+    scenario.system.physical.cpu_distribution = dist;
+    scenario.system.logical.db_size = 400;
+    scenario.system.logical.accesses_per_txn = 6;
+    scenario.system.logical.query_fraction = 0.3;
+    scenario.system.logical.write_fraction = 0.4;
+    scenario.system.cc = cc;
+    scenario.system.arrivals = arrivals;
+    scenario.system.open_arrival_rate = 120.0;
+    scenario.system.seed = 1234;
+    scenario.dynamics =
+        db::WorkloadDynamics::FromConfig(scenario.system.logical);
+    scenario.active_terminals = db::Schedule::Constant(80);
+    scenario.duration = 30.0;
+    scenario.warmup = 8.0;
+    scenario.control.kind = controller;
+    scenario.control.measurement_interval = 0.5;
+    scenario.control.initial_limit = 15.0;
+    scenario.control.fixed_limit = 20.0;
+    scenario.control.is.initial_bound = 15.0;
+    scenario.control.is.min_bound = 2.0;
+    scenario.control.is.max_bound = 90.0;
+    scenario.control.is.beta = 0.3;
+    scenario.control.is.gamma = 3.0;
+    scenario.control.is.delta = 8.0;
+    scenario.control.pa.initial_bound = 15.0;
+    scenario.control.pa.min_bound = 2.0;
+    scenario.control.pa.max_bound = 90.0;
+    scenario.control.pa.dither = 4.0;
+    scenario.control.gs.min_bound = 2.0;
+    scenario.control.gs.max_bound = 90.0;
+    scenario.control.gs.min_bracket = 10.0;
+    scenario.control.iyer.initial_bound = 15.0;
+    scenario.control.iyer.min_bound = 2.0;
+    scenario.control.iyer.max_bound = 90.0;
+    return scenario;
+  }
+};
+
+TEST_P(MatrixTest, RunsAndCommits) {
+  const core::ExperimentResult result =
+      core::Experiment(MakeScenario()).Run();
+  EXPECT_GT(result.commits, 100u) << "no progress";
+  EXPECT_GT(result.mean_throughput, 5.0);
+  EXPECT_GE(result.mean_response, 0.0);
+}
+
+TEST_P(MatrixTest, TrajectoryIsWellFormed) {
+  const core::ScenarioConfig scenario = MakeScenario();
+  const core::ExperimentResult result = core::Experiment(scenario).Run();
+  ASSERT_EQ(result.trajectory.size(),
+            static_cast<size_t>(scenario.duration /
+                                scenario.control.measurement_interval));
+  double prev_time = 0.0;
+  for (const core::TrajectoryPoint& point : result.trajectory) {
+    EXPECT_GT(point.time, prev_time);
+    prev_time = point.time;
+    EXPECT_GE(point.load, 0.0);
+    EXPECT_GE(point.throughput, 0.0);
+    EXPECT_GE(point.conflict_rate, 0.0);
+    EXPECT_GE(point.cpu_utilization, -1e-9);
+    EXPECT_LE(point.cpu_utilization, 1.0 + 1e-9);
+    EXPECT_TRUE(std::isfinite(point.bound));
+  }
+}
+
+TEST_P(MatrixTest, DeterministicRerun) {
+  const core::ExperimentResult a = core::Experiment(MakeScenario()).Run();
+  const core::ExperimentResult b = core::Experiment(MakeScenario()).Run();
+  EXPECT_EQ(a.commits, b.commits);
+  EXPECT_EQ(a.aborts, b.aborts);
+  EXPECT_DOUBLE_EQ(a.mean_throughput, b.mean_throughput);
+}
+
+TEST_P(MatrixTest, AbortReasonsMatchCcScheme) {
+  const auto& [cc, arrivals, controller, dist] = GetParam();
+  const core::ExperimentResult result =
+      core::Experiment(MakeScenario()).Run();
+  if (cc == db::CcScheme::kOptimisticCertification) {
+    EXPECT_EQ(result.final_counters.aborts_deadlock, 0u);
+    EXPECT_EQ(result.final_counters.lock_waits, 0u);
+  } else {
+    EXPECT_EQ(result.final_counters.aborts_certification, 0u);
+    EXPECT_GT(result.final_counters.lock_requests, 0u);
+  }
+  if (!MakeScenario().control.displacement) {
+    EXPECT_EQ(result.displacements, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, MatrixTest,
+    ::testing::Combine(
+        ::testing::Values(db::CcScheme::kOptimisticCertification,
+                          db::CcScheme::kTwoPhaseLocking),
+        ::testing::Values(db::ArrivalMode::kClosed, db::ArrivalMode::kOpen),
+        ::testing::Values(core::ControllerKind::kFixed,
+                          core::ControllerKind::kIncrementalSteps,
+                          core::ControllerKind::kParabola,
+                          core::ControllerKind::kGoldenSection,
+                          core::ControllerKind::kIyerRule),
+        ::testing::Values(db::ServiceDistribution::kExponential,
+                          db::ServiceDistribution::kDeterministic,
+                          db::ServiceDistribution::kErlang2)),
+    ParamName);
+
+class ServiceDistributionTest
+    : public ::testing::TestWithParam<db::ServiceDistribution> {};
+
+TEST_P(ServiceDistributionTest, MeanThroughputInsensitiveToDistribution) {
+  // First-order: throughput depends on the mean demand, not its shape
+  // (the knee shifts slightly; deterministic service queues the least).
+  core::ScenarioConfig scenario;
+  scenario.system.physical.num_terminals = 60;
+  scenario.system.physical.think_time_mean = 0.3;
+  scenario.system.physical.num_cpus = 4;
+  scenario.system.physical.cpu_access_mean = 0.002;
+  scenario.system.physical.io_time = 0.004;
+  scenario.system.logical.db_size = 5000;  // negligible contention
+  scenario.system.logical.accesses_per_txn = 5;
+  scenario.system.physical.cpu_distribution = GetParam();
+  scenario.system.seed = 77;
+  scenario.dynamics = db::WorkloadDynamics::FromConfig(scenario.system.logical);
+  scenario.active_terminals = db::Schedule::Constant(60);
+  scenario.duration = 40.0;
+  scenario.warmup = 10.0;
+  scenario.control.kind = core::ControllerKind::kFixed;
+  scenario.control.fixed_limit = 30.0;
+  scenario.control.initial_limit = 30.0;
+  const core::ExperimentResult result = core::Experiment(scenario).Run();
+  // All three distributions land in the same band (measured: 160-162/s).
+  EXPECT_GT(result.mean_throughput, 120.0);
+  EXPECT_LT(result.mean_throughput, 190.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ServiceDistributionTest,
+    ::testing::Values(db::ServiceDistribution::kExponential,
+                      db::ServiceDistribution::kDeterministic,
+                      db::ServiceDistribution::kErlang2));
+
+TEST(ConfidenceIntervalTest, StationaryRunHasTightCi) {
+  core::ScenarioConfig scenario;
+  scenario.system.physical.num_terminals = 80;
+  scenario.system.physical.think_time_mean = 0.25;
+  scenario.system.physical.num_cpus = 4;
+  scenario.system.physical.cpu_access_mean = 0.001;
+  scenario.system.physical.io_time = 0.005;
+  scenario.system.logical.db_size = 2000;
+  scenario.system.logical.accesses_per_txn = 6;
+  scenario.system.seed = 3;
+  scenario.dynamics = db::WorkloadDynamics::FromConfig(scenario.system.logical);
+  scenario.active_terminals = db::Schedule::Constant(80);
+  scenario.duration = 120.0;
+  scenario.warmup = 20.0;
+  scenario.control.kind = core::ControllerKind::kFixed;
+  scenario.control.fixed_limit = 25.0;
+  scenario.control.initial_limit = 25.0;
+  scenario.control.measurement_interval = 0.5;
+  const core::ExperimentResult result = core::Experiment(scenario).Run();
+  EXPECT_GT(result.throughput_ci_half_width, 0.0);
+  // The CI must bracket the reported mean sensibly (within 15%).
+  EXPECT_LT(result.throughput_ci_half_width,
+            0.15 * result.mean_throughput);
+}
+
+TEST(ConfidenceIntervalTest, ShortRunReportsZero) {
+  core::ScenarioConfig scenario;
+  scenario.system.physical.num_terminals = 10;
+  scenario.system.physical.think_time_mean = 0.2;
+  scenario.system.logical.db_size = 100;
+  scenario.system.logical.accesses_per_txn = 3;
+  scenario.dynamics = db::WorkloadDynamics::FromConfig(scenario.system.logical);
+  scenario.active_terminals = db::Schedule::Constant(10);
+  scenario.duration = 5.0;
+  scenario.warmup = 1.0;  // only 4 intervals -> less than 2 batches
+  scenario.control.kind = core::ControllerKind::kFixed;
+  scenario.control.fixed_limit = 5.0;
+  const core::ExperimentResult result = core::Experiment(scenario).Run();
+  EXPECT_EQ(result.throughput_ci_half_width, 0.0);
+}
+
+}  // namespace
+}  // namespace alc

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "db/metrics.h"
+#include "db/occ.h"
+#include "db/transaction.h"
+
+namespace alc::db {
+namespace {
+
+class OccTest : public ::testing::Test {
+ protected:
+  OccTest() : db_(100), occ_(&db_, &metrics_) {}
+
+  Transaction MakeTxn(TxnId id) {
+    Transaction txn;
+    txn.id = id;
+    txn.cls = TxnClass::kUpdater;
+    return txn;
+  }
+
+  Database db_;
+  Metrics metrics_;
+  TimestampCertifier occ_;
+};
+
+TEST_F(OccTest, AccessNeverBlocks) {
+  Transaction txn = MakeTxn(1);
+  txn.access_items = {5};
+  txn.access_modes = {AccessMode::kRead};
+  occ_.OnAttemptStart(&txn);
+  bool proceeded = false;
+  occ_.RequestAccess(&txn, 0, [&] { proceeded = true; });
+  EXPECT_TRUE(proceeded);
+}
+
+TEST_F(OccTest, SerialTransactionsAlwaysCommit) {
+  for (TxnId id = 1; id <= 10; ++id) {
+    Transaction txn = MakeTxn(id);
+    occ_.OnAttemptStart(&txn);
+    txn.read_set = {1, 2, 3};
+    txn.write_set = {2};
+    EXPECT_TRUE(occ_.CertifyCommit(&txn));
+    occ_.OnCommit(&txn);
+  }
+  EXPECT_EQ(occ_.commit_seq(), 10u);
+}
+
+TEST_F(OccTest, ConcurrentWriterInvalidatesReader) {
+  Transaction reader = MakeTxn(1);
+  Transaction writer = MakeTxn(2);
+  occ_.OnAttemptStart(&reader);
+  occ_.OnAttemptStart(&writer);
+
+  writer.read_set = {7};
+  writer.write_set = {7};
+  ASSERT_TRUE(occ_.CertifyCommit(&writer));
+  occ_.OnCommit(&writer);
+
+  reader.read_set = {7};
+  EXPECT_FALSE(occ_.CertifyCommit(&reader));
+}
+
+TEST_F(OccTest, DisjointConcurrentTransactionsBothCommit) {
+  Transaction a = MakeTxn(1);
+  Transaction b = MakeTxn(2);
+  occ_.OnAttemptStart(&a);
+  occ_.OnAttemptStart(&b);
+  a.read_set = {1, 2};
+  a.write_set = {1};
+  b.read_set = {3, 4};
+  b.write_set = {4};
+  EXPECT_TRUE(occ_.CertifyCommit(&a));
+  occ_.OnCommit(&a);
+  EXPECT_TRUE(occ_.CertifyCommit(&b));
+  occ_.OnCommit(&b);
+}
+
+TEST_F(OccTest, ReadOnlyOverlapDoesNotConflict) {
+  // Two concurrent queries reading the same items both commit.
+  Transaction a = MakeTxn(1);
+  Transaction b = MakeTxn(2);
+  occ_.OnAttemptStart(&a);
+  occ_.OnAttemptStart(&b);
+  a.read_set = {5, 6};
+  b.read_set = {5, 6};
+  EXPECT_TRUE(occ_.CertifyCommit(&a));
+  occ_.OnCommit(&a);
+  EXPECT_TRUE(occ_.CertifyCommit(&b));
+  occ_.OnCommit(&b);
+}
+
+TEST_F(OccTest, WriterCommittedBeforeStartDoesNotConflict) {
+  Transaction writer = MakeTxn(1);
+  occ_.OnAttemptStart(&writer);
+  writer.read_set = {9};
+  writer.write_set = {9};
+  ASSERT_TRUE(occ_.CertifyCommit(&writer));
+  occ_.OnCommit(&writer);
+
+  // Starts *after* the writer committed: no conflict.
+  Transaction reader = MakeTxn(2);
+  occ_.OnAttemptStart(&reader);
+  reader.read_set = {9};
+  EXPECT_TRUE(occ_.CertifyCommit(&reader));
+}
+
+TEST_F(OccTest, RestartWithFreshTimestampSucceeds) {
+  Transaction victim = MakeTxn(1);
+  Transaction writer = MakeTxn(2);
+  occ_.OnAttemptStart(&victim);
+  occ_.OnAttemptStart(&writer);
+  writer.read_set = {3};
+  writer.write_set = {3};
+  ASSERT_TRUE(occ_.CertifyCommit(&writer));
+  occ_.OnCommit(&writer);
+
+  victim.read_set = {3};
+  ASSERT_FALSE(occ_.CertifyCommit(&victim));
+  occ_.OnAbort(&victim);
+
+  // Restart: new snapshot sees the committed write as "before start".
+  victim.read_set.clear();
+  occ_.OnAttemptStart(&victim);
+  victim.read_set = {3};
+  EXPECT_TRUE(occ_.CertifyCommit(&victim));
+}
+
+TEST_F(OccTest, OnlyReadSetIsCertified) {
+  // Blind overlap of write sets alone does not abort (write_set is a subset
+  // of read_set in the real executor; this documents the certifier itself).
+  Transaction a = MakeTxn(1);
+  Transaction b = MakeTxn(2);
+  occ_.OnAttemptStart(&a);
+  occ_.OnAttemptStart(&b);
+  a.write_set = {5};
+  a.read_set = {};
+  b.read_set = {6};
+  b.write_set = {5};
+  ASSERT_TRUE(occ_.CertifyCommit(&b));
+  occ_.OnCommit(&b);
+  EXPECT_TRUE(occ_.CertifyCommit(&a));
+}
+
+TEST_F(OccTest, CommitSequenceMonotone) {
+  Transaction a = MakeTxn(1);
+  occ_.OnAttemptStart(&a);
+  a.read_set = {1};
+  a.write_set = {1};
+  ASSERT_TRUE(occ_.CertifyCommit(&a));
+  occ_.OnCommit(&a);
+  EXPECT_EQ(db_.last_write_seq(1), 1u);
+
+  Transaction b = MakeTxn(2);
+  occ_.OnAttemptStart(&b);
+  b.read_set = {1};
+  b.write_set = {1};
+  ASSERT_TRUE(occ_.CertifyCommit(&b));
+  occ_.OnCommit(&b);
+  EXPECT_EQ(db_.last_write_seq(1), 2u);
+  EXPECT_EQ(occ_.commit_seq(), 2u);
+}
+
+TEST_F(OccTest, MultiItemConflictDetectedOnAnyReadItem) {
+  Transaction reader = MakeTxn(1);
+  occ_.OnAttemptStart(&reader);
+  reader.read_set = {10, 20, 30, 40};
+
+  Transaction writer = MakeTxn(2);
+  occ_.OnAttemptStart(&writer);
+  writer.read_set = {40};
+  writer.write_set = {40};  // overlaps the last read item only
+  ASSERT_TRUE(occ_.CertifyCommit(&writer));
+  occ_.OnCommit(&writer);
+
+  EXPECT_FALSE(occ_.CertifyCommit(&reader));
+}
+
+TEST_F(OccTest, HistoryRecordedWhenEnabled) {
+  metrics_.record_history = true;
+  Transaction txn = MakeTxn(42);
+  occ_.OnAttemptStart(&txn);
+  txn.read_set = {1, 2};
+  txn.write_set = {2};
+  ASSERT_TRUE(occ_.CertifyCommit(&txn));
+  occ_.OnCommit(&txn);
+  ASSERT_EQ(metrics_.history.size(), 1u);
+  const CommitRecord& record = metrics_.history[0];
+  EXPECT_EQ(record.txn_id, 42u);
+  EXPECT_EQ(record.start_seq, 0u);
+  EXPECT_EQ(record.commit_seq, 1u);
+  EXPECT_EQ(record.read_set, (std::vector<ItemId>{1, 2}));
+  EXPECT_EQ(record.write_set, (std::vector<ItemId>{2}));
+}
+
+TEST_F(OccTest, NoHistoryWhenDisabled) {
+  Transaction txn = MakeTxn(1);
+  occ_.OnAttemptStart(&txn);
+  txn.read_set = {1};
+  ASSERT_TRUE(occ_.CertifyCommit(&txn));
+  occ_.OnCommit(&txn);
+  EXPECT_TRUE(metrics_.history.empty());
+}
+
+}  // namespace
+}  // namespace alc::db

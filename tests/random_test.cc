@@ -1,0 +1,242 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+
+namespace alc::sim {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  RandomStream a(42);
+  RandomStream b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextDouble(), b.NextDouble());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  RandomStream a(1);
+  RandomStream b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextDouble() == b.NextDouble()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  RandomStream rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RandomTest, NextDoubleMeanAndVariance) {
+  RandomStream rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.NextDouble();
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(RandomTest, NextUint64RespectsBound) {
+  RandomStream rng(13);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1000000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextUint64(bound), bound);
+    }
+  }
+}
+
+TEST(RandomTest, NextUint64Unbiased) {
+  // Bound 3 over many draws: each residue ~1/3.
+  RandomStream rng(17);
+  int counts[3] = {0, 0, 0};
+  const int n = 90000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextUint64(3)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 1.0 / 3.0, 0.01);
+  }
+}
+
+TEST(RandomTest, NextIntInclusiveRange) {
+  RandomStream rng(19);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, ExponentialMeanAndPositivity) {
+  RandomStream rng(23);
+  const double mean = 0.05;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextExponential(mean);
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, mean, mean * 0.02);
+}
+
+TEST(RandomTest, ExponentialMemorylessTailFraction) {
+  // P(X > mean) should be e^-1.
+  RandomStream rng(29);
+  const int n = 100000;
+  int over = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextExponential(1.0) > 1.0) ++over;
+  }
+  EXPECT_NEAR(static_cast<double>(over) / n, std::exp(-1.0), 0.01);
+}
+
+TEST(RandomTest, BernoulliFrequency) {
+  RandomStream rng(31);
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+  RandomStream rng2(32);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng2.NextBernoulli(0.0));
+  }
+}
+
+TEST(RandomTest, NormalMoments) {
+  RandomStream rng(37);
+  const int n = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextNormal(5.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 5.0, 0.03);
+  EXPECT_NEAR(std::sqrt(sum_sq / n - mean * mean), 2.0, 0.03);
+}
+
+TEST(RandomTest, SpawnedStreamsAreIndependentOfConsumption) {
+  // Spawning child streams then consuming them in any order must not change
+  // their individual sequences.
+  RandomStream root_a(99);
+  RandomStream child_a1 = root_a.Spawn();
+  RandomStream child_a2 = root_a.Spawn();
+
+  RandomStream root_b(99);
+  RandomStream child_b1 = root_b.Spawn();
+  RandomStream child_b2 = root_b.Spawn();
+  // Consume b2 heavily before b1: sequences must match a1/a2 regardless.
+  std::vector<double> b2_first;
+  for (int i = 0; i < 100; ++i) b2_first.push_back(child_b2.NextDouble());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(child_a1.NextDouble(), child_b1.NextDouble());
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(child_a2.NextDouble(), b2_first[i]);
+  }
+}
+
+TEST(RandomTest, SpawnedStreamsDoNotCorrelate) {
+  RandomStream root(123);
+  RandomStream a = root.Spawn();
+  RandomStream b = root.Spawn();
+  // Crude correlation check over many draws.
+  const int n = 50000;
+  double sum_ab = 0.0, sum_a = 0.0, sum_b = 0.0, sum_a2 = 0.0, sum_b2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = a.NextDouble();
+    const double y = b.NextDouble();
+    sum_ab += x * y;
+    sum_a += x;
+    sum_b += y;
+    sum_a2 += x * x;
+    sum_b2 += y * y;
+  }
+  const double cov = sum_ab / n - (sum_a / n) * (sum_b / n);
+  const double var_a = sum_a2 / n - (sum_a / n) * (sum_a / n);
+  const double var_b = sum_b2 / n - (sum_b / n) * (sum_b / n);
+  const double corr = cov / std::sqrt(var_a * var_b);
+  EXPECT_LT(std::fabs(corr), 0.02);
+}
+
+TEST(RandomTest, SampleWithoutReplacementDistinctAndInRange) {
+  RandomStream rng(41);
+  std::vector<uint32_t> out;
+  for (int trial = 0; trial < 200; ++trial) {
+    rng.SampleWithoutReplacement(100, 12, &out);
+    ASSERT_EQ(out.size(), 12u);
+    std::set<uint32_t> unique(out.begin(), out.end());
+    EXPECT_EQ(unique.size(), 12u);
+    for (uint32_t v : out) EXPECT_LT(v, 100u);
+  }
+}
+
+TEST(RandomTest, SampleWithoutReplacementFullPopulation) {
+  RandomStream rng(43);
+  std::vector<uint32_t> out;
+  rng.SampleWithoutReplacement(8, 8, &out);
+  std::set<uint32_t> unique(out.begin(), out.end());
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(RandomTest, SampleWithoutReplacementZero) {
+  RandomStream rng(44);
+  std::vector<uint32_t> out = {1, 2, 3};
+  rng.SampleWithoutReplacement(10, 0, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RandomTest, SampleWithoutReplacementUniformMarginals) {
+  // Every item should appear with probability k/population.
+  RandomStream rng(47);
+  const uint64_t population = 20;
+  const int k = 5;
+  const int trials = 40000;
+  std::vector<int> counts(population, 0);
+  std::vector<uint32_t> out;
+  for (int t = 0; t < trials; ++t) {
+    rng.SampleWithoutReplacement(population, k, &out);
+    for (uint32_t v : out) ++counts[v];
+  }
+  const double expected = static_cast<double>(trials) * k / population;
+  for (uint64_t i = 0; i < population; ++i) {
+    EXPECT_NEAR(counts[i] / expected, 1.0, 0.05) << "item " << i;
+  }
+}
+
+TEST(XoshiroTest, LongJumpChangesState) {
+  Xoshiro256pp a(5);
+  Xoshiro256pp b(5);
+  b.LongJump();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace alc::sim

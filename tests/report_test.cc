@@ -1,0 +1,145 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+
+namespace alc::core {
+namespace {
+
+std::vector<OptimumRegime> TwoRegimes() {
+  return {{0.0, 100.0, 50.0}, {50.0, 200.0, 80.0}};
+}
+
+TrajectoryPoint Point(double time, double bound, double throughput = 0.0) {
+  TrajectoryPoint point;
+  point.time = time;
+  point.bound = bound;
+  point.load = bound;
+  point.throughput = throughput;
+  return point;
+}
+
+TEST(OptimumAtTest, PiecewiseLookup) {
+  const auto timeline = TwoRegimes();
+  EXPECT_DOUBLE_EQ(OptimumAt(timeline, 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(OptimumAt(timeline, 49.9), 100.0);
+  EXPECT_DOUBLE_EQ(OptimumAt(timeline, 50.0), 200.0);
+  EXPECT_DOUBLE_EQ(OptimumAt(timeline, 1e9), 200.0);
+}
+
+TEST(TrackingTest, PerfectTrackerHasZeroError) {
+  const auto timeline = TwoRegimes();
+  std::vector<TrajectoryPoint> trajectory;
+  for (double t = 1.0; t <= 100.0; t += 1.0) {
+    trajectory.push_back(Point(t, OptimumAt(timeline, t), 50.0));
+  }
+  TrackingOptions options;
+  const TrackingStats stats = EvaluateTracking(trajectory, timeline, options);
+  EXPECT_DOUBLE_EQ(stats.mean_abs_error, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean_rel_error, 0.0);
+  ASSERT_EQ(stats.recovery_times.size(), 1u);
+  // Settles after `settle_intervals` points in band.
+  EXPECT_NEAR(stats.recovery_times[0], options.settle_intervals, 1.01);
+}
+
+TEST(TrackingTest, ConstantOffsetError) {
+  const auto timeline = TwoRegimes();
+  std::vector<TrajectoryPoint> trajectory;
+  for (double t = 1.0; t <= 100.0; t += 1.0) {
+    trajectory.push_back(Point(t, OptimumAt(timeline, t) + 30.0));
+  }
+  TrackingOptions options;
+  const TrackingStats stats = EvaluateTracking(trajectory, timeline, options);
+  EXPECT_NEAR(stats.mean_abs_error, 30.0, 1e-9);
+  // 30/100 off in regime 1, 30/200 in regime 2 -> mean 0.225.
+  EXPECT_NEAR(stats.mean_rel_error, 0.225, 0.01);
+}
+
+TEST(TrackingTest, NeverSettlingReportsNegative) {
+  const auto timeline = TwoRegimes();
+  std::vector<TrajectoryPoint> trajectory;
+  for (double t = 1.0; t <= 100.0; t += 1.0) {
+    trajectory.push_back(Point(t, 100.0));  // stays at the old optimum
+  }
+  TrackingOptions options;
+  options.band = 0.10;
+  const TrackingStats stats = EvaluateTracking(trajectory, timeline, options);
+  ASSERT_EQ(stats.recovery_times.size(), 1u);
+  EXPECT_LT(stats.recovery_times[0], 0.0);
+}
+
+TEST(TrackingTest, RecoveryMeasuredFromChangeTime) {
+  const auto timeline = TwoRegimes();
+  std::vector<TrajectoryPoint> trajectory;
+  for (double t = 1.0; t <= 100.0; t += 1.0) {
+    // Reaches the new optimum 10s after the change at t=50.
+    const double bound = (t < 60.0) ? 100.0 : 200.0;
+    trajectory.push_back(Point(t, bound));
+  }
+  TrackingOptions options;
+  options.band = 0.05;
+  options.settle_intervals = 3;
+  const TrackingStats stats = EvaluateTracking(trajectory, timeline, options);
+  ASSERT_EQ(stats.recovery_times.size(), 1u);
+  EXPECT_NEAR(stats.recovery_times[0], 12.0, 1.01);  // 10 + settle window
+}
+
+TEST(TrackingTest, ThroughputCaptureFraction) {
+  const auto timeline = TwoRegimes();  // peaks 50 and 80
+  std::vector<TrajectoryPoint> trajectory;
+  // First regime: at peak (50); second: 40 of 80 = half, below the band.
+  for (double t = 1.0; t <= 49.0; t += 1.0) {
+    trajectory.push_back(Point(t, 100.0, 50.0));
+  }
+  for (double t = 50.0; t <= 98.0; t += 1.0) {
+    trajectory.push_back(Point(t, 200.0, 40.0));
+  }
+  TrackingOptions options;
+  options.throughput_band = 0.15;
+  const TrackingStats stats = EvaluateTracking(trajectory, timeline, options);
+  EXPECT_NEAR(stats.throughput_capture, 0.5, 0.02);
+}
+
+TEST(TrackingTest, SkipInitialExcludesColdStart) {
+  const auto timeline = TwoRegimes();
+  std::vector<TrajectoryPoint> trajectory;
+  trajectory.push_back(Point(1.0, 1000.0));  // terrible cold start
+  for (double t = 2.0; t <= 49.0; t += 1.0) {
+    trajectory.push_back(Point(t, 100.0));
+  }
+  TrackingOptions options;
+  options.skip_initial = 1.5;
+  const TrackingStats stats = EvaluateTracking(trajectory, timeline, options);
+  EXPECT_DOUBLE_EQ(stats.mean_abs_error, 0.0);
+}
+
+TEST(PrintTrajectoryTest, RendersRows) {
+  const auto timeline = TwoRegimes();
+  std::vector<TrajectoryPoint> trajectory;
+  for (double t = 1.0; t <= 10.0; t += 1.0) {
+    trajectory.push_back(Point(t, 123.0, 45.0));
+  }
+  std::ostringstream out;
+  PrintTrajectory(out, trajectory, timeline, 2);
+  const std::string rendered = out.str();
+  EXPECT_NE(rendered.find("n* (bound)"), std::string::npos);
+  EXPECT_NE(rendered.find("n_opt"), std::string::npos);
+  EXPECT_NE(rendered.find("123.0"), std::string::npos);
+}
+
+TEST(SummaryLineTest, ContainsKeyNumbers) {
+  ExperimentResult result;
+  result.mean_throughput = 123.45;
+  result.mean_response = 0.5;
+  result.mean_active = 99.0;
+  result.abort_ratio = 0.25;
+  result.commits = 1000;
+  const std::string line = SummaryLine("test-label", result);
+  EXPECT_NE(line.find("test-label"), std::string::npos);
+  EXPECT_NE(line.find("123.45"), std::string::npos);
+  EXPECT_NE(line.find("1000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace alc::core

@@ -1,0 +1,178 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "control/rls.h"
+#include "sim/random.h"
+#include "util/math.h"
+
+namespace alc::control {
+namespace {
+
+TEST(RlsTest, RecoversExactLine) {
+  // y = 3 + 2x, no noise.
+  RecursiveLeastSquares rls(2, 1.0, 1e6);
+  for (double x = 0.0; x < 20.0; x += 1.0) {
+    rls.Update({1.0, x}, 3.0 + 2.0 * x);
+  }
+  EXPECT_NEAR(rls.coefficients()[0], 3.0, 1e-3);
+  EXPECT_NEAR(rls.coefficients()[1], 2.0, 1e-4);
+}
+
+TEST(RlsTest, RecoversExactParabola) {
+  // P(n) = 10 + 4n - 0.5n^2.
+  RecursiveLeastSquares rls(3, 1.0, 1e6);
+  for (double n = 0.0; n <= 10.0; n += 0.5) {
+    rls.Update({1.0, n, n * n}, 10.0 + 4.0 * n - 0.5 * n * n);
+  }
+  EXPECT_NEAR(rls.coefficients()[0], 10.0, 1e-2);
+  EXPECT_NEAR(rls.coefficients()[1], 4.0, 1e-2);
+  EXPECT_NEAR(rls.coefficients()[2], -0.5, 1e-3);
+}
+
+TEST(RlsTest, MatchesBatchLeastSquaresWithoutForgetting) {
+  // With alpha=1 and a weak prior, RLS converges to the batch LS solution.
+  sim::RandomStream rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.NextDouble() * 10.0;
+    const double y = 1.5 - 0.8 * x + 0.1 * x * x + rng.NextNormal(0.0, 0.2);
+    xs.push_back(x);
+    ys.push_back(y);
+  }
+  RecursiveLeastSquares rls(3, 1.0, 1e8);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    rls.Update({1.0, xs[i], xs[i] * xs[i]}, ys[i]);
+  }
+  const auto batch = util::PolyFit(xs, ys, 2);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_NEAR(rls.coefficients()[0], batch[0], 5e-3);
+  EXPECT_NEAR(rls.coefficients()[1], batch[1], 5e-3);
+  EXPECT_NEAR(rls.coefficients()[2], batch[2], 5e-3);
+}
+
+TEST(RlsTest, ForgettingTracksDriftingCoefficients) {
+  // The slope changes halfway; the fading-memory estimator must follow.
+  RecursiveLeastSquares fading(2, 0.85, 1e6);
+  RecursiveLeastSquares growing(2, 1.0, 1e6);
+  sim::RandomStream rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.NextDouble() * 5.0;
+    const double y = 1.0 + 2.0 * x;
+    fading.Update({1.0, x}, y);
+    growing.Update({1.0, x}, y);
+  }
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.NextDouble() * 5.0;
+    const double y = 1.0 + 5.0 * x;  // new slope
+    fading.Update({1.0, x}, y);
+    growing.Update({1.0, x}, y);
+  }
+  const double fading_err = std::fabs(fading.coefficients()[1] - 5.0);
+  const double growing_err = std::fabs(growing.coefficients()[1] - 5.0);
+  EXPECT_LT(fading_err, 0.05);
+  EXPECT_GT(growing_err, fading_err * 5.0);
+}
+
+TEST(RlsTest, EffectiveMemoryMatchesTheory) {
+  // Paper fig. 6: the weight of an s-step-old sample is alpha^s; a short
+  // interval with alpha=0.8 spans about 1/(1-alpha)=5 samples of memory.
+  // Feed a step change and verify the estimate crosses the midpoint within
+  // ~2x that horizon (regressor is a constant, so a = smoothed y).
+  RecursiveLeastSquares rls(1, 0.8, 1e6);
+  for (int i = 0; i < 50; ++i) rls.Update({1.0}, 0.0);
+  int steps_to_half = -1;
+  for (int i = 0; i < 50; ++i) {
+    rls.Update({1.0}, 10.0);
+    if (rls.coefficients()[0] >= 5.0) {
+      steps_to_half = i + 1;
+      break;
+    }
+  }
+  ASSERT_GT(steps_to_half, 0);
+  EXPECT_LE(steps_to_half, 10);
+}
+
+TEST(RlsTest, PredictMatchesCoefficients) {
+  RecursiveLeastSquares rls(2, 1.0, 1e6);
+  for (double x = 0.0; x < 10.0; x += 1.0) {
+    rls.Update({1.0, x}, 2.0 * x);
+  }
+  EXPECT_NEAR(rls.Predict({1.0, 7.5}), 15.0, 1e-2);
+}
+
+TEST(RlsTest, ResetClearsEverything) {
+  RecursiveLeastSquares rls(2, 0.9, 100.0);
+  rls.Update({1.0, 2.0}, 5.0);
+  rls.Update({1.0, 3.0}, 7.0);
+  ASSERT_GT(rls.updates(), 0);
+  rls.Reset();
+  EXPECT_EQ(rls.updates(), 0);
+  EXPECT_EQ(rls.coefficients()[0], 0.0);
+  EXPECT_EQ(rls.coefficients()[1], 0.0);
+  EXPECT_DOUBLE_EQ(rls.covariance(0, 0), 100.0);
+  EXPECT_DOUBLE_EQ(rls.covariance(0, 1), 0.0);
+}
+
+TEST(RlsTest, ResetCovarianceKeepsCoefficients) {
+  RecursiveLeastSquares rls(2, 1.0, 1e4);
+  for (double x = 0.0; x < 10.0; x += 1.0) {
+    rls.Update({1.0, x}, 1.0 + 2.0 * x);
+  }
+  const double a0 = rls.coefficients()[0];
+  const double a1 = rls.coefficients()[1];
+  rls.ResetCovariance();
+  EXPECT_DOUBLE_EQ(rls.coefficients()[0], a0);
+  EXPECT_DOUBLE_EQ(rls.coefficients()[1], a1);
+  EXPECT_DOUBLE_EQ(rls.covariance(0, 0), 1e4);
+  // After the reset, new data dominates quickly: one conflicting sample
+  // moves the estimate substantially.
+  rls.Update({1.0, 5.0}, 100.0);
+  EXPECT_GT(std::fabs(rls.coefficients()[1] - a1), 0.5);
+}
+
+TEST(RlsTest, CovarianceShrinksWithData) {
+  RecursiveLeastSquares rls(2, 1.0, 1e6);
+  sim::RandomStream rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.NextDouble() * 4.0;
+    rls.Update({1.0, x}, 3.0 * x);
+  }
+  EXPECT_LT(rls.covariance(0, 0), 1.0);
+  EXPECT_LT(rls.covariance(1, 1), 1.0);
+}
+
+TEST(RlsTest, CovarianceStaysSymmetric) {
+  RecursiveLeastSquares rls(3, 0.9, 1e5);
+  sim::RandomStream rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.NextDouble() * 8.0;
+    rls.Update({1.0, x, x * x}, 1.0 + x - 0.2 * x * x +
+                                   rng.NextNormal(0.0, 0.1));
+  }
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(rls.covariance(r, c), rls.covariance(c, r));
+    }
+  }
+}
+
+TEST(RlsTest, NoisyParabolaVertexEstimate) {
+  // End-to-end quality: with noise, the vertex -a1/(2 a2) lands near truth.
+  sim::RandomStream rng(17);
+  RecursiveLeastSquares rls(3, 0.98, 1e6);
+  const double n_opt = 6.0;
+  for (int i = 0; i < 400; ++i) {
+    const double n = rng.NextDouble() * 12.0;
+    const double perf = 100.0 - 2.0 * (n - n_opt) * (n - n_opt) +
+                        rng.NextNormal(0.0, 3.0);
+    rls.Update({1.0, n, n * n}, perf);
+  }
+  const auto& c = rls.coefficients();
+  ASSERT_LT(c[2], 0.0);
+  EXPECT_NEAR(-c[1] / (2.0 * c[2]), n_opt, 0.5);
+}
+
+}  // namespace
+}  // namespace alc::control

@@ -1,0 +1,344 @@
+// Edge cases and failure injection across the stack: degenerate system
+// sizes, extreme workloads, controller corner conditions, and the PA
+// excitation guard.
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "control/gate.h"
+#include "control/monitor.h"
+#include "control/parabola.h"
+#include "core/experiment.h"
+#include "core/scenario.h"
+#include "db/system.h"
+#include "sim/simulator.h"
+
+namespace alc {
+namespace {
+
+db::SystemConfig TinyConfig(uint64_t seed = 1) {
+  db::SystemConfig config;
+  config.physical.num_terminals = 4;
+  config.physical.think_time_mean = 0.05;
+  config.physical.num_cpus = 1;
+  config.physical.cpu_init_mean = 0.0005;
+  config.physical.cpu_access_mean = 0.0005;
+  config.physical.cpu_commit_mean = 0.0005;
+  config.physical.cpu_write_commit_mean = 0.001;
+  config.physical.io_time = 0.002;
+  config.physical.restart_delay_mean = 0.005;
+  config.logical.db_size = 10;
+  config.logical.accesses_per_txn = 1;
+  config.seed = seed;
+  return config;
+}
+
+TEST(RobustnessTest, SingleTerminalSingleAccessRuns) {
+  sim::Simulator sim;
+  db::SystemConfig config = TinyConfig();
+  config.physical.num_terminals = 1;
+  db::TransactionSystem system(&sim, config);
+  system.Start();
+  sim.RunUntil(10.0);
+  EXPECT_GT(system.metrics().counters.commits, 100u);
+  // A single transaction can never conflict with itself.
+  EXPECT_EQ(system.metrics().counters.aborts_certification, 0u);
+}
+
+TEST(RobustnessTest, AccessSetAsLargeAsDatabase) {
+  sim::Simulator sim;
+  db::SystemConfig config = TinyConfig();
+  config.logical.accesses_per_txn = 10;  // == db_size: full-scan txns
+  config.logical.write_fraction = 0.5;
+  config.logical.query_fraction = 0.0;
+  db::TransactionSystem system(&sim, config);
+  system.Start();
+  sim.RunUntil(10.0);
+  EXPECT_GT(system.metrics().counters.commits, 50u);
+}
+
+TEST(RobustnessTest, KScheduleClampedToDatabaseSize) {
+  sim::Simulator sim;
+  db::SystemConfig config = TinyConfig();
+  db::TransactionSystem system(&sim, config);
+  db::WorkloadDynamics dynamics =
+      db::WorkloadDynamics::FromConfig(config.logical);
+  dynamics.k = db::Schedule::Steps(1.0, {{2.0, 500.0}});  // >> db_size 10
+  system.SetWorkloadDynamics(dynamics);
+  system.Start();
+  sim.RunUntil(6.0);  // would CHECK-fail inside PlanAccesses if unclamped
+  EXPECT_GT(system.metrics().counters.commits, 10u);
+}
+
+TEST(RobustnessTest, TwoPhaseLockingQueryOnlyNeverDeadlocks) {
+  sim::Simulator sim;
+  db::SystemConfig config = TinyConfig();
+  config.cc = db::CcScheme::kTwoPhaseLocking;
+  config.physical.num_terminals = 20;
+  config.logical.db_size = 15;
+  config.logical.accesses_per_txn = 5;
+  config.logical.query_fraction = 1.0;  // shared locks only
+  db::TransactionSystem system(&sim, config);
+  system.Start();
+  sim.RunUntil(15.0);
+  EXPECT_GT(system.metrics().counters.commits, 500u);
+  EXPECT_EQ(system.metrics().counters.aborts_deadlock, 0u);
+  EXPECT_EQ(system.metrics().counters.lock_waits, 0u);
+}
+
+TEST(RobustnessTest, HotspotWorkloadEndToEnd) {
+  sim::Simulator sim;
+  db::SystemConfig config = TinyConfig();
+  config.physical.num_terminals = 30;
+  config.logical.db_size = 1000;
+  config.logical.accesses_per_txn = 6;
+  config.logical.write_fraction = 0.5;
+  config.logical.query_fraction = 0.0;
+  config.logical.hotspot_access_prob = 0.8;
+  config.logical.hotspot_size_fraction = 0.02;  // 20 hot granules
+  db::TransactionSystem system(&sim, config);
+  system.Start();
+  sim.RunUntil(15.0);
+  const db::Counters& with_hotspot = system.metrics().counters;
+  EXPECT_GT(with_hotspot.commits, 100u);
+
+  // The same system without the hotspot conflicts far less.
+  sim::Simulator sim2;
+  db::SystemConfig no_hot = config;
+  no_hot.logical.hotspot_access_prob = 0.0;
+  no_hot.logical.hotspot_size_fraction = 0.0;
+  db::TransactionSystem system2(&sim2, no_hot);
+  system2.Start();
+  sim2.RunUntil(15.0);
+  EXPECT_GT(with_hotspot.aborts_certification * 1.0,
+            2.0 * system2.metrics().counters.aborts_certification + 10.0);
+}
+
+TEST(RobustnessTest, GateWithLimitOneSerializesEverything) {
+  sim::Simulator sim;
+  db::SystemConfig config = TinyConfig();
+  config.physical.num_terminals = 10;
+  db::TransactionSystem system(&sim, config);
+  control::AdmissionGate gate(&system, 1.0);
+  system.Start();
+  int max_active = 0;
+  for (double t = 0.1; t < 8.0; t += 0.1) {
+    sim.ScheduleAt(t, [&] { max_active = std::max(max_active, system.active()); });
+  }
+  sim.RunUntil(8.0);
+  EXPECT_EQ(max_active, 1);
+  EXPECT_GT(system.metrics().counters.commits, 50u);
+  // Serial execution: certification can never fail.
+  EXPECT_EQ(system.metrics().counters.aborts_certification, 0u);
+}
+
+TEST(RobustnessTest, MonitorHandlesEmptyIntervals) {
+  sim::Simulator sim;
+  db::SystemConfig config = TinyConfig();
+  config.physical.think_time_mean = 50.0;  // nearly no work
+  db::TransactionSystem system(&sim, config);
+  control::Monitor monitor(&sim, &system, 0.5);
+  int zero_commit_samples = 0;
+  monitor.SetCallback([&](const control::Sample& sample) {
+    if (sample.commits == 0) {
+      ++zero_commit_samples;
+      EXPECT_EQ(sample.throughput, 0.0);
+      EXPECT_EQ(sample.mean_response, 0.0);
+      EXPECT_GE(sample.conflict_rate, 0.0);
+    }
+  });
+  system.Start();
+  monitor.Start();
+  sim.RunUntil(5.0);
+  EXPECT_GT(zero_commit_samples, 0);
+}
+
+TEST(RobustnessTest, GateFcfsAdmissionOrder) {
+  sim::Simulator sim;
+  db::SystemConfig config = TinyConfig();
+  config.physical.num_terminals = 12;
+  db::TransactionSystem system(&sim, config);
+  control::AdmissionGate gate(&system, 2.0);
+  system.Start();
+  sim.RunUntil(5.0);
+  // Sample admissions over a window: admit order must follow submit order
+  // (FCFS) — verify via monotone first_submit_time of admissions seen in
+  // admit_time order for currently active txns.
+  std::vector<db::Transaction*> active;
+  system.CollectActive(&active);
+  std::sort(active.begin(), active.end(),
+            [](const db::Transaction* a, const db::Transaction* b) {
+              return a->admit_time < b->admit_time;
+            });
+  for (size_t i = 1; i < active.size(); ++i) {
+    EXPECT_LE(active[i - 1]->first_submit_time,
+              active[i]->first_submit_time);
+  }
+}
+
+TEST(RobustnessTest, DisplacementDuringHeavyRestartChurn) {
+  // Displacing transactions that are mostly in restart-wait or doomed must
+  // keep all invariants (this is the nastiest interleaving in the system).
+  sim::Simulator sim;
+  db::SystemConfig config = TinyConfig(99);
+  config.physical.num_terminals = 30;
+  config.logical.db_size = 12;
+  config.logical.accesses_per_txn = 4;
+  config.logical.write_fraction = 0.9;
+  config.logical.query_fraction = 0.0;
+  config.physical.restart_delay_mean = 0.05;
+  db::TransactionSystem system(&sim, config);
+  control::AdmissionGate gate(&system, 25.0);
+  gate.EnableDisplacement(true);
+  system.Start();
+  for (double t = 1.0; t < 12.0; t += 1.0) {
+    sim.ScheduleAt(t, [&gate, t] {
+      gate.SetLimit(static_cast<int>(t) % 2 == 1 ? 3.0 : 25.0);
+    });
+  }
+  int violations = 0;
+  for (double t = 0.5; t < 12.0; t += 0.25) {
+    sim.ScheduleAt(t, [&] {
+      const int total =
+          system.CountThinking() + system.active() + gate.queue_length();
+      if (total != config.physical.num_terminals) ++violations;
+    });
+  }
+  sim.RunUntil(12.0);
+  EXPECT_EQ(violations, 0);
+  EXPECT_GT(gate.total_displaced(), 0u);
+  EXPECT_GT(system.metrics().counters.commits, 50u);
+}
+
+TEST(RobustnessTest, PaExcitationBoostEngagesWhenLoadFrozen) {
+  control::PaConfig config;
+  config.initial_bound = 50.0;
+  config.min_bound = 5.0;
+  config.max_bound = 500.0;
+  config.dither = 10.0;
+  config.warmup_updates = 2;
+  control::ParabolaApproximationController pa(config);
+  control::Sample sample;
+  sample.interval = 1.0;
+  // The measured load never follows the commanded bound: frozen at 8.
+  for (int i = 0; i < 20; ++i) {
+    sample.time = i;
+    sample.mean_active = 8.0 + 0.1 * (i % 2);
+    sample.throughput = 20.0;
+    pa.Update(sample);
+  }
+  EXPECT_GT(pa.excitation_boost(), 2.0);
+}
+
+TEST(RobustnessTest, PaExcitationBoostStaysQuietWhenLoadFollows) {
+  control::PaConfig config;
+  config.initial_bound = 100.0;
+  config.min_bound = 5.0;
+  config.max_bound = 500.0;
+  config.dither = 10.0;
+  config.warmup_updates = 2;
+  control::ParabolaApproximationController pa(config);
+  control::Sample sample;
+  sample.interval = 1.0;
+  double bound = config.initial_bound;
+  for (int i = 0; i < 30; ++i) {
+    sample.time = i;
+    sample.mean_active = bound;  // load follows the bound exactly
+    sample.throughput = 200.0 - 0.01 * (bound - 150.0) * (bound - 150.0);
+    bound = pa.Update(sample);
+  }
+  EXPECT_LE(pa.excitation_boost(), 1.5);
+}
+
+TEST(RobustnessTest, PaBoostedDitherRespectsBounds) {
+  control::PaConfig config;
+  config.initial_bound = 10.0;
+  config.min_bound = 5.0;
+  config.max_bound = 60.0;
+  config.dither = 20.0;
+  config.max_excitation_boost = 8.0;
+  config.warmup_updates = 1;
+  control::ParabolaApproximationController pa(config);
+  control::Sample sample;
+  sample.interval = 1.0;
+  for (int i = 0; i < 40; ++i) {
+    sample.time = i;
+    sample.mean_active = 7.0;  // frozen: boost maxes out
+    sample.throughput = 10.0;
+    const double bound = pa.Update(sample);
+    EXPECT_GE(bound, config.min_bound);
+    EXPECT_LE(bound, config.max_bound);
+  }
+}
+
+TEST(RobustnessTest, PaBoostStretchesDitherPeriod) {
+  control::PaConfig config;
+  config.initial_bound = 50.0;
+  config.min_bound = 5.0;
+  config.max_bound = 500.0;
+  config.dither = 10.0;
+  config.warmup_updates = 2;
+  control::ParabolaApproximationController pa(config);
+  control::Sample sample;
+  sample.interval = 1.0;
+  // Freeze the load so the boost engages, then count sign-hold lengths.
+  std::vector<double> bounds;
+  for (int i = 0; i < 40; ++i) {
+    sample.time = i;
+    sample.mean_active = 8.0;
+    sample.throughput = 20.0;
+    bounds.push_back(pa.Update(sample));
+  }
+  // In the boosted regime the bound must repeat the same value for more
+  // than one consecutive tick somewhere (held dither phase).
+  bool held = false;
+  for (size_t i = 20; i + 1 < bounds.size(); ++i) {
+    if (bounds[i] == bounds[i + 1]) held = true;
+  }
+  EXPECT_TRUE(held);
+}
+
+TEST(RobustnessTest, ExperimentWithTayRuleTracksDeclaredK) {
+  core::ScenarioConfig scenario;
+  scenario.system = TinyConfig(7);
+  scenario.system.physical.num_terminals = 40;
+  scenario.system.logical.db_size = 400;
+  scenario.system.logical.accesses_per_txn = 8;
+  scenario.dynamics = db::WorkloadDynamics::FromConfig(scenario.system.logical);
+  scenario.dynamics.k = db::Schedule::Steps(8.0, {{10.0, 4.0}});
+  scenario.active_terminals = db::Schedule::Constant(40);
+  scenario.duration = 20.0;
+  scenario.warmup = 2.0;
+  scenario.control.kind = core::ControllerKind::kTayRule;
+  const core::ExperimentResult result = core::Experiment(scenario).Run();
+  // Bound before the k change: 1.5*400/64 = 9.375; after: 1.5*400/16 = 37.5.
+  bool saw_low = false, saw_high = false;
+  for (const core::TrajectoryPoint& point : result.trajectory) {
+    if (point.time < 10.0 && std::fabs(point.bound - 9.375) < 1e-9) {
+      saw_low = true;
+    }
+    if (point.time > 10.5 && std::fabs(point.bound - 37.5) < 1e-9) {
+      saw_high = true;
+    }
+  }
+  EXPECT_TRUE(saw_low);
+  EXPECT_TRUE(saw_high);
+}
+
+TEST(RobustnessTest, ZeroWarmupExperiment) {
+  core::ScenarioConfig scenario;
+  scenario.system = TinyConfig(3);
+  scenario.dynamics = db::WorkloadDynamics::FromConfig(scenario.system.logical);
+  scenario.active_terminals = db::Schedule::Constant(4);
+  scenario.duration = 5.0;
+  scenario.warmup = 0.0;
+  scenario.control.kind = core::ControllerKind::kFixed;
+  scenario.control.fixed_limit = 5.0;
+  const core::ExperimentResult result = core::Experiment(scenario).Run();
+  EXPECT_GT(result.commits, 0u);
+}
+
+}  // namespace
+}  // namespace alc

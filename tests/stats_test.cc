@@ -1,0 +1,199 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "sim/stats.h"
+
+namespace alc::sim {
+namespace {
+
+TEST(WelfordTest, EmptyAccumulator) {
+  WelfordAccumulator acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(WelfordTest, SingleValue) {
+  WelfordAccumulator acc;
+  acc.Add(7.5);
+  EXPECT_EQ(acc.count(), 1);
+  EXPECT_DOUBLE_EQ(acc.mean(), 7.5);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.min(), 7.5);
+  EXPECT_EQ(acc.max(), 7.5);
+}
+
+TEST(WelfordTest, MatchesClosedForm) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  WelfordAccumulator acc;
+  for (double x : xs) acc.Add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(acc.min(), 2.0);
+  EXPECT_EQ(acc.max(), 9.0);
+}
+
+TEST(WelfordTest, NumericallyStableForLargeOffsets) {
+  // Classic catastrophic-cancellation case: large mean, small variance.
+  WelfordAccumulator acc;
+  const double offset = 1e9;
+  for (double x : {offset + 4.0, offset + 7.0, offset + 13.0, offset + 16.0}) {
+    acc.Add(x);
+  }
+  EXPECT_NEAR(acc.mean(), offset + 10.0, 1e-3);
+  EXPECT_NEAR(acc.variance(), 30.0, 1e-6);
+}
+
+TEST(WelfordTest, ResetClears) {
+  WelfordAccumulator acc;
+  acc.Add(1.0);
+  acc.Add(2.0);
+  acc.Reset();
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_EQ(acc.mean(), 0.0);
+}
+
+TEST(TimeWeightedAverageTest, ConstantValue) {
+  TimeWeightedAverage twa;
+  twa.Start(0.0, 5.0);
+  EXPECT_DOUBLE_EQ(twa.AverageUntil(10.0), 5.0);
+}
+
+TEST(TimeWeightedAverageTest, StepChange) {
+  TimeWeightedAverage twa;
+  twa.Start(0.0, 0.0);
+  twa.Update(4.0, 10.0);  // 0 for 4s, then 10 for 6s
+  EXPECT_DOUBLE_EQ(twa.AverageUntil(10.0), 6.0);
+}
+
+TEST(TimeWeightedAverageTest, MultipleUpdates) {
+  TimeWeightedAverage twa;
+  twa.Start(0.0, 1.0);
+  twa.Update(1.0, 2.0);
+  twa.Update(3.0, 3.0);
+  // 1*1 + 2*2 + 3*1 over 4s = 8/4.
+  EXPECT_DOUBLE_EQ(twa.AverageUntil(4.0), 2.0);
+}
+
+TEST(TimeWeightedAverageTest, WindowResetRestartsAccumulation) {
+  TimeWeightedAverage twa;
+  twa.Start(0.0, 4.0);
+  twa.Update(2.0, 8.0);
+  EXPECT_DOUBLE_EQ(twa.AverageUntil(4.0), 6.0);
+  twa.ResetWindow(4.0);
+  // New window sees only the current value (8).
+  EXPECT_DOUBLE_EQ(twa.AverageUntil(6.0), 8.0);
+}
+
+TEST(TimeWeightedAverageTest, ZeroSpanReturnsCurrentValue) {
+  TimeWeightedAverage twa;
+  twa.Start(5.0, 3.0);
+  EXPECT_DOUBLE_EQ(twa.AverageUntil(5.0), 3.0);
+}
+
+TEST(TimeWeightedAverageTest, SameTimeUpdates) {
+  TimeWeightedAverage twa;
+  twa.Start(0.0, 1.0);
+  twa.Update(2.0, 5.0);
+  twa.Update(2.0, 9.0);  // instantaneous double update
+  // 1 for 2s, then 9 for 2s.
+  EXPECT_DOUBLE_EQ(twa.AverageUntil(4.0), 5.0);
+}
+
+TEST(BatchMeansTest, MeanOfAllObservations) {
+  BatchMeans bm(10);
+  for (int i = 1; i <= 100; ++i) bm.Add(i);
+  EXPECT_EQ(bm.num_batches(), 10);
+  EXPECT_DOUBLE_EQ(bm.mean(), 50.5);
+}
+
+TEST(BatchMeansTest, HalfWidthZeroWithFewBatches) {
+  BatchMeans bm(10);
+  for (int i = 0; i < 15; ++i) bm.Add(1.0);
+  EXPECT_EQ(bm.num_batches(), 1);
+  EXPECT_EQ(bm.HalfWidth(0.95), 0.0);
+}
+
+TEST(BatchMeansTest, ConstantSeriesHasZeroWidth) {
+  BatchMeans bm(5);
+  for (int i = 0; i < 50; ++i) bm.Add(3.0);
+  EXPECT_EQ(bm.HalfWidth(0.95), 0.0);
+  EXPECT_DOUBLE_EQ(bm.mean(), 3.0);
+}
+
+TEST(BatchMeansTest, CoverageOnIidNormal) {
+  // For iid data the 95% CI should contain the true mean ~95% of the time.
+  RandomStream rng(101);
+  int covered = 0;
+  const int reps = 300;
+  for (int rep = 0; rep < reps; ++rep) {
+    BatchMeans bm(20);
+    for (int i = 0; i < 600; ++i) bm.Add(rng.NextNormal(10.0, 3.0));
+    const double half = bm.HalfWidth(0.95);
+    if (std::fabs(bm.mean() - 10.0) <= half) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / reps;
+  EXPECT_GT(coverage, 0.88);
+  EXPECT_LE(coverage, 1.0);
+}
+
+TEST(BatchMeansTest, HalfWidthShrinksWithData) {
+  RandomStream rng(103);
+  BatchMeans small(10);
+  BatchMeans large(10);
+  for (int i = 0; i < 100; ++i) small.Add(rng.NextNormal(0.0, 1.0));
+  for (int i = 0; i < 10000; ++i) large.Add(rng.NextNormal(0.0, 1.0));
+  EXPECT_LT(large.HalfWidth(0.95), small.HalfWidth(0.95));
+}
+
+TEST(HistogramTest, BinningAndCounts) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(1.7);
+  h.Add(9.99);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.bins()[0], 1);
+  EXPECT_EQ(h.bins()[1], 2);
+  EXPECT_EQ(h.bins()[9], 1);
+}
+
+TEST(HistogramTest, OutOfRangeClampedAndCounted) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-1.0);
+  h.Add(42.0);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 1);
+  EXPECT_EQ(h.bins()[0], 1);
+  EXPECT_EQ(h.bins()[4], 1);
+}
+
+TEST(HistogramTest, BinEdges) {
+  Histogram h(2.0, 12.0, 5);
+  EXPECT_DOUBLE_EQ(h.BinLow(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.BinHigh(0), 4.0);
+  EXPECT_DOUBLE_EQ(h.BinLow(4), 10.0);
+  EXPECT_DOUBLE_EQ(h.BinHigh(4), 12.0);
+}
+
+TEST(HistogramTest, QuantileOnUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  RandomStream rng(107);
+  for (int i = 0; i < 100000; ++i) h.Add(rng.NextDouble());
+  EXPECT_NEAR(h.Quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.Quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.Quantile(0.1), 0.1, 0.02);
+}
+
+TEST(HistogramTest, QuantileEmptyReturnsLow) {
+  Histogram h(5.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 5.0);
+}
+
+}  // namespace
+}  // namespace alc::sim
