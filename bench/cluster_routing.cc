@@ -1,0 +1,197 @@
+// Cluster-level reproduction: routing policies over per-node adaptive
+// admission gates. Sweeps 4 routing policies x 4 admission controllers on a
+// 4-node cluster under three offered-load scenarios:
+//
+//   stationary    constant rate at ~2/3 of cluster capacity
+//   flash-crowd   rate spikes far past capacity for a window; an
+//                 uncontrolled open system is pushed into thrashing it
+//                 cannot leave (the paper's section 1 argument, at fleet
+//                 scale)
+//   degraded      node 0 loses 70% of its CPU speed mid-run (load-aware
+//                 routing must shift work away; blind routing keeps
+//                 feeding the slow node)
+//
+// Claim under test: load-aware routing (JSQ / self-learning threshold)
+// composed with per-node adaptive admission (Parabola) strictly beats blind
+// routing with no admission control on the flash-crowd scenario.
+//
+//   $ ./build/bench/cluster_routing
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/cluster_experiment.h"
+#include "core/cluster_scenario.h"
+#include "util/strformat.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace alc;
+
+constexpr int kNumNodes = 4;
+
+/// Downscaled node (4 CPUs, 600-granule DB) so the 48-run sweep stays
+/// affordable; the thrashing shape matches the paper-scale system.
+core::ClusterNodeScenario BenchNode(uint64_t seed) {
+  core::ClusterNodeScenario node;
+  node.system.physical.num_cpus = 4;
+  node.system.physical.cpu_init_mean = 0.001;
+  node.system.physical.cpu_access_mean = 0.001;
+  node.system.physical.cpu_commit_mean = 0.001;
+  node.system.physical.cpu_write_commit_mean = 0.004;
+  node.system.physical.io_time = 0.008;
+  node.system.physical.restart_delay_mean = 0.02;
+  node.system.logical.db_size = 600;
+  node.system.logical.accesses_per_txn = 8;
+  node.system.logical.query_fraction = 0.3;
+  node.system.logical.write_fraction = 0.4;
+  node.system.seed = seed;
+  node.dynamics = db::WorkloadDynamics::FromConfig(node.system.logical);
+  node.control.measurement_interval = 0.5;
+  node.control.initial_limit = 20.0;
+  node.control.is.initial_bound = 20.0;
+  node.control.is.min_bound = 2.0;
+  node.control.is.max_bound = 200.0;
+  node.control.pa.initial_bound = 20.0;
+  node.control.pa.min_bound = 2.0;
+  node.control.pa.max_bound = 200.0;
+  node.control.pa.dither = 5.0;
+  node.control.fixed_limit = 25.0;
+  return node;
+}
+
+core::ClusterScenarioConfig BaseCluster(uint64_t seed) {
+  core::ClusterScenarioConfig scenario;
+  for (int i = 0; i < kNumNodes; ++i) {
+    scenario.nodes.push_back(BenchNode(core::DecorrelatedNodeSeed(seed, i)));
+  }
+  scenario.seed = seed;
+  scenario.duration = 160.0;
+  scenario.warmup = 20.0;
+  return scenario;
+}
+
+struct Combo {
+  cluster::RoutingPolicyKind routing;
+  core::ControllerKind admission;
+};
+
+core::ClusterResult RunCombo(const core::ClusterScenarioConfig& base,
+                             const Combo& combo) {
+  core::ClusterScenarioConfig scenario = base;
+  scenario.routing = combo.routing;
+  for (core::ClusterNodeScenario& node : scenario.nodes) {
+    node.control.kind = combo.admission;
+  }
+  return core::ClusterExperiment(scenario).Run();
+}
+
+std::string ComboName(const Combo& combo) {
+  return std::string(cluster::RoutingPolicyKindName(combo.routing)) + " + " +
+         core::ControllerKindName(combo.admission);
+}
+
+void RunScenario(const char* title, const core::ClusterScenarioConfig& base,
+                 core::ClusterResult* jsq_parabola,
+                 core::ClusterResult* threshold_parabola,
+                 core::ClusterResult* random_none) {
+  const std::vector<cluster::RoutingPolicyKind> routings = {
+      cluster::RoutingPolicyKind::kRoundRobin,
+      cluster::RoutingPolicyKind::kRandom,
+      cluster::RoutingPolicyKind::kJoinShortestQueue,
+      cluster::RoutingPolicyKind::kThresholdBased,
+  };
+  const std::vector<core::ControllerKind> admissions = {
+      core::ControllerKind::kNone,
+      core::ControllerKind::kFixed,
+      core::ControllerKind::kIncrementalSteps,
+      core::ControllerKind::kParabola,
+  };
+
+  std::printf("\n--- %s ---\n", title);
+  util::Table table({"routing + admission", "throughput", "p-mean response",
+                     "abort ratio", "commits"});
+  for (cluster::RoutingPolicyKind routing : routings) {
+    for (core::ControllerKind admission : admissions) {
+      const Combo combo{routing, admission};
+      const core::ClusterResult result = RunCombo(base, combo);
+      table.AddRow({ComboName(combo),
+                    util::StrFormat("%.1f/s", result.total_throughput),
+                    util::StrFormat("%.3fs", result.mean_response),
+                    util::StrFormat("%.3f", result.abort_ratio),
+                    util::StrFormat("%llu", static_cast<unsigned long long>(
+                                                result.commits))});
+      if (routing == cluster::RoutingPolicyKind::kJoinShortestQueue &&
+          admission == core::ControllerKind::kParabola && jsq_parabola) {
+        *jsq_parabola = result;
+      }
+      if (routing == cluster::RoutingPolicyKind::kThresholdBased &&
+          admission == core::ControllerKind::kParabola && threshold_parabola) {
+        *threshold_parabola = result;
+      }
+      if (routing == cluster::RoutingPolicyKind::kRandom &&
+          admission == core::ControllerKind::kNone && random_none) {
+        *random_none = result;
+      }
+    }
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Cluster routing x per-node adaptive admission",
+      "load-aware routing over adaptive gates absorbs overload that "
+      "thrashes blind routing without admission control");
+
+  const uint64_t seed = 42;
+
+  // Per-node capacity is ~150 commits/s at the optimum (4 CPUs, ~19 ms CPU
+  // demand per transaction, thrashing knee near n=25).
+  core::ClusterScenarioConfig stationary = BaseCluster(seed);
+  stationary.arrival_rate = db::Schedule::Constant(400.0);
+
+  core::ClusterScenarioConfig flash = BaseCluster(seed);
+  flash.arrival_rate = core::FlashCrowdSchedule(320.0, 900.0, 40.0, 80.0);
+
+  core::ClusterScenarioConfig degraded = BaseCluster(seed);
+  degraded.arrival_rate = db::Schedule::Constant(400.0);
+  degraded.nodes[0].cpu_speed = core::NodeSlowdownSchedule(0.3, 40.0, 100.0);
+
+  RunScenario("stationary (400/s offered)", stationary, nullptr, nullptr,
+              nullptr);
+
+  core::ClusterResult jsq_parabola, threshold_parabola, random_none;
+  RunScenario("flash crowd (320/s, spike to 900/s during [40s,80s))", flash,
+              &jsq_parabola, &threshold_parabola, &random_none);
+
+  RunScenario("degraded node (node 0 at 30% speed during [40s,100s))",
+              degraded, nullptr, nullptr, nullptr);
+
+  std::printf(
+      "\nflash-crowd verdict:\n"
+      "  join-shortest-queue + parabola : %.1f commits/s\n"
+      "  threshold + parabola           : %.1f commits/s\n"
+      "  random + none                  : %.1f commits/s\n",
+      jsq_parabola.total_throughput, threshold_parabola.total_throughput,
+      random_none.total_throughput);
+  const bool jsq_wins =
+      jsq_parabola.total_throughput > random_none.total_throughput;
+  const bool threshold_wins =
+      threshold_parabola.total_throughput > random_none.total_throughput;
+  std::printf("  adaptive beats blind: %s\n",
+              (jsq_wins || threshold_wins) ? "YES" : "NO");
+  std::printf(
+      "\nAn uncontrolled open node pushed past the thrashing knee cannot\n"
+      "recover: committed throughput falls below the offered rate, so the\n"
+      "admitted load keeps growing (paper section 1, at fleet scale). The\n"
+      "per-node gates park the surplus in admission queues instead, and\n"
+      "load-aware routing keeps the queues where capacity is.\n");
+  return (jsq_wins || threshold_wins) ? 0 : 1;
+}

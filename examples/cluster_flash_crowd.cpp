@@ -1,0 +1,107 @@
+// Cluster flash crowd: the offered rate on a 4-node fleet spikes to ~1.5x
+// cluster capacity for 40 seconds. Join-shortest-queue routing over
+// per-node Parabola gates absorbs the crowd (the surplus waits in admission
+// queues, committed throughput stays at the fleet peak); random routing
+// over a badly tuned fixed limit lets every node thrash.
+//
+//   $ ./build/examples/cluster_flash_crowd
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/cluster_experiment.h"
+#include "core/cluster_scenario.h"
+#include "core/export.h"
+#include "util/strformat.h"
+#include "util/table.h"
+
+int main() {
+  using namespace alc;
+
+  // One downscaled node: 4 CPUs, 600-granule database, thrashing knee near
+  // n=25, peak ~150 commits/s.
+  core::ScenarioConfig base = core::DefaultScenario();
+  base.system.physical.num_cpus = 4;
+  base.system.physical.cpu_init_mean = 0.001;
+  base.system.physical.cpu_access_mean = 0.001;
+  base.system.physical.cpu_commit_mean = 0.001;
+  base.system.physical.cpu_write_commit_mean = 0.004;
+  base.system.physical.io_time = 0.008;
+  base.system.physical.restart_delay_mean = 0.02;
+  base.system.logical.db_size = 600;
+  base.system.logical.accesses_per_txn = 8;
+  base.system.logical.write_fraction = 0.4;
+  base.system.seed = 42;
+  base.dynamics = db::WorkloadDynamics::FromConfig(base.system.logical);
+  base.control.measurement_interval = 0.5;
+  base.control.initial_limit = 20.0;
+  base.control.pa.initial_bound = 20.0;
+  base.control.pa.min_bound = 2.0;
+  base.control.pa.max_bound = 200.0;
+  base.control.pa.dither = 5.0;
+  // The "statically tuned" limit: fine for the normal 320/s, deep in
+  // thrashing territory once the crowd arrives.
+  base.control.fixed_limit = 150.0;
+  base.duration = 200.0;
+  base.warmup = 20.0;
+
+  core::ClusterScenarioConfig cluster = core::UniformCluster(4, base);
+  cluster.arrival_rate = core::FlashCrowdSchedule(320.0, 900.0, 60.0, 100.0);
+
+  util::Table table({"configuration", "throughput", "p-mean response",
+                     "abort ratio", "commits"});
+  core::ClusterResult adaptive;
+  struct Setup {
+    const char* label;
+    cluster::RoutingPolicyKind routing;
+    core::ControllerKind admission;
+  };
+  for (const Setup& setup :
+       {Setup{"random + fixed(150)", cluster::RoutingPolicyKind::kRandom,
+              core::ControllerKind::kFixed},
+        Setup{"jsq + parabola",
+              cluster::RoutingPolicyKind::kJoinShortestQueue,
+              core::ControllerKind::kParabola}}) {
+    core::ClusterScenarioConfig run = cluster;
+    run.routing = setup.routing;
+    for (core::ClusterNodeScenario& node : run.nodes) {
+      node.control.kind = setup.admission;
+    }
+    const core::ClusterResult result = core::ClusterExperiment(run).Run();
+    if (setup.admission == core::ControllerKind::kParabola) adaptive = result;
+    table.AddRow({setup.label,
+                  util::StrFormat("%.1f/s", result.total_throughput),
+                  util::StrFormat("%.3fs", result.mean_response),
+                  util::StrFormat("%.3f", result.abort_ratio),
+                  util::StrFormat("%llu", static_cast<unsigned long long>(
+                                              result.commits))});
+  }
+  table.Print(std::cout);
+
+  std::printf("\njsq + parabola, cluster-wide view (every 20s):\n");
+  std::printf("%8s %12s %12s %12s %14s\n", "time", "sum bound", "sum load",
+              "throughput", "gate queue");
+  for (const core::TrajectoryPoint& point : adaptive.aggregate) {
+    const int t = static_cast<int>(point.time);
+    if (t % 20 != 0 || point.time != t) continue;
+    std::printf("%8d %12.0f %12.1f %12.1f %14.1f\n", t, point.bound,
+                point.load, point.throughput, point.gate_queue);
+  }
+  std::vector<std::vector<core::TrajectoryPoint>> per_node;
+  per_node.reserve(adaptive.nodes.size());
+  for (const core::ClusterNodeResult& node : adaptive.nodes) {
+    per_node.push_back(node.trajectory);
+  }
+  if (core::ExportClusterTrajectory("cluster_flash_crowd.csv", per_node)) {
+    std::printf("\nwrote cluster_flash_crowd.csv (per-node trajectories, "
+                "node id in column 1)\n");
+  }
+
+  std::printf(
+      "\nDuring the crowd the four gates keep each node's admitted load at\n"
+      "its optimum while the surplus queues at the gates; JSQ drains the\n"
+      "queues evenly. The fixed-limit fleet admits ~150 per node and spends\n"
+      "the crowd (and long after it) aborting conflicting transactions.\n");
+  return 0;
+}

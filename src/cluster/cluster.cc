@@ -1,0 +1,83 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace alc::cluster {
+
+namespace {
+
+db::SystemConfig Externalize(db::SystemConfig config) {
+  config.arrivals = db::ArrivalMode::kExternal;
+  return config;
+}
+
+}  // namespace
+
+ClusterNode::ClusterNode(sim::Simulator* sim, const NodeConfig& config)
+    : system_(sim, Externalize(config.system)),
+      gate_(&system_, config.initial_limit) {
+  system_.SetWorkloadDynamics(config.dynamics);
+  system_.cpu().SetSpeedSchedule(config.cpu_speed);
+  gate_.EnableDisplacement(config.displacement);
+}
+
+NodeView ClusterNode::View() const {
+  NodeView view;
+  view.active = system_.active();
+  view.gate_queue = gate_.queue_length();
+  view.limit = gate_.limit();
+  return view;
+}
+
+Cluster::Cluster(sim::Simulator* sim, const std::vector<NodeConfig>& nodes,
+                 std::unique_ptr<RoutingPolicy> policy, uint64_t seed)
+    : sim_(sim),
+      policy_(std::move(policy)),
+      arrival_rng_(seed ^ 0xc2b2ae3d27d4eb4fULL),
+      routed_(nodes.size(), 0) {
+  ALC_CHECK(sim != nullptr);
+  ALC_CHECK(policy_ != nullptr);
+  ALC_CHECK(!nodes.empty());
+  nodes_.reserve(nodes.size());
+  for (const NodeConfig& node : nodes) {
+    nodes_.push_back(std::make_unique<ClusterNode>(sim, node));
+  }
+}
+
+void Cluster::SetArrivalRateSchedule(db::Schedule schedule) {
+  ALC_CHECK(!started_);
+  arrival_rate_ = std::move(schedule);
+}
+
+void Cluster::Start() {
+  ALC_CHECK(!started_);
+  started_ = true;
+  for (auto& node : nodes_) node->system().Start();
+  ScheduleNextArrival();
+}
+
+void Cluster::ScheduleNextArrival() {
+  // Poisson process with a (slowly) time-varying rate, same approximation
+  // as the single-node open driver: the next gap is drawn at the current
+  // rate, so schedule changes lag by one inter-arrival time.
+  const double rate = std::max(arrival_rate_.Value(sim_->Now()), 1e-9);
+  sim_->Schedule(arrival_rng_.NextExponential(1.0 / rate),
+                 [this] { RouteOne(); });
+}
+
+void Cluster::RouteOne() {
+  ScheduleNextArrival();
+  views_.clear();
+  for (const auto& node : nodes_) views_.push_back(node->View());
+  const int target = policy_->Route(views_);
+  ALC_CHECK_GE(target, 0);
+  ALC_CHECK_LT(target, static_cast<int>(nodes_.size()));
+  ++routed_[target];
+  ++total_routed_;
+  nodes_[target]->system().SubmitExternal();
+}
+
+}  // namespace alc::cluster

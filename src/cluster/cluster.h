@@ -1,0 +1,102 @@
+#ifndef ALC_CLUSTER_CLUSTER_H_
+#define ALC_CLUSTER_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/router.h"
+#include "control/gate.h"
+#include "db/schedule.h"
+#include "db/system.h"
+#include "db/workload.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace alc::cluster {
+
+/// Everything needed to build one cluster node. Nodes may be heterogeneous:
+/// different CPU counts, database sizes, CC schemes, workload mixes, and
+/// speed profiles are all allowed. `system.arrivals` is forced to
+/// kExternal — a cluster node receives work only from the router.
+struct NodeConfig {
+  db::SystemConfig system;
+  db::WorkloadDynamics dynamics =
+      db::WorkloadDynamics::FromConfig(db::LogicalConfig{});
+  /// Degraded-node scenarios: time-varying processor speed factor.
+  db::Schedule cpu_speed = db::Schedule::Constant(1.0);
+  double initial_limit = 50.0;
+  bool displacement = false;
+};
+
+/// One TP node: a full TransactionSystem replica plus the admission gate in
+/// front of it. The per-node controller and monitor are wired by the
+/// experiment layer (core/cluster_experiment); the cluster owns only the
+/// data plane.
+class ClusterNode {
+ public:
+  ClusterNode(sim::Simulator* sim, const NodeConfig& config);
+
+  ClusterNode(const ClusterNode&) = delete;
+  ClusterNode& operator=(const ClusterNode&) = delete;
+
+  db::TransactionSystem& system() { return system_; }
+  const db::TransactionSystem& system() const { return system_; }
+  control::AdmissionGate& gate() { return gate_; }
+  const control::AdmissionGate& gate() const { return gate_; }
+
+  /// The router-visible state of this node.
+  NodeView View() const;
+
+ private:
+  db::TransactionSystem system_;
+  control::AdmissionGate gate_;
+};
+
+/// N transaction-system replicas sharing one simulator event queue, fed by
+/// a cluster-wide Poisson arrival stream through a routing policy. Each
+/// arrival is routed on the current NodeViews and submitted to the chosen
+/// node, which stamps the work from its own workload dynamics. All
+/// randomness (arrival gaps, per-node variates, policy choices) comes from
+/// seeded streams, so a cluster run is bit-deterministic per configuration.
+class Cluster {
+ public:
+  Cluster(sim::Simulator* sim, const std::vector<NodeConfig>& nodes,
+          std::unique_ptr<RoutingPolicy> policy, uint64_t seed);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Cluster-wide offered load: arrivals per second (time-varying allowed,
+  /// e.g. a flash crowd). Must be called before Start().
+  void SetArrivalRateSchedule(db::Schedule schedule);
+
+  /// Starts every node and the arrival process. Call once.
+  void Start();
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  ClusterNode& node(int i) { return *nodes_[i]; }
+  const ClusterNode& node(int i) const { return *nodes_[i]; }
+  RoutingPolicy& policy() { return *policy_; }
+
+  uint64_t total_routed() const { return total_routed_; }
+  const std::vector<uint64_t>& routed_per_node() const { return routed_; }
+
+ private:
+  void ScheduleNextArrival();
+  void RouteOne();
+
+  sim::Simulator* sim_;
+  std::vector<std::unique_ptr<ClusterNode>> nodes_;
+  std::unique_ptr<RoutingPolicy> policy_;
+  sim::RandomStream arrival_rng_;
+  db::Schedule arrival_rate_ = db::Schedule::Constant(100.0);
+  std::vector<NodeView> views_;  // reused per arrival (hot path)
+  std::vector<uint64_t> routed_;
+  uint64_t total_routed_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace alc::cluster
+
+#endif  // ALC_CLUSTER_CLUSTER_H_

@@ -1,0 +1,38 @@
+#ifndef ALC_CLUSTER_METRICS_H_
+#define ALC_CLUSTER_METRICS_H_
+
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace alc::cluster {
+
+/// Collects per-node controller trajectories and folds them into one
+/// cluster-wide series. All node monitors tick on the same interval grid,
+/// so aligned sample indices describe the same wall-clock window.
+class ClusterMetrics {
+ public:
+  explicit ClusterMetrics(int num_nodes);
+
+  void AddPoint(int node, const core::TrajectoryPoint& point);
+
+  const std::vector<std::vector<core::TrajectoryPoint>>& node_trajectories()
+      const {
+    return trajectories_;
+  }
+
+  /// Cluster-wide series, one point per aligned tick (truncated to the
+  /// shortest node series): extensive quantities (bound, load, throughput,
+  /// gate queue) are summed; response time and conflict rate are
+  /// commit-weighted means (weight = per-node throughput of the tick);
+  /// cpu_utilization is the unweighted node mean (the front-end has no view
+  /// of per-node processor counts).
+  std::vector<core::TrajectoryPoint> Aggregate() const;
+
+ private:
+  std::vector<std::vector<core::TrajectoryPoint>> trajectories_;
+};
+
+}  // namespace alc::cluster
+
+#endif  // ALC_CLUSTER_METRICS_H_

@@ -1,0 +1,103 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace alc::cluster {
+
+int RoundRobinPolicy::Route(const std::vector<NodeView>& nodes) {
+  ALC_CHECK(!nodes.empty());
+  const int target = static_cast<int>(next_ % nodes.size());
+  next_ = (next_ + 1) % nodes.size();
+  return target;
+}
+
+int RandomPolicy::Route(const std::vector<NodeView>& nodes) {
+  ALC_CHECK(!nodes.empty());
+  return static_cast<int>(rng_.NextUint64(nodes.size()));
+}
+
+int JoinShortestQueuePolicy::Route(const std::vector<NodeView>& nodes) {
+  ALC_CHECK(!nodes.empty());
+  const size_t n = nodes.size();
+  size_t best = rotate_ % n;
+  for (size_t j = 1; j < n; ++j) {
+    const size_t i = (rotate_ + j) % n;
+    if (Occupancy(nodes[i]) < Occupancy(nodes[best])) best = i;
+  }
+  rotate_ = (rotate_ + 1) % n;
+  return static_cast<int>(best);
+}
+
+ThresholdPolicy::ThresholdPolicy(const Config& config)
+    : config_(config), threshold_(config.initial_threshold) {
+  ALC_CHECK_GE(config.min_threshold, 1.0);
+  ALC_CHECK_GE(config.initial_threshold, config.min_threshold);
+  ALC_CHECK_GE(config.max_threshold, config.initial_threshold);
+}
+
+int ThresholdPolicy::Route(const std::vector<NodeView>& nodes) {
+  ALC_CHECK(!nodes.empty());
+  const size_t n = nodes.size();
+
+  // Rotating scan for the first node under the threshold; remember the
+  // least-occupied node as the fallback.
+  int candidate = -1;
+  size_t least = rotate_ % n;
+  bool all_far_below = true;
+  for (size_t j = 0; j < n; ++j) {
+    const size_t i = (rotate_ + j) % n;
+    const int occ = Occupancy(nodes[i]);
+    if (occ < Occupancy(nodes[least])) least = i;
+    if (candidate < 0 && occ < threshold_) candidate = static_cast<int>(i);
+    if (occ >= threshold_ - 1.0) all_far_below = false;
+  }
+  rotate_ = (rotate_ + 1) % n;
+
+  if (candidate < 0) {
+    // Every node is at or above ell: the threshold is too tight for the
+    // offered load. Learn upward and fall back to the least-occupied node.
+    threshold_ = std::min(threshold_ + 1.0, config_.max_threshold);
+    return static_cast<int>(least);
+  }
+  if (all_far_below) {
+    // Every node is strictly below ell - 1: the threshold has overshot
+    // (e.g. after a crowd left) and decays toward the needed level.
+    threshold_ = std::max(threshold_ - 1.0, config_.min_threshold);
+  }
+  return candidate;
+}
+
+const char* RoutingPolicyKindName(RoutingPolicyKind kind) {
+  switch (kind) {
+    case RoutingPolicyKind::kRoundRobin:
+      return "round-robin";
+    case RoutingPolicyKind::kRandom:
+      return "random";
+    case RoutingPolicyKind::kJoinShortestQueue:
+      return "join-shortest-queue";
+    case RoutingPolicyKind::kThresholdBased:
+      return "threshold";
+  }
+  return "?";
+}
+
+std::unique_ptr<RoutingPolicy> MakeRoutingPolicy(
+    RoutingPolicyKind kind, uint64_t seed,
+    const ThresholdPolicy::Config& threshold) {
+  switch (kind) {
+    case RoutingPolicyKind::kRoundRobin:
+      return std::make_unique<RoundRobinPolicy>();
+    case RoutingPolicyKind::kRandom:
+      return std::make_unique<RandomPolicy>(seed);
+    case RoutingPolicyKind::kJoinShortestQueue:
+      return std::make_unique<JoinShortestQueuePolicy>();
+    case RoutingPolicyKind::kThresholdBased:
+      return std::make_unique<ThresholdPolicy>(threshold);
+  }
+  ALC_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace alc::cluster

@@ -1,0 +1,126 @@
+#ifndef ALC_CLUSTER_ROUTER_H_
+#define ALC_CLUSTER_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace alc::cluster {
+
+/// What a routing policy can observe about one node at decision time: the
+/// admitted load n, the depth of the admission-gate queue in front of it,
+/// and the gate's current threshold n*. Policies never see node internals —
+/// mirroring a front-end that only knows queue depths it reported itself.
+struct NodeView {
+  int active = 0;      // admitted transactions (the paper's load n)
+  int gate_queue = 0;  // admission queue depth
+  double limit = 0.0;  // gate threshold n*
+};
+
+/// Occupancy a front-end attributes to a node: everything it has sent there
+/// that has not finished (queued at the gate plus admitted).
+inline int Occupancy(const NodeView& view) {
+  return view.active + view.gate_queue;
+}
+
+/// A routing policy maps the observable cluster state to a node index for
+/// one arriving transaction. Policies are pure deciders: all randomness
+/// comes from their own seeded stream, so routing is deterministic per seed.
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  /// Picks the target node for one arrival. `nodes` is non-empty.
+  virtual int Route(const std::vector<NodeView>& nodes) = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// Cycles through the nodes in order, blind to load. The classic baseline:
+/// perfect under homogeneous nodes and smooth arrivals, poor when one node
+/// degrades.
+class RoundRobinPolicy : public RoutingPolicy {
+ public:
+  int Route(const std::vector<NodeView>& nodes) override;
+  std::string_view name() const override { return "round-robin"; }
+
+ private:
+  size_t next_ = 0;
+};
+
+/// Uniform random node choice, blind to load.
+class RandomPolicy : public RoutingPolicy {
+ public:
+  explicit RandomPolicy(uint64_t seed) : rng_(seed) {}
+
+  int Route(const std::vector<NodeView>& nodes) override;
+  std::string_view name() const override { return "random"; }
+
+ private:
+  sim::RandomStream rng_;
+};
+
+/// Join-the-shortest-queue over front-end occupancy (gate queue + admitted
+/// load). Ties are broken by a rotating preference so no node is
+/// systematically favored; the rotation keeps the decision deterministic.
+class JoinShortestQueuePolicy : public RoutingPolicy {
+ public:
+  int Route(const std::vector<NodeView>& nodes) override;
+  std::string_view name() const override { return "join-shortest-queue"; }
+
+ private:
+  size_t rotate_ = 0;
+};
+
+/// Threshold-based dispatching with a self-learning threshold, after
+/// Goldsztajn et al. ("Self-Learning Threshold-Based Load Balancing"): send
+/// an arrival to any node whose occupancy is below the threshold ell
+/// (rotating among candidates); when no node qualifies the dispatcher is
+/// learning that the system needs more headroom, so it raises ell and sends
+/// the arrival to the least-occupied node. When every node sits strictly
+/// below ell - 1 the threshold has overshot and decays by one. The threshold
+/// thus tracks the per-node occupancy the current load level actually
+/// requires, with O(1) state at the dispatcher.
+class ThresholdPolicy : public RoutingPolicy {
+ public:
+  struct Config {
+    double initial_threshold = 4.0;
+    double min_threshold = 1.0;
+    double max_threshold = 1e9;
+  };
+
+  explicit ThresholdPolicy(const Config& config);
+
+  int Route(const std::vector<NodeView>& nodes) override;
+  std::string_view name() const override { return "threshold"; }
+
+  double threshold() const { return threshold_; }
+
+ private:
+  Config config_;
+  double threshold_;
+  size_t rotate_ = 0;
+};
+
+/// Which routing policy a cluster scenario uses.
+enum class RoutingPolicyKind {
+  kRoundRobin,
+  kRandom,
+  kJoinShortestQueue,
+  kThresholdBased,
+};
+
+const char* RoutingPolicyKindName(RoutingPolicyKind kind);
+
+/// Builds the configured policy. `seed` feeds the policy's private random
+/// stream (only kRandom draws from it today).
+std::unique_ptr<RoutingPolicy> MakeRoutingPolicy(
+    RoutingPolicyKind kind, uint64_t seed,
+    const ThresholdPolicy::Config& threshold = ThresholdPolicy::Config{});
+
+}  // namespace alc::cluster
+
+#endif  // ALC_CLUSTER_ROUTER_H_

@@ -1,0 +1,159 @@
+#include "core/cluster_experiment.h"
+
+#include <memory>
+#include <utility>
+
+#include "cluster/cluster.h"
+#include "cluster/metrics.h"
+#include "control/monitor.h"
+#include "control/tuner.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace alc::core {
+
+ClusterExperiment::ClusterExperiment(const ClusterScenarioConfig& scenario)
+    : scenario_(scenario) {
+  ALC_CHECK(!scenario.nodes.empty());
+  ALC_CHECK_GT(scenario.duration, 0.0);
+  ALC_CHECK_GE(scenario.warmup, 0.0);
+  ALC_CHECK_LT(scenario.warmup, scenario.duration);
+  // ClusterMetrics::Aggregate pairs node samples index-wise, which is only
+  // meaningful when every monitor ticks on the same grid.
+  for (const ClusterNodeScenario& node : scenario.nodes) {
+    ALC_CHECK_EQ(node.control.measurement_interval,
+                 scenario.nodes[0].control.measurement_interval);
+  }
+}
+
+ClusterResult ClusterExperiment::Run() {
+  const int num_nodes = static_cast<int>(scenario_.nodes.size());
+  sim::Simulator simulator;
+
+  std::vector<cluster::NodeConfig> node_configs;
+  node_configs.reserve(num_nodes);
+  for (const ClusterNodeScenario& node : scenario_.nodes) {
+    cluster::NodeConfig config;
+    config.system = node.system;
+    config.dynamics = node.dynamics;
+    config.cpu_speed = node.cpu_speed;
+    config.initial_limit = node.control.initial_limit;
+    config.displacement = node.control.displacement;
+    node_configs.push_back(std::move(config));
+  }
+
+  cluster::Cluster cluster(
+      &simulator, node_configs,
+      cluster::MakeRoutingPolicy(scenario_.routing, scenario_.seed,
+                                 scenario_.threshold),
+      scenario_.seed);
+  cluster.SetArrivalRateSchedule(scenario_.arrival_rate);
+
+  // Per-node control loop: monitor -> controller -> gate, exactly the
+  // single-node wiring replicated N times on the shared event queue.
+  cluster::ClusterMetrics metrics(num_nodes);
+  std::vector<std::unique_ptr<control::LoadController>> controllers;
+  std::vector<std::unique_ptr<control::Monitor>> monitors;
+  std::vector<std::unique_ptr<control::OuterTuner>> tuners(num_nodes);
+  controllers.reserve(num_nodes);
+  monitors.reserve(num_nodes);
+  for (int i = 0; i < num_nodes; ++i) {
+    const ClusterNodeScenario& node = scenario_.nodes[i];
+    controllers.push_back(MakeNodeController(node));
+    monitors.push_back(std::make_unique<control::Monitor>(
+        &simulator, &cluster.node(i).system(),
+        node.control.measurement_interval));
+    if (node.control.outer_tuner) {
+      tuners[i] = std::make_unique<control::OuterTuner>(
+          monitors.back().get(), control::OuterTuner::Config{});
+    }
+    control::LoadController* controller = controllers.back().get();
+    control::AdmissionGate* gate = &cluster.node(i).gate();
+    control::OuterTuner* tuner = tuners[i].get();
+    monitors.back()->SetCallback([&metrics, controller, gate, tuner,
+                                  i](const control::Sample& sample) {
+      const double bound = controller->Update(sample);
+      gate->SetLimit(bound);
+      if (tuner) tuner->Observe(sample);
+
+      TrajectoryPoint point;
+      point.time = sample.time;
+      point.bound = bound;
+      point.load = sample.mean_active;
+      point.throughput = sample.throughput;
+      point.response = sample.mean_response;
+      point.conflict_rate = sample.conflict_rate;
+      point.gate_queue = sample.gate_queue;
+      point.cpu_utilization = sample.cpu_utilization;
+      metrics.AddPoint(i, point);
+    });
+  }
+
+  // Warmup boundary snapshots for summary statistics.
+  std::vector<db::Counters> at_warmup(num_nodes);
+  simulator.ScheduleAt(scenario_.warmup, [&] {
+    for (int i = 0; i < num_nodes; ++i) {
+      at_warmup[i] = cluster.node(i).system().metrics().counters;
+    }
+  });
+
+  cluster.Start();
+  for (auto& monitor : monitors) monitor->Start();
+  simulator.RunUntil(scenario_.duration);
+
+  ClusterResult result;
+  result.duration = scenario_.duration;
+  result.warmup = scenario_.warmup;
+  result.routed = cluster.total_routed();
+  const double span = scenario_.duration - scenario_.warmup;
+  double response_sum = 0.0;
+  for (int i = 0; i < num_nodes; ++i) {
+    const db::Counters& final = cluster.node(i).system().metrics().counters;
+    const db::Counters& before = at_warmup[i];
+    ClusterNodeResult node;
+    node.trajectory = metrics.node_trajectories()[i];
+    node.commits = final.commits - before.commits;
+    node.aborts = final.total_aborts() - before.total_aborts();
+    node.displacements =
+        final.aborts_displacement - before.aborts_displacement;
+    node.routed = cluster.routed_per_node()[i];
+    node.mean_throughput = static_cast<double>(node.commits) / span;
+    node.mean_response =
+        node.commits > 0
+            ? (final.response_time_sum - before.response_time_sum) /
+                  node.commits
+            : 0.0;
+    node.abort_ratio =
+        (node.commits + node.aborts) > 0
+            ? static_cast<double>(node.aborts) /
+                  static_cast<double>(node.commits + node.aborts)
+            : 0.0;
+    double load_sum = 0.0;
+    int load_count = 0;
+    for (const TrajectoryPoint& point : node.trajectory) {
+      if (point.time >= scenario_.warmup) {
+        load_sum += point.load;
+        ++load_count;
+      }
+    }
+    node.mean_active = load_count > 0 ? load_sum / load_count : 0.0;
+
+    result.total_throughput += node.mean_throughput;
+    result.commits += node.commits;
+    result.aborts += node.aborts;
+    response_sum += node.mean_response * static_cast<double>(node.commits);
+    result.nodes.push_back(std::move(node));
+  }
+  result.mean_response =
+      result.commits > 0 ? response_sum / static_cast<double>(result.commits)
+                         : 0.0;
+  result.abort_ratio =
+      (result.commits + result.aborts) > 0
+          ? static_cast<double>(result.aborts) /
+                static_cast<double>(result.commits + result.aborts)
+          : 0.0;
+  result.aggregate = metrics.Aggregate();
+  return result;
+}
+
+}  // namespace alc::core

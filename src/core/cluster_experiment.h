@@ -1,0 +1,63 @@
+#ifndef ALC_CORE_CLUSTER_EXPERIMENT_H_
+#define ALC_CORE_CLUSTER_EXPERIMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cluster_scenario.h"
+#include "core/experiment.h"
+
+namespace alc::core {
+
+/// Per-node outcome of a cluster run: the node's controller trajectory plus
+/// the same summary statistics a single-node ExperimentResult reports.
+struct ClusterNodeResult {
+  std::vector<TrajectoryPoint> trajectory;
+  double mean_throughput = 0.0;  // commits / span
+  double mean_response = 0.0;    // response sum / commits
+  double mean_active = 0.0;      // trajectory average of load
+  double abort_ratio = 0.0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t displacements = 0;
+  uint64_t routed = 0;  // arrivals the router sent here (whole run)
+};
+
+/// Everything a finished cluster run reports: per-node results plus the
+/// aggregated cluster-wide view.
+struct ClusterResult {
+  std::vector<ClusterNodeResult> nodes;
+  /// Cluster-wide series (see ClusterMetrics::Aggregate for semantics).
+  std::vector<TrajectoryPoint> aggregate;
+
+  // Summary over [warmup, duration], summed across nodes:
+  double total_throughput = 0.0;
+  double mean_response = 0.0;  // commit-weighted across nodes
+  double abort_ratio = 0.0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t routed = 0;  // arrivals routed over the whole run
+
+  double duration = 0.0;
+  double warmup = 0.0;
+};
+
+/// Builds the full cluster stack (one simulator, N node systems with gates,
+/// per-node monitor + controller + optional tuner, router, arrival driver)
+/// from a ClusterScenarioConfig, runs it, and returns per-node trajectories
+/// plus aggregate statistics. Deterministic given the config.
+class ClusterExperiment {
+ public:
+  explicit ClusterExperiment(const ClusterScenarioConfig& scenario);
+
+  ClusterResult Run();
+
+  const ClusterScenarioConfig& scenario() const { return scenario_; }
+
+ private:
+  ClusterScenarioConfig scenario_;
+};
+
+}  // namespace alc::core
+
+#endif  // ALC_CORE_CLUSTER_EXPERIMENT_H_

@@ -1,0 +1,60 @@
+#include "core/cluster_scenario.h"
+
+#include "util/check.h"
+
+namespace alc::core {
+
+uint64_t DecorrelatedNodeSeed(uint64_t base, int node_index) {
+  // splitmix64 finalizer over a strided input: scrambles the additive
+  // structure so no arithmetic relation survives between node seeds.
+  uint64_t z = base + (static_cast<uint64_t>(node_index) + 1) *
+                          0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+ClusterScenarioConfig UniformCluster(int num_nodes,
+                                     const ScenarioConfig& base) {
+  ALC_CHECK_GT(num_nodes, 0);
+  ClusterScenarioConfig cluster;
+  cluster.seed = base.system.seed;
+  cluster.duration = base.duration;
+  cluster.warmup = base.warmup;
+  cluster.nodes.reserve(num_nodes);
+  for (int i = 0; i < num_nodes; ++i) {
+    ClusterNodeScenario node;
+    node.system = base.system;
+    node.system.seed = DecorrelatedNodeSeed(base.system.seed, i);
+    node.dynamics = base.dynamics;
+    node.control = base.control;
+    cluster.nodes.push_back(node);
+  }
+  return cluster;
+}
+
+db::Schedule FlashCrowdSchedule(double base_rate, double crowd_rate,
+                                double start, double end) {
+  ALC_CHECK_LT(start, end);
+  return db::Schedule::Steps(base_rate, {{start, crowd_rate}, {end, base_rate}});
+}
+
+db::Schedule NodeSlowdownSchedule(double degraded_speed, double start,
+                                  double end) {
+  ALC_CHECK_LT(start, end);
+  ALC_CHECK_GT(degraded_speed, 0.0);
+  return db::Schedule::Steps(1.0, {{start, degraded_speed}, {end, 1.0}});
+}
+
+std::unique_ptr<control::LoadController> MakeNodeController(
+    const ClusterNodeScenario& node) {
+  // MakeController reads only the system, dynamics, and control blocks of a
+  // scenario, so a single-node shim reuses the whole controller zoo.
+  ScenarioConfig shim;
+  shim.system = node.system;
+  shim.dynamics = node.dynamics;
+  shim.control = node.control;
+  return MakeController(shim);
+}
+
+}  // namespace alc::core

@@ -1,0 +1,74 @@
+#ifndef ALC_CORE_CLUSTER_SCENARIO_H_
+#define ALC_CORE_CLUSTER_SCENARIO_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/router.h"
+#include "core/scenario.h"
+#include "db/schedule.h"
+#include "db/workload.h"
+
+namespace alc::core {
+
+/// One node of a cluster scenario: its simulated system, workload mix,
+/// admission-control wiring, and a CPU speed profile for degraded-node
+/// runs. Nodes may be heterogeneous in every field.
+struct ClusterNodeScenario {
+  db::SystemConfig system;
+  db::WorkloadDynamics dynamics =
+      db::WorkloadDynamics::FromConfig(db::LogicalConfig{});
+  ControlConfig control;
+  db::Schedule cpu_speed = db::Schedule::Constant(1.0);
+};
+
+/// A complete cluster experiment description: the node fleet, the routing
+/// policy in front of it, and the cluster-wide offered load. Everything is
+/// reproducible from this struct (same config => bit-identical run).
+struct ClusterScenarioConfig {
+  std::vector<ClusterNodeScenario> nodes;
+  cluster::RoutingPolicyKind routing =
+      cluster::RoutingPolicyKind::kJoinShortestQueue;
+  cluster::ThresholdPolicy::Config threshold;  // used by kThresholdBased
+  /// Cluster-wide Poisson arrival rate (transactions per second); a Steps
+  /// schedule models a flash crowd hitting the whole fleet.
+  db::Schedule arrival_rate = db::Schedule::Constant(100.0);
+  /// Seeds the router policy and the arrival stream (node variates come
+  /// from the per-node system seeds).
+  uint64_t seed = 1;
+  double duration = 300.0;
+  double warmup = 30.0;
+};
+
+/// Derives the seed for one cluster node from a base seed. The mix is
+/// multiplicative (splitmix64 finalizer), not an additive stride: the
+/// TransactionSystem derives its internal streams by adding fixed offsets
+/// to its seed, so additively-strided node seeds would make neighboring
+/// nodes share bit-identical streams.
+uint64_t DecorrelatedNodeSeed(uint64_t base, int node_index);
+
+/// N nodes cloned from one single-node scenario: system, dynamics, and
+/// control are copied; node seeds are decorrelated so replicas do not move
+/// in lockstep. The base scenario's control block applies to every node.
+ClusterScenarioConfig UniformCluster(int num_nodes,
+                                     const ScenarioConfig& base);
+
+/// Arrival-rate schedule for a flash crowd: `base_rate` except
+/// [start, end), where the rate is `crowd_rate`.
+db::Schedule FlashCrowdSchedule(double base_rate, double crowd_rate,
+                                double start, double end);
+
+/// CPU speed schedule for a degraded node: full speed except [start, end),
+/// where the node runs at `degraded_speed` (< 1).
+db::Schedule NodeSlowdownSchedule(double degraded_speed, double start,
+                                  double end);
+
+/// Builds the admission controller for one cluster node (same zoo as the
+/// single-node MakeController).
+std::unique_ptr<control::LoadController> MakeNodeController(
+    const ClusterNodeScenario& node);
+
+}  // namespace alc::core
+
+#endif  // ALC_CORE_CLUSTER_SCENARIO_H_

@@ -28,6 +28,23 @@ void WriteTrajectoryCsv(std::ostream& out,
   }
 }
 
+void WriteClusterTrajectoryCsv(
+    std::ostream& out,
+    const std::vector<std::vector<TrajectoryPoint>>& node_trajectories) {
+  util::CsvWriter csv(&out);
+  csv.WriteRow({"node",          "time",       "bound",
+                "load",          "throughput", "response",
+                "conflict_rate", "gate_queue", "cpu_utilization"});
+  for (size_t node = 0; node < node_trajectories.size(); ++node) {
+    for (const TrajectoryPoint& point : node_trajectories[node]) {
+      csv.WriteNumericRow({static_cast<double>(node), point.time,
+                           point.bound, point.load, point.throughput,
+                           point.response, point.conflict_rate,
+                           point.gate_queue, point.cpu_utilization});
+    }
+  }
+}
+
 void WriteCurveCsv(std::ostream& out,
                    const std::vector<std::pair<double, double>>& curve) {
   util::CsvWriter csv(&out);
@@ -61,6 +78,15 @@ bool ExportCurve(const std::string& path,
   std::ofstream out(path, std::ios::trunc);
   if (!out) return false;
   WriteCurveCsv(out, curve);
+  return true;
+}
+
+bool ExportClusterTrajectory(
+    const std::string& path,
+    const std::vector<std::vector<TrajectoryPoint>>& node_trajectories) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  WriteClusterTrajectoryCsv(out, node_trajectories);
   return true;
 }
 

@@ -15,6 +15,8 @@ namespace alc::core {
 ///
 ///   trajectory: time,bound,load,throughput,response,conflict_rate,
 ///               gate_queue,cpu_utilization[,n_opt]
+///   cluster:    node,time,bound,load,throughput,response,conflict_rate,
+///               gate_queue,cpu_utilization
 ///   curve:      n,throughput
 ///   timeline:   start_time,n_opt,peak_throughput
 
@@ -23,6 +25,14 @@ namespace alc::core {
 void WriteTrajectoryCsv(std::ostream& out,
                         const std::vector<TrajectoryPoint>& trajectory,
                         const std::vector<OptimumRegime>& timeline);
+
+/// Writes the per-node trajectories of a cluster run in long format (one
+/// row per node per tick, node id in the first column) so external tooling
+/// can facet or pivot by node. The cluster-wide aggregate series can be
+/// written separately with WriteTrajectoryCsv.
+void WriteClusterTrajectoryCsv(
+    std::ostream& out,
+    const std::vector<std::vector<TrajectoryPoint>>& node_trajectories);
 
 /// Writes a stationary (n, throughput) curve (figure 1 / 12 data).
 void WriteCurveCsv(std::ostream& out,
@@ -39,6 +49,9 @@ bool ExportTrajectory(const std::string& path,
                       const std::vector<OptimumRegime>& timeline);
 bool ExportCurve(const std::string& path,
                  const std::vector<std::pair<double, double>>& curve);
+bool ExportClusterTrajectory(
+    const std::string& path,
+    const std::vector<std::vector<TrajectoryPoint>>& node_trajectories);
 
 }  // namespace alc::core
 

@@ -67,8 +67,10 @@ struct LogicalConfig {
 /// terminals with a Poisson arrival stream — an extension that shows load
 /// control is even more critical when the population is unbounded (an
 /// overloaded open system grows its queue without limit instead of
-/// self-capping at N).
-enum class ArrivalMode { kClosed, kOpen };
+/// self-capping at N). External mode disables the system's own arrival
+/// generation entirely: work enters only through SubmitExternal(), which is
+/// how a cluster front-end routes transactions onto individual nodes.
+enum class ArrivalMode { kClosed, kOpen, kExternal };
 
 /// Everything needed to build a TransactionSystem.
 struct SystemConfig {

@@ -1,5 +1,6 @@
 #include "db/cpu.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/check.h"
@@ -21,14 +22,18 @@ void CpuSubsystem::Request(double service_time, std::function<void()> done) {
   }
 }
 
+void CpuSubsystem::SetSpeedSchedule(Schedule speed) { speed_ = std::move(speed); }
+
 void CpuSubsystem::StartService(double service_time,
                                 std::function<void()> done) {
   busy_time_accum_ += busy_ * (sim_->Now() - busy_since_);
   busy_since_ = sim_->Now();
   ++busy_;
-  sim_->Schedule(service_time, [this, done = std::move(done)]() mutable {
-    OnServiceComplete(std::move(done));
-  });
+  const double speed = std::max(speed_.Value(sim_->Now()), 1e-6);
+  sim_->Schedule(service_time / speed,
+                 [this, done = std::move(done)]() mutable {
+                   OnServiceComplete(std::move(done));
+                 });
 }
 
 void CpuSubsystem::OnServiceComplete(std::function<void()> done) {

@@ -5,6 +5,7 @@
 #include <deque>
 #include <functional>
 
+#include "db/schedule.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
 
@@ -23,6 +24,12 @@ class CpuSubsystem {
   /// Enqueues a request for `service_time` seconds of one processor;
   /// `done` runs at completion.
   void Request(double service_time, std::function<void()> done);
+
+  /// Time-varying processor speed factor (default: constant 1). A request's
+  /// wall-clock duration is demand / speed, with the speed read once at
+  /// service start. Models degraded nodes in cluster scenarios (thermal
+  /// throttling, co-located work stealing cycles).
+  void SetSpeedSchedule(Schedule speed);
 
   int num_processors() const { return num_processors_; }
   int busy() const { return busy_; }
@@ -46,6 +53,7 @@ class CpuSubsystem {
 
   sim::Simulator* sim_;
   int num_processors_;
+  Schedule speed_ = Schedule::Constant(1.0);
   int busy_ = 0;
   std::deque<Pending> queue_;
   uint64_t completed_ = 0;

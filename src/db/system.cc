@@ -87,9 +87,17 @@ void TransactionSystem::Start() {
     ScheduleNextArrival();
     return;
   }
+  if (config_.arrivals == ArrivalMode::kExternal) return;
   for (int i = 0; i < config_.physical.num_terminals; ++i) {
     ScheduleThink(i);
   }
+}
+
+void TransactionSystem::SubmitExternal() {
+  ALC_CHECK(started_);
+  ALC_CHECK(config_.arrivals == ArrivalMode::kExternal);
+  Transaction* txn = AcquireFromPool();
+  SetupNewWork(txn);
 }
 
 void TransactionSystem::ScheduleNextArrival() {
@@ -290,11 +298,12 @@ void TransactionSystem::Commit(Transaction* txn) {
   SetActive(-1);
   txn->state = TxnState::kThinking;
   on_departure_(txn);
-  if (config_.arrivals == ArrivalMode::kOpen) {
-    // Open systems: committed work leaves; the slot returns to the pool.
-    free_pool_.push_back(txn);
-  } else {
+  if (config_.arrivals == ArrivalMode::kClosed) {
     ScheduleThink(txn->terminal_id);
+  } else {
+    // Open/external systems: committed work leaves; the slot returns to
+    // the pool.
+    free_pool_.push_back(txn);
   }
 }
 

@@ -65,6 +65,12 @@ class TransactionSystem {
   /// Schedules the initial think times; call once.
   void Start();
 
+  /// External mode only: submits one new transaction right now. This is the
+  /// entry point a cluster router uses to place work on this node; the node
+  /// stamps the work unit (class, access count) from its own workload
+  /// dynamics at the current time.
+  void SubmitExternal();
+
   /// Admits a queued transaction into execution (gate-facing API).
   void Admit(Transaction* txn);
 

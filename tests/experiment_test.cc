@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "core/experiment.h"
 #include "core/optimum.h"
 #include "core/report.h"
@@ -60,6 +62,23 @@ TEST(ExperimentTest, DeterministicAcrossRuns) {
   EXPECT_DOUBLE_EQ(a.mean_throughput, b.mean_throughput);
   for (size_t i = 0; i < a.trajectory.size(); ++i) {
     EXPECT_DOUBLE_EQ(a.trajectory[i].bound, b.trajectory[i].bound);
+  }
+}
+
+TEST(ExperimentTest, TrajectoriesBitIdenticalAcrossRuns) {
+  // Stronger than DeterministicAcrossRuns: every field of every trajectory
+  // point must be bit-identical, the contract the cluster determinism test
+  // (tests/cluster_test.cc) also enforces.
+  ScenarioConfig scenario = SmallScenario(13);
+  scenario.control.kind = ControllerKind::kIncrementalSteps;
+  const ExperimentResult a = Experiment(scenario).Run();
+  const ExperimentResult b = Experiment(scenario).Run();
+  ASSERT_EQ(a.trajectory.size(), b.trajectory.size());
+  for (size_t i = 0; i < a.trajectory.size(); ++i) {
+    EXPECT_EQ(
+        std::memcmp(&a.trajectory[i], &b.trajectory[i], sizeof(TrajectoryPoint)),
+        0)
+        << "trajectory diverges at tick " << i;
   }
 }
 

@@ -1,6 +1,7 @@
 // Tests for the extensions beyond the paper's core: open (Poisson)
 // arrivals, the golden-section controller, and CSV export.
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -230,6 +231,29 @@ TEST(ExportTest, TrajectoryCsvWithOptimumOverlay) {
   // First row in regime 1 (100), second in regime 2 (200).
   EXPECT_NE(csv.find(",100\n"), std::string::npos);
   EXPECT_NE(csv.find(",200\n"), std::string::npos);
+}
+
+TEST(ExportTest, ClusterTrajectoryCsvHasNodeColumn) {
+  std::vector<std::vector<core::TrajectoryPoint>> nodes(2);
+  nodes[0].resize(1);
+  nodes[0][0].time = 1.0;
+  nodes[0][0].bound = 20.0;
+  nodes[0][0].throughput = 100.0;
+  nodes[1].resize(2);
+  nodes[1][0].time = 1.0;
+  nodes[1][0].bound = 30.0;
+  nodes[1][1].time = 2.0;
+  nodes[1][1].bound = 35.0;
+
+  std::ostringstream out;
+  core::WriteClusterTrajectoryCsv(out, nodes);
+  const std::string csv = out.str();
+  EXPECT_EQ(csv.substr(0, 15), "node,time,bound");
+  EXPECT_NE(csv.find("0,1,20,"), std::string::npos);
+  EXPECT_NE(csv.find("1,1,30,"), std::string::npos);
+  EXPECT_NE(csv.find("1,2,35,"), std::string::npos);
+  // One header plus three data rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
 }
 
 TEST(ExportTest, CurveAndTimelineCsv) {
