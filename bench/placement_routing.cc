@@ -1,0 +1,211 @@
+// Data placement x routing: partitioned + replicated granule space under a
+// hot-partition skewed arrival stream. Sweeps 3 placement strategies x 4
+// routing policies on a 4-node cluster, each node behind its own adaptive
+// (Parabola) admission gate:
+//
+//   placements  hash         keys hashed across 16 partitions, 1 copy each
+//               range        contiguous key blocks, 1 copy each
+//               replicated   range blocks with replication factor r=3
+//   routings    join-shortest-queue   placement-blind, load-aware
+//               power-of-d (d=2)      sampled load-aware over replica set
+//               locality              home node of most-touched partition,
+//                                     load-blind
+//               locality-threshold    locality until the home gate exceeds
+//                                     its n*, then the cheapest replica
+//
+// The arrival stream is skewed: 80% of accesses land in the first 1/16 of
+// the keyspace (= partition 0 under range placement), so "where the data
+// lives" and "where the load is" pull in opposite directions. Accessing a
+// granule the executing node does not store costs the executing node an
+// extra CPU burst plus a network round trip, and costs the granule's home
+// node serve CPU per request (primary-serves model).
+//
+// Claim under test (headline): under hot-partition skew over a replicated
+// placement, locality-threshold routing beats BOTH pure JSQ (placement-
+// blind: pays the remote penalty on most accesses) and pure locality
+// (load-blind: drowns the hot partition's home node) in committed
+// transactions per second.
+//
+//   $ ./build/bench/placement_routing
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/cluster_experiment.h"
+#include "core/cluster_scenario.h"
+#include "placement/catalog.h"
+#include "util/strformat.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace alc;
+
+constexpr int kNumNodes = 4;
+constexpr int kNumPartitions = 16;
+// 600 granules per partition: the hot partition is large enough that
+// hot-key conflicts stay moderate — the comparison should hinge on data
+// placement economics, not on a 2PL/OCC meltdown.
+constexpr uint32_t kDbSize = 9600;
+
+/// Downscaled node (4 CPUs), same scale as cluster_routing.
+core::ClusterNodeScenario BenchNode(uint64_t seed) {
+  core::ClusterNodeScenario node;
+  node.system.physical.num_cpus = 4;
+  node.system.physical.cpu_init_mean = 0.001;
+  node.system.physical.cpu_access_mean = 0.001;
+  node.system.physical.cpu_commit_mean = 0.001;
+  node.system.physical.cpu_write_commit_mean = 0.004;
+  node.system.physical.io_time = 0.008;
+  node.system.physical.restart_delay_mean = 0.02;
+  node.system.logical.db_size = kDbSize;
+  node.system.logical.accesses_per_txn = 8;
+  node.system.logical.query_fraction = 0.3;
+  node.system.logical.write_fraction = 0.4;
+  node.system.seed = seed;
+  node.dynamics = db::WorkloadDynamics::FromConfig(node.system.logical);
+  node.control.kind = core::ControllerKind::kParabola;
+  node.control.measurement_interval = 0.5;
+  node.control.initial_limit = 20.0;
+  node.control.pa.initial_bound = 20.0;
+  node.control.pa.min_bound = 2.0;
+  node.control.pa.max_bound = 200.0;
+  node.control.pa.dither = 5.0;
+  return node;
+}
+
+/// The skewed global workload: 80% of accesses hit the first 1/16 of the
+/// keyspace — exactly partition 0 under the range key map, so the typical
+/// transaction is single-partition when executed on one of that
+/// partition's replicas. Writes are kept light so capacity is bound by CPU
+/// and remote latency, not by hot-key aborts (which would reward
+/// placement-blind spreading for the wrong reason: scattered copies do not
+/// conflict in this model).
+db::LogicalConfig SkewedWorkload() {
+  db::LogicalConfig workload;
+  workload.db_size = kDbSize;
+  workload.accesses_per_txn = 8;
+  workload.query_fraction = 0.5;
+  workload.write_fraction = 0.1;
+  workload.hotspot_access_prob = 0.8;
+  workload.hotspot_size_fraction = 1.0 / kNumPartitions;
+  return workload;
+}
+core::ClusterScenarioConfig BaseCluster(uint64_t seed,
+                                        placement::PlacementKind kind) {
+  core::ClusterScenarioConfig scenario;
+  for (int i = 0; i < kNumNodes; ++i) {
+    scenario.nodes.push_back(BenchNode(core::DecorrelatedNodeSeed(seed, i)));
+  }
+  scenario.seed = seed;
+  scenario.duration = 120.0;
+  scenario.warmup = 20.0;
+  scenario.arrival_rate = db::Schedule::Constant(800.0);
+
+  scenario.placement_enabled = true;
+  scenario.placement.placement.kind = kind;
+  scenario.placement.placement.num_partitions = kNumPartitions;
+  scenario.placement.placement.replication_factor = 3;
+  scenario.placement.workload = SkewedWorkload();
+  // A remote access is an RPC to the granule's home: the executing node
+  // pays marshalling CPU and a network round trip on top of the local
+  // I/O, and the home node pays serve CPU per request — shipping hot work
+  // off the replicas does not relieve the data holders.
+  scenario.remote_access.cpu_penalty = 0.003;
+  scenario.remote_access.latency = 0.016;
+  scenario.remote_access.serve_cpu = 0.004;
+  return scenario;
+}
+
+struct Cell {
+  core::ClusterResult result;
+  bool valid = false;
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Data placement x locality-aware routing under hot-partition skew",
+      "locality-threshold routing over a replicated placement beats both "
+      "placement-blind JSQ and load-blind locality");
+
+  const uint64_t seed = 42;
+  const std::vector<placement::PlacementKind> placements = {
+      placement::PlacementKind::kHash,
+      placement::PlacementKind::kRange,
+      placement::PlacementKind::kReplicated,
+  };
+  const std::vector<cluster::RoutingPolicyKind> routings = {
+      cluster::RoutingPolicyKind::kJoinShortestQueue,
+      cluster::RoutingPolicyKind::kPowerOfD,
+      cluster::RoutingPolicyKind::kLocality,
+      cluster::RoutingPolicyKind::kLocalityThreshold,
+  };
+
+  Cell headline_jsq, headline_locality, headline_threshold;
+
+  util::Table table({"placement", "routing", "throughput", "p-mean response",
+                     "remote frac", "abort ratio", "commits"});
+  for (placement::PlacementKind kind : placements) {
+    for (cluster::RoutingPolicyKind routing : routings) {
+      core::ClusterScenarioConfig scenario = BaseCluster(seed, kind);
+      scenario.routing = routing;
+      const core::ClusterResult result =
+          core::ClusterExperiment(scenario).Run();
+      table.AddRow(
+          {placement::PlacementKindName(kind),
+           cluster::RoutingPolicyKindName(routing),
+           util::StrFormat("%.1f/s", result.total_throughput),
+           util::StrFormat("%.3fs", result.mean_response),
+           util::StrFormat("%.3f", result.remote_frac),
+           util::StrFormat("%.3f", result.abort_ratio),
+           util::StrFormat("%llu",
+                           static_cast<unsigned long long>(result.commits))});
+      if (kind == placement::PlacementKind::kReplicated) {
+        if (routing == cluster::RoutingPolicyKind::kJoinShortestQueue) {
+          headline_jsq = {result, true};
+        } else if (routing == cluster::RoutingPolicyKind::kLocality) {
+          headline_locality = {result, true};
+        } else if (routing == cluster::RoutingPolicyKind::kLocalityThreshold) {
+          headline_threshold = {result, true};
+        }
+      }
+    }
+  }
+  table.Print(std::cout);
+
+  std::printf(
+      "\nheadline (replicated placement, r=3, hot-partition skew):\n"
+      "  locality-threshold : %.1f commits/s (remote frac %.3f)\n"
+      "  join-shortest-queue: %.1f commits/s (remote frac %.3f)\n"
+      "  locality           : %.1f commits/s (remote frac %.3f)\n",
+      headline_threshold.result.total_throughput,
+      headline_threshold.result.remote_frac,
+      headline_jsq.result.total_throughput, headline_jsq.result.remote_frac,
+      headline_locality.result.total_throughput,
+      headline_locality.result.remote_frac);
+
+  const bool beats_jsq = headline_threshold.valid && headline_jsq.valid &&
+                         headline_threshold.result.total_throughput >
+                             headline_jsq.result.total_throughput;
+  const bool beats_locality =
+      headline_threshold.valid && headline_locality.valid &&
+      headline_threshold.result.total_throughput >
+          headline_locality.result.total_throughput;
+  std::printf("  beats placement-blind JSQ : %s\n", beats_jsq ? "YES" : "NO");
+  std::printf("  beats load-blind locality : %s\n",
+              beats_locality ? "YES" : "NO");
+  std::printf(
+      "\nJSQ spreads the hot partition's work onto the node that stores no\n"
+      "copy of it: those transactions pay the remote CPU + round-trip tax\n"
+      "and tax the home node's CPU with serve requests, so the spill is\n"
+      "net-negative. Pure locality keeps every access local but funnels\n"
+      "the hot load into one admission gate. Locality-threshold uses the\n"
+      "gate's self-tuned n* as the spill signal: local while the home node\n"
+      "has headroom, cheapest replica once it does not.\n");
+  return (beats_jsq && beats_locality) ? 0 : 1;
+}

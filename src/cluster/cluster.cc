@@ -37,7 +37,9 @@ Cluster::Cluster(sim::Simulator* sim, const std::vector<NodeConfig>& nodes,
     : sim_(sim),
       policy_(std::move(policy)),
       arrival_rng_(seed ^ 0xc2b2ae3d27d4eb4fULL),
-      routed_(nodes.size(), 0) {
+      seed_(seed),
+      routed_(nodes.size(), 0),
+      plan_class_rng_(seed ^ 0x6a09e667f3bcc909ULL) {
   ALC_CHECK(sim != nullptr);
   ALC_CHECK(policy_ != nullptr);
   ALC_CHECK(!nodes.empty());
@@ -52,11 +54,48 @@ void Cluster::SetArrivalRateSchedule(db::Schedule schedule) {
   arrival_rate_ = std::move(schedule);
 }
 
+void Cluster::EnablePlacement(const PlacementSpec& spec) {
+  ALC_CHECK(!started_);
+  ALC_CHECK(catalog_ == nullptr);
+  placement_spec_ = spec;
+  plan_dynamics_ = spec.dynamics.has_value()
+                       ? *spec.dynamics
+                       : db::WorkloadDynamics::FromConfig(spec.workload);
+  catalog_ = std::make_unique<placement::PlacementCatalog>(
+      spec.placement, static_cast<int>(nodes_.size()),
+      spec.workload.db_size);
+  // The generator borrows the stored workload config (stable member), and
+  // its stream is private to the front-end: enabling placement never
+  // perturbs node-internal variates.
+  plan_gen_ = std::make_unique<db::AccessPatternGenerator>(
+      &placement_spec_.workload,
+      sim::RandomStream(seed_ ^ 0xbb67ae8584caa73bULL));
+  for (const auto& node : nodes_) {
+    // Every node must be able to execute any global key (see PlacementSpec).
+    ALC_CHECK_GE(node->system().database().size(), spec.workload.db_size);
+  }
+}
+
 void Cluster::Start() {
   ALC_CHECK(!started_);
   started_ = true;
   for (auto& node : nodes_) node->system().Start();
   ScheduleNextArrival();
+  if (catalog_ != nullptr &&
+      placement_spec_.placement.rebalance_interval > 0.0) {
+    ScheduleRebalance();
+  }
+}
+
+void Cluster::ScheduleRebalance() {
+  sim_->Schedule(placement_spec_.placement.rebalance_interval, [this] {
+    load_scratch_.clear();
+    for (const auto& node : nodes_) {
+      load_scratch_.push_back(Occupancy(node->View()));
+    }
+    catalog_->Rebalance(load_scratch_);
+    ScheduleRebalance();
+  });
 }
 
 void Cluster::ScheduleNextArrival() {
@@ -70,6 +109,10 @@ void Cluster::ScheduleNextArrival() {
 
 void Cluster::RouteOne() {
   ScheduleNextArrival();
+  if (catalog_ != nullptr) {
+    RouteOnePlaced();
+    return;
+  }
   views_.clear();
   for (const auto& node : nodes_) views_.push_back(node->View());
   const int target = policy_->Route(views_);
@@ -78,6 +121,66 @@ void Cluster::RouteOne() {
   ++routed_[target];
   ++total_routed_;
   nodes_[target]->system().SubmitExternal();
+}
+
+void Cluster::RouteOnePlaced() {
+  const double now = sim_->Now();
+  const uint32_t db_size = placement_spec_.workload.db_size;
+
+  // Stamp the work unit at the front-end: class, access count, and the
+  // concrete key plan from the global keyspace — the router needs the keys
+  // before a node is chosen.
+  plan_.cls =
+      plan_class_rng_.NextBernoulli(plan_dynamics_.QueryFractionAt(now))
+          ? db::TxnClass::kQuery
+          : db::TxnClass::kUpdater;
+  const int k = plan_dynamics_.KAt(now, db_size);
+  plan_gen_->PlanAccesses(&plan_, db_size, k,
+                          plan_dynamics_.WriteFractionAt(now));
+
+  // Map each key to its partition once; heat accounting feeds the
+  // rebalancer.
+  plan_partitions_.clear();
+  for (const db::ItemId key : plan_.access_items) {
+    const int partition = catalog_->PartitionOf(key);
+    plan_partitions_.push_back(partition);
+    catalog_->RecordAccess(partition);
+  }
+
+  views_.clear();
+  for (const auto& node : nodes_) views_.push_back(node->View());
+  RouteContext context;
+  context.keys = &plan_.access_items;
+  context.catalog = catalog_.get();
+  context.partitions = &plan_partitions_;
+  const int target = policy_->Route(views_, context);
+  ALC_CHECK_GE(target, 0);
+  ALC_CHECK_LT(target, static_cast<int>(nodes_.size()));
+
+  // Keys whose partition has no copy on the target execute remotely there.
+  // Each remote access is served by the partition's home node (primary-
+  // serves model): the home pays serve_cpu per request, so shipping hot
+  // work away from its replicas does not relieve the data holders. The
+  // serve demand is charged at submission — a deliberate simplification
+  // (restart replays are not re-served; capacity coupling is what counts).
+  remote_flags_.clear();
+  for (const int partition : plan_partitions_) {
+    const bool local = catalog_->IsReplica(partition, target);
+    remote_flags_.push_back(local ? 0 : 1);
+    if (!local) {
+      const int serving = catalog_->HomeNode(partition);
+      if (serving >= 0 && serving < static_cast<int>(nodes_.size())) {
+        const double serve =
+            nodes_[serving]->system().config().remote.serve_cpu;
+        if (serve > 0.0) nodes_[serving]->system().cpu().Request(serve, [] {});
+      }
+    }
+  }
+
+  ++routed_[target];
+  ++total_routed_;
+  nodes_[target]->system().SubmitExternalPlanned(
+      plan_.cls, plan_.access_items, plan_.access_modes, remote_flags_);
 }
 
 }  // namespace alc::cluster

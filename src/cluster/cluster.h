@@ -5,11 +5,15 @@
 #include <memory>
 #include <vector>
 
+#include <optional>
+
 #include "cluster/router.h"
 #include "control/gate.h"
+#include "db/database.h"
 #include "db/schedule.h"
 #include "db/system.h"
 #include "db/workload.h"
+#include "placement/catalog.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 
@@ -53,12 +57,30 @@ class ClusterNode {
   control::AdmissionGate gate_;
 };
 
+/// Data placement layer of a cluster: the global keyspace the front-end
+/// draws access plans from, and the partition/replica catalog the router
+/// consults. With placement enabled, every node must hold a database of at
+/// least `workload.db_size` granules (nodes execute any key; non-replica
+/// keys pay the remote-access penalty of their system config).
+struct PlacementSpec {
+  placement::PlacementConfig placement;
+  /// Global keyspace and skew (db_size, k, hotspot region, fractions).
+  db::LogicalConfig workload;
+  /// Time-varying workload mix for the front-end's plan stamping. Leave
+  /// unset for a stationary mix: EnablePlacement then derives constant
+  /// schedules from `workload`, so the two fields cannot disagree.
+  std::optional<db::WorkloadDynamics> dynamics;
+};
+
 /// N transaction-system replicas sharing one simulator event queue, fed by
 /// a cluster-wide Poisson arrival stream through a routing policy. Each
 /// arrival is routed on the current NodeViews and submitted to the chosen
-/// node, which stamps the work from its own workload dynamics. All
-/// randomness (arrival gaps, per-node variates, policy choices) comes from
-/// seeded streams, so a cluster run is bit-deterministic per configuration.
+/// node. Without placement, the node stamps the work from its own workload
+/// dynamics; with placement the front-end draws a key-carrying plan from
+/// the global keyspace, routes on it, and marks non-replica keys remote.
+/// All randomness (arrival gaps, per-node variates, policy choices) comes
+/// from seeded streams, so a cluster run is bit-deterministic per
+/// configuration.
 class Cluster {
  public:
   Cluster(sim::Simulator* sim, const std::vector<NodeConfig>& nodes,
@@ -71,6 +93,12 @@ class Cluster {
   /// e.g. a flash crowd). Must be called before Start().
   void SetArrivalRateSchedule(db::Schedule schedule);
 
+  /// Enables the data placement layer. Must be called before Start(). The
+  /// catalog is built here; if the placement config sets a rebalance
+  /// interval, Start() schedules periodic hot-partition migrations driven
+  /// by front-end occupancy.
+  void EnablePlacement(const PlacementSpec& spec);
+
   /// Starts every node and the arrival process. Call once.
   void Start();
 
@@ -82,19 +110,37 @@ class Cluster {
   uint64_t total_routed() const { return total_routed_; }
   const std::vector<uint64_t>& routed_per_node() const { return routed_; }
 
+  /// Null until EnablePlacement.
+  placement::PlacementCatalog* catalog() { return catalog_.get(); }
+  const placement::PlacementCatalog* catalog() const { return catalog_.get(); }
+
  private:
   void ScheduleNextArrival();
   void RouteOne();
+  void RouteOnePlaced();
+  void ScheduleRebalance();
 
   sim::Simulator* sim_;
   std::vector<std::unique_ptr<ClusterNode>> nodes_;
   std::unique_ptr<RoutingPolicy> policy_;
   sim::RandomStream arrival_rng_;
+  uint64_t seed_;
   db::Schedule arrival_rate_ = db::Schedule::Constant(100.0);
   std::vector<NodeView> views_;  // reused per arrival (hot path)
   std::vector<uint64_t> routed_;
   uint64_t total_routed_ = 0;
   bool started_ = false;
+
+  // Placement state (set by EnablePlacement).
+  PlacementSpec placement_spec_;
+  db::WorkloadDynamics plan_dynamics_;  // resolved from the spec
+  std::unique_ptr<placement::PlacementCatalog> catalog_;
+  std::unique_ptr<db::AccessPatternGenerator> plan_gen_;
+  sim::RandomStream plan_class_rng_;
+  db::Transaction plan_;                // scratch plan, reused per arrival
+  std::vector<int> plan_partitions_;    // partition per planned key
+  std::vector<uint8_t> remote_flags_;   // reused per arrival
+  std::vector<int> load_scratch_;       // reused per rebalance tick
 };
 
 }  // namespace alc::cluster

@@ -3,8 +3,110 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/logging.h"
 
 namespace alc::cluster {
+
+namespace {
+
+/// Touch counts per partition for the arrival, using the caller's
+/// precomputed partition ids when the context carries them.
+void CountContextTouches(const RouteContext& context,
+                         std::vector<std::pair<int, int>>* touches) {
+  if (context.partitions != nullptr) {
+    context.catalog->CountPartitionTouches(*context.partitions, touches);
+  } else {
+    context.catalog->CountTouches(*context.keys, touches);
+  }
+}
+
+/// The arrival's plurality partition, from precomputed partition ids when
+/// available.
+int ContextPluralityPartition(const RouteContext& context) {
+  if (context.partitions != nullptr) {
+    return context.catalog->PluralityPartition(*context.partitions);
+  }
+  return context.catalog->MostTouchedPartition(*context.keys);
+}
+
+/// Picks the touched partition to anchor locality on: within the highest
+/// touch-count tier that has any home node inside the fleet, the partition
+/// whose home is least occupied (ties to the lower partition id). Lower
+/// tiers are only consulted when every partition of the higher tiers has
+/// an out-of-fleet home (catalog built for a larger cluster). Returns
+/// {partition, home node}, or {-1, -1} when no touched partition has a
+/// home inside the fleet.
+std::pair<int, int> PickHomePartition(
+    const std::vector<NodeView>& nodes, const RouteContext& context,
+    std::vector<std::pair<int, int>>* touches) {
+  CountContextTouches(context, touches);
+  int best_partition = -1;
+  int best_node = -1;
+  int tier = 0;  // touch count of the tier best_node was found in
+  for (const auto& [partition, count] : *touches) {
+    if (best_node >= 0 && count < tier) break;  // settled in a higher tier
+    const int home = context.catalog->HomeNode(partition);
+    if (home < 0 || home >= static_cast<int>(nodes.size())) continue;
+    if (best_node < 0 ||
+        Occupancy(nodes[home]) < Occupancy(nodes[best_node])) {
+      best_partition = partition;
+      best_node = home;
+      tier = count;
+    }
+  }
+  return {best_partition, best_node};
+}
+
+/// Collects `partition`'s replica holders that are inside the routed fleet
+/// (a catalog can name nodes beyond it, e.g. built for a larger cluster).
+void FilterReplicas(const placement::PlacementCatalog& catalog, int partition,
+                    int fleet_size, std::vector<int>* out) {
+  out->clear();
+  for (const int node : catalog.Replicas(partition)) {
+    if (node >= 0 && node < fleet_size) out->push_back(node);
+  }
+}
+
+void WarnDegenerateOnce(bool* warned_once, std::string_view policy) {
+  if (*warned_once) return;
+  *warned_once = true;
+  ALC_LOG(kWarning, std::string(policy) +
+                        ": eligible replica set is empty (catalog names no "
+                        "node in the fleet); falling back to the full fleet");
+}
+
+}  // namespace
+
+int LeastOccupied(const std::vector<NodeView>& nodes) {
+  ALC_CHECK(!nodes.empty());
+  int best = 0;
+  for (int i = 1; i < static_cast<int>(nodes.size()); ++i) {
+    if (Occupancy(nodes[i]) < Occupancy(nodes[best])) best = i;
+  }
+  return best;
+}
+
+int EligibleCandidates(const std::vector<NodeView>& nodes,
+                       const RouteContext& context, std::vector<int>* out,
+                       bool* warned_once) {
+  ALC_CHECK(!nodes.empty());
+  out->clear();
+  int partition = -1;
+  if (context.has_placement()) {
+    partition = ContextPluralityPartition(context);
+    if (partition >= 0) {
+      FilterReplicas(*context.catalog, partition,
+                     static_cast<int>(nodes.size()), out);
+    }
+    if (out->empty() && warned_once != nullptr) {
+      WarnDegenerateOnce(warned_once, "router");
+    }
+  }
+  if (out->empty()) {
+    for (int i = 0; i < static_cast<int>(nodes.size()); ++i) out->push_back(i);
+  }
+  return partition;
+}
 
 int RoundRobinPolicy::Route(const std::vector<NodeView>& nodes) {
   ALC_CHECK(!nodes.empty());
@@ -69,6 +171,83 @@ int ThresholdPolicy::Route(const std::vector<NodeView>& nodes) {
   return candidate;
 }
 
+PowerOfDPolicy::PowerOfDPolicy(const Config& config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  ALC_CHECK_GE(config.d, 1);
+}
+
+int PowerOfDPolicy::RouteAmong(const std::vector<NodeView>& nodes) {
+  // Partial Fisher-Yates over the candidate set: the first `d` slots end up
+  // holding a uniform sample without replacement.
+  const int n = static_cast<int>(candidates_.size());
+  const int d = std::min(config_.d, n);
+  int best = -1;
+  for (int i = 0; i < d; ++i) {
+    const int j =
+        i + static_cast<int>(rng_.NextUint64(static_cast<uint64_t>(n - i)));
+    std::swap(candidates_[i], candidates_[j]);
+    const int node = candidates_[i];
+    if (best < 0 || Occupancy(nodes[node]) < Occupancy(nodes[best])) {
+      best = node;
+    }
+  }
+  return best;
+}
+
+int PowerOfDPolicy::Route(const std::vector<NodeView>& nodes) {
+  return Route(nodes, RouteContext{});
+}
+
+int PowerOfDPolicy::Route(const std::vector<NodeView>& nodes,
+                          const RouteContext& context) {
+  ALC_CHECK(!nodes.empty());
+  EligibleCandidates(nodes, context, &candidates_, &warned_empty_);
+  return RouteAmong(nodes);
+}
+
+int LocalityPolicy::Route(const std::vector<NodeView>& nodes) {
+  // Without keys there is no locality to exploit; degrade to cheapest node.
+  return LeastOccupied(nodes);
+}
+
+int LocalityPolicy::Route(const std::vector<NodeView>& nodes,
+                          const RouteContext& context) {
+  ALC_CHECK(!nodes.empty());
+  if (!context.has_placement()) return Route(nodes);
+  const auto [partition, home] = PickHomePartition(nodes, context, &touches_);
+  (void)partition;
+  if (home < 0) {
+    WarnDegenerateOnce(&warned_empty_, name());
+    return LeastOccupied(nodes);
+  }
+  return home;
+}
+
+int LocalityThresholdPolicy::Route(const std::vector<NodeView>& nodes) {
+  return LeastOccupied(nodes);
+}
+
+int LocalityThresholdPolicy::Route(const std::vector<NodeView>& nodes,
+                                   const RouteContext& context) {
+  ALC_CHECK(!nodes.empty());
+  if (!context.has_placement()) return Route(nodes);
+  const auto [partition, home] = PickHomePartition(nodes, context, &touches_);
+  if (home < 0) {
+    WarnDegenerateOnce(&warned_empty_, name());
+    return LeastOccupied(nodes);
+  }
+  // Locality pays while the home node has admission headroom: its gate
+  // would enqueue beyond n*, so spill to the cheapest replica instead.
+  if (Occupancy(nodes[home]) <= nodes[home].limit) return home;
+  FilterReplicas(*context.catalog, partition, static_cast<int>(nodes.size()),
+                 &candidates_);
+  int best = home;
+  for (const int node : candidates_) {
+    if (Occupancy(nodes[node]) < Occupancy(nodes[best])) best = node;
+  }
+  return best;
+}
+
 const char* RoutingPolicyKindName(RoutingPolicyKind kind) {
   switch (kind) {
     case RoutingPolicyKind::kRoundRobin:
@@ -79,13 +258,20 @@ const char* RoutingPolicyKindName(RoutingPolicyKind kind) {
       return "join-shortest-queue";
     case RoutingPolicyKind::kThresholdBased:
       return "threshold";
+    case RoutingPolicyKind::kPowerOfD:
+      return "power-of-d";
+    case RoutingPolicyKind::kLocality:
+      return "locality";
+    case RoutingPolicyKind::kLocalityThreshold:
+      return "locality-threshold";
   }
   return "?";
 }
 
 std::unique_ptr<RoutingPolicy> MakeRoutingPolicy(
     RoutingPolicyKind kind, uint64_t seed,
-    const ThresholdPolicy::Config& threshold) {
+    const ThresholdPolicy::Config& threshold,
+    const PowerOfDPolicy::Config& power_of_d) {
   switch (kind) {
     case RoutingPolicyKind::kRoundRobin:
       return std::make_unique<RoundRobinPolicy>();
@@ -95,6 +281,12 @@ std::unique_ptr<RoutingPolicy> MakeRoutingPolicy(
       return std::make_unique<JoinShortestQueuePolicy>();
     case RoutingPolicyKind::kThresholdBased:
       return std::make_unique<ThresholdPolicy>(threshold);
+    case RoutingPolicyKind::kPowerOfD:
+      return std::make_unique<PowerOfDPolicy>(power_of_d, seed);
+    case RoutingPolicyKind::kLocality:
+      return std::make_unique<LocalityPolicy>();
+    case RoutingPolicyKind::kLocalityThreshold:
+      return std::make_unique<LocalityThresholdPolicy>();
   }
   ALC_CHECK(false);
   return nullptr;

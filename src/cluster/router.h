@@ -6,6 +6,8 @@
 #include <string_view>
 #include <vector>
 
+#include "db/types.h"
+#include "placement/catalog.h"
 #include "sim/random.h"
 
 namespace alc::cluster {
@@ -26,6 +28,22 @@ inline int Occupancy(const NodeView& view) {
   return view.active + view.gate_queue;
 }
 
+/// Data-placement context of one routing decision: the keys the arriving
+/// transaction will touch and the catalog mapping keys to replica-holding
+/// nodes. Both null in placement-free clusters (every node holds all data).
+struct RouteContext {
+  const std::vector<db::ItemId>* keys = nullptr;
+  const placement::PlacementCatalog* catalog = nullptr;
+  /// Optional: PartitionOf(keys[i]) precomputed by the caller (the cluster
+  /// front-end already maps keys for heat accounting); policies use it to
+  /// avoid re-mapping on the per-arrival hot path. Must parallel `keys`.
+  const std::vector<int>* partitions = nullptr;
+
+  bool has_placement() const {
+    return keys != nullptr && catalog != nullptr && !keys->empty();
+  }
+};
+
 /// A routing policy maps the observable cluster state to a node index for
 /// one arriving transaction. Policies are pure deciders: all randomness
 /// comes from their own seeded stream, so routing is deterministic per seed.
@@ -36,8 +54,32 @@ class RoutingPolicy {
   /// Picks the target node for one arrival. `nodes` is non-empty.
   virtual int Route(const std::vector<NodeView>& nodes) = 0;
 
+  /// Placement-aware entry point: same contract, plus the arriving
+  /// transaction's keys and the placement catalog. Load-only policies
+  /// ignore the context (default delegates to the keyless overload).
+  virtual int Route(const std::vector<NodeView>& nodes,
+                    const RouteContext& context) {
+    (void)context;
+    return Route(nodes);
+  }
+
   virtual std::string_view name() const = 0;
 };
+
+/// Index of the least-occupied node; ties go to the lowest index.
+int LeastOccupied(const std::vector<NodeView>& nodes);
+
+/// Fills `out` with the eligible candidate set for a keyed arrival: the
+/// replica holders of the most-touched partition, filtered to valid node
+/// indices (a catalog built for a larger fleet can name nodes that are not
+/// in `nodes`, e.g. after failures — routing to them would index out of
+/// bounds). When the filtered set is empty or the context carries no
+/// placement, falls back to the full fleet and, for the degenerate-catalog
+/// case, warns once per `warned_once` flag. Returns the most-touched
+/// partition, or -1 without placement. `out` is never left empty.
+int EligibleCandidates(const std::vector<NodeView>& nodes,
+                       const RouteContext& context, std::vector<int>* out,
+                       bool* warned_once);
 
 /// Cycles through the nodes in order, blind to load. The classic baseline:
 /// perfect under homogeneous nodes and smooth arrivals, poor when one node
@@ -105,21 +147,89 @@ class ThresholdPolicy : public RoutingPolicy {
   size_t rotate_ = 0;
 };
 
+/// Power-of-d-choices (Mitzenmacher): sample d nodes uniformly from the
+/// eligible candidate set (replica holders under placement, the full fleet
+/// without), route to the least occupied of the sample. O(d) per decision
+/// with most of JSQ's balancing power — the scalable middle ground between
+/// Random (d=1) and full JSQ (d=N).
+class PowerOfDPolicy : public RoutingPolicy {
+ public:
+  struct Config {
+    int d = 2;
+  };
+
+  PowerOfDPolicy(const Config& config, uint64_t seed);
+
+  int Route(const std::vector<NodeView>& nodes) override;
+  int Route(const std::vector<NodeView>& nodes,
+            const RouteContext& context) override;
+  std::string_view name() const override { return "power-of-d"; }
+
+ private:
+  int RouteAmong(const std::vector<NodeView>& nodes);
+
+  Config config_;
+  sim::RandomStream rng_;
+  std::vector<int> candidates_;
+  bool warned_empty_ = false;
+};
+
+/// Locality routing: send the transaction to the home node of its
+/// most-touched partition, so the plurality of its accesses are local.
+/// When several candidate home nodes tie (equally touched partitions),
+/// the least-occupied one wins. Deliberately load-blind otherwise — the
+/// home node is chosen even if it is saturated, which is exactly the
+/// failure mode kLocalityThreshold repairs.
+class LocalityPolicy : public RoutingPolicy {
+ public:
+  int Route(const std::vector<NodeView>& nodes) override;
+  int Route(const std::vector<NodeView>& nodes,
+            const RouteContext& context) override;
+  std::string_view name() const override { return "locality"; }
+
+ private:
+  std::vector<std::pair<int, int>> touches_;
+  bool warned_empty_ = false;
+};
+
+/// Locality with an overload escape hatch: route to the home node of the
+/// most-touched partition unless that node's front-end occupancy exceeds
+/// its admission threshold n* — then route to the cheapest (least-occupied)
+/// replica of that partition instead. Couples Heiss & Wagner's per-node
+/// adaptive gate to the placement decision: the gate's self-tuned n* tells
+/// the router when locality has stopped paying.
+class LocalityThresholdPolicy : public RoutingPolicy {
+ public:
+  int Route(const std::vector<NodeView>& nodes) override;
+  int Route(const std::vector<NodeView>& nodes,
+            const RouteContext& context) override;
+  std::string_view name() const override { return "locality-threshold"; }
+
+ private:
+  std::vector<std::pair<int, int>> touches_;
+  std::vector<int> candidates_;
+  bool warned_empty_ = false;
+};
+
 /// Which routing policy a cluster scenario uses.
 enum class RoutingPolicyKind {
   kRoundRobin,
   kRandom,
   kJoinShortestQueue,
   kThresholdBased,
+  kPowerOfD,
+  kLocality,
+  kLocalityThreshold,
 };
 
 const char* RoutingPolicyKindName(RoutingPolicyKind kind);
 
 /// Builds the configured policy. `seed` feeds the policy's private random
-/// stream (only kRandom draws from it today).
+/// stream (kRandom and kPowerOfD draw from it).
 std::unique_ptr<RoutingPolicy> MakeRoutingPolicy(
     RoutingPolicyKind kind, uint64_t seed,
-    const ThresholdPolicy::Config& threshold = ThresholdPolicy::Config{});
+    const ThresholdPolicy::Config& threshold = ThresholdPolicy::Config{},
+    const PowerOfDPolicy::Config& power_of_d = PowerOfDPolicy::Config{});
 
 }  // namespace alc::cluster
 

@@ -35,6 +35,14 @@ ClusterResult ClusterExperiment::Run() {
   for (const ClusterNodeScenario& node : scenario_.nodes) {
     cluster::NodeConfig config;
     config.system = node.system;
+    if (scenario_.placement_enabled) {
+      config.system.remote = scenario_.remote_access;
+      // Nodes must cover the global keyspace the front-end plans against.
+      if (config.system.logical.db_size <
+          scenario_.placement.workload.db_size) {
+        config.system.logical.db_size = scenario_.placement.workload.db_size;
+      }
+    }
     config.dynamics = node.dynamics;
     config.cpu_speed = node.cpu_speed;
     config.initial_limit = node.control.initial_limit;
@@ -45,9 +53,12 @@ ClusterResult ClusterExperiment::Run() {
   cluster::Cluster cluster(
       &simulator, node_configs,
       cluster::MakeRoutingPolicy(scenario_.routing, scenario_.seed,
-                                 scenario_.threshold),
+                                 scenario_.threshold, scenario_.power_of_d),
       scenario_.seed);
   cluster.SetArrivalRateSchedule(scenario_.arrival_rate);
+  if (scenario_.placement_enabled) {
+    cluster.EnablePlacement(scenario_.placement);
+  }
 
   // Per-node control loop: monitor -> controller -> gate, exactly the
   // single-node wiring replicated N times on the shared event queue.
@@ -105,8 +116,23 @@ ClusterResult ClusterExperiment::Run() {
   result.duration = scenario_.duration;
   result.warmup = scenario_.warmup;
   result.routed = cluster.total_routed();
+  if (cluster.catalog() != nullptr) {
+    result.rebalances = cluster.catalog()->rebalances();
+    result.migrations = cluster.catalog()->migrations();
+    result.partitions.reserve(cluster.catalog()->num_partitions());
+    for (int p = 0; p < cluster.catalog()->num_partitions(); ++p) {
+      PartitionPlacement partition;
+      partition.home_node = cluster.catalog()->HomeNode(p);
+      partition.num_replicas =
+          static_cast<int>(cluster.catalog()->Replicas(p).size());
+      partition.heat = cluster.catalog()->heat(p);
+      result.partitions.push_back(partition);
+    }
+  }
   const double span = scenario_.duration - scenario_.warmup;
   double response_sum = 0.0;
+  uint64_t total_local = 0;
+  uint64_t total_remote = 0;
   for (int i = 0; i < num_nodes; ++i) {
     const db::Counters& final = cluster.node(i).system().metrics().counters;
     const db::Counters& before = at_warmup[i];
@@ -128,6 +154,18 @@ ClusterResult ClusterExperiment::Run() {
             ? static_cast<double>(node.aborts) /
                   static_cast<double>(node.commits + node.aborts)
             : 0.0;
+    node.local_accesses = final.local_accesses - before.local_accesses;
+    node.remote_accesses = final.remote_accesses - before.remote_accesses;
+    const uint64_t accesses = node.local_accesses + node.remote_accesses;
+    node.remote_frac = accesses > 0 ? static_cast<double>(node.remote_accesses) /
+                                          static_cast<double>(accesses)
+                                    : 0.0;
+    if (cluster.catalog() != nullptr) {
+      node.partitions_owned = cluster.catalog()->HomePartitionCount(i);
+      node.partitions_held = cluster.catalog()->ReplicaPartitionCount(i);
+    }
+    total_local += node.local_accesses;
+    total_remote += node.remote_accesses;
     double load_sum = 0.0;
     int load_count = 0;
     for (const TrajectoryPoint& point : node.trajectory) {
@@ -151,6 +189,11 @@ ClusterResult ClusterExperiment::Run() {
       (result.commits + result.aborts) > 0
           ? static_cast<double>(result.aborts) /
                 static_cast<double>(result.commits + result.aborts)
+          : 0.0;
+  result.remote_frac =
+      (total_local + total_remote) > 0
+          ? static_cast<double>(total_remote) /
+                static_cast<double>(total_local + total_remote)
           : 0.0;
   result.aggregate = metrics.Aggregate();
   return result;

@@ -21,6 +21,27 @@ struct ClusterNodeResult {
   uint64_t aborts = 0;
   uint64_t displacements = 0;
   uint64_t routed = 0;  // arrivals the router sent here (whole run)
+
+  // Access-locality split over [warmup, duration]. local_accesses counts
+  // completed access phases in every run; remote_accesses (and hence a
+  // nonzero remote_frac) only occur in placement runs.
+  uint64_t local_accesses = 0;
+  uint64_t remote_accesses = 0;
+  /// remote_accesses / (local + remote); 0 when no accesses completed.
+  double remote_frac = 0.0;
+  /// Partitions homed on this node at run end (post-rebalance state).
+  int partitions_owned = 0;
+  /// Partitions this node holds any replica of at run end.
+  int partitions_held = 0;
+};
+
+/// End-of-run snapshot of one partition's placement (placement runs only):
+/// where it ended up after any rebalancing, and the access heat it had
+/// accumulated since the last rebalance tick.
+struct PartitionPlacement {
+  int home_node = -1;
+  int num_replicas = 0;
+  uint64_t heat = 0;
 };
 
 /// Everything a finished cluster run reports: per-node results plus the
@@ -37,6 +58,14 @@ struct ClusterResult {
   uint64_t commits = 0;
   uint64_t aborts = 0;
   uint64_t routed = 0;  // arrivals routed over the whole run
+
+  // Placement runs only (zero/empty otherwise):
+  double remote_frac = 0.0;  // cluster-wide remote share of accesses
+  uint64_t rebalances = 0;   // rebalance ticks that ran
+  uint64_t migrations = 0;   // partition homes moved across all ticks
+  /// One entry per partition: the catalog state at run end (post-
+  /// rebalance), exportable with WritePlacementCsv.
+  std::vector<PartitionPlacement> partitions;
 
   double duration = 0.0;
   double warmup = 0.0;

@@ -5,10 +5,12 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "cluster/router.h"
 #include "core/scenario.h"
 #include "db/schedule.h"
 #include "db/workload.h"
+#include "placement/catalog.h"
 
 namespace alc::core {
 
@@ -30,10 +32,19 @@ struct ClusterScenarioConfig {
   std::vector<ClusterNodeScenario> nodes;
   cluster::RoutingPolicyKind routing =
       cluster::RoutingPolicyKind::kJoinShortestQueue;
-  cluster::ThresholdPolicy::Config threshold;  // used by kThresholdBased
+  cluster::ThresholdPolicy::Config threshold;   // used by kThresholdBased
+  cluster::PowerOfDPolicy::Config power_of_d;   // used by kPowerOfD
   /// Cluster-wide Poisson arrival rate (transactions per second); a Steps
   /// schedule models a flash crowd hitting the whole fleet.
   db::Schedule arrival_rate = db::Schedule::Constant(100.0);
+  /// Data placement layer (off by default). When enabled, the front-end
+  /// draws each arrival's access plan from `placement.workload`, the router
+  /// sees the keys and the catalog, and every node pays `remote_access` for
+  /// keys it does not hold (the penalty is copied into each node's system
+  /// config by ClusterExperiment).
+  bool placement_enabled = false;
+  cluster::PlacementSpec placement;
+  db::RemoteAccessConfig remote_access;
   /// Seeds the router policy and the arrival stream (node variates come
   /// from the per-node system seeds).
   uint64_t seed = 1;

@@ -30,18 +30,51 @@ void WriteTrajectoryCsv(std::ostream& out,
 
 void WriteClusterTrajectoryCsv(
     std::ostream& out,
-    const std::vector<std::vector<TrajectoryPoint>>& node_trajectories) {
+    const std::vector<std::vector<TrajectoryPoint>>& node_trajectories,
+    const std::vector<ClusterNodePlacementInfo>& placement) {
   util::CsvWriter csv(&out);
-  csv.WriteRow({"node",          "time",       "bound",
-                "load",          "throughput", "response",
-                "conflict_rate", "gate_queue", "cpu_utilization"});
+  csv.WriteRow({"node",          "time",        "bound",
+                "load",          "throughput",  "response",
+                "conflict_rate", "gate_queue",  "cpu_utilization",
+                "remote_frac",   "partitions_owned"});
   for (size_t node = 0; node < node_trajectories.size(); ++node) {
+    const ClusterNodePlacementInfo info =
+        node < placement.size() ? placement[node]
+                                : ClusterNodePlacementInfo{};
     for (const TrajectoryPoint& point : node_trajectories[node]) {
       csv.WriteNumericRow({static_cast<double>(node), point.time,
                            point.bound, point.load, point.throughput,
                            point.response, point.conflict_rate,
-                           point.gate_queue, point.cpu_utilization});
+                           point.gate_queue, point.cpu_utilization,
+                           info.remote_frac,
+                           static_cast<double>(info.partitions_owned)});
     }
+  }
+}
+
+void WritePlacementCsv(std::ostream& out,
+                       const placement::PlacementCatalog& catalog) {
+  std::vector<PartitionPlacement> partitions;
+  partitions.reserve(catalog.num_partitions());
+  for (int p = 0; p < catalog.num_partitions(); ++p) {
+    PartitionPlacement partition;
+    partition.home_node = catalog.HomeNode(p);
+    partition.num_replicas = static_cast<int>(catalog.Replicas(p).size());
+    partition.heat = catalog.heat(p);
+    partitions.push_back(partition);
+  }
+  WritePlacementCsv(out, partitions);
+}
+
+void WritePlacementCsv(std::ostream& out,
+                       const std::vector<PartitionPlacement>& partitions) {
+  util::CsvWriter csv(&out);
+  csv.WriteRow({"partition", "home_node", "num_replicas", "heat"});
+  for (size_t p = 0; p < partitions.size(); ++p) {
+    csv.WriteNumericRow({static_cast<double>(p),
+                         static_cast<double>(partitions[p].home_node),
+                         static_cast<double>(partitions[p].num_replicas),
+                         static_cast<double>(partitions[p].heat)});
   }
 }
 
@@ -83,10 +116,19 @@ bool ExportCurve(const std::string& path,
 
 bool ExportClusterTrajectory(
     const std::string& path,
-    const std::vector<std::vector<TrajectoryPoint>>& node_trajectories) {
+    const std::vector<std::vector<TrajectoryPoint>>& node_trajectories,
+    const std::vector<ClusterNodePlacementInfo>& placement) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) return false;
-  WriteClusterTrajectoryCsv(out, node_trajectories);
+  WriteClusterTrajectoryCsv(out, node_trajectories, placement);
+  return true;
+}
+
+bool ExportPlacement(const std::string& path,
+                     const std::vector<PartitionPlacement>& partitions) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  WritePlacementCsv(out, partitions);
   return true;
 }
 

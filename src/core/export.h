@@ -5,8 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "core/cluster_experiment.h"
 #include "core/experiment.h"
 #include "core/optimum.h"
+#include "placement/catalog.h"
 
 namespace alc::core {
 
@@ -16,9 +18,15 @@ namespace alc::core {
 ///   trajectory: time,bound,load,throughput,response,conflict_rate,
 ///               gate_queue,cpu_utilization[,n_opt]
 ///   cluster:    node,time,bound,load,throughput,response,conflict_rate,
-///               gate_queue,cpu_utilization
+///               gate_queue,cpu_utilization,remote_frac,partitions_owned
+///   placement:  partition,home_node,num_replicas,heat
 ///   curve:      n,throughput
 ///   timeline:   start_time,n_opt,peak_throughput
+///
+/// The cluster header is stable: the placement columns (remote_frac,
+/// partitions_owned) are always present and trail the original columns, so
+/// pre-placement plotting scripts that select by name or by the first nine
+/// positions keep working; placement-free runs write zeros there.
 
 /// Writes a controller trajectory; if `timeline` is non-empty an `n_opt`
 /// column with the true-optimum overlay is appended.
@@ -26,13 +34,33 @@ void WriteTrajectoryCsv(std::ostream& out,
                         const std::vector<TrajectoryPoint>& trajectory,
                         const std::vector<OptimumRegime>& timeline);
 
+/// Run-level placement facts of one node, repeated on each of its rows in
+/// the cluster CSV (the monitor does not sample them per tick).
+struct ClusterNodePlacementInfo {
+  double remote_frac = 0.0;
+  int partitions_owned = 0;
+};
+
 /// Writes the per-node trajectories of a cluster run in long format (one
 /// row per node per tick, node id in the first column) so external tooling
-/// can facet or pivot by node. The cluster-wide aggregate series can be
-/// written separately with WriteTrajectoryCsv.
+/// can facet or pivot by node. `placement` supplies the per-node
+/// remote_frac/partitions_owned columns; pass empty (the default) to write
+/// zeros. The cluster-wide aggregate series can be written separately with
+/// WriteTrajectoryCsv.
 void WriteClusterTrajectoryCsv(
     std::ostream& out,
-    const std::vector<std::vector<TrajectoryPoint>>& node_trajectories);
+    const std::vector<std::vector<TrajectoryPoint>>& node_trajectories,
+    const std::vector<ClusterNodePlacementInfo>& placement = {});
+
+/// Writes the partition map and heat counters of a placement catalog
+/// (snapshot at call time; heat is accesses since the last rebalance).
+void WritePlacementCsv(std::ostream& out,
+                       const placement::PlacementCatalog& catalog);
+
+/// Same artifact from a finished run's ClusterResult::partitions snapshot
+/// (the catalog itself does not outlive the experiment).
+void WritePlacementCsv(std::ostream& out,
+                       const std::vector<PartitionPlacement>& partitions);
 
 /// Writes a stationary (n, throughput) curve (figure 1 / 12 data).
 void WriteCurveCsv(std::ostream& out,
@@ -51,7 +79,10 @@ bool ExportCurve(const std::string& path,
                  const std::vector<std::pair<double, double>>& curve);
 bool ExportClusterTrajectory(
     const std::string& path,
-    const std::vector<std::vector<TrajectoryPoint>>& node_trajectories);
+    const std::vector<std::vector<TrajectoryPoint>>& node_trajectories,
+    const std::vector<ClusterNodePlacementInfo>& placement = {});
+bool ExportPlacement(const std::string& path,
+                     const std::vector<PartitionPlacement>& partitions);
 
 }  // namespace alc::core
 

@@ -72,6 +72,21 @@ struct LogicalConfig {
 /// how a cluster front-end routes transactions onto individual nodes.
 enum class ArrivalMode { kClosed, kOpen, kExternal };
 
+/// Cost of touching a granule this node does not store locally (cluster
+/// placement scenarios). A remote access pays extra CPU (marshalling,
+/// protocol work) and extra fixed latency (one network round trip to the
+/// granule's replica) on top of the normal access phase. Both default to
+/// zero, so single-node systems and placement-free clusters are unaffected.
+struct RemoteAccessConfig {
+  double cpu_penalty = 0.0;  // extra CPU seconds per remote access
+  double latency = 0.0;      // extra fixed seconds per remote access
+  /// CPU seconds the granule's home node spends serving each remote access
+  /// (the request is an RPC someone must answer). Charged by the cluster
+  /// front-end at submission time — shipping work away from the data does
+  /// not relieve the data holder. Read from the serving node's config.
+  double serve_cpu = 0.0;
+};
+
 /// Everything needed to build a TransactionSystem.
 struct SystemConfig {
   PhysicalConfig physical;
@@ -81,6 +96,9 @@ struct SystemConfig {
   /// Open mode only: mean arrivals per second (Poisson). A time-varying
   /// rate can be installed via TransactionSystem::SetArrivalRateSchedule.
   double open_arrival_rate = 100.0;
+  /// Remote-access penalty for externally planned transactions whose keys
+  /// live on other nodes (see RemoteAccessConfig).
+  RemoteAccessConfig remote;
   uint64_t seed = 1;
   /// Record (start_seq, commit_seq, read/write sets) of committed
   /// transactions for serializability verification in tests. Costs memory;

@@ -20,6 +20,12 @@ struct Counters {
   uint64_t aborts_displacement = 0;
   uint64_t lock_waits = 0;     // 2PL: access requests that had to block
   uint64_t lock_requests = 0;  // 2PL: all access requests
+  /// Completed access phases split by whether the granule was stored on
+  /// this node (see RemoteAccessConfig). Every access counts as local
+  /// unless an externally planned transaction marked it remote, so
+  /// remote_accesses stays zero outside cluster placement scenarios.
+  uint64_t local_accesses = 0;
+  uint64_t remote_accesses = 0;
   double response_time_sum = 0.0;  // of committed transactions, submit->commit
   double useful_cpu = 0.0;         // CPU of attempts that committed
   double wasted_cpu = 0.0;         // CPU of attempts that aborted

@@ -100,6 +100,48 @@ void TransactionSystem::SubmitExternal() {
   SetupNewWork(txn);
 }
 
+void TransactionSystem::SubmitExternalPlanned(
+    TxnClass cls, const std::vector<ItemId>& items,
+    const std::vector<AccessMode>& modes,
+    const std::vector<uint8_t>& remote) {
+  ALC_CHECK(started_);
+  ALC_CHECK(config_.arrivals == ArrivalMode::kExternal);
+  ALC_CHECK(!items.empty());
+  ALC_CHECK_EQ(items.size(), modes.size());
+  ALC_CHECK_EQ(items.size(), remote.size());
+  for (const ItemId item : items) {
+    // CC metadata is indexed by item id; an out-of-range key would corrupt
+    // the heap, so the global keyspace must fit this node's database.
+    ALC_CHECK_LT(item, database_.size());
+  }
+  Transaction* txn = AcquireFromPool();
+  InitSubmission(txn);
+  txn->cls = cls;
+  txn->k = static_cast<int>(items.size());
+  txn->preplanned = true;
+  txn->planned_items = items;
+  txn->planned_modes = modes;
+  txn->planned_remote = remote;
+  ++metrics_.counters.submitted;
+  on_submit_(txn);
+}
+
+void TransactionSystem::InitSubmission(Transaction* txn) {
+  txn->id = next_txn_id_++;
+  txn->first_submit_time = sim_->Now();
+  txn->attempts = 0;
+  txn->doomed = false;
+  txn->displaced = false;
+  txn->state = TxnState::kQueued;
+  txn->ResetAttempt();
+  // Pool slots are reused across submission paths: a slot that last
+  // carried an externally planned transaction must not replay its plan.
+  txn->preplanned = false;
+  txn->planned_items.clear();
+  txn->planned_modes.clear();
+  txn->planned_remote.clear();
+}
+
 void TransactionSystem::ScheduleNextArrival() {
   // Poisson process with a (slowly) time-varying rate: the next gap is
   // drawn at the current rate. Exact for constant rates; for schedules the
@@ -146,17 +188,11 @@ void TransactionSystem::SubmitFromTerminal(int terminal_id) {
 
 void TransactionSystem::SetupNewWork(Transaction* txn) {
   const double now = sim_->Now();
-  txn->id = next_txn_id_++;
+  InitSubmission(txn);
   txn->cls = class_rng_.NextBernoulli(dynamics_.QueryFractionAt(now))
                  ? TxnClass::kQuery
                  : TxnClass::kUpdater;
   txn->k = dynamics_.KAt(now, database_.size());
-  txn->first_submit_time = now;
-  txn->attempts = 0;
-  txn->doomed = false;
-  txn->displaced = false;
-  txn->state = TxnState::kQueued;
-  txn->ResetAttempt();
   ++metrics_.counters.submitted;
   on_submit_(txn);
 }
@@ -183,9 +219,13 @@ void TransactionSystem::StartAttempt(Transaction* txn) {
   txn->doomed = false;
   txn->restart_event = sim::EventHandle{};
 
-  const bool need_plan =
-      txn->access_items.empty() || config_.logical.resample_on_restart;
-  if (need_plan) {
+  if (txn->preplanned) {
+    // Externally planned work replays the front-end's plan on every attempt
+    // (displacement cleared access_items via ResetAttempt; restarts must
+    // not resample — the remote flags belong to exactly this item set).
+    txn->access_items = txn->planned_items;
+    txn->access_modes = txn->planned_modes;
+  } else if (txn->access_items.empty() || config_.logical.resample_on_restart) {
     // k is re-read on resample so long-running re-submissions follow the
     // workload schedules; non-resampled restarts keep their original plan.
     txn->k = dynamics_.KAt(now, database_.size());
@@ -237,15 +277,41 @@ void TransactionSystem::RunAccessPhase(Transaction* txn, int index) {
       return;
     }
     txn->state = TxnState::kRunning;
-    const double service = DrawCpu(txn, config_.physical.cpu_access_mean);
-    cpu_.Request(service, [this, txn, index] {
+    double service = DrawCpu(txn, config_.physical.cpu_access_mean);
+    const bool remote = RemoteAt(txn, index);
+    if (remote && config_.remote.cpu_penalty > 0.0) {
+      // Deterministic surcharge for fetching the granule from its replica
+      // (marshalling + protocol CPU), charged to the attempt like any
+      // other burst so wasted-work accounting stays consistent.
+      service += config_.remote.cpu_penalty;
+      txn->attempt_cpu += config_.remote.cpu_penalty;
+    }
+    cpu_.Request(service, [this, txn, index, remote] {
+      if (remote && config_.remote.latency > 0.0) {
+        // Network round trip to the remote replica before the local I/O.
+        sim_->Schedule(config_.remote.latency, [this, txn, index] {
+          disk_.Request([this, txn, index] { CompleteAccess(txn, index); });
+        });
+        return;
+      }
       disk_.Request([this, txn, index] { CompleteAccess(txn, index); });
     });
   });
 }
 
+bool TransactionSystem::RemoteAt(const Transaction* txn, int index) const {
+  return txn->preplanned &&
+         index < static_cast<int>(txn->planned_remote.size()) &&
+         txn->planned_remote[index] != 0;
+}
+
 void TransactionSystem::CompleteAccess(Transaction* txn, int index) {
   const ItemId item = txn->access_items[index];
+  if (RemoteAt(txn, index)) {
+    ++metrics_.counters.remote_accesses;
+  } else {
+    ++metrics_.counters.local_accesses;
+  }
   txn->read_set.push_back(item);
   if (txn->access_modes[index] == AccessMode::kWrite) {
     txn->write_set.push_back(item);

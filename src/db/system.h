@@ -71,6 +71,18 @@ class TransactionSystem {
   /// dynamics at the current time.
   void SubmitExternal();
 
+  /// External mode only: submits one transaction whose access plan was
+  /// already drawn by the cluster front-end from the global keyspace
+  /// (placement scenarios). `remote[i]` marks items this node does not
+  /// store; those accesses pay config.remote's CPU/latency penalty. The
+  /// plan is replayed verbatim on every attempt (no resampling), keeping
+  /// the remote/local split consistent with the routing decision. All three
+  /// spans must have equal, non-zero length; items must be distinct and
+  /// within this node's database size.
+  void SubmitExternalPlanned(TxnClass cls, const std::vector<ItemId>& items,
+                             const std::vector<AccessMode>& modes,
+                             const std::vector<uint8_t>& remote);
+
   /// Admits a queued transaction into execution (gate-facing API).
   void Admit(Transaction* txn);
 
@@ -111,6 +123,11 @@ class TransactionSystem {
   void ScheduleNextArrival();
   void SubmitFromArrival();
   Transaction* AcquireFromPool();
+  /// Resets a (possibly recycled) slot to a fresh queued submission:
+  /// identity, timing, attempt state, and any stale externally-planned
+  /// state from a previous occupant. Callers stamp the work (class, k,
+  /// plan) afterwards and then hand the transaction to the submission hook.
+  void InitSubmission(Transaction* txn);
   void SetupNewWork(Transaction* txn);
   void StartAttempt(Transaction* txn);
   void RunAccessPhase(Transaction* txn, int index);
@@ -123,6 +140,8 @@ class TransactionSystem {
   void SetActive(int delta);
   /// Draws an exponential CPU demand and charges it to the attempt.
   double DrawCpu(Transaction* txn, double mean);
+  /// Whether access phase `index` of `txn` touches a remotely stored item.
+  bool RemoteAt(const Transaction* txn, int index) const;
 
   sim::Simulator* sim_;
   SystemConfig config_;

@@ -52,6 +52,17 @@ struct Transaction {
   /// True while queued at the gate after being displaced.
   bool displaced = false;
 
+  /// Externally planned work (cluster placement): the front-end drew the
+  /// access plan from the global keyspace before routing, so every attempt
+  /// replays planned_* instead of resampling from the node's generator —
+  /// the remote/local split must stay consistent with the routing decision.
+  bool preplanned = false;
+  std::vector<ItemId> planned_items;
+  std::vector<AccessMode> planned_modes;
+  /// 1 = the item is not stored on the executing node (pays the
+  /// remote-access penalty), parallel to planned_items.
+  std::vector<uint8_t> planned_remote;
+
   /// Pending restart-delay event, cancellable on displacement.
   sim::EventHandle restart_event;
 

@@ -160,11 +160,17 @@ TEST(ClusterExperimentTest, RunsAndCommitsOnEveryNode) {
 }
 
 TEST(ClusterExperimentTest, EveryRoutingPolicyRuns) {
+  // The placement-aware policies (power-of-d, locality, locality-threshold)
+  // must also run on a placement-free cluster, where they degrade to
+  // sampling or least-occupied routing over the full fleet.
   for (cluster::RoutingPolicyKind routing :
        {cluster::RoutingPolicyKind::kRoundRobin,
         cluster::RoutingPolicyKind::kRandom,
         cluster::RoutingPolicyKind::kJoinShortestQueue,
-        cluster::RoutingPolicyKind::kThresholdBased}) {
+        cluster::RoutingPolicyKind::kThresholdBased,
+        cluster::RoutingPolicyKind::kPowerOfD,
+        cluster::RoutingPolicyKind::kLocality,
+        cluster::RoutingPolicyKind::kLocalityThreshold}) {
     core::ClusterScenarioConfig scenario = SmallCluster(3);
     scenario.duration = 20.0;
     scenario.warmup = 5.0;
