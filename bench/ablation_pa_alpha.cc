@@ -2,9 +2,15 @@
 // memory. Small alpha forgets fast (responsive, noisy); alpha ~ 1 remembers
 // everything (stable, but stale after a change — fig. 8's failure). Sweep
 // alpha and the dither amplitude on the jump workload.
+//
+// Both ablations are SweepRunner axes over PA params ("pa.forgetting",
+// "pa.dither") on one jump-scenario spec.
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench/common.h"
 #include "core/report.h"
@@ -23,22 +29,28 @@ int main() {
   core::OptimumFinder finder(base, bench::FastSearch());
   const auto timeline = finder.Timeline(700.0);
 
+  const core::ExperimentSpec base_spec = core::SpecFromScenario(base);
+  core::TrackingOptions options;
+  options.skip_initial = 100.0;
+
   {
+    core::SweepRunner runner(
+        base_spec, {{"node.control.pa.forgetting",
+                     {"0.8", "0.9", "0.95", "0.98", "0.999"}}});
+    const std::vector<core::SweepPointResult> results =
+        runner.Run(bench::SweepThreads(runner.num_points()));
+
     util::Table table({"alpha", "mean |n*-opt|", "recovery after jump",
                        "throughput", "capture"});
-    for (double alpha : {0.80, 0.90, 0.95, 0.98, 0.999}) {
-      core::ScenarioConfig scenario = base;
-      scenario.control.kind = core::ControllerKind::kParabola;
-      scenario.control.pa.forgetting = alpha;
-      const core::ExperimentResult result = core::Experiment(scenario).Run();
-      core::TrackingOptions options;
-      options.skip_initial = 100.0;
+    for (const core::SweepPointResult& point : results) {
+      const core::ExperimentResult& result = point.result.single;
       const core::TrackingStats stats =
           core::EvaluateTracking(result.trajectory, timeline, options);
       const double recovery =
           stats.recovery_times.empty() ? -1.0 : stats.recovery_times[0];
       table.AddRow(
-          {util::StrFormat("%.3f", alpha),
+          {util::StrFormat("%.3f",
+                           std::atof(point.assignment[0].second.c_str())),
            util::StrFormat("%.1f", stats.mean_abs_error),
            recovery < 0 ? std::string("none")
                         : util::StrFormat("%.0f s", recovery),
@@ -49,17 +61,20 @@ int main() {
     table.Print(std::cout);
   }
   {
+    core::SweepRunner runner(
+        base_spec,
+        {{"node.control.pa.dither", {"0", "5", "15", "30", "60"}}});
+    const std::vector<core::SweepPointResult> results =
+        runner.Run(bench::SweepThreads(runner.num_points()));
+
     util::Table table({"dither", "mean |n*-opt|", "throughput", "capture"});
-    for (double dither : {0.0, 5.0, 15.0, 30.0, 60.0}) {
-      core::ScenarioConfig scenario = base;
-      scenario.control.kind = core::ControllerKind::kParabola;
-      scenario.control.pa.dither = dither;
-      const core::ExperimentResult result = core::Experiment(scenario).Run();
-      core::TrackingOptions options;
-      options.skip_initial = 100.0;
+    for (const core::SweepPointResult& point : results) {
+      const core::ExperimentResult& result = point.result.single;
       const core::TrackingStats stats =
           core::EvaluateTracking(result.trajectory, timeline, options);
-      table.AddRow({util::StrFormat("%.0f", dither),
+      table.AddRow({util::StrFormat("%.0f",
+                                    std::atof(
+                                        point.assignment[0].second.c_str())),
                     util::StrFormat("%.1f", stats.mean_abs_error),
                     util::StrFormat("%.1f", result.mean_throughput),
                     util::StrFormat("%.2f", stats.throughput_capture)});

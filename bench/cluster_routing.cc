@@ -11,6 +11,12 @@
 //                 routing must shift work away; blind routing keeps
 //                 feeding the slow node)
 //
+// Each scenario is one SweepRunner grid (routing x admission as override
+// axes over a single spec), run on all cores; per-point results are
+// bit-identical to sequential runs. The flash-crowd JSQ cell is also
+// checked in as specs/cluster_routing_flash.spec and regression-tested to
+// match this bench bit-exactly (tests/sweep_test.cc).
+//
 // Claim under test: load-aware routing (JSQ / self-learning threshold)
 // composed with per-node adaptive admission (Parabola) strictly beats blind
 // routing with no admission control on the flash-crowd scenario.
@@ -25,6 +31,8 @@
 #include "bench/common.h"
 #include "core/cluster_experiment.h"
 #include "core/cluster_scenario.h"
+#include "core/spec.h"
+#include "core/sweep.h"
 #include "util/strformat.h"
 #include "util/table.h"
 
@@ -75,68 +83,44 @@ core::ClusterScenarioConfig BaseCluster(uint64_t seed) {
   return scenario;
 }
 
-struct Combo {
-  cluster::RoutingPolicyKind routing;
-  core::ControllerKind admission;
-};
-
-core::ClusterResult RunCombo(const core::ClusterScenarioConfig& base,
-                             const Combo& combo) {
-  core::ClusterScenarioConfig scenario = base;
-  scenario.routing = combo.routing;
-  for (core::ClusterNodeScenario& node : scenario.nodes) {
-    node.control.kind = combo.admission;
-  }
-  return core::ClusterExperiment(scenario).Run();
-}
-
-std::string ComboName(const Combo& combo) {
-  return std::string(cluster::RoutingPolicyKindName(combo.routing)) + " + " +
-         core::ControllerKindName(combo.admission);
-}
+const std::vector<std::string> kRoutings = {
+    "round-robin", "random", "join-shortest-queue", "threshold"};
+const std::vector<std::string> kAdmissions = {
+    "none", "fixed", "incremental-steps", "parabola-approximation"};
 
 void RunScenario(const char* title, const core::ClusterScenarioConfig& base,
                  core::ClusterResult* jsq_parabola,
                  core::ClusterResult* threshold_parabola,
                  core::ClusterResult* random_none) {
-  const std::vector<cluster::RoutingPolicyKind> routings = {
-      cluster::RoutingPolicyKind::kRoundRobin,
-      cluster::RoutingPolicyKind::kRandom,
-      cluster::RoutingPolicyKind::kJoinShortestQueue,
-      cluster::RoutingPolicyKind::kThresholdBased,
-  };
-  const std::vector<core::ControllerKind> admissions = {
-      core::ControllerKind::kNone,
-      core::ControllerKind::kFixed,
-      core::ControllerKind::kIncrementalSteps,
-      core::ControllerKind::kParabola,
-  };
+  core::SweepRunner runner(core::SpecFromCluster(base),
+                           {{"routing", kRoutings},
+                            {"node.control.controller", kAdmissions}});
+  const std::vector<core::SweepPointResult> results =
+      runner.Run(bench::SweepThreads(runner.num_points()));
 
   std::printf("\n--- %s ---\n", title);
   util::Table table({"routing + admission", "throughput", "p-mean response",
                      "abort ratio", "commits"});
-  for (cluster::RoutingPolicyKind routing : routings) {
-    for (core::ControllerKind admission : admissions) {
-      const Combo combo{routing, admission};
-      const core::ClusterResult result = RunCombo(base, combo);
-      table.AddRow({ComboName(combo),
-                    util::StrFormat("%.1f/s", result.total_throughput),
-                    util::StrFormat("%.3fs", result.mean_response),
-                    util::StrFormat("%.3f", result.abort_ratio),
-                    util::StrFormat("%llu", static_cast<unsigned long long>(
-                                                result.commits))});
-      if (routing == cluster::RoutingPolicyKind::kJoinShortestQueue &&
-          admission == core::ControllerKind::kParabola && jsq_parabola) {
-        *jsq_parabola = result;
-      }
-      if (routing == cluster::RoutingPolicyKind::kThresholdBased &&
-          admission == core::ControllerKind::kParabola && threshold_parabola) {
-        *threshold_parabola = result;
-      }
-      if (routing == cluster::RoutingPolicyKind::kRandom &&
-          admission == core::ControllerKind::kNone && random_none) {
-        *random_none = result;
-      }
+  for (const core::SweepPointResult& point : results) {
+    const std::string& routing = point.assignment[0].second;
+    const std::string& admission = point.assignment[1].second;
+    const core::ClusterResult& result = point.result.cluster_result;
+    table.AddRow({routing + " + " + admission,
+                  util::StrFormat("%.1f/s", result.total_throughput),
+                  util::StrFormat("%.3fs", result.mean_response),
+                  util::StrFormat("%.3f", result.abort_ratio),
+                  util::StrFormat("%llu", static_cast<unsigned long long>(
+                                              result.commits))});
+    if (routing == "join-shortest-queue" &&
+        admission == "parabola-approximation" && jsq_parabola) {
+      *jsq_parabola = result;
+    }
+    if (routing == "threshold" && admission == "parabola-approximation" &&
+        threshold_parabola) {
+      *threshold_parabola = result;
+    }
+    if (routing == "random" && admission == "none" && random_none) {
+      *random_none = result;
     }
   }
   table.Print(std::cout);

@@ -6,12 +6,16 @@
 // DESIGN.md "Reconstructions / substitutions") so their numbers are
 // comparable with each other.
 
+#include <algorithm>
 #include <cstdio>
+#include <thread>
 
 #include "core/experiment.h"
 #include "core/optimum.h"
 #include "core/report.h"
 #include "core/scenario.h"
+#include "core/spec.h"
+#include "core/sweep.h"
 
 namespace alc::bench {
 
@@ -69,6 +73,25 @@ inline core::OptimumSearchConfig FastSearch() {
   search.sim_duration = 60.0;
   search.sim_warmup = 15.0;
   return search;
+}
+
+/// The canonical scenarios as ExperimentSpecs, for SweepRunner-based
+/// benches: same configurations as above, embedded as spec params so sweep
+/// overrides ("node.control.controller", "node.control.pa.forgetting", ...)
+/// compose with them.
+inline core::ExperimentSpec PaperSpec(uint64_t seed = 42) {
+  return core::SpecFromScenario(PaperScenario(seed));
+}
+
+inline core::ExperimentSpec JumpSpec(uint64_t seed = 42) {
+  return core::SpecFromScenario(JumpScenario(seed));
+}
+
+/// Thread count for sweeping `points` grid points: all cores, capped at
+/// the grid size. Per-point runs are bit-deterministic regardless.
+inline int SweepThreads(int points) {
+  const int cores = static_cast<int>(std::thread::hardware_concurrency());
+  return std::max(1, std::min(points, cores));
 }
 
 inline void PrintHeader(const char* figure, const char* claim) {

@@ -3,6 +3,9 @@
 // feedback controllers, across three workload mixes. The paper's point:
 // the rules are model-bound and need not hold for all load situations,
 // while the feedback controllers are model independent.
+//
+// The controller dimension is a SweepRunner axis over registry names: one
+// spec, seven one-line overrides, no per-controller plumbing.
 
 #include <cstdio>
 #include <iostream>
@@ -30,6 +33,15 @@ int main() {
       {"query-heavy  (k=16, q=0.85, w=0.25)", 16, 0.85, 0.25},
       {"long txns    (k=24, q=0.3, w=0.35)", 24, 0.30, 0.35},
   };
+  const std::vector<std::string> controllers = {
+      "none",
+      "fixed",
+      "tay-rule",
+      "iyer-rule",
+      "incremental-steps",
+      "parabola-approximation",
+      "golden-section",
+  };
 
   for (const Mix& mix : mixes) {
     core::ScenarioConfig base = bench::PaperScenario();
@@ -37,28 +49,26 @@ int main() {
     base.system.logical.query_fraction = mix.query_fraction;
     base.system.logical.write_fraction = mix.write_fraction;
     base.dynamics = db::WorkloadDynamics::FromConfig(base.system.logical);
+    base.control.fixed_limit = 195.0;  // tuned for the *default* mix
+    base.control.gs.min_bound = 5.0;
+    base.control.gs.max_bound = 750.0;
+    base.control.gs.min_bracket = 60.0;
 
     core::OptimumFinder finder(base, bench::FastSearch());
     const core::OptimumResult optimum = finder.FindAt(0.0);
     std::printf("\nworkload: %s  (true n_opt=%.0f, peak=%.1f/s)\n", mix.name,
                 optimum.n_opt, optimum.peak_throughput);
 
+    core::SweepRunner runner(core::SpecFromScenario(base),
+                             {{"node.control.controller", controllers}});
+    const std::vector<core::SweepPointResult> results =
+        runner.Run(bench::SweepThreads(runner.num_points()));
+
     util::Table table(
         {"controller", "throughput", "T/T_peak", "mean load", "abort ratio"});
-    for (core::ControllerKind kind :
-         {core::ControllerKind::kNone, core::ControllerKind::kFixed,
-          core::ControllerKind::kTayRule, core::ControllerKind::kIyerRule,
-          core::ControllerKind::kIncrementalSteps,
-          core::ControllerKind::kParabola,
-          core::ControllerKind::kGoldenSection}) {
-      core::ScenarioConfig scenario = base;
-      scenario.control.kind = kind;
-      scenario.control.fixed_limit = 195.0;  // tuned for the *default* mix
-      scenario.control.gs.min_bound = 5.0;
-      scenario.control.gs.max_bound = 750.0;
-      scenario.control.gs.min_bracket = 60.0;
-      const core::ExperimentResult result = core::Experiment(scenario).Run();
-      table.AddRow({std::string(core::ControllerKindName(kind)),
+    for (const core::SweepPointResult& point : results) {
+      const core::ExperimentResult& result = point.result.single;
+      table.AddRow({point.assignment[0].second,
                     util::StrFormat("%.1f", result.mean_throughput),
                     util::StrFormat("%.2f", result.mean_throughput /
                                                 optimum.peak_throughput),

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "cluster/registry.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/params.h"
 
 namespace alc::cluster {
 
@@ -249,47 +251,50 @@ int LocalityThresholdPolicy::Route(const std::vector<NodeView>& nodes,
 }
 
 const char* RoutingPolicyKindName(RoutingPolicyKind kind) {
+  // The registry name is authoritative; the check pins the deprecated enum
+  // to it so the two cannot drift.
+  const char* name = "?";
   switch (kind) {
     case RoutingPolicyKind::kRoundRobin:
-      return "round-robin";
+      name = "round-robin";
+      break;
     case RoutingPolicyKind::kRandom:
-      return "random";
+      name = "random";
+      break;
     case RoutingPolicyKind::kJoinShortestQueue:
-      return "join-shortest-queue";
+      name = "join-shortest-queue";
+      break;
     case RoutingPolicyKind::kThresholdBased:
-      return "threshold";
+      name = "threshold";
+      break;
     case RoutingPolicyKind::kPowerOfD:
-      return "power-of-d";
+      name = "power-of-d";
+      break;
     case RoutingPolicyKind::kLocality:
-      return "locality";
+      name = "locality";
+      break;
     case RoutingPolicyKind::kLocalityThreshold:
-      return "locality-threshold";
+      name = "locality-threshold";
+      break;
   }
-  return "?";
+  ALC_CHECK(RoutingPolicyRegistry::Global().Contains(name));
+  return name;
 }
 
 std::unique_ptr<RoutingPolicy> MakeRoutingPolicy(
     RoutingPolicyKind kind, uint64_t seed,
     const ThresholdPolicy::Config& threshold,
     const PowerOfDPolicy::Config& power_of_d) {
-  switch (kind) {
-    case RoutingPolicyKind::kRoundRobin:
-      return std::make_unique<RoundRobinPolicy>();
-    case RoutingPolicyKind::kRandom:
-      return std::make_unique<RandomPolicy>(seed);
-    case RoutingPolicyKind::kJoinShortestQueue:
-      return std::make_unique<JoinShortestQueuePolicy>();
-    case RoutingPolicyKind::kThresholdBased:
-      return std::make_unique<ThresholdPolicy>(threshold);
-    case RoutingPolicyKind::kPowerOfD:
-      return std::make_unique<PowerOfDPolicy>(power_of_d, seed);
-    case RoutingPolicyKind::kLocality:
-      return std::make_unique<LocalityPolicy>();
-    case RoutingPolicyKind::kLocalityThreshold:
-      return std::make_unique<LocalityThresholdPolicy>();
-  }
-  ALC_CHECK(false);
-  return nullptr;
+  util::ParamMap params;
+  AppendThresholdParams(threshold, &params);
+  AppendPowerOfDParams(power_of_d, &params);
+  RoutingPolicyContext context;
+  context.params = &params;
+  context.seed = seed;
+  std::unique_ptr<RoutingPolicy> policy = RoutingPolicyRegistry::Global().Make(
+      RoutingPolicyKindName(kind), context);
+  ALC_CHECK(policy != nullptr);
+  return policy;
 }
 
 }  // namespace alc::cluster

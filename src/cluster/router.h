@@ -211,7 +211,11 @@ class LocalityThresholdPolicy : public RoutingPolicy {
   bool warned_empty_ = false;
 };
 
-/// Which routing policy a cluster scenario uses.
+/// Which routing policy a cluster scenario uses. Deprecated alias layer:
+/// policies are owned by cluster::RoutingPolicyRegistry (registry.h) under
+/// the names RoutingPolicyKindName returns; prefer selecting by name
+/// (ClusterScenarioConfig::routing_name / ExperimentSpec). The enum stays
+/// for existing call sites and maps 1:1 onto registry names.
 enum class RoutingPolicyKind {
   kRoundRobin,
   kRandom,
@@ -225,7 +229,8 @@ enum class RoutingPolicyKind {
 const char* RoutingPolicyKindName(RoutingPolicyKind kind);
 
 /// Builds the configured policy. `seed` feeds the policy's private random
-/// stream (kRandom and kPowerOfD draw from it).
+/// stream (kRandom and kPowerOfD draw from it). Deprecated: a thin wrapper
+/// over RoutingPolicyRegistry::Make with the configs serialized to params.
 std::unique_ptr<RoutingPolicy> MakeRoutingPolicy(
     RoutingPolicyKind kind, uint64_t seed,
     const ThresholdPolicy::Config& threshold = ThresholdPolicy::Config{},

@@ -50,11 +50,9 @@ ClusterResult ClusterExperiment::Run() {
     node_configs.push_back(std::move(config));
   }
 
-  cluster::Cluster cluster(
-      &simulator, node_configs,
-      cluster::MakeRoutingPolicy(scenario_.routing, scenario_.seed,
-                                 scenario_.threshold, scenario_.power_of_d),
-      scenario_.seed);
+  cluster::Cluster cluster(&simulator, node_configs,
+                           MakeScenarioRoutingPolicy(scenario_),
+                           scenario_.seed);
   cluster.SetArrivalRateSchedule(scenario_.arrival_rate);
   if (scenario_.placement_enabled) {
     cluster.EnablePlacement(scenario_.placement);

@@ -1,8 +1,38 @@
 #include "core/cluster_scenario.h"
 
+#include <cstdio>
+
+#include "cluster/registry.h"
 #include "util/check.h"
 
 namespace alc::core {
+
+const char* ClusterScenarioConfig::resolved_routing_name() const {
+  return routing_name.empty() ? cluster::RoutingPolicyKindName(routing)
+                              : routing_name.c_str();
+}
+
+std::unique_ptr<cluster::RoutingPolicy> MakeScenarioRoutingPolicy(
+    const ClusterScenarioConfig& scenario) {
+  util::ParamMap params;
+  cluster::AppendThresholdParams(scenario.threshold, &params);
+  cluster::AppendPowerOfDParams(scenario.power_of_d, &params);
+  params.Merge(scenario.routing_params);
+
+  cluster::RoutingPolicyContext context;
+  context.params = &params;
+  context.seed = scenario.seed;
+
+  std::string error;
+  std::unique_ptr<cluster::RoutingPolicy> policy =
+      cluster::RoutingPolicyRegistry::Global().Make(
+          scenario.resolved_routing_name(), context, &error);
+  if (policy == nullptr) {
+    std::fprintf(stderr, "MakeScenarioRoutingPolicy: %s\n", error.c_str());
+    ALC_CHECK(policy != nullptr);
+  }
+  return policy;
+}
 
 uint64_t DecorrelatedNodeSeed(uint64_t base, int node_index) {
   // splitmix64 finalizer over a strided input: scrambles the additive

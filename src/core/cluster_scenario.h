@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -11,6 +12,7 @@
 #include "db/schedule.h"
 #include "db/workload.h"
 #include "placement/catalog.h"
+#include "util/params.h"
 
 namespace alc::core {
 
@@ -30,8 +32,15 @@ struct ClusterNodeScenario {
 /// reproducible from this struct (same config => bit-identical run).
 struct ClusterScenarioConfig {
   std::vector<ClusterNodeScenario> nodes;
+  /// Routing policy selection: `routing_name` (any RoutingPolicyRegistry
+  /// entry, including externally registered ones) when non-empty, else the
+  /// deprecated `routing` enum. The typed configs below are serialized to
+  /// their canonical params ("threshold.*", "power-of-d.d") and
+  /// `routing_params` is merged on top, so string-based overrides win.
   cluster::RoutingPolicyKind routing =
       cluster::RoutingPolicyKind::kJoinShortestQueue;
+  std::string routing_name;
+  util::ParamMap routing_params;
   cluster::ThresholdPolicy::Config threshold;   // used by kThresholdBased
   cluster::PowerOfDPolicy::Config power_of_d;   // used by kPowerOfD
   /// Cluster-wide Poisson arrival rate (transactions per second); a Steps
@@ -50,7 +59,17 @@ struct ClusterScenarioConfig {
   uint64_t seed = 1;
   double duration = 300.0;
   double warmup = 30.0;
+
+  /// The effective registry name of the routing policy.
+  const char* resolved_routing_name() const;
 };
+
+/// Builds the scenario's routing policy: a thin lookup into
+/// cluster::RoutingPolicyRegistry on the resolved name, with the typed
+/// configs serialized to params and `routing_params` merged on top. Aborts
+/// (with the registered names listed) on an unknown policy name.
+std::unique_ptr<cluster::RoutingPolicy> MakeScenarioRoutingPolicy(
+    const ClusterScenarioConfig& scenario);
 
 /// Derives the seed for one cluster node from a base seed. The mix is
 /// multiplicative (splitmix64 finalizer), not an additive stride: the

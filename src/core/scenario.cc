@@ -1,59 +1,86 @@
 #include "core/scenario.h"
 
-#include "control/fixed.h"
+#include <cstdio>
+
+#include "control/registry.h"
 #include "util/check.h"
 
 namespace alc::core {
 
 const char* ControllerKindName(ControllerKind kind) {
+  // The registry name is authoritative; the check pins the deprecated enum
+  // to it so the two cannot drift.
+  const char* name = "?";
   switch (kind) {
     case ControllerKind::kNone:
-      return "none";
+      name = "none";
+      break;
     case ControllerKind::kFixed:
-      return "fixed";
+      name = "fixed";
+      break;
     case ControllerKind::kTayRule:
-      return "tay-rule";
+      name = "tay-rule";
+      break;
     case ControllerKind::kIyerRule:
-      return "iyer-rule";
+      name = "iyer-rule";
+      break;
     case ControllerKind::kIncrementalSteps:
-      return "incremental-steps";
+      name = "incremental-steps";
+      break;
     case ControllerKind::kParabola:
-      return "parabola-approximation";
+      name = "parabola-approximation";
+      break;
     case ControllerKind::kGoldenSection:
-      return "golden-section";
+      name = "golden-section";
+      break;
   }
-  return "?";
+  ALC_CHECK(control::ControllerRegistry::Global().Contains(name));
+  return name;
+}
+
+const char* ControlConfig::resolved_name() const {
+  return name.empty() ? ControllerKindName(kind) : name.c_str();
+}
+
+void ControlConfig::ForceKind(ControllerKind k) {
+  kind = k;
+  name.clear();
+  params = util::ParamMap();
+}
+
+util::ParamMap ControlStructParams(const ControlConfig& control) {
+  util::ParamMap params;
+  control::AppendIsParams(control.is, &params);
+  control::AppendPaParams(control.pa, &params);
+  control::AppendGsParams(control.gs, &params);
+  control::AppendIyerParams(control.iyer, &params);
+  params.SetDouble("tay.threshold", control.tay_threshold);
+  params.SetDouble("fixed.limit", control.fixed_limit);
+  return params;
 }
 
 std::unique_ptr<control::LoadController> MakeController(
     const ScenarioConfig& scenario) {
   const ControlConfig& control = scenario.control;
-  switch (control.kind) {
-    case ControllerKind::kNone:
-      return std::make_unique<control::NoControlController>();
-    case ControllerKind::kFixed:
-      return std::make_unique<control::FixedLimitController>(
-          control.fixed_limit);
-    case ControllerKind::kTayRule: {
-      // The rule reads the *declared* workload descriptor k(t).
-      db::Schedule k_schedule = scenario.dynamics.k;
-      return std::make_unique<control::TayRuleController>(
-          static_cast<double>(scenario.system.logical.db_size),
-          [k_schedule](double t) { return k_schedule.Value(t); },
-          control.tay_threshold);
-    }
-    case ControllerKind::kIyerRule:
-      return std::make_unique<control::IyerRuleController>(control.iyer);
-    case ControllerKind::kIncrementalSteps:
-      return std::make_unique<control::IncrementalStepsController>(control.is);
-    case ControllerKind::kParabola:
-      return std::make_unique<control::ParabolaApproximationController>(
-          control.pa);
-    case ControllerKind::kGoldenSection:
-      return std::make_unique<control::GoldenSectionController>(control.gs);
+  util::ParamMap params = ControlStructParams(control);
+  params.Merge(control.params);
+
+  control::ControllerContext context;
+  context.params = &params;
+  context.db_size = static_cast<double>(scenario.system.logical.db_size);
+  // The Tay rule reads the *declared* workload descriptor k(t).
+  db::Schedule k_schedule = scenario.dynamics.k;
+  context.k_of_time = [k_schedule](double t) { return k_schedule.Value(t); };
+
+  std::string error;
+  std::unique_ptr<control::LoadController> controller =
+      control::ControllerRegistry::Global().Make(control.resolved_name(),
+                                                 context, &error);
+  if (controller == nullptr) {
+    std::fprintf(stderr, "MakeController: %s\n", error.c_str());
+    ALC_CHECK(controller != nullptr);
   }
-  ALC_CHECK(false);
-  return nullptr;
+  return controller;
 }
 
 ScenarioConfig DefaultScenario() {

@@ -2,6 +2,7 @@
 #define ALC_CORE_SCENARIO_H_
 
 #include <memory>
+#include <string>
 
 #include "control/controller.h"
 #include "control/golden_section.h"
@@ -11,11 +12,17 @@
 #include "db/config.h"
 #include "db/schedule.h"
 #include "db/workload.h"
+#include "util/params.h"
 
 namespace alc::core {
 
 /// Which load-control policy an experiment runs (paper section 1's options
-/// plus the two proposed algorithms).
+/// plus the two proposed algorithms). Deprecated alias layer: controllers
+/// are owned by control::ControllerRegistry (control/registry.h) under the
+/// names ControllerKindName returns; prefer selecting by name
+/// (ControlConfig::name / ExperimentSpec), which also reaches externally
+/// registered controllers the enum cannot express. The enum stays for
+/// existing call sites and maps 1:1 onto registry names.
 enum class ControllerKind {
   kNone,              // option 1: do nothing
   kFixed,             // option 2: static bound
@@ -26,11 +33,24 @@ enum class ControllerKind {
   kGoldenSection,     // extension: bracketing dynamic optimum search
 };
 
+/// Registry name of the built-in controller `kind` aliases. Checked against
+/// the registry at every call, so the alias table cannot drift from the
+/// registered names.
 const char* ControllerKindName(ControllerKind kind);
 
-/// Load-control wiring for an experiment.
+/// Load-control wiring for an experiment. The controller is selected by
+/// `name` when set (any ControllerRegistry entry, including externally
+/// registered ones), else by the deprecated `kind` enum. Configuration
+/// flows to the factory as params: the typed structs below are serialized
+/// to their canonical keys ("pa.dither", "is.beta", ...) first, then
+/// `params` is merged on top — so struct-based call sites keep working and
+/// string-based ones (spec files, sweep overrides) win on conflicts.
 struct ControlConfig {
   ControllerKind kind = ControllerKind::kParabola;
+  /// Registry name; overrides `kind` when non-empty.
+  std::string name;
+  /// String-keyed controller parameters; merged over the struct values.
+  util::ParamMap params;
   /// Measurement interval length Delta-t (paper section 5).
   double measurement_interval = 1.0;
   double initial_limit = 50.0;
@@ -45,7 +65,19 @@ struct ControlConfig {
   control::IyerRuleController::Config iyer;
   double tay_threshold = 1.5;
   double fixed_limit = 50.0;
+
+  /// The effective registry name.
+  const char* resolved_name() const;
+  /// Forces the built-in `kind`, clearing any name/params overrides that
+  /// would otherwise shadow struct fields set afterwards.
+  void ForceKind(ControllerKind k);
 };
+
+/// Serializes every typed config struct in `control` to its canonical
+/// params ("is.*", "pa.*", "gs.*", "iyer.*", "tay.threshold",
+/// "fixed.limit") — the full zoo, so a later controller-name switch (a
+/// sweep axis, a spec override) still finds its family's values.
+util::ParamMap ControlStructParams(const ControlConfig& control);
 
 /// A complete experiment description: system, workload dynamics, control
 /// policy, and run horizon. Everything is reproducible from this struct.
@@ -60,8 +92,12 @@ struct ScenarioConfig {
   double warmup = 30.0;     // s excluded from summary statistics
 };
 
-/// Builds the configured controller. The scenario is needed because the Tay
-/// rule reads the declared k(t) schedule and database size.
+/// Builds the configured controller: a thin lookup into
+/// control::ControllerRegistry on the resolved name, with the typed structs
+/// serialized to params and ControlConfig::params merged on top. The
+/// scenario is needed because the Tay rule reads the declared k(t) schedule
+/// and database size. Aborts (with the registered names listed) on an
+/// unknown controller name.
 std::unique_ptr<control::LoadController> MakeController(
     const ScenarioConfig& scenario);
 

@@ -1,0 +1,988 @@
+#include "core/spec.h"
+
+#include <cctype>
+#include <climits>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "cluster/registry.h"
+#include "control/registry.h"
+#include "util/check.h"
+
+namespace alc::core {
+
+namespace {
+
+using util::TrimWhitespace;
+
+bool HasPrefix(const std::string& text, const char* prefix) {
+  return text.rfind(prefix, 0) == 0;
+}
+
+/// Registry membership check shared by the routing / controller keys:
+/// unknown names fail at assign time with the registered names listed,
+/// instead of aborting deep inside the run. Names must therefore be
+/// registered before specs referencing them are parsed.
+template <typename Registry>
+bool CheckRegistered(const Registry& registry, const char* what,
+                     const std::string& name, std::string* error) {
+  if (registry.Contains(name)) return true;
+  *error = std::string("unknown ") + what + " '" + name + "'; registered:";
+  for (const std::string& known : registry.Names()) *error += " " + known;
+  return false;
+}
+
+// ------------------------------------------------------------ enum names --
+
+const char* CcSchemeName(db::CcScheme cc) {
+  switch (cc) {
+    case db::CcScheme::kOptimisticCertification:
+      return "occ";
+    case db::CcScheme::kTwoPhaseLocking:
+      return "2pl";
+  }
+  return "?";
+}
+
+bool ParseCcScheme(const std::string& name, db::CcScheme* out) {
+  if (name == "occ") {
+    *out = db::CcScheme::kOptimisticCertification;
+  } else if (name == "2pl") {
+    *out = db::CcScheme::kTwoPhaseLocking;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* ArrivalModeName(db::ArrivalMode mode) {
+  switch (mode) {
+    case db::ArrivalMode::kClosed:
+      return "closed";
+    case db::ArrivalMode::kOpen:
+      return "open";
+    case db::ArrivalMode::kExternal:
+      return "external";
+  }
+  return "?";
+}
+
+bool ParseArrivalMode(const std::string& name, db::ArrivalMode* out) {
+  if (name == "closed") {
+    *out = db::ArrivalMode::kClosed;
+  } else if (name == "open") {
+    *out = db::ArrivalMode::kOpen;
+  } else if (name == "external") {
+    *out = db::ArrivalMode::kExternal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* DistributionName(db::ServiceDistribution distribution) {
+  switch (distribution) {
+    case db::ServiceDistribution::kExponential:
+      return "exponential";
+    case db::ServiceDistribution::kDeterministic:
+      return "deterministic";
+    case db::ServiceDistribution::kErlang2:
+      return "erlang2";
+  }
+  return "?";
+}
+
+bool ParseDistribution(const std::string& name, db::ServiceDistribution* out) {
+  if (name == "exponential") {
+    *out = db::ServiceDistribution::kExponential;
+  } else if (name == "deterministic") {
+    *out = db::ServiceDistribution::kDeterministic;
+  } else if (name == "erlang2") {
+    *out = db::ServiceDistribution::kErlang2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParsePlacementKind(const std::string& name, placement::PlacementKind* out) {
+  if (name == "hash") {
+    *out = placement::PlacementKind::kHash;
+  } else if (name == "range") {
+    *out = placement::PlacementKind::kRange;
+  } else if (name == "replicated") {
+    *out = placement::PlacementKind::kReplicated;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// --------------------------------------------------------- typed setters --
+
+bool SetDoubleField(const std::string& key, const std::string& value,
+                    double* out, std::string* error) {
+  if (!util::ParseDouble(value, out)) {
+    *error = "key '" + key + "': malformed number '" + value + "'";
+    return false;
+  }
+  return true;
+}
+
+bool SetIntField(const std::string& key, const std::string& value, int* out,
+                 std::string* error) {
+  long long parsed = 0;
+  if (!util::ParseInt(value, &parsed) || parsed < INT_MIN ||
+      parsed > INT_MAX) {
+    *error = "key '" + key + "': malformed or out-of-range integer '" +
+             value + "'";
+    return false;
+  }
+  *out = static_cast<int>(parsed);
+  return true;
+}
+
+bool SetBoolField(const std::string& key, const std::string& value, bool* out,
+                  std::string* error) {
+  if (!util::ParseBool(value, out)) {
+    *error = "key '" + key + "': expected true/false, got '" + value + "'";
+    return false;
+  }
+  return true;
+}
+
+bool SetUint64Field(const std::string& key, const std::string& value,
+                    uint64_t* out, std::string* error) {
+  if (!util::ParseUint64(value, out)) {
+    *error = "key '" + key + "': malformed unsigned integer '" + value + "'";
+    return false;
+  }
+  return true;
+}
+
+using ScheduleMap = std::map<std::string, db::Schedule>;
+
+/// A schedule value is either a literal ("steps(...)") or a `$name`
+/// reference into the spec's [schedules] section.
+bool SetScheduleField(const std::string& key, const std::string& value,
+                      const ScheduleMap& schedules, db::Schedule* out,
+                      std::string* error) {
+  if (!value.empty() && value[0] == '$') {
+    const std::string name = value.substr(1);
+    auto it = schedules.find(name);
+    if (it == schedules.end()) {
+      *error = "key '" + key + "': unknown schedule reference '$" + name +
+               "' (define it in [schedules] first)";
+      return false;
+    }
+    *out = it->second;
+    return true;
+  }
+  if (!db::Schedule::Parse(value, out)) {
+    *error = "key '" + key + "': malformed schedule literal '" + value + "'";
+    return false;
+  }
+  return true;
+}
+
+// --------------------------------------------------------- key assigners --
+
+bool AssignExperimentKey(ExperimentSpec* spec, const std::string& key,
+                         const std::string& value,
+                         const ScheduleMap& schedules, std::string* error) {
+  if (key == "name") {
+    spec->name = value;
+    return true;
+  }
+  if (key == "cluster") return SetBoolField(key, value, &spec->cluster, error);
+  if (key == "seed") return SetUint64Field(key, value, &spec->seed, error);
+  if (key == "duration") {
+    return SetDoubleField(key, value, &spec->duration, error);
+  }
+  if (key == "warmup") return SetDoubleField(key, value, &spec->warmup, error);
+  if (key == "active_terminals") {
+    return SetScheduleField(key, value, schedules, &spec->active_terminals,
+                            error);
+  }
+  if (key == "arrival_rate") {
+    return SetScheduleField(key, value, schedules, &spec->arrival_rate, error);
+  }
+  if (key == "routing") {
+    if (!CheckRegistered(cluster::RoutingPolicyRegistry::Global(),
+                         "routing policy", value, error)) {
+      return false;
+    }
+    spec->routing = value;
+    return true;
+  }
+  if (HasPrefix(key, "routing.")) {
+    spec->routing_params.Set(key.substr(8), value);
+    return true;
+  }
+  *error = "unknown experiment key '" + key + "'";
+  return false;
+}
+
+bool AssignPlacementKey(ExperimentSpec* spec, const std::string& key,
+                        const std::string& value,
+                        const ScheduleMap& schedules, std::string* error) {
+  if (key == "enabled") {
+    return SetBoolField(key, value, &spec->placement_enabled, error);
+  }
+  if (key == "kind") {
+    if (!ParsePlacementKind(value, &spec->placement.kind)) {
+      *error = "key 'kind': expected hash/range/replicated, got '" + value +
+               "'";
+      return false;
+    }
+    return true;
+  }
+  if (key == "num_partitions") {
+    return SetIntField(key, value, &spec->placement.num_partitions, error);
+  }
+  if (key == "replication_factor") {
+    return SetIntField(key, value, &spec->placement.replication_factor, error);
+  }
+  if (key == "rebalance_interval") {
+    return SetDoubleField(key, value, &spec->placement.rebalance_interval,
+                          error);
+  }
+  if (key == "rebalance_moves") {
+    return SetIntField(key, value, &spec->placement.rebalance_moves, error);
+  }
+  db::LogicalConfig* workload = &spec->placement_workload;
+  if (key == "workload.db_size") {
+    uint64_t db_size = 0;
+    if (!SetUint64Field(key, value, &db_size, error)) return false;
+    workload->db_size = static_cast<uint32_t>(db_size);
+    return true;
+  }
+  if (key == "workload.accesses_per_txn") {
+    return SetIntField(key, value, &workload->accesses_per_txn, error);
+  }
+  if (key == "workload.query_fraction") {
+    return SetDoubleField(key, value, &workload->query_fraction, error);
+  }
+  if (key == "workload.write_fraction") {
+    return SetDoubleField(key, value, &workload->write_fraction, error);
+  }
+  if (key == "workload.resample_on_restart") {
+    return SetBoolField(key, value, &workload->resample_on_restart, error);
+  }
+  if (key == "workload.hotspot_access_prob") {
+    return SetDoubleField(key, value, &workload->hotspot_access_prob, error);
+  }
+  if (key == "workload.hotspot_size_fraction") {
+    return SetDoubleField(key, value, &workload->hotspot_size_fraction, error);
+  }
+  if (key == "dynamics.k" || key == "dynamics.query_fraction" ||
+      key == "dynamics.write_fraction") {
+    // Parse into a scratch schedule first: a malformed value must not leave
+    // the optional engaged as a side effect.
+    db::Schedule schedule;
+    if (!SetScheduleField(key, value, schedules, &schedule, error)) {
+      return false;
+    }
+    if (!spec->placement_dynamics.has_value()) {
+      spec->placement_dynamics = db::WorkloadDynamics{};
+    }
+    db::WorkloadDynamics* dynamics = &spec->placement_dynamics.value();
+    if (key == "dynamics.k") {
+      dynamics->k = schedule;
+    } else if (key == "dynamics.query_fraction") {
+      dynamics->query_fraction = schedule;
+    } else {
+      dynamics->write_fraction = schedule;
+    }
+    return true;
+  }
+  if (key == "remote.cpu_penalty") {
+    return SetDoubleField(key, value, &spec->remote_access.cpu_penalty, error);
+  }
+  if (key == "remote.latency") {
+    return SetDoubleField(key, value, &spec->remote_access.latency, error);
+  }
+  if (key == "remote.serve_cpu") {
+    return SetDoubleField(key, value, &spec->remote_access.serve_cpu, error);
+  }
+  *error = "unknown placement key '" + key + "'";
+  return false;
+}
+
+/// Parse-time-only per-node state: `count` cloning and whether the node
+/// declared its own seed (both drive the expansion pass). Null in override
+/// mode, where `count` is rejected.
+struct NodeParseState {
+  bool seed_set = false;
+  int count = 1;
+};
+
+bool AssignNodeKey(NodeSpec* node, const std::string& key,
+                   const std::string& value, const ScheduleMap& schedules,
+                   NodeParseState* parse_state, std::string* error) {
+  if (key == "count") {
+    if (parse_state == nullptr) {
+      *error = "'count' is only valid inside a spec file's [node] section";
+      return false;
+    }
+    if (!SetIntField(key, value, &parse_state->count, error)) return false;
+    if (parse_state->count < 1) {
+      *error = "key 'count': must be >= 1";
+      return false;
+    }
+    return true;
+  }
+  if (key == "seed") {
+    if (!SetUint64Field(key, value, &node->system.seed, error)) return false;
+    if (parse_state != nullptr) parse_state->seed_set = true;
+    return true;
+  }
+  if (key == "cc") {
+    if (!ParseCcScheme(value, &node->system.cc)) {
+      *error = "key 'cc': expected occ/2pl, got '" + value + "'";
+      return false;
+    }
+    return true;
+  }
+  if (key == "arrivals") {
+    if (!ParseArrivalMode(value, &node->system.arrivals)) {
+      *error = "key 'arrivals': expected closed/open/external, got '" + value +
+               "'";
+      return false;
+    }
+    return true;
+  }
+  if (key == "open_arrival_rate") {
+    return SetDoubleField(key, value, &node->system.open_arrival_rate, error);
+  }
+  if (key == "record_history") {
+    return SetBoolField(key, value, &node->system.record_history, error);
+  }
+
+  db::PhysicalConfig* physical = &node->system.physical;
+  if (key == "physical.num_terminals") {
+    return SetIntField(key, value, &physical->num_terminals, error);
+  }
+  if (key == "physical.think_time_mean") {
+    return SetDoubleField(key, value, &physical->think_time_mean, error);
+  }
+  if (key == "physical.num_cpus") {
+    return SetIntField(key, value, &physical->num_cpus, error);
+  }
+  if (key == "physical.cpu_init_mean") {
+    return SetDoubleField(key, value, &physical->cpu_init_mean, error);
+  }
+  if (key == "physical.cpu_access_mean") {
+    return SetDoubleField(key, value, &physical->cpu_access_mean, error);
+  }
+  if (key == "physical.cpu_commit_mean") {
+    return SetDoubleField(key, value, &physical->cpu_commit_mean, error);
+  }
+  if (key == "physical.cpu_write_commit_mean") {
+    return SetDoubleField(key, value, &physical->cpu_write_commit_mean, error);
+  }
+  if (key == "physical.io_time") {
+    return SetDoubleField(key, value, &physical->io_time, error);
+  }
+  if (key == "physical.restart_delay_mean") {
+    return SetDoubleField(key, value, &physical->restart_delay_mean, error);
+  }
+  if (key == "physical.cpu_distribution") {
+    if (!ParseDistribution(value, &physical->cpu_distribution)) {
+      *error =
+          "key 'physical.cpu_distribution': expected "
+          "exponential/deterministic/erlang2, got '" +
+          value + "'";
+      return false;
+    }
+    return true;
+  }
+
+  db::LogicalConfig* logical = &node->system.logical;
+  if (key == "logical.db_size") {
+    uint64_t db_size = 0;
+    if (!SetUint64Field(key, value, &db_size, error)) return false;
+    logical->db_size = static_cast<uint32_t>(db_size);
+    return true;
+  }
+  if (key == "logical.accesses_per_txn") {
+    return SetIntField(key, value, &logical->accesses_per_txn, error);
+  }
+  if (key == "logical.query_fraction") {
+    return SetDoubleField(key, value, &logical->query_fraction, error);
+  }
+  if (key == "logical.write_fraction") {
+    return SetDoubleField(key, value, &logical->write_fraction, error);
+  }
+  if (key == "logical.resample_on_restart") {
+    return SetBoolField(key, value, &logical->resample_on_restart, error);
+  }
+  if (key == "logical.hotspot_access_prob") {
+    return SetDoubleField(key, value, &logical->hotspot_access_prob, error);
+  }
+  if (key == "logical.hotspot_size_fraction") {
+    return SetDoubleField(key, value, &logical->hotspot_size_fraction, error);
+  }
+
+  if (key == "remote.cpu_penalty") {
+    return SetDoubleField(key, value, &node->system.remote.cpu_penalty, error);
+  }
+  if (key == "remote.latency") {
+    return SetDoubleField(key, value, &node->system.remote.latency, error);
+  }
+  if (key == "remote.serve_cpu") {
+    return SetDoubleField(key, value, &node->system.remote.serve_cpu, error);
+  }
+
+  if (key == "dynamics.k") {
+    return SetScheduleField(key, value, schedules, &node->dynamics.k, error);
+  }
+  if (key == "dynamics.query_fraction") {
+    return SetScheduleField(key, value, schedules,
+                            &node->dynamics.query_fraction, error);
+  }
+  if (key == "dynamics.write_fraction") {
+    return SetScheduleField(key, value, schedules,
+                            &node->dynamics.write_fraction, error);
+  }
+  if (key == "cpu_speed") {
+    return SetScheduleField(key, value, schedules, &node->cpu_speed, error);
+  }
+
+  if (key == "control.controller") {
+    if (!CheckRegistered(control::ControllerRegistry::Global(), "controller",
+                         value, error)) {
+      return false;
+    }
+    node->control.controller = value;
+    return true;
+  }
+  if (key == "control.measurement_interval") {
+    return SetDoubleField(key, value, &node->control.measurement_interval,
+                          error);
+  }
+  if (key == "control.initial_limit") {
+    return SetDoubleField(key, value, &node->control.initial_limit, error);
+  }
+  if (key == "control.displacement") {
+    return SetBoolField(key, value, &node->control.displacement, error);
+  }
+  if (key == "control.outer_tuner") {
+    return SetBoolField(key, value, &node->control.outer_tuner, error);
+  }
+  if (HasPrefix(key, "control.")) {
+    // Anything else under control. is a controller parameter, e.g.
+    // control.pa.dither -> params["pa.dither"]. Unknown keys flow through
+    // so externally registered controllers can define their own.
+    node->control.params.Set(key.substr(8), value);
+    return true;
+  }
+
+  *error = "unknown node key '" + key + "'";
+  return false;
+}
+
+// ---------------------------------------------------------------- printer --
+
+void Emit(std::string* out, const std::string& key, const std::string& value) {
+  *out += key;
+  *out += " = ";
+  *out += value;
+  *out += "\n";
+}
+
+void EmitDouble(std::string* out, const std::string& key, double value) {
+  Emit(out, key, util::FormatDouble(value));
+}
+
+void EmitInt(std::string* out, const std::string& key, long long value) {
+  Emit(out, key, std::to_string(value));
+}
+
+void EmitBool(std::string* out, const std::string& key, bool value) {
+  Emit(out, key, value ? "true" : "false");
+}
+
+void EmitDynamics(std::string* out, const db::WorkloadDynamics& dynamics) {
+  Emit(out, "dynamics.k", dynamics.k.ToString());
+  Emit(out, "dynamics.query_fraction", dynamics.query_fraction.ToString());
+  Emit(out, "dynamics.write_fraction", dynamics.write_fraction.ToString());
+}
+
+void EmitNode(std::string* out, const NodeSpec& node) {
+  *out += "\n[node]\n";
+  Emit(out, "seed", std::to_string(node.system.seed));
+  Emit(out, "cc", CcSchemeName(node.system.cc));
+  Emit(out, "arrivals", ArrivalModeName(node.system.arrivals));
+  EmitDouble(out, "open_arrival_rate", node.system.open_arrival_rate);
+  EmitBool(out, "record_history", node.system.record_history);
+
+  const db::PhysicalConfig& physical = node.system.physical;
+  EmitInt(out, "physical.num_terminals", physical.num_terminals);
+  EmitDouble(out, "physical.think_time_mean", physical.think_time_mean);
+  EmitInt(out, "physical.num_cpus", physical.num_cpus);
+  EmitDouble(out, "physical.cpu_init_mean", physical.cpu_init_mean);
+  EmitDouble(out, "physical.cpu_access_mean", physical.cpu_access_mean);
+  EmitDouble(out, "physical.cpu_commit_mean", physical.cpu_commit_mean);
+  EmitDouble(out, "physical.cpu_write_commit_mean",
+             physical.cpu_write_commit_mean);
+  EmitDouble(out, "physical.io_time", physical.io_time);
+  EmitDouble(out, "physical.restart_delay_mean", physical.restart_delay_mean);
+  Emit(out, "physical.cpu_distribution",
+       DistributionName(physical.cpu_distribution));
+
+  const db::LogicalConfig& logical = node.system.logical;
+  EmitInt(out, "logical.db_size", logical.db_size);
+  EmitInt(out, "logical.accesses_per_txn", logical.accesses_per_txn);
+  EmitDouble(out, "logical.query_fraction", logical.query_fraction);
+  EmitDouble(out, "logical.write_fraction", logical.write_fraction);
+  EmitBool(out, "logical.resample_on_restart", logical.resample_on_restart);
+  EmitDouble(out, "logical.hotspot_access_prob", logical.hotspot_access_prob);
+  EmitDouble(out, "logical.hotspot_size_fraction",
+             logical.hotspot_size_fraction);
+
+  EmitDouble(out, "remote.cpu_penalty", node.system.remote.cpu_penalty);
+  EmitDouble(out, "remote.latency", node.system.remote.latency);
+  EmitDouble(out, "remote.serve_cpu", node.system.remote.serve_cpu);
+
+  EmitDynamics(out, node.dynamics);
+  Emit(out, "cpu_speed", node.cpu_speed.ToString());
+
+  Emit(out, "control.controller", node.control.controller);
+  EmitDouble(out, "control.measurement_interval",
+             node.control.measurement_interval);
+  EmitDouble(out, "control.initial_limit", node.control.initial_limit);
+  EmitBool(out, "control.displacement", node.control.displacement);
+  EmitBool(out, "control.outer_tuner", node.control.outer_tuner);
+  for (const auto& [key, value] : node.control.params.entries()) {
+    Emit(out, "control." + key, value);
+  }
+}
+
+// ------------------------------------------------------ control bridging --
+
+ControlConfig ToControlConfig(const ControlSpec& spec) {
+  ControlConfig control;
+  control.name = spec.controller;
+  control.params = spec.params;
+  control.measurement_interval = spec.measurement_interval;
+  control.initial_limit = spec.initial_limit;
+  control.displacement = spec.displacement;
+  control.outer_tuner = spec.outer_tuner;
+  return control;
+}
+
+ControlSpec FromControlConfig(const ControlConfig& control) {
+  ControlSpec spec;
+  spec.controller = control.resolved_name();
+  // Embed the typed structs as canonical params; explicit params win, which
+  // mirrors the MakeController merge order exactly.
+  spec.params = ControlStructParams(control);
+  spec.params.Merge(control.params);
+  spec.measurement_interval = control.measurement_interval;
+  spec.initial_limit = control.initial_limit;
+  spec.displacement = control.displacement;
+  spec.outer_tuner = control.outer_tuner;
+  return spec;
+}
+
+}  // namespace
+
+std::string PrintSpec(const ExperimentSpec& spec) {
+  std::string out;
+  out += "# Canonical ExperimentSpec (core/spec.h); run with: alc_run <file>\n";
+  out += "[experiment]\n";
+  Emit(&out, "name", spec.name);
+  EmitBool(&out, "cluster", spec.cluster);
+  Emit(&out, "seed", std::to_string(spec.seed));
+  EmitDouble(&out, "duration", spec.duration);
+  EmitDouble(&out, "warmup", spec.warmup);
+  Emit(&out, "active_terminals", spec.active_terminals.ToString());
+  Emit(&out, "arrival_rate", spec.arrival_rate.ToString());
+  Emit(&out, "routing", spec.routing);
+  for (const auto& [key, value] : spec.routing_params.entries()) {
+    Emit(&out, "routing." + key, value);
+  }
+
+  out += "\n[placement]\n";
+  EmitBool(&out, "enabled", spec.placement_enabled);
+  Emit(&out, "kind", placement::PlacementKindName(spec.placement.kind));
+  EmitInt(&out, "num_partitions", spec.placement.num_partitions);
+  EmitInt(&out, "replication_factor", spec.placement.replication_factor);
+  EmitDouble(&out, "rebalance_interval", spec.placement.rebalance_interval);
+  EmitInt(&out, "rebalance_moves", spec.placement.rebalance_moves);
+  const db::LogicalConfig& workload = spec.placement_workload;
+  EmitInt(&out, "workload.db_size", workload.db_size);
+  EmitInt(&out, "workload.accesses_per_txn", workload.accesses_per_txn);
+  EmitDouble(&out, "workload.query_fraction", workload.query_fraction);
+  EmitDouble(&out, "workload.write_fraction", workload.write_fraction);
+  EmitBool(&out, "workload.resample_on_restart", workload.resample_on_restart);
+  EmitDouble(&out, "workload.hotspot_access_prob",
+             workload.hotspot_access_prob);
+  EmitDouble(&out, "workload.hotspot_size_fraction",
+             workload.hotspot_size_fraction);
+  if (spec.placement_dynamics.has_value()) {
+    EmitDynamics(&out, *spec.placement_dynamics);
+  }
+  EmitDouble(&out, "remote.cpu_penalty", spec.remote_access.cpu_penalty);
+  EmitDouble(&out, "remote.latency", spec.remote_access.latency);
+  EmitDouble(&out, "remote.serve_cpu", spec.remote_access.serve_cpu);
+
+  for (const NodeSpec& node : spec.nodes) {
+    EmitNode(&out, node);
+  }
+  return out;
+}
+
+bool ParseSpec(const std::string& text, ExperimentSpec* out,
+               std::string* error) {
+  ExperimentSpec spec;
+  ScheduleMap schedules;
+  std::vector<NodeParseState> node_states;
+
+  enum class Section { kExperiment, kSchedules, kPlacement, kNode };
+  Section section = Section::kExperiment;
+
+  std::istringstream stream(text);
+  std::string line;
+  int line_number = 0;
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_number) + ": " + message;
+    }
+    return false;
+  };
+
+  while (std::getline(stream, line)) {
+    ++line_number;
+    // A '#' opens a comment only at line start or after whitespace, so
+    // values containing '#' (a name, a registered policy) survive the
+    // print/parse round trip.
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '#' &&
+          (i == 0 ||
+           std::isspace(static_cast<unsigned char>(line[i - 1])))) {
+        line.resize(i);
+        break;
+      }
+    }
+    line = TrimWhitespace(line);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') return fail("malformed section header");
+      const std::string name = TrimWhitespace(line.substr(1, line.size() - 2));
+      if (name == "experiment") {
+        section = Section::kExperiment;
+      } else if (name == "schedules") {
+        section = Section::kSchedules;
+      } else if (name == "placement") {
+        section = Section::kPlacement;
+      } else if (name == "node") {
+        spec.nodes.emplace_back();
+        node_states.emplace_back();
+        section = Section::kNode;
+      } else {
+        return fail("unknown section [" + name + "]");
+      }
+      continue;
+    }
+
+    const size_t equals = line.find('=');
+    if (equals == std::string::npos) return fail("expected 'key = value'");
+    const std::string key = TrimWhitespace(line.substr(0, equals));
+    const std::string value = TrimWhitespace(line.substr(equals + 1));
+    if (key.empty()) return fail("empty key");
+
+    std::string message;
+    bool ok = true;
+    switch (section) {
+      case Section::kExperiment:
+        ok = AssignExperimentKey(&spec, key, value, schedules, &message);
+        break;
+      case Section::kSchedules: {
+        db::Schedule schedule;
+        ok = db::Schedule::Parse(value, &schedule);
+        if (!ok) {
+          message = "malformed schedule literal '" + value + "'";
+        } else {
+          schedules[key] = schedule;
+        }
+        break;
+      }
+      case Section::kPlacement:
+        ok = AssignPlacementKey(&spec, key, value, schedules, &message);
+        break;
+      case Section::kNode:
+        ok = AssignNodeKey(&spec.nodes.back(), key, value, schedules,
+                           &node_states.back(), &message);
+        break;
+    }
+    if (!ok) return fail(message);
+  }
+
+  // Expansion pass: clone counted nodes; resolve seed inheritance. A node
+  // cloned from a declared seed decorrelates over its clone index; every
+  // other undeclared seed decorrelates over the node's final fleet index —
+  // two bare [node] sections must not share a random stream. The
+  // single-node case inherits the experiment seed directly (and matches
+  // what an ApplySpecOverride of "seed" produces).
+  std::vector<NodeSpec> expanded;
+  std::vector<bool> inherited;
+  for (size_t i = 0; i < spec.nodes.size(); ++i) {
+    const NodeSpec& node = spec.nodes[i];
+    const NodeParseState& state = node_states[i];
+    if (state.count == 1) {
+      expanded.push_back(node);
+      inherited.push_back(!state.seed_set);
+    } else {
+      for (int clone = 0; clone < state.count; ++clone) {
+        expanded.push_back(node);
+        if (state.seed_set) {
+          expanded.back().system.seed =
+              DecorrelatedNodeSeed(node.system.seed, clone);
+        }
+        inherited.push_back(!state.seed_set);
+      }
+    }
+  }
+  for (size_t i = 0; i < expanded.size(); ++i) {
+    if (!inherited[i]) continue;
+    expanded[i].system.seed =
+        expanded.size() == 1
+            ? spec.seed
+            : DecorrelatedNodeSeed(spec.seed, static_cast<int>(i));
+  }
+  spec.nodes = std::move(expanded);
+
+  // Mode/fleet-shape validation here, with a message, rather than as a
+  // CHECK abort inside ToScenario/ToClusterScenario.
+  if (spec.nodes.empty()) {
+    if (error != nullptr) *error = "spec declares no [node] section";
+    return false;
+  }
+  if (!spec.cluster && spec.nodes.size() != 1) {
+    if (error != nullptr) {
+      *error = "single-node mode (cluster = false) requires exactly one "
+               "node, got " +
+               std::to_string(spec.nodes.size());
+    }
+    return false;
+  }
+
+  *out = std::move(spec);
+  return true;
+}
+
+bool LoadSpecFile(const std::string& path, ExperimentSpec* out,
+                  std::string* error) {
+  std::ifstream file(path);
+  if (!file) {
+    if (error != nullptr) *error = "cannot open spec file '" + path + "'";
+    return false;
+  }
+  std::ostringstream text;
+  text << file.rdbuf();
+  if (!ParseSpec(text.str(), out, error)) {
+    if (error != nullptr) *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+bool ApplySpecOverride(ExperimentSpec* spec, const std::string& key,
+                       const std::string& value, std::string* error) {
+  std::string message;
+  static const ScheduleMap kNoSchedules;
+
+  if (key == "seed") {
+    // Parse-time seed inheritance has already stamped every node, so an
+    // experiment-seed override must re-derive the node seeds too —
+    // otherwise a replication sweep ("--sweep seed=1,2,3") would rerun
+    // identical simulations. Nodes that need a pinned seed under an
+    // experiment-seed sweep can be re-pinned with a later node<i>.seed
+    // override.
+    if (!SetUint64Field(key, value, &spec->seed, error ? error : &message)) {
+      return false;
+    }
+    if (spec->nodes.size() == 1) {
+      spec->nodes[0].system.seed = spec->seed;
+    } else {
+      for (size_t i = 0; i < spec->nodes.size(); ++i) {
+        spec->nodes[i].system.seed =
+            DecorrelatedNodeSeed(spec->seed, static_cast<int>(i));
+      }
+    }
+    return true;
+  }
+
+  if (HasPrefix(key, "placement.")) {
+    if (!AssignPlacementKey(spec, key.substr(10), value, kNoSchedules,
+                            &message)) {
+      if (error != nullptr) *error = message;
+      return false;
+    }
+    return true;
+  }
+  if (HasPrefix(key, "node")) {
+    // "node.<key>" applies to every node, "node<i>.<key>" to node i.
+    const size_t dot = key.find('.');
+    if (dot != std::string::npos) {
+      const std::string selector = key.substr(4, dot - 4);
+      const std::string subkey = key.substr(dot + 1);
+      if (selector.empty()) {
+        if (spec->nodes.empty()) {
+          if (error != nullptr) *error = "override '" + key + "': no nodes";
+          return false;
+        }
+        if (subkey == "seed") {
+          // Broadcasting one literal seed to the whole fleet would run
+          // every node on the same random stream; decorrelate per index
+          // like the experiment-level "seed" override. Pin one node with
+          // node<i>.seed when an exact value is wanted.
+          uint64_t base = 0;
+          if (!SetUint64Field(key, value, &base,
+                              error != nullptr ? error : &message)) {
+            return false;
+          }
+          for (size_t i = 0; i < spec->nodes.size(); ++i) {
+            spec->nodes[i].system.seed =
+                spec->nodes.size() == 1
+                    ? base
+                    : DecorrelatedNodeSeed(base, static_cast<int>(i));
+          }
+          return true;
+        }
+        for (NodeSpec& node : spec->nodes) {
+          if (!AssignNodeKey(&node, subkey, value, kNoSchedules, nullptr,
+                             &message)) {
+            if (error != nullptr) *error = message;
+            return false;
+          }
+        }
+        return true;
+      }
+      long long index = 0;
+      if (util::ParseInt(selector, &index)) {
+        if (index < 0 || index >= static_cast<long long>(spec->nodes.size())) {
+          if (error != nullptr) {
+            *error = "override '" + key + "': node index out of range (" +
+                     std::to_string(spec->nodes.size()) + " nodes)";
+          }
+          return false;
+        }
+        if (!AssignNodeKey(&spec->nodes[static_cast<size_t>(index)], subkey,
+                           value, kNoSchedules, nullptr, &message)) {
+          if (error != nullptr) *error = message;
+          return false;
+        }
+        return true;
+      }
+      // Not a node selector after all (no such key exists today, but fall
+      // through to the experiment namespace for forward compatibility).
+    }
+  }
+  if (!AssignExperimentKey(spec, key, value, kNoSchedules, &message)) {
+    if (error != nullptr) *error = message;
+    return false;
+  }
+  return true;
+}
+
+ExperimentSpec SpecFromScenario(const ScenarioConfig& scenario) {
+  ExperimentSpec spec;
+  spec.cluster = false;
+  spec.seed = scenario.system.seed;
+  spec.duration = scenario.duration;
+  spec.warmup = scenario.warmup;
+  spec.active_terminals = scenario.active_terminals;
+  NodeSpec node;
+  node.system = scenario.system;
+  node.dynamics = scenario.dynamics;
+  node.control = FromControlConfig(scenario.control);
+  spec.nodes.push_back(std::move(node));
+  return spec;
+}
+
+ExperimentSpec SpecFromCluster(const ClusterScenarioConfig& scenario) {
+  ExperimentSpec spec;
+  spec.cluster = true;
+  spec.seed = scenario.seed;
+  spec.duration = scenario.duration;
+  spec.warmup = scenario.warmup;
+  spec.routing = scenario.resolved_routing_name();
+  cluster::AppendThresholdParams(scenario.threshold, &spec.routing_params);
+  cluster::AppendPowerOfDParams(scenario.power_of_d, &spec.routing_params);
+  spec.routing_params.Merge(scenario.routing_params);
+  spec.arrival_rate = scenario.arrival_rate;
+  spec.placement_enabled = scenario.placement_enabled;
+  spec.placement = scenario.placement.placement;
+  spec.placement_workload = scenario.placement.workload;
+  spec.placement_dynamics = scenario.placement.dynamics;
+  spec.remote_access = scenario.remote_access;
+  spec.nodes.reserve(scenario.nodes.size());
+  for (const ClusterNodeScenario& node : scenario.nodes) {
+    NodeSpec node_spec;
+    node_spec.system = node.system;
+    node_spec.dynamics = node.dynamics;
+    node_spec.control = FromControlConfig(node.control);
+    node_spec.cpu_speed = node.cpu_speed;
+    spec.nodes.push_back(std::move(node_spec));
+  }
+  return spec;
+}
+
+ScenarioConfig ToScenario(const ExperimentSpec& spec) {
+  ALC_CHECK(!spec.cluster);
+  ALC_CHECK_EQ(spec.nodes.size(), 1u);
+  ScenarioConfig scenario;
+  scenario.system = spec.nodes[0].system;
+  scenario.dynamics = spec.nodes[0].dynamics;
+  scenario.active_terminals = spec.active_terminals;
+  scenario.control = ToControlConfig(spec.nodes[0].control);
+  scenario.duration = spec.duration;
+  scenario.warmup = spec.warmup;
+  return scenario;
+}
+
+ClusterScenarioConfig ToClusterScenario(const ExperimentSpec& spec) {
+  ALC_CHECK(spec.cluster);
+  ALC_CHECK(!spec.nodes.empty());
+  ClusterScenarioConfig scenario;
+  scenario.routing_name = spec.routing;
+  scenario.routing_params = spec.routing_params;
+  scenario.arrival_rate = spec.arrival_rate;
+  scenario.placement_enabled = spec.placement_enabled;
+  scenario.placement.placement = spec.placement;
+  scenario.placement.workload = spec.placement_workload;
+  scenario.placement.dynamics = spec.placement_dynamics;
+  scenario.remote_access = spec.remote_access;
+  scenario.seed = spec.seed;
+  scenario.duration = spec.duration;
+  scenario.warmup = spec.warmup;
+  scenario.nodes.reserve(spec.nodes.size());
+  for (const NodeSpec& node : spec.nodes) {
+    ClusterNodeScenario node_scenario;
+    node_scenario.system = node.system;
+    node_scenario.dynamics = node.dynamics;
+    node_scenario.control = ToControlConfig(node.control);
+    node_scenario.cpu_speed = node.cpu_speed;
+    scenario.nodes.push_back(std::move(node_scenario));
+  }
+  return scenario;
+}
+
+SpecRunResult RunSpec(const ExperimentSpec& spec) {
+  SpecRunResult result;
+  result.cluster = spec.cluster;
+  if (spec.cluster) {
+    result.cluster_result = ClusterExperiment(ToClusterScenario(spec)).Run();
+  } else {
+    result.single = Experiment(ToScenario(spec)).Run();
+  }
+  return result;
+}
+
+}  // namespace alc::core

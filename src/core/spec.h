@@ -1,0 +1,196 @@
+#ifndef ALC_CORE_SPEC_H_
+#define ALC_CORE_SPEC_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cluster_experiment.h"
+#include "core/cluster_scenario.h"
+#include "core/experiment.h"
+#include "core/scenario.h"
+#include "db/config.h"
+#include "db/schedule.h"
+#include "db/workload.h"
+#include "placement/catalog.h"
+#include "util/params.h"
+
+namespace alc::core {
+
+/// Load-control wiring of one node, string-native: the controller is a
+/// ControllerRegistry name and its configuration a ParamMap, so a spec file
+/// can select and parameterize any registered policy — including ones
+/// registered outside src/ — without recompilation.
+struct ControlSpec {
+  std::string controller = "parabola-approximation";
+  util::ParamMap params;  // canonical keys: "pa.dither", "is.beta", ...
+  double measurement_interval = 1.0;
+  double initial_limit = 50.0;
+  bool displacement = false;
+  bool outer_tuner = false;
+
+  bool operator==(const ControlSpec& other) const {
+    return controller == other.controller && params == other.params &&
+           measurement_interval == other.measurement_interval &&
+           initial_limit == other.initial_limit &&
+           displacement == other.displacement &&
+           outer_tuner == other.outer_tuner;
+  }
+  bool operator!=(const ControlSpec& other) const { return !(*this == other); }
+};
+
+/// One node of an experiment: simulated system, workload dynamics, control
+/// wiring, and a CPU speed profile. Nodes may be heterogeneous in every
+/// field. A single-node experiment uses exactly one of these.
+struct NodeSpec {
+  db::SystemConfig system;
+  db::WorkloadDynamics dynamics =
+      db::WorkloadDynamics::FromConfig(db::LogicalConfig{});
+  ControlSpec control;
+  db::Schedule cpu_speed = db::Schedule::Constant(1.0);
+
+  bool operator==(const NodeSpec& other) const {
+    return system == other.system && dynamics == other.dynamics &&
+           control == other.control && cpu_speed == other.cpu_speed;
+  }
+  bool operator!=(const NodeSpec& other) const { return !(*this == other); }
+};
+
+/// A complete experiment description unifying the single-node and cluster
+/// cases: one node list, one control surface, one text serialization. In
+/// single mode (`cluster` false, exactly one node) the node runs the
+/// paper's closed/open model driven by `active_terminals`; in cluster mode
+/// the fleet sits behind a routed front-end driven by `arrival_rate`, with
+/// optional data placement. Everything is reproducible from this struct,
+/// and `ParseSpec(PrintSpec(spec))` returns an equal spec.
+struct ExperimentSpec {
+  std::string name = "experiment";
+  /// Run mode: single-node Experiment when false, ClusterExperiment when
+  /// true (a 1-node cluster is valid: it exercises the routed front-end).
+  bool cluster = false;
+  /// Seeds the router policy and the cluster arrival stream, and is the
+  /// default seed for nodes that do not declare their own.
+  uint64_t seed = 1;
+  double duration = 300.0;  // s of virtual time
+  double warmup = 30.0;     // s excluded from summary statistics
+
+  std::vector<NodeSpec> nodes;
+
+  /// Single mode: the closed model's terminal population N(t).
+  db::Schedule active_terminals =
+      db::Schedule::Constant(db::PhysicalConfig{}.num_terminals);
+
+  /// Cluster mode: routing policy (a RoutingPolicyRegistry name) and its
+  /// parameters ("threshold.initial_threshold", "power-of-d.d", ...).
+  std::string routing = "join-shortest-queue";
+  util::ParamMap routing_params;
+  /// Cluster-wide Poisson arrival rate (transactions per second).
+  db::Schedule arrival_rate = db::Schedule::Constant(100.0);
+
+  /// Cluster mode: data placement layer (see cluster::PlacementSpec).
+  bool placement_enabled = false;
+  placement::PlacementConfig placement;
+  db::LogicalConfig placement_workload;
+  std::optional<db::WorkloadDynamics> placement_dynamics;
+  db::RemoteAccessConfig remote_access;
+
+  bool operator==(const ExperimentSpec& other) const {
+    return name == other.name && cluster == other.cluster &&
+           seed == other.seed && duration == other.duration &&
+           warmup == other.warmup && nodes == other.nodes &&
+           active_terminals == other.active_terminals &&
+           routing == other.routing &&
+           routing_params == other.routing_params &&
+           arrival_rate == other.arrival_rate &&
+           placement_enabled == other.placement_enabled &&
+           placement == other.placement &&
+           placement_workload == other.placement_workload &&
+           placement_dynamics == other.placement_dynamics &&
+           remote_access == other.remote_access;
+  }
+  bool operator!=(const ExperimentSpec& other) const {
+    return !(*this == other);
+  }
+};
+
+/// Canonical text form: every field as a `key = value` line under
+/// `[experiment]` / `[placement]` / one `[node]` section per node, with
+/// schedules as literals (db::Schedule::ToString). Doubles round trip
+/// exactly; ParseSpec(PrintSpec(spec)) == spec.
+std::string PrintSpec(const ExperimentSpec& spec);
+
+/// Parses spec text. Accepts everything PrintSpec emits plus conveniences
+/// for hand-written files: `#` comments, omitted keys (defaults apply), a
+/// `[schedules]` section of named schedule literals referenced as `$name`,
+/// and `count = N` inside a `[node]` section to clone the node N times with
+/// decorrelated seeds (DecorrelatedNodeSeed over the node's seed if
+/// declared, else the experiment seed). On failure returns false and sets
+/// `error` to a line-numbered message, leaving `out` untouched.
+bool ParseSpec(const std::string& text, ExperimentSpec* out,
+               std::string* error);
+
+/// Scalar fields, schedule literals, enum names, and controller/routing
+/// *names* are all validated here; controller/routing *param values*
+/// ("control.pa.dither = ...") flow through as strings by design — unknown
+/// keys belong to externally registered policies — and are validated by
+/// the consuming factory when the run constructs its controllers (a
+/// malformed value aborts there with the offending key named).
+///
+/// Reads and parses a spec file. False on I/O or parse failure.
+bool LoadSpecFile(const std::string& path, ExperimentSpec* out,
+                  std::string* error);
+
+/// Applies one `key = value` override to a parsed spec — the mechanism
+/// behind sweep axes and alc_run --set. Keys address the same fields as
+/// spec files: experiment-level keys bare ("duration", "routing",
+/// "arrival_rate", "routing.threshold.min_threshold"), placement keys with
+/// a "placement." prefix, node keys with "node." (all nodes) or "node<i>."
+/// (node i alone), e.g. "node.control.controller" or
+/// "node0.physical.num_cpus". Overriding "seed" re-derives every node's
+/// seed from the new value (directly for one node, DecorrelatedNodeSeed
+/// per index otherwise), so a seed sweep is a replication sweep; pin a
+/// node afterwards with "node<i>.seed" if needed. Controller and routing
+/// names are validated against the registries at override time.
+bool ApplySpecOverride(ExperimentSpec* spec, const std::string& key,
+                       const std::string& value, std::string* error);
+
+/// Struct conversions. The Spec* functions embed the legacy configs'
+/// typed controller/routing structs as canonical params, so the resulting
+/// spec drives bit-identical runs; To* rebuild legacy configs with the
+/// string-native fields (`ControlConfig::name`/`params`,
+/// `ClusterScenarioConfig::routing_name`/`routing_params`) carrying the
+/// configuration.
+ExperimentSpec SpecFromScenario(const ScenarioConfig& scenario);
+ExperimentSpec SpecFromCluster(const ClusterScenarioConfig& scenario);
+/// Requires !spec.cluster and exactly one node.
+ScenarioConfig ToScenario(const ExperimentSpec& spec);
+/// Requires spec.cluster and at least one node.
+ClusterScenarioConfig ToClusterScenario(const ExperimentSpec& spec);
+
+/// Outcome of RunSpec: exactly one of the two results is populated.
+struct SpecRunResult {
+  bool cluster = false;
+  ExperimentResult single;
+  ClusterResult cluster_result;
+
+  double total_throughput() const {
+    return cluster ? cluster_result.total_throughput : single.mean_throughput;
+  }
+  double mean_response() const {
+    return cluster ? cluster_result.mean_response : single.mean_response;
+  }
+  double abort_ratio() const {
+    return cluster ? cluster_result.abort_ratio : single.abort_ratio;
+  }
+  uint64_t commits() const {
+    return cluster ? cluster_result.commits : single.commits;
+  }
+};
+
+/// Runs the spec through Experiment or ClusterExperiment as its mode
+/// demands. Deterministic given the spec.
+SpecRunResult RunSpec(const ExperimentSpec& spec);
+
+}  // namespace alc::core
+
+#endif  // ALC_CORE_SPEC_H_

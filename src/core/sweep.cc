@@ -1,0 +1,99 @@
+#include "core/sweep.h"
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <utility>
+
+#include "util/check.h"
+
+namespace alc::core {
+
+SweepRunner::SweepRunner(ExperimentSpec base, std::vector<SweepAxis> axes)
+    : base_(std::move(base)), axes_(std::move(axes)) {
+  for (const SweepAxis& axis : axes_) {
+    ALC_CHECK(!axis.values.empty());
+  }
+}
+
+int SweepRunner::num_points() const {
+  int points = 1;
+  for (const SweepAxis& axis : axes_) {
+    points *= static_cast<int>(axis.values.size());
+  }
+  return points;
+}
+
+ExperimentSpec SweepRunner::SpecAt(
+    int index,
+    std::vector<std::pair<std::string, std::string>>* assignment) const {
+  ALC_CHECK_GE(index, 0);
+  ALC_CHECK_LT(index, num_points());
+  if (assignment != nullptr) assignment->clear();
+
+  // Row-major decomposition: the last axis varies fastest.
+  std::vector<int> digits(axes_.size(), 0);
+  int remainder = index;
+  for (size_t axis = axes_.size(); axis-- > 0;) {
+    const int radix = static_cast<int>(axes_[axis].values.size());
+    digits[axis] = remainder % radix;
+    remainder /= radix;
+  }
+
+  ExperimentSpec spec = base_;
+  for (size_t axis = 0; axis < axes_.size(); ++axis) {
+    const std::string& key = axes_[axis].key;
+    const std::string& value = axes_[axis].values[digits[axis]];
+    std::string error;
+    if (!ApplySpecOverride(&spec, key, value, &error)) {
+      std::fprintf(stderr, "SweepRunner: %s\n", error.c_str());
+      ALC_CHECK(false);
+    }
+    if (assignment != nullptr) assignment->emplace_back(key, value);
+  }
+  return spec;
+}
+
+std::vector<SweepPointResult> SweepRunner::Run(int threads) const {
+  const int points = num_points();
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  if (threads > points) threads = points;
+
+  std::vector<SweepPointResult> results(points);
+  // Expand all specs up front on the calling thread: ApplySpecOverride
+  // aborts loudly on a bad key, and doing that before any simulation starts
+  // keeps failures cheap and single-threaded.
+  for (int i = 0; i < points; ++i) {
+    results[i].index = i;
+    results[i].spec = SpecAt(i, &results[i].assignment);
+  }
+
+  auto run_point = [&results](int i) {
+    results[i].result = RunSpec(results[i].spec);
+  };
+
+  if (threads == 1) {
+    for (int i = 0; i < points; ++i) run_point(i);
+    return results;
+  }
+
+  std::atomic<int> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&next, points, &run_point] {
+      while (true) {
+        const int i = next.fetch_add(1);
+        if (i >= points) break;
+        run_point(i);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  return results;
+}
+
+}  // namespace alc::core

@@ -1,0 +1,64 @@
+#ifndef ALC_CORE_SWEEP_H_
+#define ALC_CORE_SWEEP_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/spec.h"
+
+namespace alc::core {
+
+/// One sweep dimension: a spec override key (ApplySpecOverride syntax, e.g.
+/// "routing", "node.control.controller", "node.control.pa.forgetting") and
+/// the values to try.
+struct SweepAxis {
+  std::string key;
+  std::vector<std::string> values;
+};
+
+/// One evaluated grid point.
+struct SweepPointResult {
+  int index = 0;  // row-major grid position (first axis slowest)
+  /// The (key, value) assignment of this point, one pair per axis.
+  std::vector<std::pair<std::string, std::string>> assignment;
+  /// The fully overridden spec that ran.
+  ExperimentSpec spec;
+  SpecRunResult result;
+};
+
+/// Expands a parameter grid over a base spec and runs every point, either
+/// sequentially or on a thread pool. Each point's simulation is the
+/// single-threaded, seeded run the spec describes, so results are
+/// bit-identical whatever the thread count — parallelism only reorders
+/// wall-clock, never outcomes — and arrive ordered by grid index.
+///
+/// Replaces the hand-rolled nested sweep loops the bench binaries used to
+/// carry; a bench is now base spec + axes + a table over the results.
+class SweepRunner {
+ public:
+  /// Aborts (via ApplySpecOverride) on an invalid axis key at Run/SpecAt
+  /// time, not construction. An empty axis list is a 1-point sweep.
+  SweepRunner(ExperimentSpec base, std::vector<SweepAxis> axes);
+
+  int num_points() const;
+
+  /// The spec of grid point `index` (row-major, first axis slowest) and,
+  /// optionally, its (key, value) assignment. Aborts on an override that
+  /// does not apply.
+  ExperimentSpec SpecAt(int index,
+                        std::vector<std::pair<std::string, std::string>>*
+                            assignment = nullptr) const;
+
+  /// Runs all points. `threads` <= 0 picks the hardware concurrency;
+  /// capped at the number of points.
+  std::vector<SweepPointResult> Run(int threads = 1) const;
+
+ private:
+  ExperimentSpec base_;
+  std::vector<SweepAxis> axes_;
+};
+
+}  // namespace alc::core
+
+#endif  // ALC_CORE_SWEEP_H_

@@ -42,6 +42,24 @@ struct PhysicalConfig {
   ServiceDistribution cpu_distribution = ServiceDistribution::kExponential;
 };
 
+/// Field-wise equality for the config structs below: the declarative
+/// ExperimentSpec layer (core/spec.h) round-trips configs through text and
+/// asserts Parse(Print(spec)) == spec.
+inline bool operator==(const PhysicalConfig& a, const PhysicalConfig& b) {
+  return a.num_terminals == b.num_terminals &&
+         a.think_time_mean == b.think_time_mean && a.num_cpus == b.num_cpus &&
+         a.cpu_init_mean == b.cpu_init_mean &&
+         a.cpu_access_mean == b.cpu_access_mean &&
+         a.cpu_commit_mean == b.cpu_commit_mean &&
+         a.cpu_write_commit_mean == b.cpu_write_commit_mean &&
+         a.io_time == b.io_time &&
+         a.restart_delay_mean == b.restart_delay_mean &&
+         a.cpu_distribution == b.cpu_distribution;
+}
+inline bool operator!=(const PhysicalConfig& a, const PhysicalConfig& b) {
+  return !(a == b);
+}
+
 /// Logical model of paper section 7: each transaction accesses a constant
 /// number k of uniformly selected data items (no hot spots); execution has
 /// k+2 phases. Queries read only; updaters write each accessed item with
@@ -61,6 +79,19 @@ struct LogicalConfig {
   double hotspot_access_prob = 0.0;
   double hotspot_size_fraction = 0.0;
 };
+
+inline bool operator==(const LogicalConfig& a, const LogicalConfig& b) {
+  return a.db_size == b.db_size &&
+         a.accesses_per_txn == b.accesses_per_txn &&
+         a.query_fraction == b.query_fraction &&
+         a.write_fraction == b.write_fraction &&
+         a.resample_on_restart == b.resample_on_restart &&
+         a.hotspot_access_prob == b.hotspot_access_prob &&
+         a.hotspot_size_fraction == b.hotspot_size_fraction;
+}
+inline bool operator!=(const LogicalConfig& a, const LogicalConfig& b) {
+  return !(a == b);
+}
 
 /// How work enters the system. The paper's model is closed (N circulating
 /// transactions with think times, fig. 11); the open mode replaces the
@@ -87,6 +118,16 @@ struct RemoteAccessConfig {
   double serve_cpu = 0.0;
 };
 
+inline bool operator==(const RemoteAccessConfig& a,
+                       const RemoteAccessConfig& b) {
+  return a.cpu_penalty == b.cpu_penalty && a.latency == b.latency &&
+         a.serve_cpu == b.serve_cpu;
+}
+inline bool operator!=(const RemoteAccessConfig& a,
+                       const RemoteAccessConfig& b) {
+  return !(a == b);
+}
+
 /// Everything needed to build a TransactionSystem.
 struct SystemConfig {
   PhysicalConfig physical;
@@ -105,6 +146,16 @@ struct SystemConfig {
   /// off by default.
   bool record_history = false;
 };
+
+inline bool operator==(const SystemConfig& a, const SystemConfig& b) {
+  return a.physical == b.physical && a.logical == b.logical && a.cc == b.cc &&
+         a.arrivals == b.arrivals &&
+         a.open_arrival_rate == b.open_arrival_rate && a.remote == b.remote &&
+         a.seed == b.seed && a.record_history == b.record_history;
+}
+inline bool operator!=(const SystemConfig& a, const SystemConfig& b) {
+  return !(a == b);
+}
 
 }  // namespace alc::db
 

@@ -1,9 +1,12 @@
 #include "db/schedule.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <string>
 
 #include "util/check.h"
+#include "util/params.h"
 
 namespace alc::db {
 
@@ -132,6 +135,123 @@ std::pair<double, double> Schedule::Range(double horizon) const {
     }
   }
   return {0.0, 0.0};
+}
+
+namespace {
+
+std::string PointList(const std::vector<std::pair<double, double>>& points) {
+  std::string out;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += util::FormatDouble(points[i].first);
+    out += ":";
+    out += util::FormatDouble(points[i].second);
+  }
+  return out;
+}
+
+bool ParsePointList(std::string_view text,
+                    std::vector<std::pair<double, double>>* out) {
+  out->clear();
+  for (const std::string& piece : util::SplitTrimmed(text, ',')) {
+    const size_t colon = piece.find(':');
+    if (colon == std::string::npos) return false;
+    double time = 0.0, value = 0.0;
+    if (!util::ParseDouble(util::TrimWhitespace(piece.substr(0, colon)),
+                           &time) ||
+        !util::ParseDouble(util::TrimWhitespace(piece.substr(colon + 1)),
+                           &value)) {
+      return false;
+    }
+    if (!out->empty() && out->back().first >= time) return false;
+    out->emplace_back(time, value);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string Schedule::ToString() const {
+  switch (kind_) {
+    case Kind::kConstant:
+      return "constant(" + util::FormatDouble(constant_) + ")";
+    case Kind::kSteps:
+      return "steps(" + util::FormatDouble(initial_) + "; " +
+             PointList(points_) + ")";
+    case Kind::kSinusoid:
+      return "sinusoid(" + util::FormatDouble(mean_) + ", " +
+             util::FormatDouble(amplitude_) + ", " +
+             util::FormatDouble(period_) + ", " + util::FormatDouble(phase_) +
+             ")";
+    case Kind::kPiecewise:
+      return "pwl(" + PointList(points_) + ")";
+  }
+  return "constant(0)";
+}
+
+bool Schedule::Parse(std::string_view text, Schedule* out) {
+  const std::string trimmed = util::TrimWhitespace(text);
+  const size_t open = trimmed.find('(');
+  if (open == std::string::npos || trimmed.back() != ')') return false;
+  const std::string name = util::TrimWhitespace(trimmed.substr(0, open));
+  const std::string args =
+      trimmed.substr(open + 1, trimmed.size() - open - 2);
+
+  if (name == "constant") {
+    double value = 0.0;
+    if (!util::ParseDouble(util::TrimWhitespace(args), &value)) return false;
+    *out = Constant(value);
+    return true;
+  }
+  if (name == "steps") {
+    const size_t semi = args.find(';');
+    if (semi == std::string::npos) return false;
+    double initial = 0.0;
+    std::vector<std::pair<double, double>> steps;
+    if (!util::ParseDouble(util::TrimWhitespace(args.substr(0, semi)), &initial) ||
+        !ParsePointList(args.substr(semi + 1), &steps)) {
+      return false;
+    }
+    *out = Steps(initial, std::move(steps));
+    return true;
+  }
+  if (name == "sinusoid") {
+    const std::vector<std::string> pieces = util::SplitTrimmed(args, ',');
+    if (pieces.size() != 3 && pieces.size() != 4) return false;
+    double mean = 0.0, amplitude = 0.0, period = 0.0, phase = 0.0;
+    if (!util::ParseDouble(pieces[0], &mean) ||
+        !util::ParseDouble(pieces[1], &amplitude) ||
+        !util::ParseDouble(pieces[2], &period) ||
+        (pieces.size() == 4 && !util::ParseDouble(pieces[3], &phase))) {
+      return false;
+    }
+    if (period <= 0.0) return false;
+    *out = Sinusoid(mean, amplitude, period, phase);
+    return true;
+  }
+  if (name == "pwl") {
+    std::vector<std::pair<double, double>> points;
+    if (!ParsePointList(args, &points) || points.empty()) return false;
+    *out = PiecewiseLinear(std::move(points));
+    return true;
+  }
+  return false;
+}
+
+bool Schedule::operator==(const Schedule& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kConstant:
+      return constant_ == other.constant_;
+    case Kind::kSteps:
+      return initial_ == other.initial_ && points_ == other.points_;
+    case Kind::kSinusoid:
+      return mean_ == other.mean_ && amplitude_ == other.amplitude_ &&
+             period_ == other.period_ && phase_ == other.phase_;
+    case Kind::kPiecewise:
+      return points_ == other.points_;
+  }
+  return false;
 }
 
 }  // namespace alc::db

@@ -1,6 +1,8 @@
 #ifndef ALC_DB_SCHEDULE_H_
 #define ALC_DB_SCHEDULE_H_
 
+#include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -11,6 +13,9 @@ namespace alc::db {
 /// changes, and piecewise-linear profiles.
 class Schedule {
  public:
+  /// Constant zero; the spec parser and containers need a default state.
+  Schedule() = default;
+
   /// Constant value for all t.
   static Schedule Constant(double value);
 
@@ -39,10 +44,28 @@ class Schedule {
   /// Smallest and largest value attained over [0, horizon].
   std::pair<double, double> Range(double horizon) const;
 
+  /// Canonical text literal, exact under Parse (doubles round trip):
+  ///
+  ///   constant(850)
+  ///   steps(0.3; 333:0.85, 666:0.3)        initial; time:value, ...
+  ///   sinusoid(100, 50, 86400, 0)          mean, amplitude, period, phase
+  ///   pwl(0:1, 40:0.3, 100:1)              (time:value, ...) linear interp.
+  ///
+  /// The spec-file parser uses these literals for every schedule-valued key.
+  std::string ToString() const;
+
+  /// Parses a literal produced by ToString (whitespace-tolerant). Returns
+  /// false on malformed input and leaves `out` untouched.
+  static bool Parse(std::string_view text, Schedule* out);
+
+  /// Structural equality: same kind and exactly equal parameters. Two
+  /// schedules that agree pointwise but are built differently (e.g. a
+  /// constant vs a zero-amplitude sinusoid) compare unequal.
+  bool operator==(const Schedule& other) const;
+  bool operator!=(const Schedule& other) const { return !(*this == other); }
+
  private:
   enum class Kind { kConstant, kSteps, kSinusoid, kPiecewise };
-
-  Schedule() = default;
 
   Kind kind_ = Kind::kConstant;
   double constant_ = 0.0;

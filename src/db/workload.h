@@ -25,6 +25,14 @@ struct WorkloadDynamics {
 
   /// Union of step change points across all three schedules, sorted.
   std::vector<double> ChangePoints() const;
+
+  bool operator==(const WorkloadDynamics& other) const {
+    return k == other.k && query_fraction == other.query_fraction &&
+           write_fraction == other.write_fraction;
+  }
+  bool operator!=(const WorkloadDynamics& other) const {
+    return !(*this == other);
+  }
 };
 
 }  // namespace alc::db

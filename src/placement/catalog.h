@@ -44,6 +44,16 @@ struct PlacementConfig {
   int rebalance_moves = 1;
 };
 
+inline bool operator==(const PlacementConfig& a, const PlacementConfig& b) {
+  return a.kind == b.kind && a.num_partitions == b.num_partitions &&
+         a.replication_factor == b.replication_factor &&
+         a.rebalance_interval == b.rebalance_interval &&
+         a.rebalance_moves == b.rebalance_moves;
+}
+inline bool operator!=(const PlacementConfig& a, const PlacementConfig& b) {
+  return !(a == b);
+}
+
 /// The authoritative map from granules to partitions to node replica sets,
 /// plus the per-partition access-heat counters that drive the rebalancer.
 /// The router consults it on every arrival; the cluster front-end records

@@ -1,0 +1,402 @@
+// ExperimentSpec layer: schedule literals, Parse(Print(spec)) == spec
+// round trips on representative specs, parser conveniences (node cloning,
+// named schedules) and error reporting, overrides, and run-equivalence of
+// the spec path against the legacy struct path.
+
+#include "core/spec.h"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/export.h"
+#include "core/scenario.h"
+#include "db/schedule.h"
+
+namespace alc {
+namespace {
+
+// ------------------------------------------------------ schedule literals --
+
+TEST(ScheduleTextTest, RoundTripsEveryKind) {
+  const db::Schedule cases[] = {
+      db::Schedule::Constant(850),
+      db::Schedule::Constant(0.1),
+      db::Schedule::Steps(0.3, {{333.0, 0.85}, {666.0, 0.3}}),
+      db::Schedule::Steps(320.0, {}),
+      db::Schedule::Sinusoid(100.0, 50.0, 86400.0, 0.25),
+      db::Schedule::PiecewiseLinear({{0.0, 1.0}, {40.0, 0.3}, {100.0, 1.0}}),
+  };
+  for (const db::Schedule& schedule : cases) {
+    db::Schedule parsed;
+    ASSERT_TRUE(db::Schedule::Parse(schedule.ToString(), &parsed))
+        << schedule.ToString();
+    EXPECT_TRUE(parsed == schedule) << schedule.ToString();
+  }
+}
+
+TEST(ScheduleTextTest, ParsesHandWrittenForms) {
+  db::Schedule schedule;
+  ASSERT_TRUE(db::Schedule::Parse("  steps( 320 ; 40:900 , 80:320 )  ",
+                                  &schedule));
+  EXPECT_EQ(schedule.Value(0.0), 320.0);
+  EXPECT_EQ(schedule.Value(50.0), 900.0);
+  EXPECT_EQ(schedule.Value(90.0), 320.0);
+
+  ASSERT_TRUE(db::Schedule::Parse("sinusoid(10, 2, 60)", &schedule));
+  EXPECT_DOUBLE_EQ(schedule.Value(0.0), 10.0);
+}
+
+TEST(ScheduleTextTest, RejectsMalformedLiterals) {
+  db::Schedule schedule;
+  EXPECT_FALSE(db::Schedule::Parse("constant()", &schedule));
+  EXPECT_FALSE(db::Schedule::Parse("constant(1", &schedule));
+  EXPECT_FALSE(db::Schedule::Parse("steps(1)", &schedule));
+  EXPECT_FALSE(db::Schedule::Parse("steps(1; 10:2, 5:3)", &schedule));
+  EXPECT_FALSE(db::Schedule::Parse("sinusoid(1, 2, 0)", &schedule));
+  EXPECT_FALSE(db::Schedule::Parse("pwl()", &schedule));
+  EXPECT_FALSE(db::Schedule::Parse("ramp(1, 2)", &schedule));
+}
+
+TEST(ScheduleTextTest, EqualityIsStructural) {
+  EXPECT_TRUE(db::Schedule::Constant(5) == db::Schedule::Constant(5));
+  EXPECT_FALSE(db::Schedule::Constant(5) == db::Schedule::Constant(6));
+  // Pointwise-equal but structurally different.
+  EXPECT_FALSE(db::Schedule::Constant(5) ==
+               db::Schedule::Sinusoid(5, 0, 1, 0));
+}
+
+// ------------------------------------------------------------ round trips --
+
+core::ExperimentSpec RoundTrip(const core::ExperimentSpec& spec) {
+  core::ExperimentSpec parsed;
+  std::string error;
+  EXPECT_TRUE(core::ParseSpec(core::PrintSpec(spec), &parsed, &error))
+      << error;
+  return parsed;
+}
+
+TEST(SpecRoundTripTest, SingleNodeWithDynamicWorkload) {
+  core::ScenarioConfig scenario = core::DefaultScenario();
+  scenario.system.seed = 123;
+  scenario.system.cc = db::CcScheme::kTwoPhaseLocking;
+  scenario.system.physical.cpu_distribution =
+      db::ServiceDistribution::kErlang2;
+  scenario.dynamics.query_fraction =
+      db::Schedule::Steps(0.30, {{333.0, 0.85}, {666.0, 0.30}});
+  scenario.active_terminals = db::Schedule::Sinusoid(600, 200, 500);
+  scenario.control.kind = core::ControllerKind::kIncrementalSteps;
+  scenario.control.is.beta = 1.25;
+  scenario.control.measurement_interval = 0.5;
+  scenario.duration = 700.0;
+  scenario.warmup = 50.0;
+
+  const core::ExperimentSpec spec = core::SpecFromScenario(scenario);
+  EXPECT_TRUE(RoundTrip(spec) == spec);
+}
+
+TEST(SpecRoundTripTest, HeterogeneousCluster) {
+  core::ExperimentSpec spec;
+  spec.name = "hetero";
+  spec.cluster = true;
+  spec.seed = 9;
+  spec.duration = 90.0;
+  spec.warmup = 10.0;
+  spec.routing = "threshold";
+  spec.routing_params.SetDouble("threshold.initial_threshold", 6.0);
+  spec.arrival_rate = db::Schedule::Steps(300.0, {{40.0, 900.0}});
+
+  core::NodeSpec big;
+  big.system.physical.num_cpus = 16;
+  big.system.seed = 100;
+  big.control.controller = "parabola-approximation";
+  big.control.params.SetDouble("pa.dither", 7.0);
+  core::NodeSpec small;
+  small.system.physical.num_cpus = 2;
+  small.system.seed = 200;
+  small.system.cc = db::CcScheme::kTwoPhaseLocking;
+  small.control.controller = "incremental-steps";
+  small.control.params.SetDouble("is.gamma", 12.0);
+  small.cpu_speed = db::Schedule::Steps(1.0, {{40.0, 0.3}, {100.0, 1.0}});
+  spec.nodes = {big, small};
+
+  EXPECT_TRUE(RoundTrip(spec) == spec);
+}
+
+TEST(SpecRoundTripTest, PlacementClusterWithDynamics) {
+  core::ExperimentSpec spec;
+  spec.cluster = true;
+  spec.routing = "locality-threshold";
+  spec.placement_enabled = true;
+  spec.placement.kind = placement::PlacementKind::kReplicated;
+  spec.placement.num_partitions = 16;
+  spec.placement.replication_factor = 3;
+  spec.placement.rebalance_interval = 10.0;
+  spec.placement_workload.db_size = 9600;
+  spec.placement_workload.hotspot_access_prob = 0.8;
+  spec.placement_workload.hotspot_size_fraction = 0.0625;
+  db::WorkloadDynamics dynamics;
+  dynamics.k = db::Schedule::Constant(8);
+  dynamics.query_fraction = db::Schedule::Steps(0.5, {{60.0, 0.9}});
+  dynamics.write_fraction = db::Schedule::Constant(0.1);
+  spec.placement_dynamics = dynamics;
+  spec.remote_access.cpu_penalty = 0.003;
+  spec.remote_access.latency = 0.016;
+  spec.remote_access.serve_cpu = 0.004;
+  spec.nodes.resize(4);
+  for (size_t i = 0; i < spec.nodes.size(); ++i) {
+    spec.nodes[i].system.seed = 1000 + i;
+    spec.nodes[i].system.logical.db_size = 9600;
+  }
+
+  EXPECT_TRUE(RoundTrip(spec) == spec);
+}
+
+// ------------------------------------------------- parser conveniences --
+
+TEST(SpecParseTest, NodeCountClonesWithDecorrelatedSeeds) {
+  const std::string text =
+      "[experiment]\n"
+      "cluster = true\n"
+      "seed = 42\n"
+      "[node]\n"
+      "count = 4\n"
+      "physical.num_cpus = 4\n";
+  core::ExperimentSpec spec;
+  std::string error;
+  ASSERT_TRUE(core::ParseSpec(text, &spec, &error)) << error;
+  ASSERT_EQ(spec.nodes.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(spec.nodes[i].system.seed, core::DecorrelatedNodeSeed(42, i));
+    EXPECT_EQ(spec.nodes[i].system.physical.num_cpus, 4);
+  }
+}
+
+TEST(SpecParseTest, SeedInheritanceDecorrelatesAcrossBareNodes) {
+  // A single undeclared node runs the experiment seed directly...
+  core::ExperimentSpec spec;
+  std::string error;
+  ASSERT_TRUE(core::ParseSpec("[experiment]\nseed = 77\n[node]\n", &spec,
+                              &error))
+      << error;
+  ASSERT_EQ(spec.nodes.size(), 1u);
+  EXPECT_EQ(spec.nodes[0].system.seed, 77u);
+
+  // ...but two bare [node] sections must not share a random stream: the
+  // undeclared one decorrelates over its fleet index, the declared one
+  // keeps its seed.
+  ASSERT_TRUE(core::ParseSpec(
+      "[experiment]\ncluster = true\nseed = 77\n[node]\n[node]\nseed = 5\n",
+      &spec, &error))
+      << error;
+  ASSERT_EQ(spec.nodes.size(), 2u);
+  EXPECT_EQ(spec.nodes[0].system.seed, core::DecorrelatedNodeSeed(77, 0));
+  EXPECT_EQ(spec.nodes[1].system.seed, 5u);
+}
+
+TEST(SpecParseTest, RejectsImpossibleFleetShapes) {
+  core::ExperimentSpec spec;
+  std::string error;
+  EXPECT_FALSE(core::ParseSpec("[experiment]\nduration = 10\n", &spec,
+                               &error));
+  EXPECT_NE(error.find("no [node]"), std::string::npos) << error;
+
+  EXPECT_FALSE(core::ParseSpec("[node]\ncount = 2\n", &spec, &error));
+  EXPECT_NE(error.find("exactly one node"), std::string::npos) << error;
+}
+
+TEST(SpecParseTest, HashInValueSurvivesWhenNotACommentStart) {
+  core::ExperimentSpec spec;
+  std::string error;
+  ASSERT_TRUE(core::ParseSpec(
+      "[experiment]\nname = run#7  # trailing comment\n[node]\n", &spec,
+      &error))
+      << error;
+  EXPECT_EQ(spec.name, "run#7");
+  // Round trip: the printed form re-parses to the same name.
+  core::ExperimentSpec reparsed;
+  ASSERT_TRUE(core::ParseSpec(core::PrintSpec(spec), &reparsed, &error))
+      << error;
+  EXPECT_EQ(reparsed.name, "run#7");
+}
+
+TEST(SpecParseTest, RejectsOutOfRangeIntegers) {
+  core::ExperimentSpec spec;
+  std::string error;
+  EXPECT_FALSE(core::ParseSpec(
+      "[node]\nphysical.num_cpus = 4294967300\n", &spec, &error));
+  EXPECT_NE(error.find("out-of-range"), std::string::npos) << error;
+}
+
+TEST(SpecParseTest, NamedSchedulesResolve) {
+  const std::string text =
+      "[schedules]\n"
+      "flash = steps(320; 40:900, 80:320)\n"
+      "[experiment]\n"
+      "cluster = true\n"
+      "arrival_rate = $flash\n"
+      "[node]\n";
+  core::ExperimentSpec spec;
+  std::string error;
+  ASSERT_TRUE(core::ParseSpec(text, &spec, &error)) << error;
+  EXPECT_TRUE(spec.arrival_rate ==
+              db::Schedule::Steps(320.0, {{40.0, 900.0}, {80.0, 320.0}}));
+}
+
+TEST(SpecParseTest, ReportsErrorsWithLineNumbers) {
+  core::ExperimentSpec spec;
+  std::string error;
+
+  EXPECT_FALSE(core::ParseSpec("[experiment]\nbogus_key = 1\n", &spec,
+                               &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("bogus_key"), std::string::npos) << error;
+
+  EXPECT_FALSE(core::ParseSpec("[warp]\n", &spec, &error));
+  EXPECT_NE(error.find("unknown section"), std::string::npos) << error;
+
+  EXPECT_FALSE(core::ParseSpec(
+      "[experiment]\narrival_rate = steps(1)\n", &spec, &error));
+  EXPECT_NE(error.find("schedule"), std::string::npos) << error;
+
+  EXPECT_FALSE(core::ParseSpec(
+      "[experiment]\narrival_rate = $undefined\n", &spec, &error));
+  EXPECT_NE(error.find("$undefined"), std::string::npos) << error;
+
+  EXPECT_FALSE(core::ParseSpec("[node]\nduration = 5\n", &spec, &error));
+  EXPECT_NE(error.find("unknown node key"), std::string::npos) << error;
+}
+
+TEST(SpecOverrideTest, AddressesExperimentPlacementAndNodes) {
+  core::ExperimentSpec spec;
+  spec.cluster = true;
+  spec.nodes.resize(3);
+  std::string error;
+
+  ASSERT_TRUE(core::ApplySpecOverride(&spec, "duration", "120", &error));
+  EXPECT_EQ(spec.duration, 120.0);
+  ASSERT_TRUE(core::ApplySpecOverride(&spec, "routing", "power-of-d", &error));
+  ASSERT_TRUE(
+      core::ApplySpecOverride(&spec, "routing.power-of-d.d", "3", &error));
+  EXPECT_EQ(spec.routing_params.GetInt("power-of-d.d", 0), 3);
+  ASSERT_TRUE(
+      core::ApplySpecOverride(&spec, "placement.enabled", "true", &error));
+  EXPECT_TRUE(spec.placement_enabled);
+
+  ASSERT_TRUE(core::ApplySpecOverride(&spec, "node.control.controller",
+                                      "golden-section", &error));
+  for (const core::NodeSpec& node : spec.nodes) {
+    EXPECT_EQ(node.control.controller, "golden-section");
+  }
+  ASSERT_TRUE(
+      core::ApplySpecOverride(&spec, "node1.physical.num_cpus", "2", &error));
+  EXPECT_EQ(spec.nodes[0].system.physical.num_cpus, 16);
+  EXPECT_EQ(spec.nodes[1].system.physical.num_cpus, 2);
+
+  EXPECT_FALSE(core::ApplySpecOverride(&spec, "node.count", "4", &error));
+  EXPECT_FALSE(core::ApplySpecOverride(&spec, "node9.seed", "1", &error));
+  EXPECT_FALSE(core::ApplySpecOverride(&spec, "no_such_key", "1", &error));
+}
+
+TEST(SpecOverrideTest, SeedOverrideRederivesNodeSeeds) {
+  // Multi-node: every node seed follows the new experiment seed (a seed
+  // sweep is a replication sweep, not a router-only reseed).
+  core::ExperimentSpec spec;
+  spec.cluster = true;
+  spec.nodes.resize(3);
+  std::string error;
+  ASSERT_TRUE(core::ApplySpecOverride(&spec, "seed", "1234", &error));
+  EXPECT_EQ(spec.seed, 1234u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(spec.nodes[i].system.seed, core::DecorrelatedNodeSeed(1234, i));
+  }
+
+  // The broadcast "node.seed" form also decorrelates per index (a literal
+  // broadcast would run every node on the same stream); node<i>.seed pins.
+  ASSERT_TRUE(core::ApplySpecOverride(&spec, "node.seed", "88", &error));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(spec.nodes[i].system.seed, core::DecorrelatedNodeSeed(88, i));
+  }
+  ASSERT_TRUE(core::ApplySpecOverride(&spec, "node2.seed", "9", &error));
+  EXPECT_EQ(spec.nodes[2].system.seed, 9u);
+
+  // Single-node: the node runs the new seed directly, so two overrides
+  // produce genuinely different runs.
+  core::ExperimentSpec single = core::SpecFromScenario(core::DefaultScenario());
+  single.duration = 10.0;
+  single.warmup = 2.0;
+  ASSERT_TRUE(core::ApplySpecOverride(&single, "seed", "5", &error));
+  EXPECT_EQ(single.nodes[0].system.seed, 5u);
+  const uint64_t commits_a = core::RunSpec(single).single.commits;
+  ASSERT_TRUE(core::ApplySpecOverride(&single, "seed", "6", &error));
+  const uint64_t commits_b = core::RunSpec(single).single.commits;
+  EXPECT_NE(commits_a, commits_b);
+}
+
+TEST(SpecOverrideTest, UnknownPolicyNamesFailAtAssignTime) {
+  core::ExperimentSpec spec;
+  spec.cluster = true;
+  spec.nodes.resize(1);
+  std::string error;
+
+  EXPECT_FALSE(
+      core::ApplySpecOverride(&spec, "routing", "teleport", &error));
+  EXPECT_NE(error.find("teleport"), std::string::npos) << error;
+  EXPECT_NE(error.find("join-shortest-queue"), std::string::npos) << error;
+
+  EXPECT_FALSE(core::ApplySpecOverride(&spec, "node.control.controller",
+                                       "warp-drive", &error));
+  EXPECT_NE(error.find("warp-drive"), std::string::npos) << error;
+  EXPECT_NE(error.find("parabola-approximation"), std::string::npos) << error;
+
+  // Same validation on the file-parse path, with a line number.
+  core::ExperimentSpec parsed;
+  EXPECT_FALSE(core::ParseSpec(
+      "[node]\ncontrol.controller = warp-drive\n", &parsed, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+// --------------------------------------------------- run equivalence --
+
+TEST(SpecRunTest, SpecPathMatchesLegacyScenarioPathBitExactly) {
+  core::ScenarioConfig scenario = core::DefaultScenario();
+  scenario.system.seed = 99;
+  scenario.control.kind = core::ControllerKind::kParabola;
+  scenario.control.pa.dither = 10.0;
+  scenario.duration = 20.0;
+  scenario.warmup = 4.0;
+
+  const core::ExperimentResult direct = core::Experiment(scenario).Run();
+  const core::SpecRunResult via_spec =
+      core::RunSpec(core::SpecFromScenario(scenario));
+
+  ASSERT_FALSE(via_spec.cluster);
+  std::ostringstream direct_csv, spec_csv;
+  core::WriteTrajectoryCsv(direct_csv, direct.trajectory, {});
+  core::WriteTrajectoryCsv(spec_csv, via_spec.single.trajectory, {});
+  EXPECT_EQ(direct_csv.str(), spec_csv.str());
+  EXPECT_EQ(direct.commits, via_spec.single.commits);
+  EXPECT_EQ(direct.mean_throughput, via_spec.single.mean_throughput);
+}
+
+TEST(SpecRunTest, PrintedSpecRunsIdenticallyToOriginal) {
+  core::ScenarioConfig scenario = core::DefaultScenario();
+  scenario.system.seed = 7;
+  scenario.duration = 15.0;
+  scenario.warmup = 3.0;
+  const core::ExperimentSpec spec = core::SpecFromScenario(scenario);
+
+  core::ExperimentSpec reparsed;
+  std::string error;
+  ASSERT_TRUE(core::ParseSpec(core::PrintSpec(spec), &reparsed, &error))
+      << error;
+  const core::SpecRunResult a = core::RunSpec(spec);
+  const core::SpecRunResult b = core::RunSpec(reparsed);
+  EXPECT_EQ(a.single.commits, b.single.commits);
+  EXPECT_EQ(a.single.mean_throughput, b.single.mean_throughput);
+}
+
+}  // namespace
+}  // namespace alc

@@ -1,0 +1,281 @@
+// alc_run — run a declarative ExperimentSpec file (single-node or cluster)
+// and export the standard CSV artifacts, with optional command-line
+// overrides and parameter sweeps. New workloads need a text file, not a new
+// binary:
+//
+//   $ ./build/tools/alc_run specs/smoke.spec --out /tmp/smoke
+//   $ ./build/tools/alc_run specs/cluster_routing_flash.spec
+//       --sweep routing=random,join-shortest-queue
+//       --sweep node.control.controller=none,parabola-approximation
+//       --threads 4
+//   (one line; broken here for readability)
+//
+// See README.md ("Spec files") for the file format.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/export.h"
+#include "core/spec.h"
+#include "core/sweep.h"
+#include "util/params.h"
+#include "util/strformat.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace alc;
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <spec-file> [options]\n"
+      "  --print                 print the canonical spec and exit\n"
+      "  --set key=value         apply one override (repeatable)\n"
+      "  --sweep key=v1,v2,...   add a sweep axis (repeatable)\n"
+      "  --threads N             sweep parallelism (default 1; 0 = all cores)\n"
+      "  --out DIR               write CSV exports into DIR\n"
+      "\nOverride keys use spec-file syntax: experiment keys bare\n"
+      "(duration, routing, arrival_rate, ...), placement.<key>,\n"
+      "node.<key> for every node or node<i>.<key> for one.\n",
+      argv0);
+  return 2;
+}
+
+bool SplitKeyValue(const std::string& text, char sep, std::string* key,
+                   std::string* value) {
+  const size_t pos = text.find(sep);
+  if (pos == std::string::npos || pos == 0) return false;
+  *key = text.substr(0, pos);
+  *value = text.substr(pos + 1);
+  return true;
+}
+
+bool WriteFileOrComplain(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "alc_run: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+/// Writes the run's CSV artifacts under `dir` with the given file prefix:
+/// single runs produce <prefix>trajectory.csv; cluster runs produce
+/// <prefix>cluster.csv, <prefix>aggregate.csv and, for placement runs,
+/// <prefix>placement.csv.
+bool ExportResult(const std::string& dir, const std::string& prefix,
+                  const core::SpecRunResult& result) {
+  namespace fs = std::filesystem;
+  std::error_code error;
+  fs::create_directories(dir, error);
+  if (error) {
+    std::fprintf(stderr, "alc_run: cannot create %s: %s\n", dir.c_str(),
+                 error.message().c_str());
+    return false;
+  }
+  const std::string base = dir + "/" + prefix;
+  if (!result.cluster) {
+    std::ostringstream csv;
+    core::WriteTrajectoryCsv(csv, result.single.trajectory, {});
+    return WriteFileOrComplain(base + "trajectory.csv", csv.str());
+  }
+  const core::ClusterResult& cluster = result.cluster_result;
+  std::vector<std::vector<core::TrajectoryPoint>> trajectories;
+  std::vector<core::ClusterNodePlacementInfo> placement_info;
+  trajectories.reserve(cluster.nodes.size());
+  for (const core::ClusterNodeResult& node : cluster.nodes) {
+    trajectories.push_back(node.trajectory);
+    placement_info.push_back({node.remote_frac, node.partitions_owned});
+  }
+  std::ostringstream cluster_csv;
+  core::WriteClusterTrajectoryCsv(cluster_csv, trajectories, placement_info);
+  if (!WriteFileOrComplain(base + "cluster.csv", cluster_csv.str())) {
+    return false;
+  }
+  std::ostringstream aggregate_csv;
+  core::WriteTrajectoryCsv(aggregate_csv, cluster.aggregate, {});
+  if (!WriteFileOrComplain(base + "aggregate.csv", aggregate_csv.str())) {
+    return false;
+  }
+  if (!cluster.partitions.empty()) {
+    std::ostringstream placement_csv;
+    core::WritePlacementCsv(placement_csv, cluster.partitions);
+    if (!WriteFileOrComplain(base + "placement.csv", placement_csv.str())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintSummary(const core::ExperimentSpec& spec,
+                  const core::SpecRunResult& result) {
+  std::printf("%s: %s, %d node%s, %.0fs (+%.0fs warmup)\n", spec.name.c_str(),
+              spec.cluster ? "cluster" : "single-node",
+              static_cast<int>(spec.nodes.size()),
+              spec.nodes.size() == 1 ? "" : "s", spec.duration, spec.warmup);
+  util::Table table({"metric", "value"});
+  table.AddRow({"throughput", util::StrFormat("%.1f commits/s",
+                                              result.total_throughput())});
+  table.AddRow({"mean response", util::StrFormat("%.3f s",
+                                                 result.mean_response())});
+  table.AddRow({"abort ratio", util::StrFormat("%.3f", result.abort_ratio())});
+  table.AddRow({"commits", util::StrFormat("%llu",
+                                           static_cast<unsigned long long>(
+                                               result.commits()))});
+  if (result.cluster) {
+    const core::ClusterResult& cluster = result.cluster_result;
+    table.AddRow({"routed", util::StrFormat("%llu",
+                                            static_cast<unsigned long long>(
+                                                cluster.routed))});
+    if (spec.placement_enabled) {
+      table.AddRow(
+          {"remote frac", util::StrFormat("%.3f", cluster.remote_frac)});
+      table.AddRow({"migrations", util::StrFormat("%llu",
+                                                  static_cast<unsigned long long>(
+                                                      cluster.migrations))});
+    }
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+  const std::string spec_path = argv[1];
+  if (spec_path == "--help" || spec_path == "-h") return Usage(argv[0]);
+
+  bool print_only = false;
+  int threads = 1;
+  std::string out_dir;
+  std::vector<std::pair<std::string, std::string>> overrides;
+  std::vector<core::SweepAxis> axes;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--print") {
+      print_only = true;
+    } else if (arg == "--set" && i + 1 < argc) {
+      std::string key, value;
+      if (!SplitKeyValue(argv[++i], '=', &key, &value)) {
+        std::fprintf(stderr, "alc_run: --set expects key=value, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      overrides.emplace_back(key, value);
+    } else if (arg == "--sweep" && i + 1 < argc) {
+      std::string key, values;
+      if (!SplitKeyValue(argv[++i], '=', &key, &values)) {
+        std::fprintf(stderr,
+                     "alc_run: --sweep expects key=v1,v2,..., got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      core::SweepAxis axis{key, util::SplitTrimmed(values, ',')};
+      if (axis.values.empty()) {
+        std::fprintf(stderr, "alc_run: --sweep %s has no values\n",
+                     key.c_str());
+        return 2;
+      }
+      for (const std::string& v : axis.values) {
+        if (v.empty()) {
+          std::fprintf(stderr,
+                       "alc_run: --sweep %s has an empty value "
+                       "(trailing or doubled comma?)\n",
+                       key.c_str());
+          return 2;
+        }
+      }
+      axes.push_back(std::move(axis));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "alc_run: unknown argument '%s'\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+
+  core::ExperimentSpec spec;
+  std::string error;
+  if (!core::LoadSpecFile(spec_path, &spec, &error)) {
+    std::fprintf(stderr, "alc_run: %s\n", error.c_str());
+    return 1;
+  }
+  for (const auto& [key, value] : overrides) {
+    if (!core::ApplySpecOverride(&spec, key, value, &error)) {
+      std::fprintf(stderr, "alc_run: --set %s: %s\n", key.c_str(),
+                   error.c_str());
+      return 1;
+    }
+  }
+
+  if (print_only) {
+    std::fputs(core::PrintSpec(spec).c_str(), stdout);
+    return 0;
+  }
+
+  if (axes.empty()) {
+    const core::SpecRunResult result = core::RunSpec(spec);
+    PrintSummary(spec, result);
+    if (!out_dir.empty() && !ExportResult(out_dir, "", result)) return 1;
+    if (!out_dir.empty()) {
+      std::printf("CSV exports written to %s/\n", out_dir.c_str());
+    }
+    return 0;
+  }
+
+  // Pre-validate every axis key/value with a clean error before any
+  // simulation runs; SweepRunner itself aborts on a bad override.
+  for (const core::SweepAxis& axis : axes) {
+    for (const std::string& value : axis.values) {
+      core::ExperimentSpec scratch = spec;
+      if (!core::ApplySpecOverride(&scratch, axis.key, value, &error)) {
+        std::fprintf(stderr, "alc_run: --sweep %s=%s: %s\n", axis.key.c_str(),
+                     value.c_str(), error.c_str());
+        return 1;
+      }
+    }
+  }
+
+  core::SweepRunner runner(spec, axes);
+  std::printf("%s: sweeping %d point%s on %s\n", spec.name.c_str(),
+              runner.num_points(), runner.num_points() == 1 ? "" : "s",
+              threads == 1 ? "1 thread" : "multiple threads");
+  const std::vector<core::SweepPointResult> results = runner.Run(threads);
+
+  std::vector<std::string> header;
+  for (const core::SweepAxis& axis : axes) header.push_back(axis.key);
+  header.insert(header.end(),
+                {"throughput", "mean response", "abort ratio", "commits"});
+  util::Table table(header);
+  for (const core::SweepPointResult& point : results) {
+    std::vector<std::string> row;
+    for (const auto& [key, value] : point.assignment) row.push_back(value);
+    row.push_back(util::StrFormat("%.1f/s", point.result.total_throughput()));
+    row.push_back(util::StrFormat("%.3fs", point.result.mean_response()));
+    row.push_back(util::StrFormat("%.3f", point.result.abort_ratio()));
+    row.push_back(util::StrFormat(
+        "%llu", static_cast<unsigned long long>(point.result.commits())));
+    table.AddRow(row);
+    if (!out_dir.empty()) {
+      const std::string prefix = "point" + std::to_string(point.index) + "_";
+      if (!ExportResult(out_dir, prefix, point.result)) return 1;
+    }
+  }
+  table.Print(std::cout);
+  if (!out_dir.empty()) {
+    std::printf("CSV exports written to %s/\n", out_dir.c_str());
+  }
+  return 0;
+}
