@@ -35,7 +35,7 @@ int main() {
                      "wasted CPU"});
   for (bool displacement : {false, true}) {
     core::ScenarioConfig scenario = base;
-    scenario.control.kind = core::ControllerKind::kParabola;
+    scenario.control.name = "parabola-approximation";
     scenario.control.displacement = displacement;
     const core::ExperimentResult result = core::Experiment(scenario).Run();
     core::TrackingOptions options;

@@ -31,7 +31,7 @@ int main() {
                      "bound jitter", "recovery after jump", "throughput"});
   for (double interval : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
     core::ScenarioConfig scenario = base;
-    scenario.control.kind = core::ControllerKind::kParabola;
+    scenario.control.name = "parabola-approximation";
     scenario.control.measurement_interval = interval;
     const core::ExperimentResult result = core::Experiment(scenario).Run();
 
@@ -76,7 +76,7 @@ int main() {
 
   // Outer tuning loop: starts from a deliberately bad interval.
   core::ScenarioConfig tuned = base;
-  tuned.control.kind = core::ControllerKind::kParabola;
+  tuned.control.name = "parabola-approximation";
   tuned.control.measurement_interval = 0.25;
   tuned.control.outer_tuner = true;
   const core::ExperimentResult tuned_result = core::Experiment(tuned).Run();

@@ -23,7 +23,7 @@ RowResult RunIs(const alc::core::ScenarioConfig& base,
                 const std::vector<alc::core::OptimumRegime>& timeline,
                 alc::control::IsConfig is) {
   alc::core::ScenarioConfig scenario = base;
-  scenario.control.kind = alc::core::ControllerKind::kIncrementalSteps;
+  scenario.control.name = "incremental-steps";
   scenario.control.is = is;
   const alc::core::ExperimentResult result =
       alc::core::Experiment(scenario).Run();

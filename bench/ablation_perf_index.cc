@@ -80,7 +80,7 @@ int main() {
       control::PerformanceIndex::kEffectiveCpuUtilization};
   for (int i = 0; i < 3; ++i) {
     core::ScenarioConfig scenario = base;
-    scenario.control.kind = core::ControllerKind::kParabola;
+    scenario.control.name = "parabola-approximation";
     scenario.control.pa.index = indices[i];
     const core::ExperimentResult result = core::Experiment(scenario).Run();
     control_table.AddRow({names[i],

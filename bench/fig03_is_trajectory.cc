@@ -16,7 +16,7 @@ int main() {
                      "ridge of the throughput mountain");
 
   core::ScenarioConfig scenario = bench::PaperScenario();
-  scenario.control.kind = core::ControllerKind::kIncrementalSteps;
+  scenario.control.name = "incremental-steps";
   scenario.control.is.initial_bound = 30.0;  // cold start well below n_opt
   scenario.duration = 300.0;
 

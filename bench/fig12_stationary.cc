@@ -41,12 +41,11 @@ int main() {
   util::Table controlled({"terminals N", "controller", "T (controlled)",
                           "mean bound n*", "T/T_peak"});
   for (double population : {300.0, 550.0, 850.0}) {
-    for (core::ControllerKind kind :
-         {core::ControllerKind::kParabola,
-          core::ControllerKind::kIncrementalSteps}) {
+    for (const char* controller :
+         {"parabola-approximation", "incremental-steps"}) {
       core::ScenarioConfig scenario = bench::PaperScenario();
       scenario.active_terminals = db::Schedule::Constant(population);
-      scenario.control.kind = kind;
+      scenario.control.name = controller;
       const core::ExperimentResult result = core::Experiment(scenario).Run();
       double bound_sum = 0.0;
       int bound_n = 0;
@@ -58,7 +57,7 @@ int main() {
       }
       controlled.AddRow(
           {util::StrFormat("%.0f", population),
-           std::string(core::ControllerKindName(kind)),
+           std::string(controller),
            util::StrFormat("%.1f", result.mean_throughput),
            util::StrFormat("%.0f", bound_sum / bound_n),
            util::StrFormat("%.2f", result.mean_throughput / peak)});

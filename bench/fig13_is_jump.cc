@@ -17,7 +17,7 @@ int main() {
       "IS reacts quickly but adjusts to the new situation with difficulty");
 
   core::ScenarioConfig scenario = bench::JumpScenario();
-  scenario.control.kind = core::ControllerKind::kIncrementalSteps;
+  scenario.control.name = "incremental-steps";
 
   std::printf("computing true optimum per regime (offline sweeps)...\n");
   core::OptimumFinder finder(scenario, bench::FastSearch());

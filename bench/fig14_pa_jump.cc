@@ -18,7 +18,7 @@ int main() {
       "PA responds slower than IS but tracks more accurately and reliably");
 
   core::ScenarioConfig scenario = bench::JumpScenario();
-  scenario.control.kind = core::ControllerKind::kParabola;
+  scenario.control.name = "parabola-approximation";
 
   std::printf("computing true optimum per regime (offline sweeps)...\n");
   core::OptimumFinder finder(scenario, bench::FastSearch());
@@ -51,7 +51,7 @@ int main() {
   // Head-to-head with IS on the identical workload (the paper's central
   // comparison: "PA outperformed IS in all cases examined").
   core::ScenarioConfig is_scenario = bench::JumpScenario();
-  is_scenario.control.kind = core::ControllerKind::kIncrementalSteps;
+  is_scenario.control.name = "incremental-steps";
   const core::ExperimentResult is_result =
       core::Experiment(is_scenario).Run();
   const core::TrackingStats is_stats =

@@ -62,18 +62,17 @@ int main() {
 
   util::Table table({"controller", "throughput", "T/T_peak", "mean load",
                      "deadlock aborts"});
-  for (core::ControllerKind kind :
-       {core::ControllerKind::kNone, core::ControllerKind::kIncrementalSteps,
-        core::ControllerKind::kParabola,
-        core::ControllerKind::kGoldenSection}) {
+  for (const char* controller :
+       {"none", "incremental-steps", "parabola-approximation",
+        "golden-section"}) {
     core::ScenarioConfig scenario = base;
-    scenario.control.kind = kind;
+    scenario.control.name = controller;
     scenario.control.gs.min_bound = 2.0;
     scenario.control.gs.max_bound = 300.0;
     scenario.control.gs.min_bracket = 15.0;
     const core::ExperimentResult result = core::Experiment(scenario).Run();
     table.AddRow(
-        {std::string(core::ControllerKindName(kind)),
+        {std::string(controller),
          util::StrFormat("%.1f", result.mean_throughput),
          util::StrFormat("%.2f",
                          result.mean_throughput / optimum.peak_throughput),

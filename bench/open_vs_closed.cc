@@ -30,8 +30,7 @@ OpenResult RunOpen(double rate, bool adaptive, double duration) {
   core::ScenarioConfig scenario = bench::PaperScenario();
   scenario.system.arrivals = db::ArrivalMode::kOpen;
   scenario.system.open_arrival_rate = rate;
-  scenario.control.kind = adaptive ? core::ControllerKind::kParabola
-                                   : core::ControllerKind::kNone;
+  scenario.control.name = adaptive ? "parabola-approximation" : "none";
   scenario.duration = duration;
   scenario.warmup = 30.0;
   core::Experiment experiment(scenario);

@@ -67,7 +67,7 @@ core::ClusterNodeScenario BenchNode(uint64_t seed) {
   node.system.logical.write_fraction = 0.4;
   node.system.seed = seed;
   node.dynamics = db::WorkloadDynamics::FromConfig(node.system.logical);
-  node.control.kind = core::ControllerKind::kParabola;
+  node.control.name = "parabola-approximation";
   node.control.measurement_interval = 0.5;
   node.control.initial_limit = 20.0;
   node.control.pa.initial_bound = 20.0;
@@ -139,11 +139,11 @@ int main() {
       placement::PlacementKind::kRange,
       placement::PlacementKind::kReplicated,
   };
-  const std::vector<cluster::RoutingPolicyKind> routings = {
-      cluster::RoutingPolicyKind::kJoinShortestQueue,
-      cluster::RoutingPolicyKind::kPowerOfD,
-      cluster::RoutingPolicyKind::kLocality,
-      cluster::RoutingPolicyKind::kLocalityThreshold,
+  const std::vector<std::string> routings = {
+      "join-shortest-queue",
+      "power-of-d",
+      "locality",
+      "locality-threshold",
   };
 
   Cell headline_jsq, headline_locality, headline_threshold;
@@ -151,14 +151,14 @@ int main() {
   util::Table table({"placement", "routing", "throughput", "p-mean response",
                      "remote frac", "abort ratio", "commits"});
   for (placement::PlacementKind kind : placements) {
-    for (cluster::RoutingPolicyKind routing : routings) {
+    for (const std::string& routing : routings) {
       core::ClusterScenarioConfig scenario = BaseCluster(seed, kind);
-      scenario.routing = routing;
+      scenario.routing_name = routing;
       const core::ClusterResult result =
           core::ClusterExperiment(scenario).Run();
       table.AddRow(
           {placement::PlacementKindName(kind),
-           cluster::RoutingPolicyKindName(routing),
+           routing,
            util::StrFormat("%.1f/s", result.total_throughput),
            util::StrFormat("%.3fs", result.mean_response),
            util::StrFormat("%.3f", result.remote_frac),
@@ -166,11 +166,11 @@ int main() {
            util::StrFormat("%llu",
                            static_cast<unsigned long long>(result.commits))});
       if (kind == placement::PlacementKind::kReplicated) {
-        if (routing == cluster::RoutingPolicyKind::kJoinShortestQueue) {
+        if (routing == "join-shortest-queue") {
           headline_jsq = {result, true};
-        } else if (routing == cluster::RoutingPolicyKind::kLocality) {
+        } else if (routing == "locality") {
           headline_locality = {result, true};
-        } else if (routing == cluster::RoutingPolicyKind::kLocalityThreshold) {
+        } else if (routing == "locality-threshold") {
           headline_threshold = {result, true};
         }
       }

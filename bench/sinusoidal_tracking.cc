@@ -19,21 +19,20 @@ int main() {
       "both algorithms follow gradual changes");
 
   const double period = 300.0;
-  auto make_scenario = [&](core::ControllerKind kind) {
+  auto make_scenario = [&](const char* controller) {
     core::ScenarioConfig scenario = bench::PaperScenario();
     scenario.duration = 900.0;
     scenario.warmup = 100.0;
     // Query fraction swings 0.30 +/- 0.35 -> optimum swings accordingly.
     scenario.dynamics.query_fraction =
         db::Schedule::Sinusoid(0.5, 0.35, period);
-    scenario.control.kind = kind;
+    scenario.control.name = controller;
     return scenario;
   };
 
-  for (core::ControllerKind kind :
-       {core::ControllerKind::kIncrementalSteps,
-        core::ControllerKind::kParabola}) {
-    core::ScenarioConfig scenario = make_scenario(kind);
+  for (const char* controller :
+       {"incremental-steps", "parabola-approximation"}) {
+    core::ScenarioConfig scenario = make_scenario(controller);
     const core::ExperimentResult result = core::Experiment(scenario).Run();
 
     // Correlate the bound with the query fraction (which raises the
@@ -56,7 +55,7 @@ int main() {
     const double corr = cov / std::sqrt(var_b * var_q);
 
     std::printf("\n%s\n", core::SummaryLine(
-        core::ControllerKindName(kind), result).c_str());
+        controller, result).c_str());
     std::printf("  correlation(bound, query fraction) = %+.2f "
                 "(positive = tracking the swing)\n", corr);
 

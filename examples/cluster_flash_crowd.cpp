@@ -54,22 +54,22 @@ int main() {
   core::ClusterResult adaptive;
   struct Setup {
     const char* label;
-    cluster::RoutingPolicyKind routing;
-    core::ControllerKind admission;
+    const char* routing;
+    const char* admission;
   };
   for (const Setup& setup :
-       {Setup{"random + fixed(150)", cluster::RoutingPolicyKind::kRandom,
-              core::ControllerKind::kFixed},
-        Setup{"jsq + parabola",
-              cluster::RoutingPolicyKind::kJoinShortestQueue,
-              core::ControllerKind::kParabola}}) {
+       {Setup{"random + fixed(150)", "random", "fixed"},
+        Setup{"jsq + parabola", "join-shortest-queue",
+              "parabola-approximation"}}) {
     core::ClusterScenarioConfig run = cluster;
-    run.routing = setup.routing;
+    run.routing_name = setup.routing;
     for (core::ClusterNodeScenario& node : run.nodes) {
-      node.control.kind = setup.admission;
+      node.control.name = setup.admission;
     }
     const core::ClusterResult result = core::ClusterExperiment(run).Run();
-    if (setup.admission == core::ControllerKind::kParabola) adaptive = result;
+    if (std::string_view(setup.admission) == "parabola-approximation") {
+      adaptive = result;
+    }
     table.AddRow({setup.label,
                   util::StrFormat("%.1f/s", result.total_throughput),
                   util::StrFormat("%.3fs", result.mean_response),

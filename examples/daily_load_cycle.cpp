@@ -32,19 +32,18 @@ int main() {
 
   util::Table table({"policy", "committed txns", "mean response",
                      "abort ratio"});
-  for (core::ControllerKind kind :
-       {core::ControllerKind::kFixed, core::ControllerKind::kParabola}) {
+  for (const char* controller : {"fixed", "parabola-approximation"}) {
     core::ScenarioConfig run = scenario;
-    run.control.kind = kind;
+    run.control.name = controller;
     run.control.fixed_limit = 195.0;  // tuned for the night mix
     const core::ExperimentResult result = core::Experiment(run).Run();
-    table.AddRow({std::string(core::ControllerKindName(kind)),
+    table.AddRow({std::string(controller),
                   util::StrFormat("%llu",
                                   static_cast<unsigned long long>(result.commits)),
                   util::StrFormat("%.2fs", result.mean_response),
                   util::StrFormat("%.3f", result.abort_ratio)});
 
-    if (kind == core::ControllerKind::kParabola) {
+    if (std::string_view(controller) == "parabola-approximation") {
       std::printf("adaptive bound over the day (every 2 'hours'):\n");
       std::printf("%8s %12s %12s %12s\n", "hour", "query frac", "bound n*",
                   "throughput");

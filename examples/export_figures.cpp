@@ -36,13 +36,12 @@ int main() {
   core::OptimumFinder finder(scenario, search);
   const auto timeline = finder.Timeline(scenario.duration);
 
-  for (core::ControllerKind kind :
-       {core::ControllerKind::kIncrementalSteps,
-        core::ControllerKind::kParabola}) {
+  for (const char* controller :
+       {"incremental-steps", "parabola-approximation"}) {
     core::ScenarioConfig run = scenario;
-    run.control.kind = kind;
+    run.control.name = controller;
     const core::ExperimentResult result = core::Experiment(run).Run();
-    const char* path = kind == core::ControllerKind::kIncrementalSteps
+    const char* path = std::string_view(controller) == "incremental-steps"
                            ? "fig13_is_trajectory.csv"
                            : "fig14_pa_trajectory.csv";
     if (core::ExportTrajectory(path, result.trajectory, timeline)) {

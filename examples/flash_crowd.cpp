@@ -28,13 +28,14 @@ int main() {
   util::Table table({"policy", "throughput", "p-mean response",
                      "abort ratio", "commits"});
   core::ExperimentResult adaptive_result;
-  for (core::ControllerKind kind :
-       {core::ControllerKind::kNone, core::ControllerKind::kParabola}) {
+  for (const char* controller : {"none", "parabola-approximation"}) {
     core::ScenarioConfig run = scenario;
-    run.control.kind = kind;
+    run.control.name = controller;
     const core::ExperimentResult result = core::Experiment(run).Run();
-    if (kind == core::ControllerKind::kParabola) adaptive_result = result;
-    table.AddRow({std::string(core::ControllerKindName(kind)),
+    if (std::string_view(controller) == "parabola-approximation") {
+      adaptive_result = result;
+    }
+    table.AddRow({std::string(controller),
                   util::StrFormat("%.1f/s", result.mean_throughput),
                   util::StrFormat("%.2fs", result.mean_response),
                   util::StrFormat("%.3f", result.abort_ratio),

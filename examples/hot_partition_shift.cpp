@@ -45,7 +45,7 @@ int main() {
   base.system.logical.write_fraction = 0.1;
   base.system.seed = 7;
   base.dynamics = db::WorkloadDynamics::FromConfig(base.system.logical);
-  base.control.kind = core::ControllerKind::kParabola;
+  base.control.name = "parabola-approximation";
   base.control.measurement_interval = 0.5;
   base.control.initial_limit = 20.0;
   base.control.pa.initial_bound = 20.0;
@@ -56,7 +56,7 @@ int main() {
   base.warmup = 20.0;
 
   core::ClusterScenarioConfig cluster = core::UniformCluster(kNumNodes, base);
-  cluster.routing = cluster::RoutingPolicyKind::kLocalityThreshold;
+  cluster.routing_name = "locality-threshold";
   cluster.arrival_rate = db::Schedule::Constant(450.0);
   cluster.placement_enabled = true;
   cluster.placement.placement.kind = placement::PlacementKind::kRange;

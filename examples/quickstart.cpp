@@ -22,7 +22,7 @@ int main() {
   scenario.warmup = 60.0;     // excluded from the summary statistics
 
   // 2. Pick the load-control policy: the adaptive Parabola Approximation.
-  scenario.control.kind = core::ControllerKind::kParabola;
+  scenario.control.name = "parabola-approximation";
   scenario.control.measurement_interval = 1.0;
   scenario.control.initial_limit = 50.0;  // cold start far from the optimum
 

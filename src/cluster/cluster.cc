@@ -1,6 +1,7 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <climits>
 #include <utility>
 
 #include "util/check.h"
@@ -35,23 +36,45 @@ NodeView ClusterNode::View() const {
 Cluster::Cluster(sim::Simulator* sim, const std::vector<NodeConfig>& nodes,
                  std::unique_ptr<RoutingPolicy> policy, uint64_t seed)
     : sim_(sim),
+      configs_(nodes),
       policy_(std::move(policy)),
       arrival_rng_(seed ^ 0xc2b2ae3d27d4eb4fULL),
       seed_(seed),
       routed_(nodes.size(), 0),
+      crash_kills_(nodes.size(), 0),
+      retracted_(nodes.size(), 0),
+      lost_(nodes.size(), 0),
       plan_class_rng_(seed ^ 0x6a09e667f3bcc909ULL) {
   ALC_CHECK(sim != nullptr);
   ALC_CHECK(policy_ != nullptr);
   ALC_CHECK(!nodes.empty());
   nodes_.reserve(nodes.size());
+  states_.reserve(nodes.size());
   for (const NodeConfig& node : nodes) {
     nodes_.push_back(std::make_unique<ClusterNode>(sim, node));
+    states_.push_back(node.availability.initial_state());
+    if (!node.availability.always_up()) lifecycle_active_ = true;
+  }
+  for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
+    if (states_[i] == NodeState::kUp) live_.push_back(i);
   }
 }
 
 void Cluster::SetArrivalRateSchedule(db::Schedule schedule) {
   ALC_CHECK(!started_);
   arrival_rate_ = std::move(schedule);
+}
+
+void Cluster::SetRetraction(const RetractionConfig& config) {
+  ALC_CHECK(!started_);
+  ALC_CHECK_GE(config.queue_factor, 0.0);
+  if (config.queue_factor > 0.0) ALC_CHECK_GT(config.check_interval, 0.0);
+  retraction_ = config;
+}
+
+void Cluster::SetLifecycleListener(LifecycleListener listener) {
+  ALC_CHECK(!started_);
+  listener_ = std::move(listener);
 }
 
 void Cluster::EnablePlacement(const PlacementSpec& spec) {
@@ -80,10 +103,177 @@ void Cluster::Start() {
   ALC_CHECK(!started_);
   started_ = true;
   for (auto& node : nodes_) node->system().Start();
+  if (lifecycle_active_) {
+    // Sync the catalog with nodes that begin outside the membership, then
+    // schedule every availability transition. Nothing here runs for
+    // always-up fleets, keeping their event streams byte-identical to the
+    // pre-lifecycle ones.
+    if (catalog_ != nullptr) {
+      for (int i = 0; i < size(); ++i) {
+        if (states_[i] != NodeState::kUp) catalog_->SetNodeLive(i, false);
+      }
+    }
+    for (int i = 0; i < size(); ++i) {
+      for (const auto& [time, state] : configs_[i].availability.transitions()) {
+        const NodeState to = state;
+        sim_->ScheduleAt(time, [this, i, to] { ApplyTransition(i, to); });
+      }
+    }
+  }
   ScheduleNextArrival();
   if (catalog_ != nullptr &&
       placement_spec_.placement.rebalance_interval > 0.0) {
     ScheduleRebalance();
+  }
+  if (retraction_.enabled && retraction_.queue_factor > 0.0) {
+    ScheduleRetractionScan();
+  }
+}
+
+MembershipView Cluster::Snapshot() {
+  views_.clear();
+  for (const auto& node : nodes_) views_.push_back(node->View());
+  MembershipView membership;
+  membership.nodes = &views_;
+  membership.live = &live_;
+  membership.epoch = epoch_;
+  return membership;
+}
+
+void Cluster::ApplyTransition(int node, NodeState to) {
+  const NodeState from = states_[node];
+  if (from == to) return;
+  states_[node] = to;
+  live_.clear();
+  for (int i = 0; i < size(); ++i) {
+    if (states_[i] == NodeState::kUp) live_.push_back(i);
+  }
+  ++epoch_;
+  if (catalog_ != nullptr) {
+    // Placement subscribes to membership: replica filtering excludes the
+    // node through the MembershipView, and orphaned homes move now.
+    catalog_->SetNodeLive(node, to == NodeState::kUp);
+  }
+
+  switch (to) {
+    case NodeState::kDown: {
+      // Crash: queued admissions are retracted and re-routed (or dropped
+      // without retraction), in-flight work is killed and — with
+      // retraction — retried elsewhere as fresh requests.
+      RetractAndReroute(node, INT_MAX, /*drop=*/!retraction_.enabled);
+      const int killed = nodes_[node]->system().CrashActive();
+      crash_kills_[node] += static_cast<uint64_t>(killed);
+      if (retraction_.enabled) {
+        for (int k = 0; k < killed; ++k) RetryElsewhere(node);
+      } else {
+        lost_[node] += static_cast<uint64_t>(killed);
+      }
+      break;
+    }
+    case NodeState::kDrain:
+      // The node leaves the routing set but keeps admitting its queue and
+      // finishing admitted work; with retraction the front-end moves the
+      // queue to live nodes immediately instead of waiting it out.
+      if (retraction_.enabled) {
+        RetractAndReroute(node, INT_MAX, /*drop=*/false);
+      }
+      break;
+    case NodeState::kUp:
+      // Rejoin. After a crash the control plane either restarts fresh
+      // (gate back to the initial limit here, controller rebuilt by the
+      // lifecycle listener) or keeps what it had learned.
+      if (from == NodeState::kDown &&
+          configs_[node].rejoin == RejoinPolicy::kFresh) {
+        nodes_[node]->gate().SetLimit(configs_[node].initial_limit);
+      }
+      break;
+  }
+  if (listener_) listener_(node, from, to);
+}
+
+void Cluster::RetractAndReroute(int node, int max_count, bool drop) {
+  retract_scratch_.clear();
+  nodes_[node]->gate().RetractQueued(max_count, &retract_scratch_);
+  if (retract_scratch_.empty()) return;
+  // A still-live origin (degradation-triggered retraction) is excluded
+  // from the re-route targets: the point is to shed its backlog.
+  live_scratch_.clear();
+  for (const int i : live_) {
+    if (i != node) live_scratch_.push_back(i);
+  }
+  db::TransactionSystem& origin = nodes_[node]->system();
+  for (db::Transaction* txn : retract_scratch_) {
+    if (drop || live_scratch_.empty()) {
+      origin.ReleaseQueued(txn);
+      ++lost_[node];
+      continue;
+    }
+    ++retracted_[node];
+    const bool preplanned = txn->preplanned;
+    if (preplanned) {
+      // Copy the plan out before the slot is released: the retried request
+      // keeps its exact key set, so the remote/local split stays honest.
+      plan_.cls = txn->cls;
+      plan_.access_items = txn->planned_items;
+      plan_.access_modes = txn->planned_modes;
+    }
+    origin.ReleaseQueued(txn);
+    views_.clear();
+    for (const auto& n : nodes_) views_.push_back(n->View());
+    MembershipView membership;
+    membership.nodes = &views_;
+    membership.live = &live_scratch_;
+    membership.epoch = epoch_;
+    if (preplanned) {
+      ALC_CHECK(catalog_ != nullptr);
+      plan_partitions_.clear();
+      for (const db::ItemId key : plan_.access_items) {
+        // No heat re-recording: the original submission already counted
+        // these accesses for the rebalancer.
+        plan_partitions_.push_back(catalog_->PartitionOf(key));
+      }
+      RouteContext context;
+      context.keys = &plan_.access_items;
+      context.catalog = catalog_.get();
+      context.partitions = &plan_partitions_;
+      const int target = policy_->Route(membership, context);
+      SubmitPlanned(target);
+    } else {
+      const int target = policy_->Route(membership, RouteContext{});
+      ALC_CHECK_GE(target, 0);
+      ALC_CHECK_LT(target, size());
+      ++routed_[target];
+      ++total_routed_;
+      nodes_[target]->system().SubmitExternal();
+    }
+  }
+}
+
+void Cluster::RetryElsewhere(int origin) {
+  if (live_.empty()) {
+    ++lost_[origin];
+    return;
+  }
+  // The client re-issues the lost request: a fresh submission through the
+  // normal routing path (placement runs re-draw the plan — the in-flight
+  // execution state is unrecoverable, re-stamping models the retry).
+  if (catalog_ != nullptr) {
+    StampPlan();
+    MembershipView membership = Snapshot();
+    RouteContext context;
+    context.keys = &plan_.access_items;
+    context.catalog = catalog_.get();
+    context.partitions = &plan_partitions_;
+    const int target = policy_->Route(membership, context);
+    SubmitPlanned(target);
+  } else {
+    MembershipView membership = Snapshot();
+    const int target = policy_->Route(membership, RouteContext{});
+    ALC_CHECK_GE(target, 0);
+    ALC_CHECK_LT(target, size());
+    ++routed_[target];
+    ++total_routed_;
+    nodes_[target]->system().SubmitExternal();
   }
 }
 
@@ -98,6 +288,24 @@ void Cluster::ScheduleRebalance() {
   });
 }
 
+void Cluster::ScheduleRetractionScan() {
+  sim_->Schedule(retraction_.check_interval, [this] {
+    // Degradation trigger: any live node whose gate queue grew past
+    // queue_factor * n* sheds the excess back through the router. The live
+    // list is copied first — retraction itself never changes membership,
+    // but iteration order must not depend on re-route targets.
+    scan_scratch_ = live_;
+    for (const int i : scan_scratch_) {
+      const control::AdmissionGate& gate = nodes_[i]->gate();
+      const int allowed = static_cast<int>(
+          retraction_.queue_factor * gate.limit());
+      const int excess = gate.queue_length() - allowed;
+      if (excess > 0) RetractAndReroute(i, excess, /*drop=*/false);
+    }
+    ScheduleRetractionScan();
+  });
+}
+
 void Cluster::ScheduleNextArrival() {
   // Poisson process with a (slowly) time-varying rate, same approximation
   // as the single-node open driver: the next gap is drawn at the current
@@ -109,21 +317,27 @@ void Cluster::ScheduleNextArrival() {
 
 void Cluster::RouteOne() {
   ScheduleNextArrival();
+  if (live_.empty()) {
+    // Whole fleet down or draining: the front door has nowhere to send
+    // work and sheds the arrival.
+    ++arrivals_dropped_;
+    return;
+  }
   if (catalog_ != nullptr) {
     RouteOnePlaced();
     return;
   }
-  views_.clear();
-  for (const auto& node : nodes_) views_.push_back(node->View());
-  const int target = policy_->Route(views_);
+  MembershipView membership = Snapshot();
+  const int target = policy_->Route(membership, RouteContext{});
   ALC_CHECK_GE(target, 0);
-  ALC_CHECK_LT(target, static_cast<int>(nodes_.size()));
+  ALC_CHECK_LT(target, size());
+  ALC_CHECK(states_[target] == NodeState::kUp);
   ++routed_[target];
   ++total_routed_;
   nodes_[target]->system().SubmitExternal();
 }
 
-void Cluster::RouteOnePlaced() {
+void Cluster::StampPlan() {
   const double now = sim_->Now();
   const uint32_t db_size = placement_spec_.workload.db_size;
 
@@ -146,16 +360,12 @@ void Cluster::RouteOnePlaced() {
     plan_partitions_.push_back(partition);
     catalog_->RecordAccess(partition);
   }
+}
 
-  views_.clear();
-  for (const auto& node : nodes_) views_.push_back(node->View());
-  RouteContext context;
-  context.keys = &plan_.access_items;
-  context.catalog = catalog_.get();
-  context.partitions = &plan_partitions_;
-  const int target = policy_->Route(views_, context);
+void Cluster::SubmitPlanned(int target) {
   ALC_CHECK_GE(target, 0);
-  ALC_CHECK_LT(target, static_cast<int>(nodes_.size()));
+  ALC_CHECK_LT(target, size());
+  ALC_CHECK(states_[target] == NodeState::kUp);
 
   // Keys whose partition has no copy on the target execute remotely there.
   // Each remote access is served by the partition's home node (primary-
@@ -181,6 +391,18 @@ void Cluster::RouteOnePlaced() {
   ++total_routed_;
   nodes_[target]->system().SubmitExternalPlanned(
       plan_.cls, plan_.access_items, plan_.access_modes, remote_flags_);
+}
+
+void Cluster::RouteOnePlaced() {
+  StampPlan();
+  MembershipView membership = Snapshot();
+  RouteContext context;
+  context.keys = &plan_.access_items;
+  context.catalog = catalog_.get();
+  context.partitions = &plan_partitions_;
+  const int target = policy_->Route(membership, context);
+  ALC_CHECK(states_[target] == NodeState::kUp);
+  SubmitPlanned(target);
 }
 
 }  // namespace alc::cluster

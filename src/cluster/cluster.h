@@ -2,11 +2,12 @@
 #define ALC_CLUSTER_CLUSTER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
-#include <optional>
-
+#include "cluster/lifecycle.h"
 #include "cluster/router.h"
 #include "control/gate.h"
 #include "db/database.h"
@@ -20,9 +21,10 @@
 namespace alc::cluster {
 
 /// Everything needed to build one cluster node. Nodes may be heterogeneous:
-/// different CPU counts, database sizes, CC schemes, workload mixes, and
-/// speed profiles are all allowed. `system.arrivals` is forced to
-/// kExternal — a cluster node receives work only from the router.
+/// different CPU counts, database sizes, CC schemes, workload mixes, speed
+/// profiles, and availability schedules are all allowed. `system.arrivals`
+/// is forced to kExternal — a cluster node receives work only from the
+/// router.
 struct NodeConfig {
   db::SystemConfig system;
   db::WorkloadDynamics dynamics =
@@ -31,6 +33,25 @@ struct NodeConfig {
   db::Schedule cpu_speed = db::Schedule::Constant(1.0);
   double initial_limit = 50.0;
   bool displacement = false;
+  /// Lifecycle: when this node is up / draining / down (default: always
+  /// up, which keeps every lifecycle event out of the run).
+  AvailabilitySchedule availability;
+  /// What the node's control plane remembers when it rejoins after a crash.
+  RejoinPolicy rejoin = RejoinPolicy::kFresh;
+};
+
+/// Cluster-level displacement (the front-end retraction of ROADMAP fame).
+struct RetractionConfig {
+  /// Master switch: when false, a crash simply loses the node's gate queue
+  /// and in-flight work, and a drain strands its queue until completion.
+  bool enabled = false;
+  /// Degradation trigger: when > 0, every `check_interval` seconds the
+  /// front-end retracts queued admissions beyond `queue_factor * n*` from
+  /// each live node's gate and re-routes them through the policy — a node
+  /// does not need to die to shed its backlog, degrading past the
+  /// threshold is enough. 0 limits retraction to lifecycle transitions.
+  double queue_factor = 0.0;
+  double check_interval = 1.0;
 };
 
 /// One TP node: a full TransactionSystem replica plus the admission gate in
@@ -73,16 +94,35 @@ struct PlacementSpec {
 };
 
 /// N transaction-system replicas sharing one simulator event queue, fed by
-/// a cluster-wide Poisson arrival stream through a routing policy. Each
-/// arrival is routed on the current NodeViews and submitted to the chosen
-/// node. Without placement, the node stamps the work from its own workload
-/// dynamics; with placement the front-end draws a key-carrying plan from
-/// the global keyspace, routes on it, and marks non-replica keys remote.
+/// a cluster-wide Poisson arrival stream through a routing policy over the
+/// epoch-versioned live membership. Each arrival is routed on the current
+/// MembershipView and submitted to the chosen node. Without placement, the
+/// node stamps the work from its own workload dynamics; with placement the
+/// front-end draws a key-carrying plan from the global keyspace, routes on
+/// it, and marks non-replica keys remote.
+///
+/// Lifecycle: each node follows its availability schedule. A node going
+/// kDown crashes — its in-flight work is killed and its gate queue is
+/// either retracted and re-routed (retraction enabled; the lost in-flight
+/// requests are also retried elsewhere as fresh submissions) or dropped. A
+/// node entering kDrain leaves the routing set but finishes everything it
+/// holds (with retraction, its queued work moves elsewhere immediately). A
+/// node returning kUp rejoins the membership; after a crash its gate and
+/// controller state start fresh or retained per its RejoinPolicy. Every
+/// transition bumps the membership epoch and notifies the placement
+/// catalog, which re-homes orphaned partitions at once.
+///
 /// All randomness (arrival gaps, per-node variates, policy choices) comes
 /// from seeded streams, so a cluster run is bit-deterministic per
-/// configuration.
+/// configuration — lifecycle events included.
 class Cluster {
  public:
+  /// (node, previous state, new state), fired after the membership and data
+  /// plane updated. The experiment layer uses it to rebuild controllers on
+  /// fresh rejoins.
+  using LifecycleListener =
+      std::function<void(int node, NodeState from, NodeState to)>;
+
   Cluster(sim::Simulator* sim, const std::vector<NodeConfig>& nodes,
           std::unique_ptr<RoutingPolicy> policy, uint64_t seed);
 
@@ -99,7 +139,14 @@ class Cluster {
   /// by front-end occupancy.
   void EnablePlacement(const PlacementSpec& spec);
 
-  /// Starts every node and the arrival process. Call once.
+  /// Configures cluster-level displacement. Must be called before Start().
+  void SetRetraction(const RetractionConfig& config);
+
+  /// Registers the lifecycle listener. Must be called before Start().
+  void SetLifecycleListener(LifecycleListener listener);
+
+  /// Starts every node, the lifecycle schedules, and the arrival process.
+  /// Call once.
   void Start();
 
   int size() const { return static_cast<int>(nodes_.size()); }
@@ -107,8 +154,30 @@ class Cluster {
   const ClusterNode& node(int i) const { return *nodes_[i]; }
   RoutingPolicy& policy() { return *policy_; }
 
+  // Membership-first API: the live set, per-node states, and the epoch
+  // counter that versions them.
+  NodeState node_state(int i) const { return states_[i]; }
+  int num_live() const { return static_cast<int>(live_.size()); }
+  uint64_t epoch() const { return epoch_; }
+  const std::vector<int>& live_nodes() const { return live_; }
+
   uint64_t total_routed() const { return total_routed_; }
   const std::vector<uint64_t>& routed_per_node() const { return routed_; }
+
+  // Lifecycle outcome counters (whole run, per node and summed).
+  /// In-flight transactions killed by crashes on node i.
+  const std::vector<uint64_t>& crash_kills_per_node() const {
+    return crash_kills_;
+  }
+  /// Queued admissions retracted from node i's gate and re-routed.
+  const std::vector<uint64_t>& retracted_per_node() const {
+    return retracted_;
+  }
+  /// Work lost at node i: queued admissions dropped by a crash without
+  /// retraction, plus retracted/retried work with no live node to go to.
+  const std::vector<uint64_t>& lost_per_node() const { return lost_; }
+  /// Arrivals dropped at the front door because no node was live.
+  uint64_t arrivals_dropped() const { return arrivals_dropped_; }
 
   /// Null until EnablePlacement.
   placement::PlacementCatalog* catalog() { return catalog_.get(); }
@@ -119,9 +188,28 @@ class Cluster {
   void RouteOne();
   void RouteOnePlaced();
   void ScheduleRebalance();
+  void ScheduleRetractionScan();
+  /// Builds views_ for the whole fleet and returns the membership view over
+  /// them. Valid until the next call.
+  MembershipView Snapshot();
+  void ApplyTransition(int node, NodeState to);
+  /// Pulls up to `max_count` queued admissions out of `node`'s gate and
+  /// re-routes them through the policy over the live set (dropping them
+  /// when none is live or retraction is disabled and `forced` says drop).
+  void RetractAndReroute(int node, int max_count, bool drop);
+  /// Routes one retried request (a crash-killed in-flight submission)
+  /// as a fresh arrival over the live set.
+  void RetryElsewhere(int origin);
+  /// Stamps plan_ from the front-end keyspace at the current time
+  /// (placement mode) — shared by fresh arrivals and crash retries.
+  void StampPlan();
+  /// Routes the already-stamped plan_ to `target`: remote marking, serve
+  /// charges, submission.
+  void SubmitPlanned(int target);
 
   sim::Simulator* sim_;
   std::vector<std::unique_ptr<ClusterNode>> nodes_;
+  std::vector<NodeConfig> configs_;
   std::unique_ptr<RoutingPolicy> policy_;
   sim::RandomStream arrival_rng_;
   uint64_t seed_;
@@ -130,6 +218,21 @@ class Cluster {
   std::vector<uint64_t> routed_;
   uint64_t total_routed_ = 0;
   bool started_ = false;
+
+  // Membership state.
+  std::vector<NodeState> states_;
+  std::vector<int> live_;  // sorted live node indices
+  uint64_t epoch_ = 0;
+  bool lifecycle_active_ = false;  // any non-always-up schedule?
+  RetractionConfig retraction_;
+  LifecycleListener listener_;
+  std::vector<uint64_t> crash_kills_;
+  std::vector<uint64_t> retracted_;
+  std::vector<uint64_t> lost_;
+  uint64_t arrivals_dropped_ = 0;
+  std::vector<db::Transaction*> retract_scratch_;
+  std::vector<int> live_scratch_;  // live set minus a retraction origin
+  std::vector<int> scan_scratch_;  // stable iteration copy for the scanner
 
   // Placement state (set by EnablePlacement).
   PlacementSpec placement_spec_;

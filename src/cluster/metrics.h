@@ -1,11 +1,22 @@
 #ifndef ALC_CLUSTER_METRICS_H_
 #define ALC_CLUSTER_METRICS_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "core/experiment.h"
 
 namespace alc::cluster {
+
+/// Cluster membership at one monitor tick: how many nodes were live and
+/// the membership epoch in force. Sampled on the same interval grid as the
+/// node trajectories, so index i of the membership series describes the
+/// same window as index i of every node series.
+struct MembershipSample {
+  double time = 0.0;
+  int members = 0;
+  uint64_t epoch = 0;
+};
 
 /// Collects per-node controller trajectories and folds them into one
 /// cluster-wide series. All node monitors tick on the same interval grid,
@@ -15,6 +26,16 @@ class ClusterMetrics {
   explicit ClusterMetrics(int num_nodes);
 
   void AddPoint(int node, const core::TrajectoryPoint& point);
+
+  /// Records the membership in force at one tick (the experiment samples
+  /// it once per grid tick, alongside node 0's trajectory point).
+  void AddMembershipSample(const MembershipSample& sample) {
+    membership_.push_back(sample);
+  }
+
+  const std::vector<MembershipSample>& membership() const {
+    return membership_;
+  }
 
   const std::vector<std::vector<core::TrajectoryPoint>>& node_trajectories()
       const {
@@ -31,6 +52,7 @@ class ClusterMetrics {
 
  private:
   std::vector<std::vector<core::TrajectoryPoint>> trajectories_;
+  std::vector<MembershipSample> membership_;
 };
 
 }  // namespace alc::cluster

@@ -31,15 +31,21 @@ int ContextPluralityPartition(const RouteContext& context) {
   return context.catalog->MostTouchedPartition(*context.keys);
 }
 
+/// Whether `node` is a routable target: a live slot of the fleet. A catalog
+/// can name nodes beyond the fleet (built for a larger cluster) or nodes
+/// that are currently down/draining.
+bool Routable(const MembershipView& cluster, int node) {
+  return node >= 0 && node < cluster.fleet_size() && cluster.IsLive(node);
+}
+
 /// Picks the touched partition to anchor locality on: within the highest
-/// touch-count tier that has any home node inside the fleet, the partition
-/// whose home is least occupied (ties to the lower partition id). Lower
-/// tiers are only consulted when every partition of the higher tiers has
-/// an out-of-fleet home (catalog built for a larger cluster). Returns
-/// {partition, home node}, or {-1, -1} when no touched partition has a
-/// home inside the fleet.
+/// touch-count tier that has any live home node, the partition whose home
+/// is least occupied (ties to the lower partition id). Lower tiers are only
+/// consulted when every partition of the higher tiers has an unroutable
+/// home (outside the fleet, down, or draining). Returns {partition, home
+/// node}, or {-1, -1} when no touched partition has a routable home.
 std::pair<int, int> PickHomePartition(
-    const std::vector<NodeView>& nodes, const RouteContext& context,
+    const MembershipView& cluster, const RouteContext& context,
     std::vector<std::pair<int, int>>* touches) {
   CountContextTouches(context, touches);
   int best_partition = -1;
@@ -48,9 +54,9 @@ std::pair<int, int> PickHomePartition(
   for (const auto& [partition, count] : *touches) {
     if (best_node >= 0 && count < tier) break;  // settled in a higher tier
     const int home = context.catalog->HomeNode(partition);
-    if (home < 0 || home >= static_cast<int>(nodes.size())) continue;
+    if (!Routable(cluster, home)) continue;
     if (best_node < 0 ||
-        Occupancy(nodes[home]) < Occupancy(nodes[best_node])) {
+        Occupancy(cluster.view(home)) < Occupancy(cluster.view(best_node))) {
       best_partition = partition;
       best_node = home;
       tier = count;
@@ -59,13 +65,14 @@ std::pair<int, int> PickHomePartition(
   return {best_partition, best_node};
 }
 
-/// Collects `partition`'s replica holders that are inside the routed fleet
-/// (a catalog can name nodes beyond it, e.g. built for a larger cluster).
-void FilterReplicas(const placement::PlacementCatalog& catalog, int partition,
-                    int fleet_size, std::vector<int>* out) {
+/// Collects `partition`'s replica holders that are routable (live slots of
+/// the fleet).
+void FilterReplicas(const MembershipView& cluster,
+                    const placement::PlacementCatalog& catalog, int partition,
+                    std::vector<int>* out) {
   out->clear();
   for (const int node : catalog.Replicas(partition)) {
-    if (node >= 0 && node < fleet_size) out->push_back(node);
+    if (Routable(cluster, node)) out->push_back(node);
   }
 }
 
@@ -74,64 +81,77 @@ void WarnDegenerateOnce(bool* warned_once, std::string_view policy) {
   *warned_once = true;
   ALC_LOG(kWarning, std::string(policy) +
                         ": eligible replica set is empty (catalog names no "
-                        "node in the fleet); falling back to the full fleet");
+                        "live node in the fleet); falling back to the live "
+                        "fleet");
 }
 
 }  // namespace
 
-int LeastOccupied(const std::vector<NodeView>& nodes) {
-  ALC_CHECK(!nodes.empty());
-  int best = 0;
-  for (int i = 1; i < static_cast<int>(nodes.size()); ++i) {
-    if (Occupancy(nodes[i]) < Occupancy(nodes[best])) best = i;
+int LeastOccupied(const MembershipView& cluster) {
+  ALC_CHECK_GT(cluster.num_live(), 0);
+  const std::vector<int>& live = *cluster.live;
+  int best = live[0];
+  for (size_t i = 1; i < live.size(); ++i) {
+    if (Occupancy(cluster.view(live[i])) < Occupancy(cluster.view(best))) {
+      best = live[i];
+    }
   }
   return best;
 }
 
-int EligibleCandidates(const std::vector<NodeView>& nodes,
+int EligibleCandidates(const MembershipView& cluster,
                        const RouteContext& context, std::vector<int>* out,
                        bool* warned_once) {
-  ALC_CHECK(!nodes.empty());
+  ALC_CHECK_GT(cluster.num_live(), 0);
   out->clear();
   int partition = -1;
   if (context.has_placement()) {
     partition = ContextPluralityPartition(context);
     if (partition >= 0) {
-      FilterReplicas(*context.catalog, partition,
-                     static_cast<int>(nodes.size()), out);
+      FilterReplicas(cluster, *context.catalog, partition, out);
     }
     if (out->empty() && warned_once != nullptr) {
       WarnDegenerateOnce(warned_once, "router");
     }
   }
-  if (out->empty()) {
-    for (int i = 0; i < static_cast<int>(nodes.size()); ++i) out->push_back(i);
-  }
+  if (out->empty()) *out = *cluster.live;
   return partition;
 }
 
-int RoundRobinPolicy::Route(const std::vector<NodeView>& nodes) {
-  ALC_CHECK(!nodes.empty());
-  const int target = static_cast<int>(next_ % nodes.size());
-  next_ = (next_ + 1) % nodes.size();
+int RoundRobinPolicy::Route(const MembershipView& cluster,
+                            const RouteContext& context) {
+  (void)context;
+  const std::vector<int>& live = *cluster.live;
+  ALC_CHECK(!live.empty());
+  const int target = live[next_ % live.size()];
+  next_ = (next_ + 1) % live.size();
   return target;
 }
 
-int RandomPolicy::Route(const std::vector<NodeView>& nodes) {
-  ALC_CHECK(!nodes.empty());
-  return static_cast<int>(rng_.NextUint64(nodes.size()));
+int RandomPolicy::Route(const MembershipView& cluster,
+                        const RouteContext& context) {
+  (void)context;
+  const std::vector<int>& live = *cluster.live;
+  ALC_CHECK(!live.empty());
+  return live[rng_.NextUint64(live.size())];
 }
 
-int JoinShortestQueuePolicy::Route(const std::vector<NodeView>& nodes) {
-  ALC_CHECK(!nodes.empty());
-  const size_t n = nodes.size();
+int JoinShortestQueuePolicy::Route(const MembershipView& cluster,
+                                   const RouteContext& context) {
+  (void)context;
+  const std::vector<int>& live = *cluster.live;
+  ALC_CHECK(!live.empty());
+  const size_t n = live.size();
   size_t best = rotate_ % n;
   for (size_t j = 1; j < n; ++j) {
     const size_t i = (rotate_ + j) % n;
-    if (Occupancy(nodes[i]) < Occupancy(nodes[best])) best = i;
+    if (Occupancy(cluster.view(live[i])) <
+        Occupancy(cluster.view(live[best]))) {
+      best = i;
+    }
   }
   rotate_ = (rotate_ + 1) % n;
-  return static_cast<int>(best);
+  return live[best];
 }
 
 ThresholdPolicy::ThresholdPolicy(const Config& config)
@@ -141,20 +161,23 @@ ThresholdPolicy::ThresholdPolicy(const Config& config)
   ALC_CHECK_GE(config.max_threshold, config.initial_threshold);
 }
 
-int ThresholdPolicy::Route(const std::vector<NodeView>& nodes) {
-  ALC_CHECK(!nodes.empty());
-  const size_t n = nodes.size();
+int ThresholdPolicy::Route(const MembershipView& cluster,
+                           const RouteContext& context) {
+  (void)context;
+  const std::vector<int>& live = *cluster.live;
+  ALC_CHECK(!live.empty());
+  const size_t n = live.size();
 
-  // Rotating scan for the first node under the threshold; remember the
-  // least-occupied node as the fallback.
+  // Rotating scan for the first live node under the threshold; remember the
+  // least-occupied one as the fallback.
   int candidate = -1;
   size_t least = rotate_ % n;
   bool all_far_below = true;
   for (size_t j = 0; j < n; ++j) {
     const size_t i = (rotate_ + j) % n;
-    const int occ = Occupancy(nodes[i]);
-    if (occ < Occupancy(nodes[least])) least = i;
-    if (candidate < 0 && occ < threshold_) candidate = static_cast<int>(i);
+    const int occ = Occupancy(cluster.view(live[i]));
+    if (occ < Occupancy(cluster.view(live[least]))) least = i;
+    if (candidate < 0 && occ < threshold_) candidate = live[i];
     if (occ >= threshold_ - 1.0) all_far_below = false;
   }
   rotate_ = (rotate_ + 1) % n;
@@ -163,11 +186,12 @@ int ThresholdPolicy::Route(const std::vector<NodeView>& nodes) {
     // Every node is at or above ell: the threshold is too tight for the
     // offered load. Learn upward and fall back to the least-occupied node.
     threshold_ = std::min(threshold_ + 1.0, config_.max_threshold);
-    return static_cast<int>(least);
+    return live[least];
   }
   if (all_far_below) {
     // Every node is strictly below ell - 1: the threshold has overshot
-    // (e.g. after a crowd left) and decays toward the needed level.
+    // (e.g. after a crowd left, or a crashed node rejoined) and decays
+    // toward the needed level.
     threshold_ = std::max(threshold_ - 1.0, config_.min_threshold);
   }
   return candidate;
@@ -178,7 +202,7 @@ PowerOfDPolicy::PowerOfDPolicy(const Config& config, uint64_t seed)
   ALC_CHECK_GE(config.d, 1);
 }
 
-int PowerOfDPolicy::RouteAmong(const std::vector<NodeView>& nodes) {
+int PowerOfDPolicy::RouteAmong(const MembershipView& cluster) {
   // Partial Fisher-Yates over the candidate set: the first `d` slots end up
   // holding a uniform sample without replacement.
   const int n = static_cast<int>(candidates_.size());
@@ -189,112 +213,54 @@ int PowerOfDPolicy::RouteAmong(const std::vector<NodeView>& nodes) {
         i + static_cast<int>(rng_.NextUint64(static_cast<uint64_t>(n - i)));
     std::swap(candidates_[i], candidates_[j]);
     const int node = candidates_[i];
-    if (best < 0 || Occupancy(nodes[node]) < Occupancy(nodes[best])) {
+    if (best < 0 ||
+        Occupancy(cluster.view(node)) < Occupancy(cluster.view(best))) {
       best = node;
     }
   }
   return best;
 }
 
-int PowerOfDPolicy::Route(const std::vector<NodeView>& nodes) {
-  return Route(nodes, RouteContext{});
-}
-
-int PowerOfDPolicy::Route(const std::vector<NodeView>& nodes,
+int PowerOfDPolicy::Route(const MembershipView& cluster,
                           const RouteContext& context) {
-  ALC_CHECK(!nodes.empty());
-  EligibleCandidates(nodes, context, &candidates_, &warned_empty_);
-  return RouteAmong(nodes);
+  EligibleCandidates(cluster, context, &candidates_, &warned_empty_);
+  return RouteAmong(cluster);
 }
 
-int LocalityPolicy::Route(const std::vector<NodeView>& nodes) {
+int LocalityPolicy::Route(const MembershipView& cluster,
+                          const RouteContext& context) {
   // Without keys there is no locality to exploit; degrade to cheapest node.
-  return LeastOccupied(nodes);
-}
-
-int LocalityPolicy::Route(const std::vector<NodeView>& nodes,
-                          const RouteContext& context) {
-  ALC_CHECK(!nodes.empty());
-  if (!context.has_placement()) return Route(nodes);
-  const auto [partition, home] = PickHomePartition(nodes, context, &touches_);
+  if (!context.has_placement()) return LeastOccupied(cluster);
+  const auto [partition, home] =
+      PickHomePartition(cluster, context, &touches_);
   (void)partition;
   if (home < 0) {
     WarnDegenerateOnce(&warned_empty_, name());
-    return LeastOccupied(nodes);
+    return LeastOccupied(cluster);
   }
   return home;
 }
 
-int LocalityThresholdPolicy::Route(const std::vector<NodeView>& nodes) {
-  return LeastOccupied(nodes);
-}
-
-int LocalityThresholdPolicy::Route(const std::vector<NodeView>& nodes,
+int LocalityThresholdPolicy::Route(const MembershipView& cluster,
                                    const RouteContext& context) {
-  ALC_CHECK(!nodes.empty());
-  if (!context.has_placement()) return Route(nodes);
-  const auto [partition, home] = PickHomePartition(nodes, context, &touches_);
+  if (!context.has_placement()) return LeastOccupied(cluster);
+  const auto [partition, home] =
+      PickHomePartition(cluster, context, &touches_);
   if (home < 0) {
     WarnDegenerateOnce(&warned_empty_, name());
-    return LeastOccupied(nodes);
+    return LeastOccupied(cluster);
   }
   // Locality pays while the home node has admission headroom: its gate
-  // would enqueue beyond n*, so spill to the cheapest replica instead.
-  if (Occupancy(nodes[home]) <= nodes[home].limit) return home;
-  FilterReplicas(*context.catalog, partition, static_cast<int>(nodes.size()),
-                 &candidates_);
+  // would enqueue beyond n*, so spill to the cheapest live replica instead.
+  if (Occupancy(cluster.view(home)) <= cluster.view(home).limit) return home;
+  FilterReplicas(cluster, *context.catalog, partition, &candidates_);
   int best = home;
   for (const int node : candidates_) {
-    if (Occupancy(nodes[node]) < Occupancy(nodes[best])) best = node;
+    if (Occupancy(cluster.view(node)) < Occupancy(cluster.view(best))) {
+      best = node;
+    }
   }
   return best;
-}
-
-const char* RoutingPolicyKindName(RoutingPolicyKind kind) {
-  // The registry name is authoritative; the check pins the deprecated enum
-  // to it so the two cannot drift.
-  const char* name = "?";
-  switch (kind) {
-    case RoutingPolicyKind::kRoundRobin:
-      name = "round-robin";
-      break;
-    case RoutingPolicyKind::kRandom:
-      name = "random";
-      break;
-    case RoutingPolicyKind::kJoinShortestQueue:
-      name = "join-shortest-queue";
-      break;
-    case RoutingPolicyKind::kThresholdBased:
-      name = "threshold";
-      break;
-    case RoutingPolicyKind::kPowerOfD:
-      name = "power-of-d";
-      break;
-    case RoutingPolicyKind::kLocality:
-      name = "locality";
-      break;
-    case RoutingPolicyKind::kLocalityThreshold:
-      name = "locality-threshold";
-      break;
-  }
-  ALC_CHECK(RoutingPolicyRegistry::Global().Contains(name));
-  return name;
-}
-
-std::unique_ptr<RoutingPolicy> MakeRoutingPolicy(
-    RoutingPolicyKind kind, uint64_t seed,
-    const ThresholdPolicy::Config& threshold,
-    const PowerOfDPolicy::Config& power_of_d) {
-  util::ParamMap params;
-  AppendThresholdParams(threshold, &params);
-  AppendPowerOfDParams(power_of_d, &params);
-  RoutingPolicyContext context;
-  context.params = &params;
-  context.seed = seed;
-  std::unique_ptr<RoutingPolicy> policy = RoutingPolicyRegistry::Global().Make(
-      RoutingPolicyKindName(kind), context);
-  ALC_CHECK(policy != nullptr);
-  return policy;
 }
 
 }  // namespace alc::cluster

@@ -1,6 +1,7 @@
 #ifndef ALC_CLUSTER_ROUTER_H_
 #define ALC_CLUSTER_ROUTER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string_view>
@@ -28,6 +29,60 @@ inline int Occupancy(const NodeView& view) {
   return view.active + view.gate_queue;
 }
 
+/// The routable cluster at one decision instant: per-node observable state
+/// (indexed by fleet slot — slots are stable across the run, so a node
+/// keeps its identity through failures), the sorted list of live slots,
+/// and the membership epoch. The epoch increments on every lifecycle
+/// transition (crash, drain, rejoin), so a policy caching per-fleet state
+/// can detect membership change in O(1). `live` is non-empty whenever a
+/// policy is asked to route; down and draining nodes never appear in it.
+struct MembershipView {
+  const std::vector<NodeView>* nodes = nullptr;
+  const std::vector<int>* live = nullptr;  // sorted fleet slots
+  uint64_t epoch = 0;
+
+  int fleet_size() const {
+    return nodes == nullptr ? 0 : static_cast<int>(nodes->size());
+  }
+  int num_live() const {
+    return live == nullptr ? 0 : static_cast<int>(live->size());
+  }
+  const NodeView& view(int slot) const { return (*nodes)[slot]; }
+  bool IsLive(int slot) const {
+    return live != nullptr &&
+           std::binary_search(live->begin(), live->end(), slot);
+  }
+};
+
+/// Owning all-live wrapper: presents a borrowed view vector as a full
+/// membership (every slot live, given epoch). The convenience constructor
+/// for policy unit tests and membership-less callers; `views` must outlive
+/// the wrapper.
+class AllLiveMembership {
+ public:
+  explicit AllLiveMembership(const std::vector<NodeView>& views,
+                             uint64_t epoch = 0) {
+    live_.reserve(views.size());
+    for (size_t i = 0; i < views.size(); ++i) {
+      live_.push_back(static_cast<int>(i));
+    }
+    view_.nodes = &views;
+    view_.live = &live_;
+    view_.epoch = epoch;
+  }
+
+  // view_.live points into this instance; a compiler-generated copy or
+  // move would leave the copy referencing the source's storage.
+  AllLiveMembership(const AllLiveMembership&) = delete;
+  AllLiveMembership& operator=(const AllLiveMembership&) = delete;
+
+  const MembershipView& view() const { return view_; }
+
+ private:
+  std::vector<int> live_;
+  MembershipView view_;
+};
+
 /// Data-placement context of one routing decision: the keys the arriving
 /// transaction will touch and the catalog mapping keys to replica-holding
 /// nodes. Both null in placement-free clusters (every node holds all data).
@@ -44,61 +99,56 @@ struct RouteContext {
   }
 };
 
-/// A routing policy maps the observable cluster state to a node index for
-/// one arriving transaction. Policies are pure deciders: all randomness
-/// comes from their own seeded stream, so routing is deterministic per seed.
+/// A routing policy maps the observable cluster state to a live fleet slot
+/// for one arriving transaction. Policies are pure deciders: all randomness
+/// comes from their own seeded stream, so routing is deterministic per
+/// seed. The membership-first contract: `cluster.live` is non-empty, the
+/// returned slot must be live, and load-only policies simply ignore
+/// `context` (placement-free clusters pass an empty one).
 class RoutingPolicy {
  public:
   virtual ~RoutingPolicy() = default;
 
-  /// Picks the target node for one arrival. `nodes` is non-empty.
-  virtual int Route(const std::vector<NodeView>& nodes) = 0;
-
-  /// Placement-aware entry point: same contract, plus the arriving
-  /// transaction's keys and the placement catalog. Load-only policies
-  /// ignore the context (default delegates to the keyless overload).
-  virtual int Route(const std::vector<NodeView>& nodes,
-                    const RouteContext& context) {
-    (void)context;
-    return Route(nodes);
-  }
+  /// Picks the target slot for one arrival among `cluster.live`.
+  virtual int Route(const MembershipView& cluster,
+                    const RouteContext& context) = 0;
 
   virtual std::string_view name() const = 0;
 };
 
-/// Index of the least-occupied node; ties go to the lowest index.
-int LeastOccupied(const std::vector<NodeView>& nodes);
+/// Least-occupied live slot; ties go to the lowest slot.
+int LeastOccupied(const MembershipView& cluster);
 
 /// Fills `out` with the eligible candidate set for a keyed arrival: the
-/// replica holders of the most-touched partition, filtered to valid node
-/// indices (a catalog built for a larger fleet can name nodes that are not
-/// in `nodes`, e.g. after failures — routing to them would index out of
-/// bounds). When the filtered set is empty or the context carries no
-/// placement, falls back to the full fleet and, for the degenerate-catalog
-/// case, warns once per `warned_once` flag. Returns the most-touched
-/// partition, or -1 without placement. `out` is never left empty.
-int EligibleCandidates(const std::vector<NodeView>& nodes,
+/// replica holders of the most-touched partition, filtered to live fleet
+/// slots (a catalog can name nodes that are down or beyond the fleet —
+/// routing to them would target a dead or nonexistent node). When the
+/// filtered set is empty or the context carries no placement, falls back
+/// to the live fleet and, for the degenerate-catalog case, warns once per
+/// `warned_once` flag. Returns the most-touched partition, or -1 without
+/// placement. `out` is never left empty.
+int EligibleCandidates(const MembershipView& cluster,
                        const RouteContext& context, std::vector<int>* out,
                        bool* warned_once);
 
-/// Cycles through the nodes in order, blind to load. The classic baseline:
-/// perfect under homogeneous nodes and smooth arrivals, poor when one node
-/// degrades.
+/// Cycles through the live nodes in order, blind to load. The classic
+/// baseline: perfect under homogeneous nodes and smooth arrivals, poor when
+/// one node degrades.
 class RoundRobinPolicy : public RoutingPolicy {
  public:
-  int Route(const std::vector<NodeView>& nodes) override;
+  int Route(const MembershipView& cluster, const RouteContext& context) override;
   std::string_view name() const override { return "round-robin"; }
 
  private:
   size_t next_ = 0;
 };
 
-/// Uniform random node choice, blind to load.
+/// Uniform random live-node choice, blind to load.
 class RandomPolicy : public RoutingPolicy {
  public:
   explicit RandomPolicy(uint64_t seed) : rng_(seed) {}
 
-  int Route(const std::vector<NodeView>& nodes) override;
+  int Route(const MembershipView& cluster, const RouteContext& context) override;
   std::string_view name() const override { return "random"; }
 
  private:
@@ -106,11 +156,12 @@ class RandomPolicy : public RoutingPolicy {
 };
 
 /// Join-the-shortest-queue over front-end occupancy (gate queue + admitted
-/// load). Ties are broken by a rotating preference so no node is
-/// systematically favored; the rotation keeps the decision deterministic.
+/// load) of the live set. Ties are broken by a rotating preference so no
+/// node is systematically favored; the rotation keeps the decision
+/// deterministic.
 class JoinShortestQueuePolicy : public RoutingPolicy {
  public:
-  int Route(const std::vector<NodeView>& nodes) override;
+  int Route(const MembershipView& cluster, const RouteContext& context) override;
   std::string_view name() const override { return "join-shortest-queue"; }
 
  private:
@@ -119,13 +170,15 @@ class JoinShortestQueuePolicy : public RoutingPolicy {
 
 /// Threshold-based dispatching with a self-learning threshold, after
 /// Goldsztajn et al. ("Self-Learning Threshold-Based Load Balancing"): send
-/// an arrival to any node whose occupancy is below the threshold ell
+/// an arrival to any live node whose occupancy is below the threshold ell
 /// (rotating among candidates); when no node qualifies the dispatcher is
 /// learning that the system needs more headroom, so it raises ell and sends
 /// the arrival to the least-occupied node. When every node sits strictly
 /// below ell - 1 the threshold has overshot and decays by one. The threshold
 /// thus tracks the per-node occupancy the current load level actually
-/// requires, with O(1) state at the dispatcher.
+/// requires, with O(1) state at the dispatcher — and because it is defined
+/// over the *live* server set, it re-learns automatically when the fleet
+/// shrinks or grows.
 class ThresholdPolicy : public RoutingPolicy {
  public:
   struct Config {
@@ -136,7 +189,7 @@ class ThresholdPolicy : public RoutingPolicy {
 
   explicit ThresholdPolicy(const Config& config);
 
-  int Route(const std::vector<NodeView>& nodes) override;
+  int Route(const MembershipView& cluster, const RouteContext& context) override;
   std::string_view name() const override { return "threshold"; }
 
   double threshold() const { return threshold_; }
@@ -148,10 +201,10 @@ class ThresholdPolicy : public RoutingPolicy {
 };
 
 /// Power-of-d-choices (Mitzenmacher): sample d nodes uniformly from the
-/// eligible candidate set (replica holders under placement, the full fleet
-/// without), route to the least occupied of the sample. O(d) per decision
-/// with most of JSQ's balancing power — the scalable middle ground between
-/// Random (d=1) and full JSQ (d=N).
+/// eligible candidate set (live replica holders under placement, the live
+/// fleet without), route to the least occupied of the sample. O(d) per
+/// decision with most of JSQ's balancing power — the scalable middle ground
+/// between Random (d=1) and full JSQ (d=N).
 class PowerOfDPolicy : public RoutingPolicy {
  public:
   struct Config {
@@ -160,13 +213,11 @@ class PowerOfDPolicy : public RoutingPolicy {
 
   PowerOfDPolicy(const Config& config, uint64_t seed);
 
-  int Route(const std::vector<NodeView>& nodes) override;
-  int Route(const std::vector<NodeView>& nodes,
-            const RouteContext& context) override;
+  int Route(const MembershipView& cluster, const RouteContext& context) override;
   std::string_view name() const override { return "power-of-d"; }
 
  private:
-  int RouteAmong(const std::vector<NodeView>& nodes);
+  int RouteAmong(const MembershipView& cluster);
 
   Config config_;
   sim::RandomStream rng_;
@@ -179,12 +230,11 @@ class PowerOfDPolicy : public RoutingPolicy {
 /// When several candidate home nodes tie (equally touched partitions),
 /// the least-occupied one wins. Deliberately load-blind otherwise — the
 /// home node is chosen even if it is saturated, which is exactly the
-/// failure mode kLocalityThreshold repairs.
+/// failure mode kLocalityThreshold repairs. Homes that are down or outside
+/// the fleet fall through to lower touch tiers.
 class LocalityPolicy : public RoutingPolicy {
  public:
-  int Route(const std::vector<NodeView>& nodes) override;
-  int Route(const std::vector<NodeView>& nodes,
-            const RouteContext& context) override;
+  int Route(const MembershipView& cluster, const RouteContext& context) override;
   std::string_view name() const override { return "locality"; }
 
  private:
@@ -195,14 +245,12 @@ class LocalityPolicy : public RoutingPolicy {
 /// Locality with an overload escape hatch: route to the home node of the
 /// most-touched partition unless that node's front-end occupancy exceeds
 /// its admission threshold n* — then route to the cheapest (least-occupied)
-/// replica of that partition instead. Couples Heiss & Wagner's per-node
-/// adaptive gate to the placement decision: the gate's self-tuned n* tells
-/// the router when locality has stopped paying.
+/// live replica of that partition instead. Couples Heiss & Wagner's
+/// per-node adaptive gate to the placement decision: the gate's self-tuned
+/// n* tells the router when locality has stopped paying.
 class LocalityThresholdPolicy : public RoutingPolicy {
  public:
-  int Route(const std::vector<NodeView>& nodes) override;
-  int Route(const std::vector<NodeView>& nodes,
-            const RouteContext& context) override;
+  int Route(const MembershipView& cluster, const RouteContext& context) override;
   std::string_view name() const override { return "locality-threshold"; }
 
  private:
@@ -210,31 +258,6 @@ class LocalityThresholdPolicy : public RoutingPolicy {
   std::vector<int> candidates_;
   bool warned_empty_ = false;
 };
-
-/// Which routing policy a cluster scenario uses. Deprecated alias layer:
-/// policies are owned by cluster::RoutingPolicyRegistry (registry.h) under
-/// the names RoutingPolicyKindName returns; prefer selecting by name
-/// (ClusterScenarioConfig::routing_name / ExperimentSpec). The enum stays
-/// for existing call sites and maps 1:1 onto registry names.
-enum class RoutingPolicyKind {
-  kRoundRobin,
-  kRandom,
-  kJoinShortestQueue,
-  kThresholdBased,
-  kPowerOfD,
-  kLocality,
-  kLocalityThreshold,
-};
-
-const char* RoutingPolicyKindName(RoutingPolicyKind kind);
-
-/// Builds the configured policy. `seed` feeds the policy's private random
-/// stream (kRandom and kPowerOfD draw from it). Deprecated: a thin wrapper
-/// over RoutingPolicyRegistry::Make with the configs serialized to params.
-std::unique_ptr<RoutingPolicy> MakeRoutingPolicy(
-    RoutingPolicyKind kind, uint64_t seed,
-    const ThresholdPolicy::Config& threshold = ThresholdPolicy::Config{},
-    const PowerOfDPolicy::Config& power_of_d = PowerOfDPolicy::Config{});
 
 }  // namespace alc::cluster
 

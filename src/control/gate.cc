@@ -53,6 +53,19 @@ void AdmissionGate::TryAdmit() {
   }
 }
 
+int AdmissionGate::RetractQueued(int max_count,
+                                 std::vector<db::Transaction*>* out) {
+  int retracted = 0;
+  while (retracted < max_count && !queue_.empty()) {
+    out->push_back(queue_.back());
+    queue_.pop_back();
+    ++retracted;
+    ++total_retracted_;
+  }
+  if (retracted > 0) TrackQueue();
+  return retracted;
+}
+
 void AdmissionGate::SetLimit(double limit) {
   ALC_CHECK_GT(limit, 0.0);
   limit_ = limit;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "db/system.h"
 #include "db/transaction.h"
@@ -35,9 +36,20 @@ class AdmissionGate {
   void EnableDisplacement(bool enabled) { displacement_ = enabled; }
   bool displacement_enabled() const { return displacement_; }
 
+  /// Cluster-level displacement hook: removes up to `max_count` queued
+  /// (not yet admitted) transactions from the BACK of the queue into `out`
+  /// (newest first — the oldest waiters keep their place at this node).
+  /// The caller owns what happens next: a cluster front-end re-routes the
+  /// retracted work to another node's gate, or releases it on a crash.
+  /// Returns the number retracted. The transactions stay in state kQueued
+  /// and still belong to this gate's system until the caller disposes of
+  /// them (ReleaseQueued / resubmission elsewhere).
+  int RetractQueued(int max_count, std::vector<db::Transaction*>* out);
+
   int queue_length() const { return static_cast<int>(queue_.size()); }
   uint64_t total_admitted() const { return total_admitted_; }
   uint64_t total_displaced() const { return total_displaced_; }
+  uint64_t total_retracted() const { return total_retracted_; }
 
  private:
   void OnSubmit(db::Transaction* txn);
@@ -52,6 +64,7 @@ class AdmissionGate {
   std::deque<db::Transaction*> queue_;
   uint64_t total_admitted_ = 0;
   uint64_t total_displaced_ = 0;
+  uint64_t total_retracted_ = 0;
 };
 
 }  // namespace alc::control

@@ -47,6 +47,8 @@ ClusterResult ClusterExperiment::Run() {
     config.cpu_speed = node.cpu_speed;
     config.initial_limit = node.control.initial_limit;
     config.displacement = node.control.displacement;
+    config.availability = node.availability;
+    config.rejoin = node.rejoin;
     node_configs.push_back(std::move(config));
   }
 
@@ -57,6 +59,7 @@ ClusterResult ClusterExperiment::Run() {
   if (scenario_.placement_enabled) {
     cluster.EnablePlacement(scenario_.placement);
   }
+  cluster.SetRetraction(scenario_.retraction);
 
   // Per-node control loop: monitor -> controller -> gate, exactly the
   // single-node wiring replicated N times on the shared event queue.
@@ -76,14 +79,29 @@ ClusterResult ClusterExperiment::Run() {
       tuners[i] = std::make_unique<control::OuterTuner>(
           monitors.back().get(), control::OuterTuner::Config{});
     }
-    control::LoadController* controller = controllers.back().get();
     control::AdmissionGate* gate = &cluster.node(i).gate();
     control::OuterTuner* tuner = tuners[i].get();
-    monitors.back()->SetCallback([&metrics, controller, gate, tuner,
-                                  i](const control::Sample& sample) {
-      const double bound = controller->Update(sample);
-      gate->SetLimit(bound);
-      if (tuner) tuner->Observe(sample);
+    // The controller is looked up through the vector, not captured raw: a
+    // fresh rejoin replaces controllers[i] mid-run (lifecycle listener
+    // below) and the control loop must pick up the rebuilt instance.
+    monitors.back()->SetCallback([&metrics, &controllers, &cluster, gate,
+                                  tuner, i](const control::Sample& sample) {
+      // A crashed node has no control plane: while it is down the
+      // controller neither learns from the (empty) samples nor moves the
+      // gate, so RejoinPolicy::kRetained resumes exactly the pre-crash
+      // state instead of whatever an outage of zero-throughput ticks
+      // would have taught. The monitor keeps ticking regardless — every
+      // node series must stay on the shared grid for aggregation and CSV
+      // alignment. Draining nodes keep their loop: they still finish
+      // admitted work.
+      const bool down =
+          cluster.node_state(i) == cluster::NodeState::kDown;
+      double bound = gate->limit();
+      if (!down) {
+        bound = controllers[i]->Update(sample);
+        gate->SetLimit(bound);
+        if (tuner) tuner->Observe(sample);
+      }
 
       TrajectoryPoint point;
       point.time = sample.time;
@@ -95,8 +113,30 @@ ClusterResult ClusterExperiment::Run() {
       point.gate_queue = sample.gate_queue;
       point.cpu_utilization = sample.cpu_utilization;
       metrics.AddPoint(i, point);
+      if (i == 0) {
+        // One membership sample per grid tick, alongside node 0's point
+        // (membership only changes at lifecycle events, so intra-tick
+        // callback order cannot matter).
+        cluster::MembershipSample membership;
+        membership.time = sample.time;
+        membership.members = cluster.num_live();
+        membership.epoch = cluster.epoch();
+        metrics.AddMembershipSample(membership);
+      }
     });
   }
+
+  // Rejoin semantics: a node coming back from a crash with the kFresh
+  // policy re-learns from scratch — the cluster resets its gate, and the
+  // experiment rebuilds its controller here.
+  cluster.SetLifecycleListener([&controllers, this](int node,
+                                                    cluster::NodeState from,
+                                                    cluster::NodeState to) {
+    if (from == cluster::NodeState::kDown && to == cluster::NodeState::kUp &&
+        scenario_.nodes[node].rejoin == cluster::RejoinPolicy::kFresh) {
+      controllers[node] = MakeNodeController(scenario_.nodes[node]);
+    }
+  });
 
   // Warmup boundary snapshots for summary statistics.
   std::vector<db::Counters> at_warmup(num_nodes);
@@ -114,6 +154,9 @@ ClusterResult ClusterExperiment::Run() {
   result.duration = scenario_.duration;
   result.warmup = scenario_.warmup;
   result.routed = cluster.total_routed();
+  result.membership = metrics.membership();
+  result.final_epoch = cluster.epoch();
+  result.arrivals_dropped = cluster.arrivals_dropped();
   if (cluster.catalog() != nullptr) {
     result.rebalances = cluster.catalog()->rebalances();
     result.migrations = cluster.catalog()->migrations();
@@ -141,6 +184,12 @@ ClusterResult ClusterExperiment::Run() {
     node.displacements =
         final.aborts_displacement - before.aborts_displacement;
     node.routed = cluster.routed_per_node()[i];
+    node.crash_kills = cluster.crash_kills_per_node()[i];
+    node.retracted = cluster.retracted_per_node()[i];
+    node.lost = cluster.lost_per_node()[i];
+    result.crash_kills += node.crash_kills;
+    result.retracted += node.retracted;
+    result.lost += node.lost;
     node.mean_throughput = static_cast<double>(node.commits) / span;
     node.mean_response =
         node.commits > 0

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cluster/metrics.h"
 #include "core/cluster_scenario.h"
 #include "core/experiment.h"
 
@@ -21,6 +22,14 @@ struct ClusterNodeResult {
   uint64_t aborts = 0;
   uint64_t displacements = 0;
   uint64_t routed = 0;  // arrivals the router sent here (whole run)
+
+  // Lifecycle outcomes at this node (zero on always-up fleets):
+  /// In-flight transactions killed by crashes of this node.
+  uint64_t crash_kills = 0;
+  /// Queued admissions retracted from this node's gate and re-routed.
+  uint64_t retracted = 0;
+  /// Work lost at this node (dropped queue entries and unretried kills).
+  uint64_t lost = 0;
 
   // Access-locality split over [warmup, duration]. local_accesses counts
   // completed access phases in every run; remote_accesses (and hence a
@@ -50,6 +59,10 @@ struct ClusterResult {
   std::vector<ClusterNodeResult> nodes;
   /// Cluster-wide series (see ClusterMetrics::Aggregate for semantics).
   std::vector<TrajectoryPoint> aggregate;
+  /// Membership per monitor tick, aligned with the trajectory series: how
+  /// many nodes were live and the epoch in force (constant fleet-size/0 on
+  /// always-up fleets).
+  std::vector<cluster::MembershipSample> membership;
 
   // Summary over [warmup, duration], summed across nodes:
   double total_throughput = 0.0;
@@ -58,6 +71,13 @@ struct ClusterResult {
   uint64_t commits = 0;
   uint64_t aborts = 0;
   uint64_t routed = 0;  // arrivals routed over the whole run
+
+  // Lifecycle summary (zero on always-up fleets):
+  uint64_t final_epoch = 0;   // membership transitions over the run
+  uint64_t crash_kills = 0;   // in-flight transactions killed by crashes
+  uint64_t retracted = 0;     // queued admissions re-routed by the front-end
+  uint64_t lost = 0;          // work lost to crashes without retraction
+  uint64_t arrivals_dropped = 0;  // arrivals with no live node to go to
 
   // Placement runs only (zero/empty otherwise):
   double remote_frac = 0.0;  // cluster-wide remote share of accesses

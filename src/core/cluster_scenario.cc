@@ -8,8 +8,9 @@
 namespace alc::core {
 
 const char* ClusterScenarioConfig::resolved_routing_name() const {
-  return routing_name.empty() ? cluster::RoutingPolicyKindName(routing)
-                              : routing_name.c_str();
+  // Unknown names abort here, before a run is built around them.
+  ALC_CHECK(cluster::RoutingPolicyRegistry::Global().Contains(routing_name));
+  return routing_name.c_str();
 }
 
 std::unique_ptr<cluster::RoutingPolicy> MakeScenarioRoutingPolicy(

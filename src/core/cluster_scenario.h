@@ -17,14 +17,19 @@
 namespace alc::core {
 
 /// One node of a cluster scenario: its simulated system, workload mix,
-/// admission-control wiring, and a CPU speed profile for degraded-node
-/// runs. Nodes may be heterogeneous in every field.
+/// admission-control wiring, a CPU speed profile for degraded-node runs,
+/// and its availability over time. Nodes may be heterogeneous in every
+/// field.
 struct ClusterNodeScenario {
   db::SystemConfig system;
   db::WorkloadDynamics dynamics =
       db::WorkloadDynamics::FromConfig(db::LogicalConfig{});
   ControlConfig control;
   db::Schedule cpu_speed = db::Schedule::Constant(1.0);
+  /// Lifecycle: when this node is up / draining / down (default always up).
+  cluster::AvailabilitySchedule availability;
+  /// Gate/controller memory across a crash-rejoin cycle.
+  cluster::RejoinPolicy rejoin = cluster::RejoinPolicy::kFresh;
 };
 
 /// A complete cluster experiment description: the node fleet, the routing
@@ -32,14 +37,11 @@ struct ClusterNodeScenario {
 /// reproducible from this struct (same config => bit-identical run).
 struct ClusterScenarioConfig {
   std::vector<ClusterNodeScenario> nodes;
-  /// Routing policy selection: `routing_name` (any RoutingPolicyRegistry
-  /// entry, including externally registered ones) when non-empty, else the
-  /// deprecated `routing` enum. The typed configs below are serialized to
+  /// Routing policy selection: any RoutingPolicyRegistry entry, including
+  /// externally registered ones. The typed configs below are serialized to
   /// their canonical params ("threshold.*", "power-of-d.d") and
   /// `routing_params` is merged on top, so string-based overrides win.
-  cluster::RoutingPolicyKind routing =
-      cluster::RoutingPolicyKind::kJoinShortestQueue;
-  std::string routing_name;
+  std::string routing_name = "join-shortest-queue";
   util::ParamMap routing_params;
   cluster::ThresholdPolicy::Config threshold;   // used by kThresholdBased
   cluster::PowerOfDPolicy::Config power_of_d;   // used by kPowerOfD
@@ -54,13 +56,16 @@ struct ClusterScenarioConfig {
   bool placement_enabled = false;
   cluster::PlacementSpec placement;
   db::RemoteAccessConfig remote_access;
+  /// Cluster-level displacement: front-end retraction of queued admissions
+  /// from nodes that leave or degrade past the queue-factor threshold.
+  cluster::RetractionConfig retraction;
   /// Seeds the router policy and the arrival stream (node variates come
   /// from the per-node system seeds).
   uint64_t seed = 1;
   double duration = 300.0;
   double warmup = 30.0;
 
-  /// The effective registry name of the routing policy.
+  /// The registry name of the routing policy (validated at call time).
   const char* resolved_routing_name() const;
 };
 

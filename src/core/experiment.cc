@@ -123,9 +123,9 @@ double StationaryThroughput(const ScenarioConfig& base, double fixed_limit,
                             double freeze_time, double duration,
                             double warmup, uint64_t seed) {
   ScenarioConfig scenario = FrozenAt(base, freeze_time);
-  // ForceKind also clears name/params overrides a spec-derived base may
+  // ForceController also clears params overrides a spec-derived base may
   // carry; a lingering "fixed.limit" param would shadow the probe limit.
-  scenario.control.ForceKind(ControllerKind::kFixed);
+  scenario.control.ForceController("fixed");
   scenario.control.fixed_limit = fixed_limit;
   scenario.control.initial_limit = fixed_limit;
   scenario.control.displacement = false;

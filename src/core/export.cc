@@ -31,23 +31,37 @@ void WriteTrajectoryCsv(std::ostream& out,
 void WriteClusterTrajectoryCsv(
     std::ostream& out,
     const std::vector<std::vector<TrajectoryPoint>>& node_trajectories,
-    const std::vector<ClusterNodePlacementInfo>& placement) {
+    const std::vector<ClusterNodePlacementInfo>& placement,
+    const std::vector<cluster::MembershipSample>& membership) {
   util::CsvWriter csv(&out);
   csv.WriteRow({"node",          "time",        "bound",
                 "load",          "throughput",  "response",
                 "conflict_rate", "gate_queue",  "cpu_utilization",
-                "remote_frac",   "partitions_owned"});
+                "remote_frac",   "partitions_owned",
+                "members",       "epoch"});
+  // Without a membership series every row reports the always-up default:
+  // the whole fleet live at epoch 0.
+  const double default_members =
+      static_cast<double>(node_trajectories.size());
   for (size_t node = 0; node < node_trajectories.size(); ++node) {
     const ClusterNodePlacementInfo info =
         node < placement.size() ? placement[node]
                                 : ClusterNodePlacementInfo{};
-    for (const TrajectoryPoint& point : node_trajectories[node]) {
+    for (size_t tick = 0; tick < node_trajectories[node].size(); ++tick) {
+      const TrajectoryPoint& point = node_trajectories[node][tick];
+      const double members = tick < membership.size()
+                                 ? static_cast<double>(membership[tick].members)
+                                 : default_members;
+      const double epoch = tick < membership.size()
+                               ? static_cast<double>(membership[tick].epoch)
+                               : 0.0;
       csv.WriteNumericRow({static_cast<double>(node), point.time,
                            point.bound, point.load, point.throughput,
                            point.response, point.conflict_rate,
                            point.gate_queue, point.cpu_utilization,
                            info.remote_frac,
-                           static_cast<double>(info.partitions_owned)});
+                           static_cast<double>(info.partitions_owned),
+                           members, epoch});
     }
   }
 }
@@ -117,10 +131,11 @@ bool ExportCurve(const std::string& path,
 bool ExportClusterTrajectory(
     const std::string& path,
     const std::vector<std::vector<TrajectoryPoint>>& node_trajectories,
-    const std::vector<ClusterNodePlacementInfo>& placement) {
+    const std::vector<ClusterNodePlacementInfo>& placement,
+    const std::vector<cluster::MembershipSample>& membership) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) return false;
-  WriteClusterTrajectoryCsv(out, node_trajectories, placement);
+  WriteClusterTrajectoryCsv(out, node_trajectories, placement, membership);
   return true;
 }
 

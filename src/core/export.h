@@ -18,15 +18,19 @@ namespace alc::core {
 ///   trajectory: time,bound,load,throughput,response,conflict_rate,
 ///               gate_queue,cpu_utilization[,n_opt]
 ///   cluster:    node,time,bound,load,throughput,response,conflict_rate,
-///               gate_queue,cpu_utilization,remote_frac,partitions_owned
+///               gate_queue,cpu_utilization,remote_frac,partitions_owned,
+///               members,epoch
 ///   placement:  partition,home_node,num_replicas,heat
 ///   curve:      n,throughput
 ///   timeline:   start_time,n_opt,peak_throughput
 ///
 /// The cluster header is stable: the placement columns (remote_frac,
-/// partitions_owned) are always present and trail the original columns, so
-/// pre-placement plotting scripts that select by name or by the first nine
-/// positions keep working; placement-free runs write zeros there.
+/// partitions_owned) and the membership columns (members, epoch — the live
+/// node count and membership epoch at the row's tick) are always present
+/// and trail the original columns, so older plotting scripts that select by
+/// name or by the first nine positions keep working. Placement-free runs
+/// write zeros in the placement columns; always-up runs write the constant
+/// fleet size and epoch 0.
 
 /// Writes a controller trajectory; if `timeline` is non-empty an `n_opt`
 /// column with the true-optimum overlay is appended.
@@ -45,12 +49,15 @@ struct ClusterNodePlacementInfo {
 /// row per node per tick, node id in the first column) so external tooling
 /// can facet or pivot by node. `placement` supplies the per-node
 /// remote_frac/partitions_owned columns; pass empty (the default) to write
-/// zeros. The cluster-wide aggregate series can be written separately with
-/// WriteTrajectoryCsv.
+/// zeros. `membership` supplies the members/epoch columns per tick index
+/// (ClusterResult::membership); pass empty to write the fleet size and
+/// epoch 0 on every row (always-up membership). The cluster-wide aggregate
+/// series can be written separately with WriteTrajectoryCsv.
 void WriteClusterTrajectoryCsv(
     std::ostream& out,
     const std::vector<std::vector<TrajectoryPoint>>& node_trajectories,
-    const std::vector<ClusterNodePlacementInfo>& placement = {});
+    const std::vector<ClusterNodePlacementInfo>& placement = {},
+    const std::vector<cluster::MembershipSample>& membership = {});
 
 /// Writes the partition map and heat counters of a placement catalog
 /// (snapshot at call time; heat is accesses since the last rebalance).
@@ -80,7 +87,8 @@ bool ExportCurve(const std::string& path,
 bool ExportClusterTrajectory(
     const std::string& path,
     const std::vector<std::vector<TrajectoryPoint>>& node_trajectories,
-    const std::vector<ClusterNodePlacementInfo>& placement = {});
+    const std::vector<ClusterNodePlacementInfo>& placement = {},
+    const std::vector<cluster::MembershipSample>& membership = {});
 bool ExportPlacement(const std::string& path,
                      const std::vector<PartitionPlacement>& partitions);
 

@@ -7,44 +7,14 @@
 
 namespace alc::core {
 
-const char* ControllerKindName(ControllerKind kind) {
-  // The registry name is authoritative; the check pins the deprecated enum
-  // to it so the two cannot drift.
-  const char* name = "?";
-  switch (kind) {
-    case ControllerKind::kNone:
-      name = "none";
-      break;
-    case ControllerKind::kFixed:
-      name = "fixed";
-      break;
-    case ControllerKind::kTayRule:
-      name = "tay-rule";
-      break;
-    case ControllerKind::kIyerRule:
-      name = "iyer-rule";
-      break;
-    case ControllerKind::kIncrementalSteps:
-      name = "incremental-steps";
-      break;
-    case ControllerKind::kParabola:
-      name = "parabola-approximation";
-      break;
-    case ControllerKind::kGoldenSection:
-      name = "golden-section";
-      break;
-  }
-  ALC_CHECK(control::ControllerRegistry::Global().Contains(name));
-  return name;
-}
-
 const char* ControlConfig::resolved_name() const {
-  return name.empty() ? ControllerKindName(kind) : name.c_str();
+  // Unknown names abort here, before a run is built around them.
+  ALC_CHECK(control::ControllerRegistry::Global().Contains(name));
+  return name.c_str();
 }
 
-void ControlConfig::ForceKind(ControllerKind k) {
-  kind = k;
-  name.clear();
+void ControlConfig::ForceController(const std::string& controller_name) {
+  name = controller_name;
   params = util::ParamMap();
 }
 

@@ -16,39 +16,20 @@
 
 namespace alc::core {
 
-/// Which load-control policy an experiment runs (paper section 1's options
-/// plus the two proposed algorithms). Deprecated alias layer: controllers
-/// are owned by control::ControllerRegistry (control/registry.h) under the
-/// names ControllerKindName returns; prefer selecting by name
-/// (ControlConfig::name / ExperimentSpec), which also reaches externally
-/// registered controllers the enum cannot express. The enum stays for
-/// existing call sites and maps 1:1 onto registry names.
-enum class ControllerKind {
-  kNone,              // option 1: do nothing
-  kFixed,             // option 2: static bound
-  kTayRule,           // option 3: k^2 n / D < 1.5
-  kIyerRule,          // option 3: conflicts/txn <= 0.75
-  kIncrementalSteps,  // section 4.1
-  kParabola,          // section 4.2
-  kGoldenSection,     // extension: bracketing dynamic optimum search
-};
-
-/// Registry name of the built-in controller `kind` aliases. Checked against
-/// the registry at every call, so the alias table cannot drift from the
-/// registered names.
-const char* ControllerKindName(ControllerKind kind);
-
 /// Load-control wiring for an experiment. The controller is selected by
-/// `name` when set (any ControllerRegistry entry, including externally
-/// registered ones), else by the deprecated `kind` enum. Configuration
-/// flows to the factory as params: the typed structs below are serialized
-/// to their canonical keys ("pa.dither", "is.beta", ...) first, then
-/// `params` is merged on top — so struct-based call sites keep working and
-/// string-based ones (spec files, sweep overrides) win on conflicts.
+/// `name` — any control::ControllerRegistry entry, including externally
+/// registered ones. The paper's policy zoo registers under: "none" (option
+/// 1: do nothing), "fixed" (option 2: static bound), "tay-rule" /
+/// "iyer-rule" (option 3 rules), "incremental-steps" (section 4.1),
+/// "parabola-approximation" (section 4.2), and "golden-section" (dynamic
+/// optimum bracketing extension). Configuration flows to the factory as
+/// params: the typed structs below are serialized to their canonical keys
+/// ("pa.dither", "is.beta", ...) first, then `params` is merged on top —
+/// so struct-based call sites keep working and string-based ones (spec
+/// files, sweep overrides) win on conflicts.
 struct ControlConfig {
-  ControllerKind kind = ControllerKind::kParabola;
-  /// Registry name; overrides `kind` when non-empty.
-  std::string name;
+  /// Registry name of the controller.
+  std::string name = "parabola-approximation";
   /// String-keyed controller parameters; merged over the struct values.
   util::ParamMap params;
   /// Measurement interval length Delta-t (paper section 5).
@@ -66,11 +47,11 @@ struct ControlConfig {
   double tay_threshold = 1.5;
   double fixed_limit = 50.0;
 
-  /// The effective registry name.
+  /// The effective registry name (validated against the registry).
   const char* resolved_name() const;
-  /// Forces the built-in `kind`, clearing any name/params overrides that
-  /// would otherwise shadow struct fields set afterwards.
-  void ForceKind(ControllerKind k);
+  /// Selects `controller_name`, clearing any params overrides that would
+  /// otherwise shadow struct fields set afterwards.
+  void ForceController(const std::string& controller_name);
 };
 
 /// Serializes every typed config struct in `control` to its canonical

@@ -163,16 +163,25 @@ bool SetUint64Field(const std::string& key, const std::string& value,
 }
 
 using ScheduleMap = std::map<std::string, db::Schedule>;
+using AvailabilityMap = std::map<std::string, cluster::AvailabilitySchedule>;
+
+/// The named-schedule context of a parse: numeric schedules and
+/// availability schedules share the [schedules] section (disambiguated by
+/// the avail(...) literal head) and the `$name` reference syntax.
+struct NamedSchedules {
+  ScheduleMap schedules;
+  AvailabilityMap availabilities;
+};
 
 /// A schedule value is either a literal ("steps(...)") or a `$name`
 /// reference into the spec's [schedules] section.
 bool SetScheduleField(const std::string& key, const std::string& value,
-                      const ScheduleMap& schedules, db::Schedule* out,
+                      const NamedSchedules& named, db::Schedule* out,
                       std::string* error) {
   if (!value.empty() && value[0] == '$') {
     const std::string name = value.substr(1);
-    auto it = schedules.find(name);
-    if (it == schedules.end()) {
+    auto it = named.schedules.find(name);
+    if (it == named.schedules.end()) {
       *error = "key '" + key + "': unknown schedule reference '$" + name +
                "' (define it in [schedules] first)";
       return false;
@@ -187,11 +196,36 @@ bool SetScheduleField(const std::string& key, const std::string& value,
   return true;
 }
 
+/// An availability value is either an avail(...) literal or a `$name`
+/// reference to a [schedules] entry that parsed as one.
+bool SetAvailabilityField(const std::string& key, const std::string& value,
+                          const NamedSchedules& named,
+                          cluster::AvailabilitySchedule* out,
+                          std::string* error) {
+  if (!value.empty() && value[0] == '$') {
+    const std::string name = value.substr(1);
+    auto it = named.availabilities.find(name);
+    if (it == named.availabilities.end()) {
+      *error = "key '" + key + "': unknown availability reference '$" + name +
+               "' (define it in [schedules] as an avail(...) literal first)";
+      return false;
+    }
+    *out = it->second;
+    return true;
+  }
+  std::string message;
+  if (!cluster::AvailabilitySchedule::Parse(value, out, &message)) {
+    *error = "key '" + key + "': " + message;
+    return false;
+  }
+  return true;
+}
+
 // --------------------------------------------------------- key assigners --
 
 bool AssignExperimentKey(ExperimentSpec* spec, const std::string& key,
                          const std::string& value,
-                         const ScheduleMap& schedules, std::string* error) {
+                         const NamedSchedules& named, std::string* error) {
   if (key == "name") {
     spec->name = value;
     return true;
@@ -203,11 +237,11 @@ bool AssignExperimentKey(ExperimentSpec* spec, const std::string& key,
   }
   if (key == "warmup") return SetDoubleField(key, value, &spec->warmup, error);
   if (key == "active_terminals") {
-    return SetScheduleField(key, value, schedules, &spec->active_terminals,
+    return SetScheduleField(key, value, named, &spec->active_terminals,
                             error);
   }
   if (key == "arrival_rate") {
-    return SetScheduleField(key, value, schedules, &spec->arrival_rate, error);
+    return SetScheduleField(key, value, named, &spec->arrival_rate, error);
   }
   if (key == "routing") {
     if (!CheckRegistered(cluster::RoutingPolicyRegistry::Global(),
@@ -221,13 +255,36 @@ bool AssignExperimentKey(ExperimentSpec* spec, const std::string& key,
     spec->routing_params.Set(key.substr(8), value);
     return true;
   }
+  if (key == "retraction") {
+    return SetBoolField(key, value, &spec->retraction, error);
+  }
+  if (key == "retraction_queue_factor") {
+    if (!SetDoubleField(key, value, &spec->retraction_queue_factor, error)) {
+      return false;
+    }
+    if (spec->retraction_queue_factor < 0.0) {
+      *error = "key 'retraction_queue_factor': must be >= 0";
+      return false;
+    }
+    return true;
+  }
+  if (key == "retraction_interval") {
+    if (!SetDoubleField(key, value, &spec->retraction_interval, error)) {
+      return false;
+    }
+    if (spec->retraction_interval <= 0.0) {
+      *error = "key 'retraction_interval': must be > 0";
+      return false;
+    }
+    return true;
+  }
   *error = "unknown experiment key '" + key + "'";
   return false;
 }
 
 bool AssignPlacementKey(ExperimentSpec* spec, const std::string& key,
                         const std::string& value,
-                        const ScheduleMap& schedules, std::string* error) {
+                        const NamedSchedules& named, std::string* error) {
   if (key == "enabled") {
     return SetBoolField(key, value, &spec->placement_enabled, error);
   }
@@ -282,7 +339,7 @@ bool AssignPlacementKey(ExperimentSpec* spec, const std::string& key,
     // Parse into a scratch schedule first: a malformed value must not leave
     // the optional engaged as a side effect.
     db::Schedule schedule;
-    if (!SetScheduleField(key, value, schedules, &schedule, error)) {
+    if (!SetScheduleField(key, value, named, &schedule, error)) {
       return false;
     }
     if (!spec->placement_dynamics.has_value()) {
@@ -320,7 +377,7 @@ struct NodeParseState {
 };
 
 bool AssignNodeKey(NodeSpec* node, const std::string& key,
-                   const std::string& value, const ScheduleMap& schedules,
+                   const std::string& value, const NamedSchedules& named,
                    NodeParseState* parse_state, std::string* error) {
   if (key == "count") {
     if (parse_state == nullptr) {
@@ -437,18 +494,29 @@ bool AssignNodeKey(NodeSpec* node, const std::string& key,
   }
 
   if (key == "dynamics.k") {
-    return SetScheduleField(key, value, schedules, &node->dynamics.k, error);
+    return SetScheduleField(key, value, named, &node->dynamics.k, error);
   }
   if (key == "dynamics.query_fraction") {
-    return SetScheduleField(key, value, schedules,
+    return SetScheduleField(key, value, named,
                             &node->dynamics.query_fraction, error);
   }
   if (key == "dynamics.write_fraction") {
-    return SetScheduleField(key, value, schedules,
+    return SetScheduleField(key, value, named,
                             &node->dynamics.write_fraction, error);
   }
   if (key == "cpu_speed") {
-    return SetScheduleField(key, value, schedules, &node->cpu_speed, error);
+    return SetScheduleField(key, value, named, &node->cpu_speed, error);
+  }
+  if (key == "availability") {
+    return SetAvailabilityField(key, value, named, &node->availability,
+                                error);
+  }
+  if (key == "rejoin") {
+    if (!cluster::ParseRejoinPolicy(value, &node->rejoin)) {
+      *error = "key 'rejoin': expected fresh/retained, got '" + value + "'";
+      return false;
+    }
+    return true;
   }
 
   if (key == "control.controller") {
@@ -549,6 +617,8 @@ void EmitNode(std::string* out, const NodeSpec& node) {
 
   EmitDynamics(out, node.dynamics);
   Emit(out, "cpu_speed", node.cpu_speed.ToString());
+  Emit(out, "availability", node.availability.ToString());
+  Emit(out, "rejoin", cluster::RejoinPolicyName(node.rejoin));
 
   Emit(out, "control.controller", node.control.controller);
   EmitDouble(out, "control.measurement_interval",
@@ -605,6 +675,9 @@ std::string PrintSpec(const ExperimentSpec& spec) {
   for (const auto& [key, value] : spec.routing_params.entries()) {
     Emit(&out, "routing." + key, value);
   }
+  EmitBool(&out, "retraction", spec.retraction);
+  EmitDouble(&out, "retraction_queue_factor", spec.retraction_queue_factor);
+  EmitDouble(&out, "retraction_interval", spec.retraction_interval);
 
   out += "\n[placement]\n";
   EmitBool(&out, "enabled", spec.placement_enabled);
@@ -639,7 +712,7 @@ std::string PrintSpec(const ExperimentSpec& spec) {
 bool ParseSpec(const std::string& text, ExperimentSpec* out,
                std::string* error) {
   ExperimentSpec spec;
-  ScheduleMap schedules;
+  NamedSchedules named;
   std::vector<NodeParseState> node_states;
 
   enum class Section { kExperiment, kSchedules, kPlacement, kNode };
@@ -700,23 +773,33 @@ bool ParseSpec(const std::string& text, ExperimentSpec* out,
     bool ok = true;
     switch (section) {
       case Section::kExperiment:
-        ok = AssignExperimentKey(&spec, key, value, schedules, &message);
+        ok = AssignExperimentKey(&spec, key, value, named, &message);
         break;
       case Section::kSchedules: {
+        // avail(...) literals live in the availability namespace; every
+        // other literal is a numeric schedule. One name can only mean one
+        // thing, so the maps never hold the same key.
+        if (HasPrefix(value, "avail(")) {
+          cluster::AvailabilitySchedule availability;
+          ok = cluster::AvailabilitySchedule::Parse(value, &availability,
+                                                    &message);
+          if (ok) named.availabilities[key] = availability;
+          break;
+        }
         db::Schedule schedule;
         ok = db::Schedule::Parse(value, &schedule);
         if (!ok) {
           message = "malformed schedule literal '" + value + "'";
         } else {
-          schedules[key] = schedule;
+          named.schedules[key] = schedule;
         }
         break;
       }
       case Section::kPlacement:
-        ok = AssignPlacementKey(&spec, key, value, schedules, &message);
+        ok = AssignPlacementKey(&spec, key, value, named, &message);
         break;
       case Section::kNode:
-        ok = AssignNodeKey(&spec.nodes.back(), key, value, schedules,
+        ok = AssignNodeKey(&spec.nodes.back(), key, value, named,
                            &node_states.back(), &message);
         break;
     }
@@ -771,6 +854,23 @@ bool ParseSpec(const std::string& text, ExperimentSpec* out,
     }
     return false;
   }
+  if (!spec.cluster) {
+    // Lifecycle is a routed-fleet feature: the single-node closed/open
+    // model has no front-end to crash away from.
+    if (!spec.nodes[0].availability.always_up()) {
+      if (error != nullptr) {
+        *error = "node availability schedules require cluster mode "
+                 "(cluster = true)";
+      }
+      return false;
+    }
+    if (spec.retraction || spec.retraction_queue_factor > 0.0) {
+      if (error != nullptr) {
+        *error = "retraction requires cluster mode (cluster = true)";
+      }
+      return false;
+    }
+  }
 
   *out = std::move(spec);
   return true;
@@ -795,7 +895,33 @@ bool LoadSpecFile(const std::string& path, ExperimentSpec* out,
 bool ApplySpecOverride(ExperimentSpec* spec, const std::string& key,
                        const std::string& value, std::string* error) {
   std::string message;
-  static const ScheduleMap kNoSchedules;
+  static const NamedSchedules kNoSchedules;
+
+  // Mirror ParseSpec's cluster-only validation: a lifecycle/retraction
+  // override on a single-node spec would be silently unused (ToScenario
+  // never reads those fields), so reject it with the same message a spec
+  // file would get instead of sweeping bit-identical points.
+  if (!spec->cluster) {
+    const size_t dot = key.find('.');
+    const std::string subkey =
+        dot == std::string::npos ? std::string() : key.substr(dot + 1);
+    if (key == "retraction" || key == "retraction_queue_factor") {
+      if (error != nullptr) {
+        *error = "override '" + key +
+                 "': retraction requires cluster mode (cluster = true)";
+      }
+      return false;
+    }
+    if (HasPrefix(key, "node") &&
+        (subkey == "availability" || subkey == "rejoin")) {
+      if (error != nullptr) {
+        *error = "override '" + key +
+                 "': node availability schedules require cluster mode "
+                 "(cluster = true)";
+      }
+      return false;
+    }
+  }
 
   if (key == "seed") {
     // Parse-time seed inheritance has already stamped every node, so an
@@ -917,6 +1043,9 @@ ExperimentSpec SpecFromCluster(const ClusterScenarioConfig& scenario) {
   cluster::AppendPowerOfDParams(scenario.power_of_d, &spec.routing_params);
   spec.routing_params.Merge(scenario.routing_params);
   spec.arrival_rate = scenario.arrival_rate;
+  spec.retraction = scenario.retraction.enabled;
+  spec.retraction_queue_factor = scenario.retraction.queue_factor;
+  spec.retraction_interval = scenario.retraction.check_interval;
   spec.placement_enabled = scenario.placement_enabled;
   spec.placement = scenario.placement.placement;
   spec.placement_workload = scenario.placement.workload;
@@ -929,6 +1058,8 @@ ExperimentSpec SpecFromCluster(const ClusterScenarioConfig& scenario) {
     node_spec.dynamics = node.dynamics;
     node_spec.control = FromControlConfig(node.control);
     node_spec.cpu_speed = node.cpu_speed;
+    node_spec.availability = node.availability;
+    node_spec.rejoin = node.rejoin;
     spec.nodes.push_back(std::move(node_spec));
   }
   return spec;
@@ -954,6 +1085,9 @@ ClusterScenarioConfig ToClusterScenario(const ExperimentSpec& spec) {
   scenario.routing_name = spec.routing;
   scenario.routing_params = spec.routing_params;
   scenario.arrival_rate = spec.arrival_rate;
+  scenario.retraction.enabled = spec.retraction;
+  scenario.retraction.queue_factor = spec.retraction_queue_factor;
+  scenario.retraction.check_interval = spec.retraction_interval;
   scenario.placement_enabled = spec.placement_enabled;
   scenario.placement.placement = spec.placement;
   scenario.placement.workload = spec.placement_workload;
@@ -969,6 +1103,8 @@ ClusterScenarioConfig ToClusterScenario(const ExperimentSpec& spec) {
     node_scenario.dynamics = node.dynamics;
     node_scenario.control = ToControlConfig(node.control);
     node_scenario.cpu_speed = node.cpu_speed;
+    node_scenario.availability = node.availability;
+    node_scenario.rejoin = node.rejoin;
     scenario.nodes.push_back(std::move(node_scenario));
   }
   return scenario;

@@ -40,18 +40,25 @@ struct ControlSpec {
 };
 
 /// One node of an experiment: simulated system, workload dynamics, control
-/// wiring, and a CPU speed profile. Nodes may be heterogeneous in every
-/// field. A single-node experiment uses exactly one of these.
+/// wiring, a CPU speed profile, and (cluster mode) an availability
+/// schedule. Nodes may be heterogeneous in every field. A single-node
+/// experiment uses exactly one of these.
 struct NodeSpec {
   db::SystemConfig system;
   db::WorkloadDynamics dynamics =
       db::WorkloadDynamics::FromConfig(db::LogicalConfig{});
   ControlSpec control;
   db::Schedule cpu_speed = db::Schedule::Constant(1.0);
+  /// Lifecycle (cluster mode only): `availability = avail(up; 60:down,
+  /// 90:up)` segments drive crash/drain/rejoin transitions; `rejoin`
+  /// selects what the control plane remembers across a crash.
+  cluster::AvailabilitySchedule availability;
+  cluster::RejoinPolicy rejoin = cluster::RejoinPolicy::kFresh;
 
   bool operator==(const NodeSpec& other) const {
     return system == other.system && dynamics == other.dynamics &&
-           control == other.control && cpu_speed == other.cpu_speed;
+           control == other.control && cpu_speed == other.cpu_speed &&
+           availability == other.availability && rejoin == other.rejoin;
   }
   bool operator!=(const NodeSpec& other) const { return !(*this == other); }
 };
@@ -87,6 +94,16 @@ struct ExperimentSpec {
   /// Cluster-wide Poisson arrival rate (transactions per second).
   db::Schedule arrival_rate = db::Schedule::Constant(100.0);
 
+  /// Cluster-level displacement: when true the front-end retracts queued
+  /// admissions from nodes that crash or drain and re-routes them (crash
+  /// kills are retried elsewhere as fresh requests); when false that work
+  /// is lost (crash) or strands until the drain completes. A positive
+  /// `retraction_queue_factor` additionally sheds queue beyond
+  /// factor * n* from live nodes every `retraction_interval` seconds.
+  bool retraction = false;
+  double retraction_queue_factor = 0.0;
+  double retraction_interval = 1.0;
+
   /// Cluster mode: data placement layer (see cluster::PlacementSpec).
   bool placement_enabled = false;
   placement::PlacementConfig placement;
@@ -102,6 +119,9 @@ struct ExperimentSpec {
            routing == other.routing &&
            routing_params == other.routing_params &&
            arrival_rate == other.arrival_rate &&
+           retraction == other.retraction &&
+           retraction_queue_factor == other.retraction_queue_factor &&
+           retraction_interval == other.retraction_interval &&
            placement_enabled == other.placement_enabled &&
            placement == other.placement &&
            placement_workload == other.placement_workload &&

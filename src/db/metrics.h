@@ -26,6 +26,14 @@ struct Counters {
   /// remote_accesses stays zero outside cluster placement scenarios.
   uint64_t local_accesses = 0;
   uint64_t remote_accesses = 0;
+  /// Admitted transactions terminated by a node crash (cluster lifecycle).
+  /// Not a concurrency-control abort: excluded from total_aborts() and the
+  /// conflict-rate signal the controllers consume — a crash says nothing
+  /// about data contention.
+  uint64_t crash_kills = 0;
+  /// Gate-queued submissions returned to the front-end without executing
+  /// (cluster-level displacement retraction, or dropped on a crash).
+  uint64_t retracted = 0;
   double response_time_sum = 0.0;  // of committed transactions, submit->commit
   double useful_cpu = 0.0;         // CPU of attempts that committed
   double wasted_cpu = 0.0;         // CPU of attempts that aborted

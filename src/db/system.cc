@@ -132,6 +132,7 @@ void TransactionSystem::InitSubmission(Transaction* txn) {
   txn->attempts = 0;
   txn->doomed = false;
   txn->displaced = false;
+  txn->killed = false;
   txn->state = TxnState::kQueued;
   txn->ResetAttempt();
   // Pool slots are reused across submission paths: a slot that last
@@ -406,6 +407,12 @@ void TransactionSystem::AbortAttempt(Transaction* txn, AbortReason reason) {
 }
 
 void TransactionSystem::AbortForDisplacement(Transaction* txn) {
+  // A crash outranks a displacement: a doomed transaction on a crashed
+  // node terminates here instead of re-queueing at the (dead) gate.
+  if (txn->killed) {
+    FinishKill(txn);
+    return;
+  }
   AbortAttempt(txn, AbortReason::kDisplacement);
 }
 
@@ -433,6 +440,62 @@ void TransactionSystem::Displace(Transaction* txn) {
     default:
       break;
   }
+}
+
+int TransactionSystem::CrashActive() {
+  ALC_CHECK(config_.arrivals == ArrivalMode::kExternal);
+  int killed = 0;
+  for (Transaction& txn : transactions_) {
+    switch (txn.state) {
+      case TxnState::kBlocked:
+        cc_->CancelWaiting(&txn);
+        FinishKill(&txn);
+        ++killed;
+        break;
+      case TxnState::kRestartWait:
+        ALC_CHECK(sim_->Cancel(txn.restart_event));
+        FinishKill(&txn);
+        ++killed;
+        break;
+      case TxnState::kRunning:
+        // Mid CPU/IO: the pending completion callback still references this
+        // slot, so the kill lands at the next phase boundary (see the
+        // doomed checks there) and the slot is recycled only then. A slot
+        // already killed by an earlier crash (still winding down) is not
+        // counted twice.
+        if (!txn.killed) {
+          txn.doomed = true;
+          txn.killed = true;
+          ++killed;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return killed;
+}
+
+void TransactionSystem::FinishKill(Transaction* txn) {
+  cc_->OnAbort(txn);
+  ++metrics_.counters.crash_kills;
+  metrics_.counters.wasted_cpu += txn->attempt_cpu;
+  SetActive(-1);
+  txn->state = TxnState::kThinking;
+  txn->doomed = false;
+  txn->killed = false;
+  // No departure hook: the admission slot that opened up belongs to a dead
+  // node; the gate queue was already retracted or dropped by the caller.
+  free_pool_.push_back(txn);
+}
+
+void TransactionSystem::ReleaseQueued(Transaction* txn) {
+  ALC_CHECK(config_.arrivals == ArrivalMode::kExternal);
+  ALC_CHECK(txn->state == TxnState::kQueued);
+  ++metrics_.counters.retracted;
+  txn->state = TxnState::kThinking;
+  txn->displaced = false;
+  free_pool_.push_back(txn);
 }
 
 void TransactionSystem::CollectActive(std::vector<Transaction*>* out) {

@@ -93,6 +93,22 @@ class TransactionSystem {
   /// txn->displaced == true.
   void Displace(Transaction* txn);
 
+  /// Crashes the node: every admitted transaction is killed — blocked and
+  /// restart-waiting ones terminate immediately, running ones at their next
+  /// phase boundary (the residual phase is the crash wind-down; no new work
+  /// starts). Killed transactions never re-enter: their slots return to the
+  /// pool and metrics count them under crash_kills, not CC aborts. Returns
+  /// the number killed. External mode only (cluster lifecycle hook).
+  int CrashActive();
+
+  /// External mode only: returns a gate-queued (never admitted) submission's
+  /// slot to the pool without executing it — the cluster front-end calls
+  /// this after retracting the transaction from the admission queue, either
+  /// to re-route the work elsewhere or to drop it on a crash. The plan
+  /// fields (cls, planned_*) stay readable until the slot is reused, so
+  /// callers can copy them out first.
+  void ReleaseQueued(Transaction* txn);
+
   /// Number of admitted transactions (the paper's load n): running, blocked,
   /// or waiting out a restart delay.
   int active() const { return active_; }
@@ -137,6 +153,9 @@ class TransactionSystem {
   void Commit(Transaction* txn);
   void AbortAttempt(Transaction* txn, AbortReason reason);
   void AbortForDisplacement(Transaction* txn);
+  /// Terminal crash-kill of an admitted transaction: releases CC state,
+  /// counts crash_kills, frees the slot. No restart, no submission hook.
+  void FinishKill(Transaction* txn);
   void SetActive(int delta);
   /// Draws an exponential CPU demand and charges it to the attempt.
   double DrawCpu(Transaction* txn, double mean);

@@ -51,6 +51,9 @@ struct Transaction {
   bool doomed = false;
   /// True while queued at the gate after being displaced.
   bool displaced = false;
+  /// Set by a node crash: the next phase-boundary abort is terminal — the
+  /// work unit leaves the system instead of re-entering through the gate.
+  bool killed = false;
 
   /// Externally planned work (cluster placement): the front-end drew the
   /// access plan from the global keyspace before routing, so every attempt

@@ -59,7 +59,50 @@ PlacementCatalog::PlacementCatalog(const PlacementConfig& config,
       replicas_[p].push_back((p + j) % num_nodes_);
     }
   }
+  live_.assign(num_nodes_, 1);
   heat_.assign(num_partitions_, 0);
+}
+
+void PlacementCatalog::SetNodeLive(int node, bool live) {
+  ALC_CHECK_GE(node, 0);
+  ALC_CHECK_LT(node, num_nodes_);
+  const uint8_t flag = live ? 1 : 0;
+  if (live_[node] == flag) return;
+  live_[node] = flag;
+  if (live) return;  // rejoiners regain homes only through the rebalancer
+
+  // Re-home every partition the departed node owned. The fallback target
+  // tracks homes as they are assigned so one node does not absorb every
+  // orphan of a large departure.
+  std::vector<int> homes(num_nodes_, 0);
+  for (const std::vector<int>& replicas : replicas_) ++homes[replicas[0]];
+  for (int p = 0; p < num_partitions_; ++p) {
+    std::vector<int>& replicas = replicas_[p];
+    if (replicas[0] != node) continue;
+    int target = -1;
+    for (size_t j = 1; j < replicas.size(); ++j) {
+      if (live_[replicas[j]] != 0) {
+        target = replicas[j];
+        break;
+      }
+    }
+    if (target < 0) {
+      for (int candidate = 0; candidate < num_nodes_; ++candidate) {
+        if (live_[candidate] == 0) continue;
+        if (target < 0 || homes[candidate] < homes[target]) target = candidate;
+      }
+    }
+    if (target < 0) continue;  // whole fleet down: orphan stays put
+    replicas.erase(std::remove(replicas.begin(), replicas.end(), target),
+                   replicas.end());
+    replicas.insert(replicas.begin(), target);
+    if (static_cast<int>(replicas.size()) > replication_factor_) {
+      replicas.resize(replication_factor_);
+    }
+    --homes[node];
+    ++homes[target];
+    ++migrations_;
+  }
 }
 
 int PlacementCatalog::PartitionOf(db::ItemId key) const {
@@ -178,10 +221,12 @@ int PlacementCatalog::Rebalance(const std::vector<int>& node_loads) {
   for (int i = 0; i < moves; ++i) {
     const int partition = ranked[i];
     if (heat_[partition] == 0) break;  // nothing hot left to move
-    int target = 0;
-    for (int node = 1; node < num_nodes_; ++node) {
-      if (loads[node] < loads[target]) target = node;
+    int target = -1;
+    for (int node = 0; node < num_nodes_; ++node) {
+      if (live_[node] == 0) continue;  // homes never land on dead nodes
+      if (target < 0 || loads[node] < loads[target]) target = node;
     }
+    if (target < 0) break;  // whole fleet down
     std::vector<int>& replicas = replicas_[partition];
     if (replicas[0] == target) continue;  // already homed on the best node
     // The target becomes home and the old home demotes to a replica (it

@@ -108,6 +108,19 @@ class PlacementCatalog {
                     std::vector<std::pair<int, int>>* out) const;
   int MostTouchedPartition(const std::vector<db::ItemId>& keys) const;
 
+  /// Membership subscription (cluster lifecycle): marks `node` as live or
+  /// not. When a node leaves, every partition homed on it is orphaned and
+  /// re-homed immediately — onto its first live replica when one exists,
+  /// else onto the live node holding the fewest homes (ties to the lower
+  /// index); each re-homing counts as a migration. Replica sets may keep
+  /// naming the dead node (it still stores its copies and resumes serving
+  /// on rejoin); routing-time filters exclude dead nodes through the
+  /// membership view. A rejoining node regains homes only through the
+  /// rebalancer. No-op when the state does not change; with every node
+  /// dead, orphans stay put until a node returns.
+  void SetNodeLive(int node, bool live);
+  bool IsNodeLive(int node) const { return live_[node] != 0; }
+
   /// Migrates the home of the `rebalance_moves` hottest partitions (heat
   /// since the previous rebalance, ties to the lower partition id) onto the
   /// least-loaded nodes. `node_loads[i]` is the caller's load measure for
@@ -117,7 +130,8 @@ class PlacementCatalog {
   /// replica is evicted when the set would exceed r. Partitions
   /// already homed on their best node stay put. Heat counters reset
   /// afterwards (each rebalance sees one window). Returns the number of
-  /// partitions moved. Deterministic for identical (state, loads).
+  /// partitions moved. Homes never migrate onto a dead node. Deterministic
+  /// for identical (state, loads).
   int Rebalance(const std::vector<int>& node_loads);
 
   uint64_t rebalances() const { return rebalances_; }
@@ -130,6 +144,7 @@ class PlacementCatalog {
   int replication_factor_;
   uint32_t db_size_;
   std::vector<std::vector<int>> replicas_;  // [partition] -> nodes, home first
+  std::vector<uint8_t> live_;               // [node] -> membership flag
   std::vector<uint64_t> heat_;              // accesses since last rebalance
   uint64_t rebalances_ = 0;
   uint64_t migrations_ = 0;

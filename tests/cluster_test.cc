@@ -24,13 +24,20 @@ std::vector<cluster::NodeView> Views(std::vector<int> active,
   return views;
 }
 
+/// Routes one arrival over an all-live membership (no placement context).
+int RouteAllLive(cluster::RoutingPolicy& policy,
+                 const std::vector<cluster::NodeView>& views) {
+  cluster::AllLiveMembership membership(views);
+  return policy.Route(membership.view(), cluster::RouteContext{});
+}
+
 TEST(RoutingPolicyTest, RoundRobinCycles) {
   cluster::RoundRobinPolicy policy;
   const auto views = Views({0, 0, 0}, {0, 0, 0});
-  EXPECT_EQ(policy.Route(views), 0);
-  EXPECT_EQ(policy.Route(views), 1);
-  EXPECT_EQ(policy.Route(views), 2);
-  EXPECT_EQ(policy.Route(views), 0);
+  EXPECT_EQ(RouteAllLive(policy, views), 0);
+  EXPECT_EQ(RouteAllLive(policy, views), 1);
+  EXPECT_EQ(RouteAllLive(policy, views), 2);
+  EXPECT_EQ(RouteAllLive(policy, views), 0);
 }
 
 TEST(RoutingPolicyTest, RandomStaysInRangeAndIsSeedDeterministic) {
@@ -38,10 +45,10 @@ TEST(RoutingPolicyTest, RandomStaysInRangeAndIsSeedDeterministic) {
   cluster::RandomPolicy b(7);
   const auto views = Views({0, 0, 0, 0}, {0, 0, 0, 0});
   for (int i = 0; i < 200; ++i) {
-    const int choice = a.Route(views);
+    const int choice = RouteAllLive(a, views);
     EXPECT_GE(choice, 0);
     EXPECT_LT(choice, 4);
-    EXPECT_EQ(choice, b.Route(views));
+    EXPECT_EQ(choice, RouteAllLive(b, views));
   }
 }
 
@@ -49,23 +56,23 @@ TEST(RoutingPolicyTest, RandomCoversAllNodes) {
   cluster::RandomPolicy policy(3);
   const auto views = Views({0, 0, 0}, {0, 0, 0});
   std::vector<int> hits(3, 0);
-  for (int i = 0; i < 300; ++i) ++hits[policy.Route(views)];
+  for (int i = 0; i < 300; ++i) ++hits[RouteAllLive(policy, views)];
   for (int count : hits) EXPECT_GT(count, 0);
 }
 
 TEST(RoutingPolicyTest, JsqPicksLeastOccupied) {
   cluster::JoinShortestQueuePolicy policy;
   // Occupancy = active + gate_queue: node 2 has 3+0, others more.
-  EXPECT_EQ(policy.Route(Views({10, 5, 3}, {2, 4, 0})), 2);
+  EXPECT_EQ(RouteAllLive(policy, Views({10, 5, 3}, {2, 4, 0})), 2);
   // Node 0 empties out.
-  EXPECT_EQ(policy.Route(Views({0, 5, 3}, {0, 4, 0})), 0);
+  EXPECT_EQ(RouteAllLive(policy, Views({0, 5, 3}, {0, 4, 0})), 0);
 }
 
 TEST(RoutingPolicyTest, JsqBreaksTiesByRotation) {
   cluster::JoinShortestQueuePolicy policy;
   const auto tied = Views({1, 1, 1}, {0, 0, 0});
   std::vector<int> hits(3, 0);
-  for (int i = 0; i < 9; ++i) ++hits[policy.Route(tied)];
+  for (int i = 0; i < 9; ++i) ++hits[RouteAllLive(policy, tied)];
   // The rotating preference spreads tied choices across all nodes.
   for (int count : hits) EXPECT_EQ(count, 3);
 }
@@ -75,7 +82,7 @@ TEST(RoutingPolicyTest, ThresholdPrefersNodesUnderThreshold) {
   config.initial_threshold = 4.0;
   cluster::ThresholdPolicy policy(config);
   // Node 1 is the only one under the threshold.
-  EXPECT_EQ(policy.Route(Views({6, 2, 9}, {0, 0, 0})), 1);
+  EXPECT_EQ(RouteAllLive(policy, Views({6, 2, 9}, {0, 0, 0})), 1);
 }
 
 TEST(RoutingPolicyTest, ThresholdLearnsUpUnderPressure) {
@@ -85,7 +92,7 @@ TEST(RoutingPolicyTest, ThresholdLearnsUpUnderPressure) {
   // All nodes at/above the threshold: routes to the least occupied and
   // raises the threshold.
   const double before = policy.threshold();
-  EXPECT_EQ(policy.Route(Views({5, 3, 7}, {0, 0, 0})), 1);
+  EXPECT_EQ(RouteAllLive(policy, Views({5, 3, 7}, {0, 0, 0})), 1);
   EXPECT_GT(policy.threshold(), before);
 }
 
@@ -95,7 +102,7 @@ TEST(RoutingPolicyTest, ThresholdDecaysWhenLoadLeaves) {
   config.min_threshold = 2.0;
   cluster::ThresholdPolicy policy(config);
   const auto idle = Views({0, 0, 0}, {0, 0, 0});
-  for (int i = 0; i < 50; ++i) policy.Route(idle);
+  for (int i = 0; i < 50; ++i) RouteAllLive(policy, idle);
   EXPECT_DOUBLE_EQ(policy.threshold(), config.min_threshold);
 }
 
@@ -118,7 +125,7 @@ core::ClusterNodeScenario SmallNode(uint64_t seed) {
   node.system.logical.write_fraction = 0.4;
   node.system.seed = seed;
   node.dynamics = db::WorkloadDynamics::FromConfig(node.system.logical);
-  node.control.kind = core::ControllerKind::kParabola;
+  node.control.name = "parabola-approximation";
   node.control.measurement_interval = 0.5;
   node.control.initial_limit = 20.0;
   node.control.pa.initial_bound = 20.0;
@@ -142,7 +149,7 @@ core::ClusterScenarioConfig SmallCluster(int num_nodes, uint64_t seed = 17) {
 
 TEST(ClusterExperimentTest, RunsAndCommitsOnEveryNode) {
   core::ClusterScenarioConfig scenario = SmallCluster(4);
-  scenario.routing = cluster::RoutingPolicyKind::kJoinShortestQueue;
+  scenario.routing_name = "join-shortest-queue";
   const core::ClusterResult result = core::ClusterExperiment(scenario).Run();
   ASSERT_EQ(result.nodes.size(), 4u);
   EXPECT_GT(result.routed, 0u);
@@ -163,38 +170,32 @@ TEST(ClusterExperimentTest, EveryRoutingPolicyRuns) {
   // The placement-aware policies (power-of-d, locality, locality-threshold)
   // must also run on a placement-free cluster, where they degrade to
   // sampling or least-occupied routing over the full fleet.
-  for (cluster::RoutingPolicyKind routing :
-       {cluster::RoutingPolicyKind::kRoundRobin,
-        cluster::RoutingPolicyKind::kRandom,
-        cluster::RoutingPolicyKind::kJoinShortestQueue,
-        cluster::RoutingPolicyKind::kThresholdBased,
-        cluster::RoutingPolicyKind::kPowerOfD,
-        cluster::RoutingPolicyKind::kLocality,
-        cluster::RoutingPolicyKind::kLocalityThreshold}) {
+  for (const char* routing :
+       {"round-robin", "random", "join-shortest-queue", "threshold",
+        "power-of-d", "locality", "locality-threshold"}) {
     core::ClusterScenarioConfig scenario = SmallCluster(3);
     scenario.duration = 20.0;
     scenario.warmup = 5.0;
-    scenario.routing = routing;
+    scenario.routing_name = routing;
     const core::ClusterResult result = core::ClusterExperiment(scenario).Run();
-    EXPECT_GT(result.commits, 0u) << cluster::RoutingPolicyKindName(routing);
+    EXPECT_GT(result.commits, 0u) << routing;
   }
 }
 
-TEST(ClusterExperimentTest, EveryControllerKindComposesWithRouting) {
-  for (core::ControllerKind kind :
-       {core::ControllerKind::kNone, core::ControllerKind::kFixed,
-        core::ControllerKind::kIncrementalSteps, core::ControllerKind::kParabola,
-        core::ControllerKind::kGoldenSection}) {
+TEST(ClusterExperimentTest, EveryControllerComposesWithRouting) {
+  for (const char* controller :
+       {"none", "fixed", "incremental-steps", "parabola-approximation",
+        "golden-section"}) {
     core::ClusterScenarioConfig scenario = SmallCluster(2);
     scenario.duration = 20.0;
     scenario.warmup = 5.0;
-    scenario.routing = cluster::RoutingPolicyKind::kThresholdBased;
+    scenario.routing_name = "threshold";
     for (core::ClusterNodeScenario& node : scenario.nodes) {
-      node.control.kind = kind;
+      node.control.name = controller;
       node.control.fixed_limit = 20.0;
     }
     const core::ClusterResult result = core::ClusterExperiment(scenario).Run();
-    EXPECT_GT(result.commits, 0u) << core::ControllerKindName(kind);
+    EXPECT_GT(result.commits, 0u) << controller;
   }
 }
 
@@ -206,7 +207,7 @@ void ExpectPointsBitIdentical(const core::TrajectoryPoint& a,
 
 TEST(ClusterExperimentTest, FourNodeRunIsBitDeterministic) {
   core::ClusterScenarioConfig scenario = SmallCluster(4, 23);
-  scenario.routing = cluster::RoutingPolicyKind::kJoinShortestQueue;
+  scenario.routing_name = "join-shortest-queue";
   const core::ClusterResult a = core::ClusterExperiment(scenario).Run();
   const core::ClusterResult b = core::ClusterExperiment(scenario).Run();
   ASSERT_EQ(a.nodes.size(), b.nodes.size());
@@ -238,7 +239,7 @@ TEST(ClusterExperimentTest, SeedChangesOutcome) {
 
 TEST(ClusterExperimentTest, JsqShiftsLoadAwayFromDegradedNode) {
   core::ClusterScenarioConfig scenario = SmallCluster(2, 31);
-  scenario.routing = cluster::RoutingPolicyKind::kJoinShortestQueue;
+  scenario.routing_name = "join-shortest-queue";
   // Node 0 loses 70% of its CPU speed for the whole run.
   scenario.nodes[0].cpu_speed = core::NodeSlowdownSchedule(0.3, 0.0, 1e9);
   const core::ClusterResult result = core::ClusterExperiment(scenario).Run();
@@ -251,7 +252,7 @@ TEST(ClusterExperimentTest, HeterogeneousNodesAllowed) {
   core::ClusterScenarioConfig scenario = SmallCluster(3, 41);
   scenario.duration = 20.0;
   scenario.warmup = 5.0;
-  scenario.routing = cluster::RoutingPolicyKind::kJoinShortestQueue;
+  scenario.routing_name = "join-shortest-queue";
   scenario.nodes[0].system.physical.num_cpus = 8;   // big node
   scenario.nodes[1].system.logical.db_size = 300;   // contended node
   scenario.nodes[2].system.cc = db::CcScheme::kTwoPhaseLocking;

@@ -38,7 +38,7 @@ ScenarioConfig SmallScenario(uint64_t seed = 5) {
 
 TEST(ExperimentTest, ProducesTrajectoryAndSummary) {
   ScenarioConfig scenario = SmallScenario();
-  scenario.control.kind = ControllerKind::kFixed;
+  scenario.control.name = "fixed";
   scenario.control.fixed_limit = 30.0;
   Experiment experiment(scenario);
   const ExperimentResult result = experiment.Run();
@@ -54,7 +54,7 @@ TEST(ExperimentTest, ProducesTrajectoryAndSummary) {
 
 TEST(ExperimentTest, DeterministicAcrossRuns) {
   ScenarioConfig scenario = SmallScenario(11);
-  scenario.control.kind = ControllerKind::kParabola;
+  scenario.control.name = "parabola-approximation";
   const ExperimentResult a = Experiment(scenario).Run();
   const ExperimentResult b = Experiment(scenario).Run();
   ASSERT_EQ(a.trajectory.size(), b.trajectory.size());
@@ -70,7 +70,7 @@ TEST(ExperimentTest, TrajectoriesBitIdenticalAcrossRuns) {
   // point must be bit-identical, the contract the cluster determinism test
   // (tests/cluster_test.cc) also enforces.
   ScenarioConfig scenario = SmallScenario(13);
-  scenario.control.kind = ControllerKind::kIncrementalSteps;
+  scenario.control.name = "incremental-steps";
   const ExperimentResult a = Experiment(scenario).Run();
   const ExperimentResult b = Experiment(scenario).Run();
   ASSERT_EQ(a.trajectory.size(), b.trajectory.size());
@@ -85,27 +85,26 @@ TEST(ExperimentTest, TrajectoriesBitIdenticalAcrossRuns) {
 TEST(ExperimentTest, SeedChangesOutcome) {
   ScenarioConfig a = SmallScenario(1);
   ScenarioConfig b = SmallScenario(2);
-  a.control.kind = b.control.kind = ControllerKind::kFixed;
+  a.control.name = b.control.name = "fixed";
   EXPECT_NE(Experiment(a).Run().commits, Experiment(b).Run().commits);
 }
 
-TEST(ExperimentTest, EveryControllerKindRuns) {
-  for (ControllerKind kind :
-       {ControllerKind::kNone, ControllerKind::kFixed, ControllerKind::kTayRule,
-        ControllerKind::kIyerRule, ControllerKind::kIncrementalSteps,
-        ControllerKind::kParabola}) {
+TEST(ExperimentTest, EveryBuiltInControllerRuns) {
+  for (const char* controller :
+       {"none", "fixed", "tay-rule", "iyer-rule", "incremental-steps",
+        "parabola-approximation"}) {
     ScenarioConfig scenario = SmallScenario();
     scenario.duration = 20.0;
     scenario.warmup = 5.0;
-    scenario.control.kind = kind;
+    scenario.control.name = controller;
     const ExperimentResult result = Experiment(scenario).Run();
-    EXPECT_GT(result.commits, 0u) << ControllerKindName(kind);
+    EXPECT_GT(result.commits, 0u) << controller;
   }
 }
 
 TEST(ExperimentTest, DisplacementRunsAndDisplaces) {
   ScenarioConfig scenario = SmallScenario();
-  scenario.control.kind = ControllerKind::kIncrementalSteps;
+  scenario.control.name = "incremental-steps";
   scenario.control.displacement = true;
   scenario.control.is.initial_bound = 40.0;
   scenario.control.is.beta = 3.0;
@@ -118,7 +117,7 @@ TEST(ExperimentTest, DisplacementRunsAndDisplaces) {
 
 TEST(ExperimentTest, OuterTunerAdjustsInterval) {
   ScenarioConfig scenario = SmallScenario();
-  scenario.control.kind = ControllerKind::kFixed;
+  scenario.control.name = "fixed";
   scenario.control.fixed_limit = 30.0;
   scenario.control.outer_tuner = true;
   scenario.control.measurement_interval = 0.25;

@@ -189,7 +189,7 @@ TEST(GoldenSectionTest, WorksInsideExperiment) {
   scenario.active_terminals = db::Schedule::Constant(80);
   scenario.duration = 40.0;
   scenario.warmup = 10.0;
-  scenario.control.kind = core::ControllerKind::kGoldenSection;
+  scenario.control.name = "golden-section";
   scenario.control.gs.min_bound = 2.0;
   scenario.control.gs.max_bound = 80.0;
   const core::ExperimentResult result = core::Experiment(scenario).Run();

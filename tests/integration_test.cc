@@ -52,8 +52,8 @@ ScenarioConfig MidScenario(uint64_t seed = 21) {
   return scenario;
 }
 
-double RunWith(ControllerKind kind, ScenarioConfig scenario) {
-  scenario.control.kind = kind;
+double RunWith(const char* controller, ScenarioConfig scenario) {
+  scenario.control.name = controller;
   return Experiment(scenario).Run().mean_throughput;
 }
 
@@ -62,17 +62,17 @@ TEST(IntegrationTest, ThrashingExistsWithoutControl) {
   // full population in.
   ScenarioConfig scenario = MidScenario();
   scenario.control.fixed_limit = 40.0;
-  const double bounded = RunWith(ControllerKind::kFixed, scenario);
-  const double unbounded = RunWith(ControllerKind::kNone, scenario);
+  const double bounded = RunWith("fixed", scenario);
+  const double unbounded = RunWith("none", scenario);
   EXPECT_GT(bounded, unbounded * 1.3)
       << "bounded=" << bounded << " unbounded=" << unbounded;
 }
 
 TEST(IntegrationTest, AdaptiveControllersPreventThrashing) {
   const ScenarioConfig scenario = MidScenario();
-  const double none = RunWith(ControllerKind::kNone, scenario);
-  const double pa = RunWith(ControllerKind::kParabola, scenario);
-  const double is = RunWith(ControllerKind::kIncrementalSteps, scenario);
+  const double none = RunWith("none", scenario);
+  const double pa = RunWith("parabola-approximation", scenario);
+  const double is = RunWith("incremental-steps", scenario);
   EXPECT_GT(pa, none * 1.2) << "pa=" << pa << " none=" << none;
   EXPECT_GT(is, none * 1.2) << "is=" << is << " none=" << none;
 }
@@ -89,7 +89,7 @@ TEST(IntegrationTest, AdaptiveNearStationaryOptimum) {
   search.sim_warmup = 10.0;
   const OptimumResult optimum = OptimumFinder(scenario, search).FindAt(0.0);
   ASSERT_GT(optimum.peak_throughput, 0.0);
-  const double pa = RunWith(ControllerKind::kParabola, scenario);
+  const double pa = RunWith("parabola-approximation", scenario);
   EXPECT_GT(pa, 0.80 * optimum.peak_throughput)
       << "pa=" << pa << " peak=" << optimum.peak_throughput;
 }
@@ -126,14 +126,14 @@ TEST(IntegrationTest, ControllersFollowJumpOfOptimum) {
   // we require the sluggish-but-safe behaviour from IS and accurate
   // re-tracking from PA.
   struct Expectation {
-    ControllerKind kind;
+    const char* controller;
     double min_ratio;
   };
   for (const Expectation& expect :
-       {Expectation{ControllerKind::kIncrementalSteps, 1.10},
-        Expectation{ControllerKind::kParabola, 1.25}}) {
+       {Expectation{"incremental-steps", 1.10},
+        Expectation{"parabola-approximation", 1.25}}) {
     ScenarioConfig run_scenario = scenario;
-    run_scenario.control.kind = expect.kind;
+    run_scenario.control.name = expect.controller;
     const ExperimentResult result = Experiment(run_scenario).Run();
 
     double before = 0.0, after = 0.0;
@@ -152,7 +152,7 @@ TEST(IntegrationTest, ControllersFollowJumpOfOptimum) {
     before /= n_before;
     after /= n_after;
     EXPECT_GT(after, before * expect.min_ratio)
-        << ControllerKindName(expect.kind)
+        << expect.controller
         << ": bound did not follow the jump (" << before << " -> " << after
         << ", optimum " << timeline[0].n_opt << " -> " << timeline[1].n_opt
         << ")";
@@ -168,7 +168,7 @@ TEST(IntegrationTest, SinusoidalVariationIsTracked) {
       db::Schedule::Sinusoid(0.25, 0.2, 150.0);  // 0.05..0.45
 
   ScenarioConfig run_scenario = scenario;
-  run_scenario.control.kind = ControllerKind::kParabola;
+  run_scenario.control.name = "parabola-approximation";
   const ExperimentResult result = Experiment(run_scenario).Run();
 
   // The bound should be higher when the write fraction is low. Compare the
@@ -199,7 +199,7 @@ TEST(IntegrationTest, BlockedTransactionsGrowSuperlinearly2PL) {
     scenario.system.cc = db::CcScheme::kTwoPhaseLocking;
     scenario.system.logical.db_size = 600;
     scenario.system.logical.write_fraction = 0.5;
-    scenario.control.kind = ControllerKind::kFixed;
+    scenario.control.name = "fixed";
     scenario.control.fixed_limit = limit;
     scenario.control.initial_limit = limit;
     scenario.duration = 60.0;
@@ -226,7 +226,7 @@ TEST(IntegrationTest, DisplacementSpeedsUpDownwardAdjustment) {
   scenario.duration = 160.0;
   scenario.warmup = 20.0;
   scenario.dynamics.write_fraction = db::Schedule::Steps(0.05, {{80.0, 0.6}});
-  scenario.control.kind = ControllerKind::kParabola;
+  scenario.control.name = "parabola-approximation";
 
   auto load_after_jump = [&](bool displacement) {
     ScenarioConfig run_scenario = scenario;

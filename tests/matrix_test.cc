@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <string>
+#include <string_view>
 #include <tuple>
 
 #include <gtest/gtest.h>
@@ -15,24 +16,22 @@
 namespace alc {
 namespace {
 
-using MatrixParam =
-    std::tuple<db::CcScheme, db::ArrivalMode, core::ControllerKind,
-               db::ServiceDistribution>;
+using MatrixParam = std::tuple<db::CcScheme, db::ArrivalMode, const char*,
+                               db::ServiceDistribution>;
 
 std::string ParamName(const ::testing::TestParamInfo<MatrixParam>& info) {
   const auto& [cc, arrivals, controller, dist] = info.param;
   std::string name;
   name += cc == db::CcScheme::kOptimisticCertification ? "Occ" : "TwoPl";
   name += arrivals == db::ArrivalMode::kClosed ? "Closed" : "Open";
-  switch (controller) {
-    case core::ControllerKind::kNone: name += "None"; break;
-    case core::ControllerKind::kFixed: name += "Fixed"; break;
-    case core::ControllerKind::kTayRule: name += "Tay"; break;
-    case core::ControllerKind::kIyerRule: name += "Iyer"; break;
-    case core::ControllerKind::kIncrementalSteps: name += "Is"; break;
-    case core::ControllerKind::kParabola: name += "Pa"; break;
-    case core::ControllerKind::kGoldenSection: name += "Gs"; break;
-  }
+  const std::string_view controller_name(controller);
+  if (controller_name == "none") name += "None";
+  else if (controller_name == "fixed") name += "Fixed";
+  else if (controller_name == "tay-rule") name += "Tay";
+  else if (controller_name == "iyer-rule") name += "Iyer";
+  else if (controller_name == "incremental-steps") name += "Is";
+  else if (controller_name == "parabola-approximation") name += "Pa";
+  else if (controller_name == "golden-section") name += "Gs";
   switch (dist) {
     case db::ServiceDistribution::kExponential: name += "Exp"; break;
     case db::ServiceDistribution::kDeterministic: name += "Det"; break;
@@ -69,7 +68,7 @@ class MatrixTest : public ::testing::TestWithParam<MatrixParam> {
     scenario.active_terminals = db::Schedule::Constant(80);
     scenario.duration = 30.0;
     scenario.warmup = 8.0;
-    scenario.control.kind = controller;
+    scenario.control.name = controller;
     scenario.control.measurement_interval = 0.5;
     scenario.control.initial_limit = 15.0;
     scenario.control.fixed_limit = 20.0;
@@ -150,11 +149,9 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(db::CcScheme::kOptimisticCertification,
                           db::CcScheme::kTwoPhaseLocking),
         ::testing::Values(db::ArrivalMode::kClosed, db::ArrivalMode::kOpen),
-        ::testing::Values(core::ControllerKind::kFixed,
-                          core::ControllerKind::kIncrementalSteps,
-                          core::ControllerKind::kParabola,
-                          core::ControllerKind::kGoldenSection,
-                          core::ControllerKind::kIyerRule),
+        ::testing::Values("fixed", "incremental-steps",
+                          "parabola-approximation", "golden-section",
+                          "iyer-rule"),
         ::testing::Values(db::ServiceDistribution::kExponential,
                           db::ServiceDistribution::kDeterministic,
                           db::ServiceDistribution::kErlang2)),
@@ -180,7 +177,7 @@ TEST_P(ServiceDistributionTest, MeanThroughputInsensitiveToDistribution) {
   scenario.active_terminals = db::Schedule::Constant(60);
   scenario.duration = 40.0;
   scenario.warmup = 10.0;
-  scenario.control.kind = core::ControllerKind::kFixed;
+  scenario.control.name = "fixed";
   scenario.control.fixed_limit = 30.0;
   scenario.control.initial_limit = 30.0;
   const core::ExperimentResult result = core::Experiment(scenario).Run();
@@ -209,7 +206,7 @@ TEST(ConfidenceIntervalTest, StationaryRunHasTightCi) {
   scenario.active_terminals = db::Schedule::Constant(80);
   scenario.duration = 120.0;
   scenario.warmup = 20.0;
-  scenario.control.kind = core::ControllerKind::kFixed;
+  scenario.control.name = "fixed";
   scenario.control.fixed_limit = 25.0;
   scenario.control.initial_limit = 25.0;
   scenario.control.measurement_interval = 0.5;
@@ -230,7 +227,7 @@ TEST(ConfidenceIntervalTest, ShortRunReportsZero) {
   scenario.active_terminals = db::Schedule::Constant(10);
   scenario.duration = 5.0;
   scenario.warmup = 1.0;  // only 4 intervals -> less than 2 batches
-  scenario.control.kind = core::ControllerKind::kFixed;
+  scenario.control.name = "fixed";
   scenario.control.fixed_limit = 5.0;
   const core::ExperimentResult result = core::Experiment(scenario).Run();
   EXPECT_EQ(result.throughput_ci_half_width, 0.0);

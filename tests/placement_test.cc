@@ -193,6 +193,14 @@ cluster::RouteContext Context(const std::vector<db::ItemId>* keys,
   return context;
 }
 
+/// Routes one arrival over an all-live membership.
+int RouteAllLive(cluster::RoutingPolicy& policy,
+                 const std::vector<cluster::NodeView>& views,
+                 const cluster::RouteContext& context = {}) {
+  cluster::AllLiveMembership membership(views);
+  return policy.Route(membership.view(), context);
+}
+
 TEST(PlacementRoutingTest, LocalityRoutesToHomeOfMostTouchedPartition) {
   placement::PlacementCatalog catalog(
       Config(placement::PlacementKind::kRange, 4, 1), 4, 400);
@@ -201,7 +209,7 @@ TEST(PlacementRoutingTest, LocalityRoutesToHomeOfMostTouchedPartition) {
   // is the most loaded: locality is deliberately load-blind.
   const std::vector<db::ItemId> keys = {210, 220, 230, 10};
   const auto views = Views({1, 1, 40, 1}, {0, 0, 10, 0});
-  EXPECT_EQ(policy.Route(views, Context(&keys, &catalog)), 2);
+  EXPECT_EQ(RouteAllLive(policy, views, Context(&keys, &catalog)), 2);
 }
 
 TEST(PlacementRoutingTest, LocalityBreaksPartitionTiesByLoad) {
@@ -211,12 +219,12 @@ TEST(PlacementRoutingTest, LocalityBreaksPartitionTiesByLoad) {
   // Partitions 1 and 3 equally touched; node 3 is cheaper than node 1.
   const std::vector<db::ItemId> keys = {110, 120, 310, 320};
   const auto views = Views({9, 9, 9, 2}, {0, 0, 0, 0});
-  EXPECT_EQ(policy.Route(views, Context(&keys, &catalog)), 3);
+  EXPECT_EQ(RouteAllLive(policy, views, Context(&keys, &catalog)), 3);
 }
 
 TEST(PlacementRoutingTest, LocalityWithoutPlacementPicksLeastOccupied) {
   cluster::LocalityPolicy policy;
-  EXPECT_EQ(policy.Route(Views({5, 2, 9}, {0, 0, 0})), 1);
+  EXPECT_EQ(RouteAllLive(policy, Views({5, 2, 9}, {0, 0, 0})), 1);
 }
 
 TEST(PlacementRoutingTest, LocalityThresholdStaysHomeWithHeadroom) {
@@ -226,7 +234,7 @@ TEST(PlacementRoutingTest, LocalityThresholdStaysHomeWithHeadroom) {
   const std::vector<db::ItemId> keys = {10, 20, 30};
   // Home node 0 at occupancy 8 with limit 20: stay home.
   const auto views = Views({8, 0, 0, 0}, {0, 0, 0, 0}, 20.0);
-  EXPECT_EQ(policy.Route(views, Context(&keys, &catalog)), 0);
+  EXPECT_EQ(RouteAllLive(policy, views, Context(&keys, &catalog)), 0);
 }
 
 TEST(PlacementRoutingTest, LocalityThresholdSpillsToCheapestReplica) {
@@ -238,7 +246,7 @@ TEST(PlacementRoutingTest, LocalityThresholdSpillsToCheapestReplica) {
   // replica set, so node 2 wins.
   const std::vector<db::ItemId> keys = {10, 20, 30};
   const auto views = Views({30, 12, 4, 0}, {5, 0, 0, 0}, 20.0);
-  EXPECT_EQ(policy.Route(views, Context(&keys, &catalog)), 2);
+  EXPECT_EQ(RouteAllLive(policy, views, Context(&keys, &catalog)), 2);
 }
 
 TEST(PlacementRoutingTest, PowerOfDSamplesWithinReplicaSetDeterministically) {
@@ -250,9 +258,9 @@ TEST(PlacementRoutingTest, PowerOfDSamplesWithinReplicaSetDeterministically) {
   cluster::PowerOfDPolicy a(cluster::PowerOfDPolicy::Config{2}, 11);
   cluster::PowerOfDPolicy b(cluster::PowerOfDPolicy::Config{2}, 11);
   for (int i = 0; i < 100; ++i) {
-    const int choice = a.Route(views, Context(&keys, &catalog));
+    const int choice = RouteAllLive(a, views, Context(&keys, &catalog));
     EXPECT_TRUE(choice == 1 || choice == 2) << choice;
-    EXPECT_EQ(choice, b.Route(views, Context(&keys, &catalog)));
+    EXPECT_EQ(choice, RouteAllLive(b, views, Context(&keys, &catalog)));
   }
 }
 
@@ -260,11 +268,11 @@ TEST(PlacementRoutingTest, PowerOfDWithoutPlacementCoversFleetAndPicksLoad) {
   cluster::PowerOfDPolicy policy(cluster::PowerOfDPolicy::Config{2}, 5);
   const auto views = Views({4, 4, 4, 4}, {0, 0, 0, 0});
   std::vector<int> hits(4, 0);
-  for (int i = 0; i < 400; ++i) ++hits[policy.Route(views)];
+  for (int i = 0; i < 400; ++i) ++hits[RouteAllLive(policy, views)];
   for (int count : hits) EXPECT_GT(count, 0);
   // With d = fleet size it degenerates to full JSQ.
   cluster::PowerOfDPolicy jsq(cluster::PowerOfDPolicy::Config{4}, 5);
-  EXPECT_EQ(jsq.Route(Views({7, 3, 9, 5}, {0, 0, 0, 0})), 1);
+  EXPECT_EQ(RouteAllLive(jsq, Views({7, 3, 9, 5}, {0, 0, 0, 0})), 1);
 }
 
 // When the plurality partition's home is outside the fleet, locality must
@@ -278,9 +286,9 @@ TEST(PlacementRoutingTest, LocalityFallsThroughToLowerTouchTier) {
   const std::vector<db::ItemId> keys = {610, 620, 630, 110, 120};
   const auto views = Views({0, 5, 7, 7}, {0, 0, 0, 0});
   cluster::LocalityPolicy locality;
-  EXPECT_EQ(locality.Route(views, Context(&keys, &catalog)), 1);
+  EXPECT_EQ(RouteAllLive(locality, views, Context(&keys, &catalog)), 1);
   cluster::LocalityThresholdPolicy threshold;
-  EXPECT_EQ(threshold.Route(views, Context(&keys, &catalog)), 1);
+  EXPECT_EQ(RouteAllLive(threshold, views, Context(&keys, &catalog)), 1);
 }
 
 // Regression: a catalog can name nodes outside the routed fleet (e.g.
@@ -296,19 +304,21 @@ TEST(PlacementRoutingTest, DegenerateReplicaSetFallsBackToFullFleet) {
   const cluster::RouteContext context = Context(&keys, &catalog);
 
   cluster::LocalityPolicy locality;
-  EXPECT_EQ(locality.Route(views, context), 1);
+  EXPECT_EQ(RouteAllLive(locality, views, context), 1);
   cluster::LocalityThresholdPolicy threshold;
-  EXPECT_EQ(threshold.Route(views, context), 1);
+  EXPECT_EQ(RouteAllLive(threshold, views, context), 1);
   cluster::PowerOfDPolicy power(cluster::PowerOfDPolicy::Config{2}, 3);
   for (int i = 0; i < 50; ++i) {
-    const int choice = power.Route(views, context);
+    const int choice = RouteAllLive(power, views, context);
     EXPECT_GE(choice, 0);
     EXPECT_LT(choice, 2);
   }
 
   std::vector<int> candidates;
   bool warned = false;
-  EXPECT_EQ(cluster::EligibleCandidates(views, context, &candidates, &warned),
+  cluster::AllLiveMembership membership(views);
+  EXPECT_EQ(cluster::EligibleCandidates(membership.view(), context,
+                                        &candidates, &warned),
             5);
   EXPECT_EQ(candidates, (std::vector<int>{0, 1}));
   EXPECT_TRUE(warned);
@@ -356,7 +366,7 @@ core::ClusterNodeScenario SmallNode(uint64_t seed) {
   node.system.logical.write_fraction = 0.4;
   node.system.seed = seed;
   node.dynamics = db::WorkloadDynamics::FromConfig(node.system.logical);
-  node.control.kind = core::ControllerKind::kParabola;
+  node.control.name = "parabola-approximation";
   node.control.measurement_interval = 0.5;
   node.control.initial_limit = 20.0;
   node.control.pa.initial_bound = 20.0;
@@ -375,7 +385,7 @@ core::ClusterScenarioConfig PlacedCluster(int num_nodes, uint64_t seed = 19) {
   scenario.arrival_rate = db::Schedule::Constant(60.0 * num_nodes);
   scenario.duration = 40.0;
   scenario.warmup = 10.0;
-  scenario.routing = cluster::RoutingPolicyKind::kLocalityThreshold;
+  scenario.routing_name = "locality-threshold";
   scenario.placement_enabled = true;
   scenario.placement.placement.kind = placement::PlacementKind::kReplicated;
   scenario.placement.placement.num_partitions = 8;
@@ -420,21 +430,19 @@ TEST(PlacementExperimentTest, EveryPlacementKindAndRoutingRuns) {
   for (placement::PlacementKind kind :
        {placement::PlacementKind::kHash, placement::PlacementKind::kRange,
         placement::PlacementKind::kReplicated}) {
-    for (cluster::RoutingPolicyKind routing :
-         {cluster::RoutingPolicyKind::kJoinShortestQueue,
-          cluster::RoutingPolicyKind::kPowerOfD,
-          cluster::RoutingPolicyKind::kLocality,
-          cluster::RoutingPolicyKind::kLocalityThreshold}) {
+    for (const char* routing :
+         {"join-shortest-queue", "power-of-d", "locality",
+          "locality-threshold"}) {
       core::ClusterScenarioConfig scenario = PlacedCluster(2);
       scenario.duration = 15.0;
       scenario.warmup = 5.0;
       scenario.placement.placement.kind = kind;
-      scenario.routing = routing;
+      scenario.routing_name = routing;
       const core::ClusterResult result =
           core::ClusterExperiment(scenario).Run();
       EXPECT_GT(result.commits, 0u)
           << PlacementKindName(kind) << " + "
-          << cluster::RoutingPolicyKindName(routing);
+          << routing;
     }
   }
 }
@@ -508,8 +516,11 @@ TEST(PlacementExportTest, ClusterCsvHeaderIsStable) {
   const std::string csv = out.str();
   EXPECT_EQ(csv.substr(0, csv.find('\n')),
             "node,time,bound,load,throughput,response,conflict_rate,"
-            "gate_queue,cpu_utilization,remote_frac,partitions_owned");
-  EXPECT_NE(csv.find("0.25,3"), std::string::npos);
+            "gate_queue,cpu_utilization,remote_frac,partitions_owned,"
+            "members,epoch");
+  // Without a membership series the row reports the always-up default:
+  // whole fleet (1 node) live at epoch 0.
+  EXPECT_NE(csv.find("0.25,3,1,0"), std::string::npos);
 }
 
 TEST(PlacementExportTest, PlacementCsvListsPartitions) {

@@ -196,8 +196,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
                          ::testing::Values(1ull, 2ull, 3ull, 5ull, 8ull,
                                            13ull));
 
-class ControllerProperty
-    : public ::testing::TestWithParam<core::ControllerKind> {};
+class ControllerProperty : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(ControllerProperty, BoundStaysWithinStaticLimits) {
   core::ScenarioConfig scenario;
@@ -207,7 +206,7 @@ TEST_P(ControllerProperty, BoundStaysWithinStaticLimits) {
   scenario.active_terminals = db::Schedule::Constant(60);
   scenario.duration = 40.0;
   scenario.warmup = 5.0;
-  scenario.control.kind = GetParam();
+  scenario.control.name = GetParam();
   scenario.control.measurement_interval = 0.5;
   scenario.control.initial_limit = 10.0;
   scenario.control.is.min_bound = 2.0;
@@ -234,16 +233,15 @@ TEST_P(ControllerProperty, MakesProgressUnderControl) {
   scenario.active_terminals = db::Schedule::Constant(60);
   scenario.duration = 30.0;
   scenario.warmup = 5.0;
-  scenario.control.kind = GetParam();
+  scenario.control.name = GetParam();
   const core::ExperimentResult result = core::Experiment(scenario).Run();
   EXPECT_GT(result.commits, 100u);
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    Kinds, ControllerProperty,
-    ::testing::Values(core::ControllerKind::kIncrementalSteps,
-                      core::ControllerKind::kParabola,
-                      core::ControllerKind::kIyerRule));
+    Controllers, ControllerProperty,
+    ::testing::Values("incremental-steps", "parabola-approximation",
+                      "iyer-rule"));
 
 }  // namespace
 }  // namespace alc

@@ -31,19 +31,15 @@ TEST(ControllerRegistryTest, BuiltinsAreRegistered) {
   }
 }
 
-TEST(ControllerRegistryTest, KindNamesCannotDriftFromRegistry) {
-  // ControllerKindName CHECKs registry membership internally; this also
-  // pins the factory the alias reaches to the expected type.
-  for (core::ControllerKind kind :
-       {core::ControllerKind::kNone, core::ControllerKind::kFixed,
-        core::ControllerKind::kTayRule, core::ControllerKind::kIyerRule,
-        core::ControllerKind::kIncrementalSteps,
-        core::ControllerKind::kParabola,
-        core::ControllerKind::kGoldenSection}) {
-    const char* name = core::ControllerKindName(kind);
+TEST(ControllerRegistryTest, BuiltInNamesReachTheExpectedFactories) {
+  // Selecting each built-in by name must reach a controller that reports
+  // the same name back.
+  for (const char* name :
+       {"none", "fixed", "tay-rule", "iyer-rule", "incremental-steps",
+        "parabola-approximation", "golden-section"}) {
     EXPECT_TRUE(control::ControllerRegistry::Global().Contains(name)) << name;
     core::ScenarioConfig scenario = core::DefaultScenario();
-    scenario.control.kind = kind;
+    scenario.control.name = name;
     std::unique_ptr<control::LoadController> controller =
         core::MakeController(scenario);
     ASSERT_NE(controller, nullptr);
@@ -151,17 +147,11 @@ TEST(ControllerRegistryTest, ExternalControllerRunsThroughSpecPath) {
 
 // --------------------------------------------------------- routing policies --
 
-TEST(RoutingRegistryTest, BuiltinsAreRegisteredAndNamesCannotDrift) {
+TEST(RoutingRegistryTest, BuiltinsAreRegisteredUnderTheirNames) {
   auto& registry = cluster::RoutingPolicyRegistry::Global();
-  for (cluster::RoutingPolicyKind kind :
-       {cluster::RoutingPolicyKind::kRoundRobin,
-        cluster::RoutingPolicyKind::kRandom,
-        cluster::RoutingPolicyKind::kJoinShortestQueue,
-        cluster::RoutingPolicyKind::kThresholdBased,
-        cluster::RoutingPolicyKind::kPowerOfD,
-        cluster::RoutingPolicyKind::kLocality,
-        cluster::RoutingPolicyKind::kLocalityThreshold}) {
-    const char* name = cluster::RoutingPolicyKindName(kind);
+  for (const char* name :
+       {"round-robin", "random", "join-shortest-queue", "threshold",
+        "power-of-d", "locality", "locality-threshold"}) {
     ASSERT_TRUE(registry.Contains(name)) << name;
     util::ParamMap params;
     cluster::RoutingPolicyContext context;
@@ -203,10 +193,14 @@ TEST(RoutingRegistryTest, ThresholdParamsReachThePolicy) {
   EXPECT_EQ(threshold->threshold(), 11.0);
 }
 
-/// A placement-blind external policy: everything goes to node 0.
+/// A placement-blind external policy: everything goes to the first live
+/// node.
 class PinToZeroPolicy : public cluster::RoutingPolicy {
  public:
-  int Route(const std::vector<cluster::NodeView>&) override { return 0; }
+  int Route(const cluster::MembershipView& cluster,
+            const cluster::RouteContext&) override {
+    return cluster.live->front();
+  }
   std::string_view name() const override { return "pin-to-zero"; }
 };
 

@@ -311,7 +311,7 @@ TEST(RobustnessTest, ExperimentWithTayRuleTracksDeclaredK) {
   scenario.active_terminals = db::Schedule::Constant(40);
   scenario.duration = 20.0;
   scenario.warmup = 2.0;
-  scenario.control.kind = core::ControllerKind::kTayRule;
+  scenario.control.name = "tay-rule";
   const core::ExperimentResult result = core::Experiment(scenario).Run();
   // Bound before the k change: 1.5*400/64 = 9.375; after: 1.5*400/16 = 37.5.
   bool saw_low = false, saw_high = false;
@@ -334,7 +334,7 @@ TEST(RobustnessTest, ZeroWarmupExperiment) {
   scenario.active_terminals = db::Schedule::Constant(4);
   scenario.duration = 5.0;
   scenario.warmup = 0.0;
-  scenario.control.kind = core::ControllerKind::kFixed;
+  scenario.control.name = "fixed";
   scenario.control.fixed_limit = 5.0;
   const core::ExperimentResult result = core::Experiment(scenario).Run();
   EXPECT_GT(result.commits, 0u);

@@ -87,7 +87,7 @@ TEST(SpecRoundTripTest, SingleNodeWithDynamicWorkload) {
   scenario.dynamics.query_fraction =
       db::Schedule::Steps(0.30, {{333.0, 0.85}, {666.0, 0.30}});
   scenario.active_terminals = db::Schedule::Sinusoid(600, 200, 500);
-  scenario.control.kind = core::ControllerKind::kIncrementalSteps;
+  scenario.control.name = "incremental-steps";
   scenario.control.is.beta = 1.25;
   scenario.control.measurement_interval = 0.5;
   scenario.duration = 700.0;
@@ -363,7 +363,7 @@ TEST(SpecOverrideTest, UnknownPolicyNamesFailAtAssignTime) {
 TEST(SpecRunTest, SpecPathMatchesLegacyScenarioPathBitExactly) {
   core::ScenarioConfig scenario = core::DefaultScenario();
   scenario.system.seed = 99;
-  scenario.control.kind = core::ControllerKind::kParabola;
+  scenario.control.name = "parabola-approximation";
   scenario.control.pa.dither = 10.0;
   scenario.duration = 20.0;
   scenario.warmup = 4.0;

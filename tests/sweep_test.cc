@@ -115,7 +115,7 @@ core::ClusterNodeScenario LegacyBenchNode(uint64_t seed) {
   node.system.logical.write_fraction = 0.4;
   node.system.seed = seed;
   node.dynamics = db::WorkloadDynamics::FromConfig(node.system.logical);
-  node.control.kind = core::ControllerKind::kParabola;
+  node.control.name = "parabola-approximation";
   node.control.measurement_interval = 0.5;
   node.control.initial_limit = 20.0;
   node.control.is.initial_bound = 20.0;
@@ -141,7 +141,7 @@ TEST(SpecFileTest, FlashSpecReproducesClusterRoutingBenchBitExactly) {
   reference.duration = 160.0;
   reference.warmup = 20.0;
   reference.arrival_rate = core::FlashCrowdSchedule(320.0, 900.0, 40.0, 80.0);
-  reference.routing = cluster::RoutingPolicyKind::kJoinShortestQueue;
+  reference.routing_name = "join-shortest-queue";
   const core::ClusterResult expected =
       core::ClusterExperiment(reference).Run();
 

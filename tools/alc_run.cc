@@ -12,6 +12,7 @@
 //
 // See README.md ("Spec files") for the file format.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -40,6 +41,9 @@ int Usage(const char* argv0) {
       "  --print                 print the canonical spec and exit\n"
       "  --set key=value         apply one override (repeatable)\n"
       "  --sweep key=v1,v2,...   add a sweep axis (repeatable)\n"
+      "  --repeat N              run every point N times on strided seeds\n"
+      "                          and report mean +/- stderr per point\n"
+      "  --seed-stride K         seed spacing for --repeat (default 1)\n"
       "  --threads N             sweep parallelism (default 1; 0 = all cores)\n"
       "  --out DIR               write CSV exports into DIR\n"
       "\nOverride keys use spec-file syntax: experiment keys bare\n"
@@ -97,7 +101,8 @@ bool ExportResult(const std::string& dir, const std::string& prefix,
     placement_info.push_back({node.remote_frac, node.partitions_owned});
   }
   std::ostringstream cluster_csv;
-  core::WriteClusterTrajectoryCsv(cluster_csv, trajectories, placement_info);
+  core::WriteClusterTrajectoryCsv(cluster_csv, trajectories, placement_info,
+                                  cluster.membership);
   if (!WriteFileOrComplain(base + "cluster.csv", cluster_csv.str())) {
     return false;
   }
@@ -143,8 +148,48 @@ void PrintSummary(const core::ExperimentSpec& spec,
                                                   static_cast<unsigned long long>(
                                                       cluster.migrations))});
     }
+    // Lifecycle rows appear whenever the run had lifecycle activity —
+    // including degradation-only retraction, which sheds queue without
+    // ever changing membership.
+    if (cluster.final_epoch > 0 || cluster.retracted > 0 ||
+        cluster.lost > 0 || cluster.arrivals_dropped > 0) {
+      table.AddRow({"membership epochs",
+                    util::StrFormat("%llu", static_cast<unsigned long long>(
+                                                cluster.final_epoch))});
+      table.AddRow({"crash kills",
+                    util::StrFormat("%llu", static_cast<unsigned long long>(
+                                                cluster.crash_kills))});
+      table.AddRow({"retracted",
+                    util::StrFormat("%llu", static_cast<unsigned long long>(
+                                                cluster.retracted))});
+      table.AddRow({"lost",
+                    util::StrFormat("%llu", static_cast<unsigned long long>(
+                                                cluster.lost))});
+      table.AddRow({"arrivals dropped",
+                    util::StrFormat("%llu", static_cast<unsigned long long>(
+                                                cluster.arrivals_dropped))});
+    }
   }
   table.Print(std::cout);
+}
+
+/// Sample mean and standard error of `values` (stderr 0 for n < 2).
+std::pair<double, double> MeanStderr(const std::vector<double>& values) {
+  const double n = static_cast<double>(values.size());
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  const double mean = sum / n;
+  if (values.size() < 2) return {mean, 0.0};
+  double ss = 0.0;
+  for (const double v : values) ss += (v - mean) * (v - mean);
+  return {mean, std::sqrt(ss / (n - 1.0) / n)};
+}
+
+std::string FormatMeanStderr(const std::vector<double>& values,
+                             const char* format) {
+  const auto [mean, se] = MeanStderr(values);
+  return util::StrFormat(format, mean) + " +/- " +
+         util::StrFormat("%.2g", se);
 }
 
 }  // namespace
@@ -156,6 +201,8 @@ int main(int argc, char** argv) {
 
   bool print_only = false;
   int threads = 1;
+  int repeat = 1;
+  uint64_t seed_stride = 1;
   std::string out_dir;
   std::vector<std::pair<std::string, std::string>> overrides;
   std::vector<core::SweepAxis> axes;
@@ -196,6 +243,18 @@ int main(int argc, char** argv) {
         }
       }
       axes.push_back(std::move(axis));
+    } else if (arg == "--repeat" && i + 1 < argc) {
+      repeat = std::atoi(argv[++i]);
+      if (repeat < 1) {
+        std::fprintf(stderr, "alc_run: --repeat expects a count >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--seed-stride" && i + 1 < argc) {
+      if (!util::ParseUint64(argv[++i], &seed_stride) || seed_stride == 0) {
+        std::fprintf(stderr,
+                     "alc_run: --seed-stride expects a positive integer\n");
+        return 2;
+      }
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
     } else if (arg == "--out" && i + 1 < argc) {
@@ -225,7 +284,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (axes.empty()) {
+  if (axes.empty() && repeat == 1) {
     const core::SpecRunResult result = core::RunSpec(spec);
     PrintSummary(spec, result);
     if (!out_dir.empty() && !ExportResult(out_dir, "", result)) return 1;
@@ -233,6 +292,22 @@ int main(int argc, char** argv) {
       std::printf("CSV exports written to %s/\n", out_dir.c_str());
     }
     return 0;
+  }
+
+  // Replication: "seed" is just another SweepRunner axis. It is appended
+  // last (fastest-varying), so the results of one logical sweep point land
+  // in `repeat` consecutive entries and fold into mean +/- stderr below.
+  // ApplySpecOverride("seed", ...) re-derives every node seed, making each
+  // repetition an independent replication of the same configuration.
+  const size_t user_axes = axes.size();
+  if (repeat > 1) {
+    core::SweepAxis seed_axis;
+    seed_axis.key = "seed";
+    for (int r = 0; r < repeat; ++r) {
+      seed_axis.values.push_back(std::to_string(
+          spec.seed + static_cast<uint64_t>(r) * seed_stride));
+    }
+    axes.push_back(std::move(seed_axis));
   }
 
   // Pre-validate every axis key/value with a clean error before any
@@ -249,31 +324,71 @@ int main(int argc, char** argv) {
   }
 
   core::SweepRunner runner(spec, axes);
-  std::printf("%s: sweeping %d point%s on %s\n", spec.name.c_str(),
-              runner.num_points(), runner.num_points() == 1 ? "" : "s",
-              threads == 1 ? "1 thread" : "multiple threads");
+  if (repeat > 1) {
+    std::printf("%s: sweeping %d point%s x %d seed%s on %s\n",
+                spec.name.c_str(), runner.num_points() / repeat,
+                runner.num_points() / repeat == 1 ? "" : "s", repeat,
+                repeat == 1 ? "" : "s",
+                threads == 1 ? "1 thread" : "multiple threads");
+  } else {
+    std::printf("%s: sweeping %d point%s on %s\n", spec.name.c_str(),
+                runner.num_points(), runner.num_points() == 1 ? "" : "s",
+                threads == 1 ? "1 thread" : "multiple threads");
+  }
   const std::vector<core::SweepPointResult> results = runner.Run(threads);
 
-  std::vector<std::string> header;
-  for (const core::SweepAxis& axis : axes) header.push_back(axis.key);
-  header.insert(header.end(),
-                {"throughput", "mean response", "abort ratio", "commits"});
-  util::Table table(header);
-  for (const core::SweepPointResult& point : results) {
-    std::vector<std::string> row;
-    for (const auto& [key, value] : point.assignment) row.push_back(value);
-    row.push_back(util::StrFormat("%.1f/s", point.result.total_throughput()));
-    row.push_back(util::StrFormat("%.3fs", point.result.mean_response()));
-    row.push_back(util::StrFormat("%.3f", point.result.abort_ratio()));
-    row.push_back(util::StrFormat(
-        "%llu", static_cast<unsigned long long>(point.result.commits())));
-    table.AddRow(row);
-    if (!out_dir.empty()) {
+  if (!out_dir.empty()) {
+    for (const core::SweepPointResult& point : results) {
       const std::string prefix = "point" + std::to_string(point.index) + "_";
       if (!ExportResult(out_dir, prefix, point.result)) return 1;
     }
   }
-  table.Print(std::cout);
+
+  std::vector<std::string> header;
+  for (size_t a = 0; a < user_axes; ++a) header.push_back(axes[a].key);
+  if (repeat == 1) {
+    header.insert(header.end(),
+                  {"throughput", "mean response", "abort ratio", "commits"});
+    util::Table table(header);
+    for (const core::SweepPointResult& point : results) {
+      std::vector<std::string> row;
+      for (const auto& [key, value] : point.assignment) row.push_back(value);
+      row.push_back(
+          util::StrFormat("%.1f/s", point.result.total_throughput()));
+      row.push_back(util::StrFormat("%.3fs", point.result.mean_response()));
+      row.push_back(util::StrFormat("%.3f", point.result.abort_ratio()));
+      row.push_back(util::StrFormat(
+          "%llu", static_cast<unsigned long long>(point.result.commits())));
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+  } else {
+    header.insert(header.end(), {"throughput", "mean response",
+                                 "abort ratio", "mean commits"});
+    util::Table table(header);
+    for (size_t base = 0; base < results.size();
+         base += static_cast<size_t>(repeat)) {
+      std::vector<double> throughputs, responses, aborts, commits;
+      for (int r = 0; r < repeat; ++r) {
+        const core::SpecRunResult& run = results[base + r].result;
+        throughputs.push_back(run.total_throughput());
+        responses.push_back(run.mean_response());
+        aborts.push_back(run.abort_ratio());
+        commits.push_back(static_cast<double>(run.commits()));
+      }
+      std::vector<std::string> row;
+      // The non-seed assignment is shared by the whole block.
+      for (size_t a = 0; a < user_axes; ++a) {
+        row.push_back(results[base].assignment[a].second);
+      }
+      row.push_back(FormatMeanStderr(throughputs, "%.1f/s"));
+      row.push_back(FormatMeanStderr(responses, "%.4fs"));
+      row.push_back(FormatMeanStderr(aborts, "%.4f"));
+      row.push_back(FormatMeanStderr(commits, "%.0f"));
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+  }
   if (!out_dir.empty()) {
     std::printf("CSV exports written to %s/\n", out_dir.c_str());
   }
