@@ -28,12 +28,33 @@ void BM_EventQueuePushPop(benchmark::State& state) {
     for (int i = 0; i < 64; ++i) {
       queue.Push(rng.NextDouble() * 100.0, [&sink] { ++sink; });
     }
-    while (!queue.empty()) queue.Pop().cb();
+    while (!queue.empty()) queue.Pop().cell();
   }
   state.SetItemsProcessed(state.iterations() * 128);
   benchmark::DoNotOptimize(sink);
 }
 BENCHMARK(BM_EventQueuePushPop);
+
+void BM_EventQueueCancel(benchmark::State& state) {
+  // Schedule-then-cancel churn (the restart-timer pattern): exercises the
+  // generation-stamp cancellation path and heap compaction.
+  sim::EventQueue queue;
+  sim::RandomStream rng(1);
+  std::vector<sim::EventHandle> handles;
+  int sink = 0;
+  for (auto _ : state) {
+    handles.clear();
+    for (int i = 0; i < 64; ++i) {
+      handles.push_back(
+          queue.Push(rng.NextDouble() * 100.0, [&sink] { ++sink; }));
+    }
+    for (int i = 0; i < 64; i += 2) queue.Cancel(handles[i]);
+    while (!queue.empty()) queue.Pop().cell();
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventQueueCancel);
 
 void BM_RandomExponential(benchmark::State& state) {
   sim::RandomStream rng(2);
@@ -47,6 +68,22 @@ void BM_RandomExponential(benchmark::State& state) {
 BENCHMARK(BM_RandomExponential);
 
 void BM_SampleWithoutReplacement(benchmark::State& state) {
+  // The production path (AccessPatternGenerator): persistent stamp scratch,
+  // O(1) duplicate check, no allocation at steady state.
+  sim::RandomStream rng(3);
+  sim::SampleScratch scratch;
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    rng.SampleWithoutReplacement(16000, static_cast<int>(state.range(0)),
+                                 &out, &scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SampleWithoutReplacement)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_SampleWithoutReplacementLinearScan(benchmark::State& state) {
+  // Scratch-free variant (linear duplicate scan) kept for comparison.
   sim::RandomStream rng(3);
   std::vector<uint32_t> out;
   for (auto _ : state) {
@@ -56,7 +93,7 @@ void BM_SampleWithoutReplacement(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_SampleWithoutReplacement)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_SampleWithoutReplacementLinearScan)->Arg(8)->Arg(16)->Arg(32);
 
 void BM_RlsUpdate(benchmark::State& state) {
   control::RecursiveLeastSquares rls(3, 0.95, 1e4);

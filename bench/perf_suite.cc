@@ -1,0 +1,317 @@
+// perf_suite — the tracked performance rail. Times the hot paths that bound
+// simulation speed (event queue push/pop, schedule/cancel churn, access-set
+// sampling), one end-to-end paper-default simulation, and one real spec run
+// (specs/node_failover.spec), and emits machine-readable BENCH_perf.json so
+// speedups are pinned by numbers, not asserted. A global counting-allocator
+// hook reports allocations per item: the event engine is supposed to run
+// allocation-free at steady state, and --check turns that property into a
+// hard failure so pessimizations fail loudly in CI.
+//
+//   $ ./build/bench/perf_suite --out BENCH_perf.json          # full run
+//   $ ./build/bench/perf_suite --smoke --check                # CI smoke
+//
+// Self-contained (no google-benchmark dependency): the rail must exist on
+// every build. The micro_benchmarks binary remains the high-resolution
+// instrument when libbenchmark is available.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/spec.h"
+#include "db/system.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "util/strformat.h"
+
+// ------------------------------------------------------------------------
+// Counting allocator hook: every path to the heap in this binary bumps
+// g_alloc_count. Only the count is tracked (no sizes map), so the hook adds
+// two instructions per allocation and cannot perturb what it measures.
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace alc;
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+struct SuiteResult {
+  std::string name;
+  double wall_sec = 0.0;
+  uint64_t items = 0;        // what "items" are depends on the bench
+  double items_per_sec = 0.0;
+  uint64_t allocs = 0;
+  double allocs_per_item = 0.0;
+};
+
+SuiteResult Finish(const char* name, Clock::time_point start,
+                   uint64_t items, uint64_t allocs_before) {
+  // Read clock and counter before any of our own bookkeeping (the result's
+  // name string allocates, which is why `name` arrives as a char pointer)
+  // so the measurement covers only the bench body.
+  const auto end = Clock::now();
+  const uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  SuiteResult r;
+  r.name = name;
+  r.wall_sec = Seconds(start, end);
+  r.items = items;
+  r.items_per_sec = r.wall_sec > 0 ? static_cast<double>(items) / r.wall_sec
+                                   : 0.0;
+  r.allocs = allocs;
+  r.allocs_per_item =
+      items > 0 ? static_cast<double>(allocs) / static_cast<double>(items)
+                : 0.0;
+  return r;
+}
+
+/// 64 pushes with random times, then a full drain — the BM_EventQueuePushPop
+/// shape. Items = pushes + pops.
+SuiteResult BenchEventQueuePushPop(double target_sec) {
+  sim::EventQueue queue;
+  sim::RandomStream rng(1);
+  int sink = 0;
+  // Warm: populate slot/heap capacity so the measured region is steady
+  // state.
+  for (int i = 0; i < 64; ++i) {
+    queue.Push(rng.NextDouble() * 100.0, [&sink] { ++sink; });
+  }
+  while (!queue.empty()) queue.Pop().cell();
+
+  uint64_t items = 0;
+  const uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  const auto start = Clock::now();
+  do {
+    for (int rep = 0; rep < 100; ++rep) {
+      for (int i = 0; i < 64; ++i) {
+        queue.Push(rng.NextDouble() * 100.0, [&sink] { ++sink; });
+      }
+      while (!queue.empty()) queue.Pop().cell();
+      items += 128;
+    }
+  } while (Seconds(start, Clock::now()) < target_sec);
+  if (sink < 0) std::abort();  // keep `sink` observable
+  return Finish("event_queue_push_pop", start, items, allocs_before);
+}
+
+/// Schedule/cancel churn (the restart-timer pattern): half the pushed
+/// events are cancelled, exercising generation stamps and compaction.
+SuiteResult BenchEventQueueCancel(double target_sec) {
+  sim::EventQueue queue;
+  sim::RandomStream rng(1);
+  std::vector<sim::EventHandle> handles;
+  handles.reserve(64);
+  int sink = 0;
+  uint64_t items = 0;
+  const uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  const auto start = Clock::now();
+  do {
+    for (int rep = 0; rep < 100; ++rep) {
+      handles.clear();
+      for (int i = 0; i < 64; ++i) {
+        handles.push_back(
+            queue.Push(rng.NextDouble() * 100.0, [&sink] { ++sink; }));
+      }
+      for (int i = 0; i < 64; i += 2) queue.Cancel(handles[i]);
+      while (!queue.empty()) queue.Pop().cell();
+      items += 128;
+    }
+  } while (Seconds(start, Clock::now()) < target_sec);
+  if (sink < 0) std::abort();
+  return Finish("event_queue_cancel", start, items, allocs_before);
+}
+
+/// Access-set sampling with the persistent stamp scratch (the
+/// AccessPatternGenerator path). Items = sampled values.
+SuiteResult BenchSampleWithoutReplacement(double target_sec) {
+  sim::RandomStream rng(3);
+  sim::SampleScratch scratch;
+  std::vector<uint32_t> out;
+  rng.SampleWithoutReplacement(16000, 32, &out, &scratch);  // warm buffers
+  uint64_t items = 0;
+  const uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  const auto start = Clock::now();
+  do {
+    for (int rep = 0; rep < 1000; ++rep) {
+      rng.SampleWithoutReplacement(16000, 32, &out, &scratch);
+      items += 32;
+    }
+  } while (Seconds(start, Clock::now()) < target_sec);
+  return Finish("sample_without_replacement_k32", start, items, allocs_before);
+}
+
+/// End-to-end paper-default closed system; items = simulated events over
+/// the measured span (after a warmup that settles pools and trackers).
+SuiteResult BenchEndToEnd(double sim_span) {
+  sim::Simulator simulator;
+  db::SystemConfig config;  // paper defaults
+  config.seed = 5;
+  db::TransactionSystem system(&simulator, config);
+  system.Start();
+  // Warmup must cover a few think+execute cycles of all 850 terminals
+  // (think times are several sim-seconds), or the measured window still
+  // contains first-touch growth of per-terminal buffers.
+  constexpr double kWarmup = 30.0;
+  simulator.RunUntil(kWarmup);
+  const uint64_t events_before = simulator.events_executed();
+  const uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  const auto start = Clock::now();
+  simulator.RunUntil(kWarmup + sim_span);
+  const uint64_t events = simulator.events_executed() - events_before;
+  return Finish("end_to_end_paper_default", start, events, allocs_before);
+}
+
+/// One real bench through the spec path: the node-failover cluster run
+/// (crash + displacement + rejoin mid flash crowd). Items = commits.
+SuiteResult BenchSpecNodeFailover(const std::string& specs_dir) {
+  core::ExperimentSpec spec;
+  std::string error;
+  if (!core::LoadSpecFile(specs_dir + "/node_failover.spec", &spec, &error)) {
+    std::fprintf(stderr, "perf_suite: %s\n", error.c_str());
+    std::exit(1);
+  }
+  const uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  const auto start = Clock::now();
+  const core::SpecRunResult result = core::RunSpec(spec);
+  return Finish("spec_node_failover", start, result.commits(), allocs_before);
+}
+
+std::string ToJson(const std::vector<SuiteResult>& results, bool smoke) {
+  std::string json = "{\n  \"schema\": 1,\n";
+  json += util::StrFormat("  \"smoke\": %s,\n", smoke ? "true" : "false");
+  // Pre-refactor reference points (PR 5, std::function event queue with an
+  // unordered_set cancellation side table), captured on the development
+  // machine with the same benchmark bodies. Kept in every emitted file so
+  // a BENCH_perf.json always carries before and after.
+  json +=
+      "  \"baseline_pr5\": {\n"
+      "    \"event_queue_push_pop_items_per_sec\": 16520000,\n"
+      "    \"end_to_end_paper_default_items_per_sec\": 3680000,\n"
+      "    \"end_to_end_allocs_per_item\": 2.96,\n"
+      "    \"fig01_thrashing_curve_wall_sec\": 3.38\n"
+      "  },\n";
+  json += "  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const SuiteResult& r = results[i];
+    json += util::StrFormat(
+        "    {\"name\": \"%s\", \"wall_sec\": %.6f, \"items\": %llu, "
+        "\"items_per_sec\": %.1f, \"allocs\": %llu, "
+        "\"allocs_per_item\": %.6f}%s\n",
+        r.name.c_str(), r.wall_sec,
+        static_cast<unsigned long long>(r.items), r.items_per_sec,
+        static_cast<unsigned long long>(r.allocs), r.allocs_per_item,
+        i + 1 < results.size() ? "," : "");
+  }
+  json += "  ]\n}\n";
+  return json;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--smoke] [--check] [--out FILE] [--specs DIR]\n"
+               "  --smoke    short iterations (CI); full runs otherwise\n"
+               "  --check    fail (exit 1) if the event engine allocates at\n"
+               "             steady state or end-to-end allocs/event regress\n"
+               "  --out F    write JSON to F (default BENCH_perf.json)\n"
+               "  --specs D  spec directory (default: source tree specs/)\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool check = false;
+  std::string out_path = "BENCH_perf.json";
+  std::string specs_dir = std::string(ALC_SOURCE_DIR) + "/specs";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--specs" && i + 1 < argc) {
+      specs_dir = argv[++i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  const double micro_sec = smoke ? 0.1 : 1.0;
+  const double sim_span = smoke ? 3.0 : 20.0;
+
+  std::vector<SuiteResult> results;
+  results.push_back(BenchEventQueuePushPop(micro_sec));
+  results.push_back(BenchEventQueueCancel(micro_sec));
+  results.push_back(BenchSampleWithoutReplacement(micro_sec));
+  results.push_back(BenchEndToEnd(sim_span));
+  results.push_back(BenchSpecNodeFailover(specs_dir));
+
+  for (const SuiteResult& r : results) {
+    std::printf("%-32s %12.0f items/s  %8.3fs  %.4f allocs/item\n",
+                r.name.c_str(), r.items_per_sec, r.wall_sec,
+                r.allocs_per_item);
+  }
+
+  const std::string json = ToJson(results, smoke);
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "perf_suite: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+
+  if (check) {
+    int failures = 0;
+    for (const SuiteResult& r : results) {
+      // The engine microbenches must be exactly allocation-free at steady
+      // state; the end-to-end run tolerates the amortized tail of growing
+      // stat containers. Thresholds are machine-independent (counts, not
+      // times), so this check is stable on shared CI runners.
+      const double limit =
+          (r.name == "event_queue_push_pop" || r.name == "event_queue_cancel" ||
+           r.name == "sample_without_replacement_k32")
+              ? 0.0
+              : (r.name == "end_to_end_paper_default" ? 0.05 : -1.0);
+      if (limit >= 0.0 && r.allocs_per_item > limit) {
+        std::fprintf(stderr,
+                     "perf_suite: CHECK FAILED: %s allocates %.6f per item "
+                     "(limit %.6f) — the hot path regressed\n",
+                     r.name.c_str(), r.allocs_per_item, limit);
+        ++failures;
+      }
+    }
+    if (failures > 0) return 1;
+    std::printf("allocation checks passed\n");
+  }
+  return 0;
+}

@@ -5,6 +5,7 @@
 
 #include "db/transaction.h"
 #include "db/types.h"
+#include "sim/event_cell.h"
 
 namespace alc::db {
 
@@ -26,9 +27,10 @@ class ConcurrencyControl {
   /// Access phase `index` wants to touch txn->access_items[index]. The CC
   /// scheme must either run `proceed` (now for OCC / granted locks, later
   /// when a lock is granted), or abort the transaction through the abort
-  /// hook (deadlock victim) and drop `proceed`.
+  /// hook (deadlock victim) and drop `proceed`. The continuation is a
+  /// small-buffer cell, so queueing a blocked waiter never allocates.
   virtual void RequestAccess(Transaction* txn, int index,
-                             std::function<void()> proceed) = 0;
+                             sim::EventCell proceed) = 0;
 
   /// Commit point: certification for OCC (true = commit allowed), always
   /// true for 2PL.

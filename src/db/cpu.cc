@@ -13,7 +13,7 @@ CpuSubsystem::CpuSubsystem(sim::Simulator* sim, int num_processors)
   ALC_CHECK_GT(num_processors, 0);
 }
 
-void CpuSubsystem::Request(double service_time, std::function<void()> done) {
+void CpuSubsystem::Request(double service_time, sim::EventCell done) {
   ALC_CHECK_GE(service_time, 0.0);
   if (busy_ < num_processors_) {
     StartService(service_time, std::move(done));
@@ -24,19 +24,20 @@ void CpuSubsystem::Request(double service_time, std::function<void()> done) {
 
 void CpuSubsystem::SetSpeedSchedule(Schedule speed) { speed_ = std::move(speed); }
 
-void CpuSubsystem::StartService(double service_time,
-                                std::function<void()> done) {
+void CpuSubsystem::StartService(double service_time, sim::EventCell done) {
   busy_time_accum_ += busy_ * (sim_->Now() - busy_since_);
   busy_since_ = sim_->Now();
   ++busy_;
   const double speed = std::max(speed_.Value(sim_->Now()), 1e-6);
+  // this + the moved cell is exactly EventQueue::Cell's inline capacity, so
+  // the completion event carries the continuation without allocating.
   sim_->Schedule(service_time / speed,
                  [this, done = std::move(done)]() mutable {
                    OnServiceComplete(std::move(done));
                  });
 }
 
-void CpuSubsystem::OnServiceComplete(std::function<void()> done) {
+void CpuSubsystem::OnServiceComplete(sim::EventCell done) {
   busy_time_accum_ += busy_ * (sim_->Now() - busy_since_);
   busy_since_ = sim_->Now();
   --busy_;
@@ -46,7 +47,7 @@ void CpuSubsystem::OnServiceComplete(std::function<void()> done) {
     queue_.pop_front();
     StartService(next.service_time, std::move(next.done));
   }
-  done();
+  done();  // last: may re-enter Request and take the freed processor
 }
 
 double CpuSubsystem::busy_time() const {

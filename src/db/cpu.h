@@ -2,12 +2,12 @@
 #define ALC_DB_CPU_H_
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 
 #include "db/schedule.h"
+#include "sim/event_cell.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
+#include "util/ring_buffer.h"
 
 namespace alc::db {
 
@@ -22,8 +22,10 @@ class CpuSubsystem {
   CpuSubsystem& operator=(const CpuSubsystem&) = delete;
 
   /// Enqueues a request for `service_time` seconds of one processor;
-  /// `done` runs at completion.
-  void Request(double service_time, std::function<void()> done);
+  /// `done` runs at completion. Small captures (the system's phase
+  /// continuations) ride in the cell's inline buffer: no allocation per
+  /// request, queued or not.
+  void Request(double service_time, sim::EventCell done);
 
   /// Time-varying processor speed factor (default: constant 1). A request's
   /// wall-clock duration is demand / speed, with the speed read once at
@@ -45,17 +47,19 @@ class CpuSubsystem {
  private:
   struct Pending {
     double service_time;
-    std::function<void()> done;
+    sim::EventCell done;
   };
 
-  void StartService(double service_time, std::function<void()> done);
-  void OnServiceComplete(std::function<void()> done);
+  void StartService(double service_time, sim::EventCell done);
+  void OnServiceComplete(sim::EventCell done);
 
   sim::Simulator* sim_;
   int num_processors_;
   Schedule speed_ = Schedule::Constant(1.0);
   int busy_ = 0;
-  std::deque<Pending> queue_;
+  /// Ring, not deque: a saturated CPU cycles this queue constantly and a
+  /// deque allocates/frees a block every few operations.
+  util::RingBuffer<Pending> queue_;
   uint64_t completed_ = 0;
   double busy_time_accum_ = 0.0;
   double busy_since_ = 0.0;  // time of last busy_ change

@@ -20,13 +20,12 @@ void AccessPatternGenerator::PlanAccesses(Transaction* txn, uint32_t db_size,
                                           int k, double write_fraction) {
   ALC_CHECK_GT(k, 0);
   ALC_CHECK_LE(static_cast<uint32_t>(k), db_size);
-  txn->access_items.clear();
   txn->access_modes.clear();
 
   const bool use_hotspot = config_->hotspot_access_prob > 0.0 &&
                            config_->hotspot_size_fraction > 0.0;
   if (!use_hotspot) {
-    rng_.SampleWithoutReplacement(db_size, k, &scratch_);
+    rng_.SampleWithoutReplacement(db_size, k, &txn->access_items, &dedup_);
   } else {
     // b-c rule: each access hits the hot region with probability p. Draw
     // per-access then deduplicate by redrawing collisions (k << D so the
@@ -34,19 +33,20 @@ void AccessPatternGenerator::PlanAccesses(Transaction* txn, uint32_t db_size,
     const uint32_t hot =
         std::max<uint32_t>(1, static_cast<uint32_t>(
                                   config_->hotspot_size_fraction * db_size));
-    scratch_.clear();
-    while (static_cast<int>(scratch_.size()) < k) {
+    txn->access_items.clear();
+    dedup_.Begin(db_size);
+    while (static_cast<int>(txn->access_items.size()) < k) {
       const bool in_hot = rng_.NextBernoulli(config_->hotspot_access_prob);
       const uint32_t item =
           in_hot ? static_cast<uint32_t>(rng_.NextUint64(hot))
                  : hot + static_cast<uint32_t>(rng_.NextUint64(db_size - hot));
-      if (std::find(scratch_.begin(), scratch_.end(), item) == scratch_.end()) {
-        scratch_.push_back(item);
+      if (!dedup_.Contains(item)) {
+        dedup_.Add(item);
+        txn->access_items.push_back(item);
       }
     }
   }
 
-  txn->access_items.assign(scratch_.begin(), scratch_.end());
   txn->access_modes.resize(txn->access_items.size(), AccessMode::kRead);
   if (txn->cls == TxnClass::kUpdater) {
     for (auto& mode : txn->access_modes) {

@@ -41,14 +41,16 @@ class AccessPatternGenerator {
 
   /// Fills txn->access_items / access_modes for a fresh attempt.
   /// `k` and `write_fraction` are passed explicitly because they are
-  /// time-varying (workload schedules).
+  /// time-varying (workload schedules). Samples directly into the txn's
+  /// vectors with an O(1) stamp-based duplicate check; at steady state
+  /// (recycled transaction slots) planning performs no allocation.
   void PlanAccesses(Transaction* txn, uint32_t db_size, int k,
                     double write_fraction);
 
  private:
   const LogicalConfig* config_;
   sim::RandomStream rng_;
-  std::vector<uint32_t> scratch_;
+  sim::SampleScratch dedup_;
 };
 
 }  // namespace alc::db

@@ -12,8 +12,9 @@ DiskSubsystem::DiskSubsystem(sim::Simulator* sim, double service_time)
   ALC_CHECK_GE(service_time, 0.0);
 }
 
-void DiskSubsystem::Request(std::function<void()> done) {
+void DiskSubsystem::Request(sim::EventCell done) {
   ++in_flight_;
+  // this + the moved cell fits EventQueue::Cell's inline buffer exactly.
   sim_->Schedule(service_time_, [this, done = std::move(done)]() mutable {
     --in_flight_;
     ++completed_;

@@ -2,8 +2,8 @@
 #define ALC_DB_DISK_H_
 
 #include <cstdint>
-#include <functional>
 
+#include "sim/event_cell.h"
 #include "sim/simulator.h"
 
 namespace alc::db {
@@ -18,8 +18,9 @@ class DiskSubsystem {
   DiskSubsystem(const DiskSubsystem&) = delete;
   DiskSubsystem& operator=(const DiskSubsystem&) = delete;
 
-  /// Starts an I/O; `done` runs after the constant service time.
-  void Request(std::function<void()> done);
+  /// Starts an I/O; `done` runs after the constant service time. Small
+  /// captures stay in the cell's inline buffer (no allocation).
+  void Request(sim::EventCell done);
 
   uint64_t completed() const { return completed_; }
   int in_flight() const { return in_flight_; }

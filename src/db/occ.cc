@@ -17,7 +17,7 @@ void TimestampCertifier::OnAttemptStart(Transaction* txn) {
 }
 
 void TimestampCertifier::RequestAccess(Transaction* txn, int index,
-                                       std::function<void()> proceed) {
+                                       sim::EventCell proceed) {
   // Optimistic execution: access proceeds immediately; conflicts surface at
   // certification time.
   (void)txn;

@@ -22,7 +22,7 @@ class TimestampCertifier : public ConcurrencyControl {
 
   void OnAttemptStart(Transaction* txn) override;
   void RequestAccess(Transaction* txn, int index,
-                     std::function<void()> proceed) override;
+                     sim::EventCell proceed) override;
   bool CertifyCommit(Transaction* txn) override;
   void OnCommit(Transaction* txn) override;
   void OnAbort(Transaction* txn) override;

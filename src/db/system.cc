@@ -235,6 +235,10 @@ void TransactionSystem::StartAttempt(Transaction* txn) {
   }
   txn->read_set.clear();
   txn->write_set.clear();
+  // One reservation instead of a doubling chain on a slot's first use;
+  // no-op on warmed slots.
+  txn->read_set.reserve(txn->access_items.size());
+  txn->write_set.reserve(txn->access_items.size());
   txn->attempt_cpu = 0.0;
   txn->phase = 0;
 

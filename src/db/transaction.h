@@ -43,6 +43,12 @@ struct Transaction {
   std::vector<ItemId> held_locks;
   /// 2PL: item whose lock queue this transaction waits in, or -1.
   int64_t blocked_on = -1;
+  /// 2PL deadlock-DFS scratch (LockManager::ResolveDeadlock): the node's
+  /// visit color, valid only when dfs_stamp matches the current search
+  /// epoch — stamping replaces a per-search hash map so detection on every
+  /// block never allocates.
+  uint64_t dfs_stamp = 0;
+  int dfs_color = 0;
 
   /// CPU seconds consumed by the current attempt (for wasted-work accounting).
   double attempt_cpu = 0.0;

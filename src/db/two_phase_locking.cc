@@ -1,7 +1,6 @@
 #include "db/two_phase_locking.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <utility>
 
 #include "util/check.h"
@@ -36,7 +35,7 @@ void LockManager::Grant(ItemLock* lock, Transaction* txn, AccessMode mode) {
 }
 
 void LockManager::RequestAccess(Transaction* txn, int index,
-                                std::function<void()> proceed) {
+                                sim::EventCell proceed) {
   ALC_CHECK(abort_hook_ != nullptr);
   const ItemId item = txn->access_items[index];
   const AccessMode mode = txn->access_modes[index];
@@ -121,7 +120,7 @@ void LockManager::GrantWaiters(ItemId item) {
     }
     if (!compatible) return;
     Transaction* txn = head.txn;
-    std::function<void()> proceed = std::move(head.proceed);
+    sim::EventCell proceed = std::move(head.proceed);
     Grant(&lock, txn, head.mode);
     lock.waiters.pop_front();
     txn->blocked_on = -1;
@@ -133,9 +132,8 @@ void LockManager::GrantWaiters(ItemId item) {
   }
 }
 
-void LockManager::WaitsFor(Transaction* txn,
-                           std::vector<Transaction*>* out) const {
-  out->clear();
+void LockManager::AppendWaitsFor(Transaction* txn,
+                                 std::vector<Transaction*>* out) const {
   if (txn->blocked_on < 0) return;
   const ItemLock& lock = locks_[static_cast<size_t>(txn->blocked_on)];
   AccessMode mode = AccessMode::kRead;
@@ -159,53 +157,58 @@ void LockManager::WaitsFor(Transaction* txn,
 
 bool LockManager::ResolveDeadlock(Transaction* start) {
   // Iterative DFS over the waits-for graph. Colors: 0 unvisited, 1 on
-  // stack, 2 done. A back edge to an on-stack node closes a cycle.
-  std::unordered_map<Transaction*, int> color;
-  std::vector<Transaction*> path;
-  std::vector<Transaction*> cycle;
-  std::vector<Transaction*> edges;
-
-  // Recursive lambda via explicit stack of (node, next edge index).
-  struct Frame {
-    Transaction* node;
-    std::vector<Transaction*> targets;
-    size_t next = 0;
+  // stack, 2 done. A back edge to an on-stack node closes a cycle. Visit
+  // colors are epoch-stamped on the transactions and frames reference
+  // spans of a shared edge pool, so the search — which runs on every
+  // block — reuses all of its storage.
+  ++dfs_epoch_;
+  dfs_stack_.clear();
+  dfs_edges_.clear();
+  dfs_path_.clear();
+  dfs_cycle_.clear();
+  const auto color_of = [this](const Transaction* txn) {
+    return txn->dfs_stamp == dfs_epoch_ ? txn->dfs_color : 0;
   };
-  std::vector<Frame> stack;
-  WaitsFor(start, &edges);
-  stack.push_back(Frame{start, edges, 0});
-  color[start] = 1;
-  path.push_back(start);
+  const auto set_color = [this](Transaction* txn, int color) {
+    txn->dfs_stamp = dfs_epoch_;
+    txn->dfs_color = color;
+  };
 
-  while (!stack.empty() && cycle.empty()) {
-    Frame& frame = stack.back();
-    if (frame.next >= frame.targets.size()) {
-      color[frame.node] = 2;
-      path.pop_back();
-      stack.pop_back();
+  AppendWaitsFor(start, &dfs_edges_);
+  dfs_stack_.push_back(DfsFrame{start, dfs_edges_.size(), 0});
+  set_color(start, 1);
+  dfs_path_.push_back(start);
+
+  while (!dfs_stack_.empty() && dfs_cycle_.empty()) {
+    DfsFrame& frame = dfs_stack_.back();
+    if (frame.next >= frame.edges_end) {
+      set_color(frame.node, 2);
+      dfs_path_.pop_back();
+      dfs_stack_.pop_back();
       continue;
     }
-    Transaction* next = frame.targets[frame.next++];
-    const int c = color.count(next) ? color[next] : 0;
+    Transaction* next = dfs_edges_[frame.next++];
+    const int c = color_of(next);
     if (c == 1) {
       // Cycle: from `next` to the end of the current path.
-      auto it = std::find(path.begin(), path.end(), next);
-      ALC_CHECK(it != path.end());
-      cycle.assign(it, path.end());
+      auto it = std::find(dfs_path_.begin(), dfs_path_.end(), next);
+      ALC_CHECK(it != dfs_path_.end());
+      dfs_cycle_.assign(it, dfs_path_.end());
     } else if (c == 0) {
-      color[next] = 1;
-      path.push_back(next);
-      WaitsFor(next, &edges);
-      stack.push_back(Frame{next, edges, 0});
+      set_color(next, 1);
+      dfs_path_.push_back(next);
+      const size_t begin = dfs_edges_.size();
+      AppendWaitsFor(next, &dfs_edges_);
+      dfs_stack_.push_back(DfsFrame{next, dfs_edges_.size(), begin});
     }
   }
-  if (cycle.empty()) return false;
+  if (dfs_cycle_.empty()) return false;
 
   ++deadlocks_detected_;
   // Youngest = latest attempt start (ties by larger id). All cycle members
   // are blocked, so the victim holds no scheduled events.
-  Transaction* victim = cycle.front();
-  for (Transaction* candidate : cycle) {
+  Transaction* victim = dfs_cycle_.front();
+  for (Transaction* candidate : dfs_cycle_) {
     if (candidate->attempt_start_time > victim->attempt_start_time ||
         (candidate->attempt_start_time == victim->attempt_start_time &&
          candidate->id > victim->id)) {

@@ -1,7 +1,6 @@
 #ifndef ALC_DB_TWO_PHASE_LOCKING_H_
 #define ALC_DB_TWO_PHASE_LOCKING_H_
 
-#include <deque>
 #include <functional>
 #include <vector>
 
@@ -9,6 +8,7 @@
 #include "db/database.h"
 #include "db/metrics.h"
 #include "sim/simulator.h"
+#include "util/ring_buffer.h"
 
 namespace alc::db {
 
@@ -32,7 +32,7 @@ class LockManager : public ConcurrencyControl {
 
   void OnAttemptStart(Transaction* txn) override;
   void RequestAccess(Transaction* txn, int index,
-                     std::function<void()> proceed) override;
+                     sim::EventCell proceed) override;
   bool CertifyCommit(Transaction* txn) override;
   void OnCommit(Transaction* txn) override;
   void OnAbort(Transaction* txn) override;
@@ -50,15 +50,19 @@ class LockManager : public ConcurrencyControl {
   struct Waiter {
     Transaction* txn;
     AccessMode mode;
-    std::function<void()> proceed;
+    sim::EventCell proceed;
   };
   struct Holder {
     Transaction* txn;
     AccessMode mode;
   };
+  /// Rings, not deques: one ItemLock exists per database granule, and a
+  /// default-constructed deque eagerly allocates its block map — vectors
+  /// make an idle lock table allocation-free and FIFO churn on a hot item
+  /// reuses capacity.
   struct ItemLock {
     std::vector<Holder> holders;
-    std::deque<Waiter> waiters;
+    util::RingBuffer<Waiter> waiters;
   };
 
   static bool Compatible(AccessMode a, AccessMode b) {
@@ -75,10 +79,12 @@ class LockManager : public ConcurrencyControl {
 
   /// Detects a waits-for cycle reachable from `start`; if found, aborts the
   /// youngest member via the abort hook. Returns true if a victim was taken.
+  /// Runs on every block, so the search reuses persistent scratch and visit
+  /// stamps on the transactions — no allocation at steady state.
   bool ResolveDeadlock(Transaction* start);
-  /// Transactions `txn` is directly waiting for (holders of, and
-  /// incompatible waiters ahead in, its blocked-on queue).
-  void WaitsFor(Transaction* txn, std::vector<Transaction*>* out) const;
+  /// Appends the transactions `txn` is directly waiting for (holders of,
+  /// and incompatible waiters ahead in, its blocked-on queue) to `out`.
+  void AppendWaitsFor(Transaction* txn, std::vector<Transaction*>* out) const;
 
   Database* db_;
   Metrics* metrics_;
@@ -88,6 +94,19 @@ class LockManager : public ConcurrencyControl {
   int blocked_count_ = 0;
   uint64_t deadlocks_detected_ = 0;
   uint64_t commit_seq_ = 0;
+
+  /// Deadlock-DFS scratch, reused across searches. Frames reference spans
+  /// of the shared edge pool instead of owning per-frame vectors.
+  struct DfsFrame {
+    Transaction* node;
+    size_t edges_end;  // this frame's edges are dfs_edges_[next..edges_end)
+    size_t next;
+  };
+  std::vector<DfsFrame> dfs_stack_;
+  std::vector<Transaction*> dfs_edges_;
+  std::vector<Transaction*> dfs_path_;
+  std::vector<Transaction*> dfs_cycle_;
+  uint64_t dfs_epoch_ = 0;
 };
 
 }  // namespace alc::db

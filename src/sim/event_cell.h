@@ -1,0 +1,186 @@
+#ifndef ALC_SIM_EVENT_CELL_H_
+#define ALC_SIM_EVENT_CELL_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace alc::sim {
+
+/// Move-only type-erased callable with `InlineBytes` of inline storage:
+/// callables that fit (and are nothrow-movable, alignment <= 8) are stored
+/// in place — constructing, moving, invoking and destroying one never
+/// touches the heap. Oversized captures fall back to a single allocation.
+///
+/// This is the event-record type of the simulation engine. Unlike
+/// std::function it never allocates for the hot captures (a few pointers +
+/// small ints), has no copy path, and the dominant case — a trivially
+/// copyable capture — is a POD record: one invoke function pointer plus
+/// bytes, relocated by fixed-size memcpy and destroyed for free. Only
+/// non-trivial payloads (e.g. a cell nested inside another capture) carry a
+/// side table of relocate/destroy operations.
+template <size_t InlineBytes>
+class BasicEventCell {
+ public:
+  static constexpr size_t kInlineBytes = InlineBytes;
+  static constexpr size_t kInlineAlign = alignof(double);
+
+  BasicEventCell() = default;
+
+  template <typename F, typename = std::enable_if_t<!std::is_same_v<
+                            std::decay_t<F>, BasicEventCell>>>
+  BasicEventCell(F&& fn) {  // NOLINT(google-explicit-constructor)
+    EmplaceUnchecked(std::forward<F>(fn));
+  }
+
+  BasicEventCell(BasicEventCell&& other) noexcept
+      : invoke_(other.invoke_), special_(other.special_) {
+    if (invoke_ != nullptr) {
+      if (special_ == nullptr) {
+        std::memcpy(storage_, other.storage_, InlineBytes);
+      } else {
+        special_->relocate(storage_, other.storage_);
+      }
+      other.invoke_ = nullptr;
+      other.special_ = nullptr;
+    }
+  }
+
+  BasicEventCell& operator=(BasicEventCell&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      invoke_ = other.invoke_;
+      special_ = other.special_;
+      if (invoke_ != nullptr) {
+        if (special_ == nullptr) {
+          std::memcpy(storage_, other.storage_, InlineBytes);
+        } else {
+          special_->relocate(storage_, other.storage_);
+        }
+        other.invoke_ = nullptr;
+        other.special_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  BasicEventCell(const BasicEventCell&) = delete;
+  BasicEventCell& operator=(const BasicEventCell&) = delete;
+
+  ~BasicEventCell() { Reset(); }
+
+  /// Engaged if a callable is stored.
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  /// Invokes the stored callable. Requires an engaged cell. The cell stays
+  /// engaged afterwards; callers that must free the payload first (e.g.
+  /// because the callable reschedules into the owning queue) move the cell
+  /// out before invoking.
+  void operator()() { invoke_(storage_); }
+
+  /// Destroys the stored callable, leaving the cell empty.
+  void Reset() {
+    if (invoke_ != nullptr) {
+      if (special_ != nullptr) {
+        special_->destroy(storage_);
+        special_ = nullptr;
+      }
+      invoke_ = nullptr;
+    }
+  }
+
+  /// True if the payload lives in the inline buffer (no heap allocation).
+  bool is_inline() const {
+    return invoke_ != nullptr &&
+           (special_ == nullptr || special_->inline_stored);
+  }
+
+  /// Constructs a callable in place, replacing any current payload. Lets
+  /// owners (the event queue's slot table) build the cell directly in its
+  /// final storage instead of constructing a temporary and relocating it.
+  template <typename F>
+  void Emplace(F&& fn) {
+    Reset();
+    EmplaceUnchecked(std::forward<F>(fn));
+  }
+
+ private:
+  using InvokeFn = void (*)(void* storage);
+
+  /// Relocate/destroy for payloads that memcpy + no-op cannot handle.
+  struct SpecialOps {
+    /// Move-constructs the payload at `dst` from `src` and destroys `src`.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+    bool inline_stored;
+  };
+
+  template <typename F>
+  static void InlineInvoke(void* storage) {
+    (*std::launder(reinterpret_cast<F*>(storage)))();
+  }
+
+  template <typename F>
+  struct InlineSpecial {
+    static void Relocate(void* dst, void* src) {
+      F* from = std::launder(reinterpret_cast<F*>(src));
+      ::new (dst) F(std::move(*from));
+      from->~F();
+    }
+    static void Destroy(void* storage) {
+      std::launder(reinterpret_cast<F*>(storage))->~F();
+    }
+    static constexpr SpecialOps kOps{&Relocate, &Destroy, true};
+  };
+
+  template <typename F>
+  struct HeapSpecial {
+    static F* Get(const void* storage) {
+      F* fn;
+      std::memcpy(&fn, storage, sizeof(fn));
+      return fn;
+    }
+    static void Invoke(void* storage) { (*Get(storage))(); }
+    static void Relocate(void* dst, void* src) {
+      std::memcpy(dst, src, sizeof(F*));
+    }
+    static void Destroy(void* storage) { delete Get(storage); }
+    static constexpr SpecialOps kOps{&Relocate, &Destroy, false};
+  };
+
+  template <typename F>
+  void EmplaceUnchecked(F&& fn) {
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= InlineBytes && alignof(D) <= kInlineAlign &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      invoke_ = &InlineInvoke<D>;
+      // Trivially copyable payloads (all the hot captures) need no side
+      // table: memcpy relocates them and destruction is a no-op.
+      special_ =
+          std::is_trivially_copyable_v<D> ? nullptr : &InlineSpecial<D>::kOps;
+    } else {
+      D* heap = new D(std::forward<F>(fn));
+      std::memcpy(storage_, &heap, sizeof(heap));
+      invoke_ = &HeapSpecial<D>::Invoke;
+      special_ = &HeapSpecial<D>::kOps;
+    }
+  }
+
+  alignas(kInlineAlign) unsigned char storage_[InlineBytes];
+  InvokeFn invoke_ = nullptr;
+  const SpecialOps* special_ = nullptr;
+};
+
+/// Payload-facing cell: 48 inline bytes cover every hot capture in the
+/// system (the largest, the access-phase continuation, is 3 pointers + 2
+/// ints). Sized so that one EventCell plus an owner pointer still fits the
+/// event queue's 72-byte storage cell (see EventQueue::Cell), which is what
+/// keeps the CPU/disk completion chain allocation-free end to end.
+using EventCell = BasicEventCell<48>;
+
+}  // namespace alc::sim
+
+#endif  // ALC_SIM_EVENT_CELL_H_

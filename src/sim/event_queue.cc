@@ -1,46 +1,193 @@
 #include "sim/event_queue.h"
 
-#include <utility>
+#include <algorithm>
 
 #include "util/check.h"
 
 namespace alc::sim {
+namespace {
 
-EventHandle EventQueue::Push(double time, Callback cb) {
+/// Below this heap size compaction is not worth the rebuild; lazy head
+/// dropping handles small queues fine.
+constexpr size_t kCompactMinEntries = 64;
+
+/// Pre-sized for the paper-scale system (a few hundred in-flight events);
+/// avoids every early regrowth of the hot vectors.
+constexpr size_t kInitialCapacity = 1024;
+
+}  // namespace
+
+EventQueue::EventQueue() {
+  heap_.reserve(kInitialCapacity);
+  slots_.reserve(kInitialCapacity);
+  free_slots_.reserve(kInitialCapacity);
+}
+
+void EventQueue::ReleaseSlot(uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.cell.Reset();
+  // Stamping the slot free is the cancellation/consumption: outstanding
+  // handles and the heap entry both carry the old sequence and now fail
+  // the O(1) liveness check.
+  s.live_seq = 0;
+  free_slots_.push_back(slot);
+}
+
+EventHandle EventQueue::FinishPush(double time, uint32_t slot) {
+  // time >= 0 keeps the bit-pattern comparison valid (rejects NaN too);
+  // +0.0 canonicalizes a negative zero, whose bits would misorder.
+  ALC_CHECK_GE(time, 0.0);
   const uint64_t seq = next_seq_++;
-  heap_.push(Entry{time, seq, seq, std::move(cb)});
-  live_ids_.insert(seq);
-  return EventHandle{seq};
+  ALC_DCHECK(seq < uint64_t{1} << (64 - kSlotBits));
+  ALC_DCHECK(slot <= kSlotMask);
+  slots_[slot].live_seq = seq;
+  const uint64_t key = (seq << kSlotBits) | slot;
+  heap_.push_back(Entry{TimeBits(time + 0.0), key});
+  SiftUp(heap_.size() - 1);
+  ++live_count_;
+  return EventHandle{key};
 }
 
 bool EventQueue::Cancel(EventHandle handle) {
-  if (!handle.valid()) return false;
-  // Erasing from live_ids_ is the cancellation; the heap entry is skipped
-  // lazily when it reaches the top.
-  return live_ids_.erase(handle.id) > 0;
+  // gen() == 0 never identifies a live event (sequences start at 1); it
+  // would compare equal to a free slot's cleared stamp and double-free it.
+  if (!handle.valid() || handle.gen() == 0) return false;
+  const uint32_t slot = handle.slot();
+  if (slot >= slots_.size()) return false;
+  if (slots_[slot].live_seq != handle.gen()) return false;
+  ReleaseSlot(slot);
+  --live_count_;
+  CompactIfWorthIt();
+  return true;
 }
 
-void EventQueue::DropCancelledHead() {
-  while (!heap_.empty() && live_ids_.find(heap_.top().id) == live_ids_.end()) {
-    heap_.pop();
+void EventQueue::SiftUp(size_t index) {
+  const Entry entry = heap_[index];
+  while (index > 0) {
+    const size_t parent = (index - 1) / 4;
+    if (!Earlier(entry, heap_[parent])) break;
+    heap_[index] = heap_[parent];
+    index = parent;
+  }
+  heap_[index] = entry;
+}
+
+void EventQueue::SiftDown(size_t index) const {
+  Entry* const data = heap_.data();
+  const size_t size = heap_.size();
+  const Entry entry = data[index];
+  for (;;) {
+    const size_t first = 4 * index + 1;
+    if (first >= size) break;
+    // Branch-free min-of-children: tracking only a pointer lets the
+    // ternaries compile to conditional moves (a tree reduction for the
+    // full-node case), so the only data-dependent branch left per level is
+    // the exit test. Event timestamps are effectively random, so a branchy
+    // min here mispredicts constantly and dominates pop cost.
+    const Entry* child = data + first;
+    const Entry* best;
+    if (first + 4 <= size) {
+      const Entry* b01 = Earlier(child[1], child[0]) ? child + 1 : child;
+      const Entry* b23 = Earlier(child[3], child[2]) ? child + 3 : child + 2;
+      best = Earlier(*b23, *b01) ? b23 : b01;
+    } else {
+      best = child;
+      const Entry* const end = data + size;
+      for (++child; child < end; ++child) {
+        best = Earlier(*child, *best) ? child : best;
+      }
+    }
+    if (!Earlier(*best, entry)) break;
+    data[index] = *best;
+    index = static_cast<size_t>(best - data);
+  }
+  data[index] = entry;
+}
+
+void EventQueue::RemoveRoot() const {
+  // Hole-based removal: dig the hole from the root to a leaf promoting the
+  // earliest child at each level (branch-free selection, no per-level exit
+  // test), then re-insert the former last element at the hole with a short
+  // sift-up. The relocated element was a leaf, so the sift-up almost always
+  // stops immediately — far fewer mispredicted branches than a classic
+  // sift-down, whose per-level exit test is a coin flip on random times.
+  Entry* const data = heap_.data();
+  const size_t size = heap_.size() - 1;  // size after removal
+  const Entry last = data[size];
+  heap_.pop_back();
+  if (size == 0) return;
+  size_t hole = 0;
+  for (;;) {
+    const size_t first = 4 * hole + 1;
+    if (first >= size) break;
+    const Entry* child = data + first;
+    const Entry* best;
+    if (first + 4 <= size) {
+      const Entry* b01 = Earlier(child[1], child[0]) ? child + 1 : child;
+      const Entry* b23 = Earlier(child[3], child[2]) ? child + 3 : child + 2;
+      best = Earlier(*b23, *b01) ? b23 : b01;
+    } else {
+      best = child;
+      const Entry* const end = data + size;
+      for (++child; child < end; ++child) {
+        best = Earlier(*child, *best) ? child : best;
+      }
+    }
+    data[hole] = *best;
+    hole = static_cast<size_t>(best - data);
+  }
+  while (hole > 0) {
+    const size_t parent = (hole - 1) / 4;
+    if (!Earlier(last, data[parent])) break;
+    data[hole] = data[parent];
+    hole = parent;
+  }
+  data[hole] = last;
+}
+
+void EventQueue::PruneDeadHead() const {
+  while (!heap_.empty() && EntryDead(heap_[0])) {
+    RemoveRoot();
   }
 }
 
-double EventQueue::PeekTime() {
-  DropCancelledHead();
+void EventQueue::CompactIfWorthIt() {
+  if (heap_.size() < kCompactMinEntries) return;
+  const size_t dead = heap_.size() - live_count_;
+  if (dead * 2 <= heap_.size()) return;
+  // Tombstones outnumber live entries: filter them out in one pass and
+  // rebuild with Floyd's O(n) heap construction. The (time, key) order is
+  // total, so the rebuilt heap pops in exactly the same sequence.
+  size_t kept = 0;
+  for (size_t i = 0; i < heap_.size(); ++i) {
+    if (!EntryDead(heap_[i])) heap_[kept++] = heap_[i];
+  }
+  heap_.resize(kept);
+  if (kept > 1) {
+    for (size_t i = (kept - 2) / 4 + 1; i-- > 0;) SiftDown(i);
+  }
+  ++compactions_;
+}
+
+double EventQueue::PeekTime() const {
+  PruneDeadHead();
   ALC_CHECK(!heap_.empty());
-  return heap_.top().time;
+  return BitsTime(heap_[0].tbits);
 }
 
 EventQueue::Fired EventQueue::Pop() {
-  DropCancelledHead();
+  PruneDeadHead();
   ALC_CHECK(!heap_.empty());
-  // priority_queue::top() returns const&; the callback must be moved out, so
-  // we const_cast the entry. The entry is popped immediately afterwards.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  Fired fired{top.time, std::move(top.cb)};
-  live_ids_.erase(top.id);
-  heap_.pop();
+  const Entry top = heap_[0];
+  const uint32_t slot = static_cast<uint32_t>(top.key & kSlotMask);
+  // Fix up the heap before touching the payload: the slot's cache lines
+  // load in the shadow of the hole dig.
+  RemoveRoot();
+  // Move the payload out and free the slot before the caller invokes it:
+  // the callable may push new events that reuse the slot or grow the table.
+  Fired fired{BitsTime(top.tbits), std::move(slots_[slot].cell)};
+  ReleaseSlot(slot);
+  --live_count_;
   return fired;
 }
 

@@ -2,71 +2,174 @@
 #define ALC_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <cstring>
+#include <utility>
 #include <vector>
+
+#include "sim/event_cell.h"
 
 namespace alc::sim {
 
-/// Opaque handle identifying a scheduled event; used for cancellation.
+/// Handle identifying a scheduled event, used for cancellation. Packs the
+/// slot that stores the event's payload and the event's unique sequence
+/// number (its generation stamp): the slot records the sequence of the
+/// event currently occupying it, so a stale handle — the event fired, was
+/// cancelled, or the slot was reused — fails an O(1) equality check with no
+/// side table. Zero is the invalid handle (sequences start at 1).
 struct EventHandle {
-  uint64_t id = 0;
-  bool valid() const { return id != 0; }
+  /// seq occupies the high 40 bits of the key (about 10^12 events per
+  /// queue), the slot index the low 24 (about 16M concurrently scheduled
+  /// events). Shared with EventQueue's entry encoding.
+  static constexpr int kSlotBits = 24;
+  static constexpr uint32_t kSlotMask = (1u << kSlotBits) - 1;
+
+  uint64_t key = 0;
+  bool valid() const { return key != 0; }
+  uint32_t slot() const { return static_cast<uint32_t>(key & kSlotMask); }
+  uint64_t gen() const { return key >> kSlotBits; }
 };
 
-/// Time-ordered queue of callbacks. Events with equal timestamps fire in
-/// scheduling order (stable), which makes runs deterministic. Cancellation is
-/// lazy: cancelled events stay in the heap and are skipped on pop.
+/// Time-ordered queue of callables. Events with equal timestamps fire in
+/// scheduling order (stable), which makes runs deterministic.
+///
+/// Layout: the ordering structure is a 4-ary min-heap of 16-byte POD
+/// entries {time, seq|slot}; payloads live in a generation-stamped slot
+/// table on the side, so sifts move two words and never touch the
+/// callables. Cancellation stamps the slot free and destroys the payload
+/// immediately; the heap entry becomes a tombstone that is dropped lazily
+/// when it reaches the head, or in bulk when tombstones outnumber live
+/// entries (compaction). Push/cancel/pop are allocation-free at steady
+/// state: all storage is reused vectors plus the cells' inline buffers.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  /// Storage cell for one scheduled event. 72 inline bytes: enough for an
+  /// owner pointer plus a moved-in EventCell payload (the CPU/disk
+  /// completion pattern), so chained continuations stay allocation-free.
+  using Cell = BasicEventCell<72>;
 
-  EventQueue() = default;
+  EventQueue();
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
-  /// Schedules `cb` at absolute time `time`. Returns a handle for Cancel().
-  EventHandle Push(double time, Callback cb);
+  /// Schedules `fn` at absolute time `time`. Returns a handle for Cancel().
+  /// The callable is constructed directly in its slot (no temporary cell).
+  template <typename F>
+  EventHandle Push(double time, F&& fn) {
+    const uint32_t slot = AcquireSlot();
+    slots_[slot].cell.Emplace(std::forward<F>(fn));
+    return FinishPush(time, slot);
+  }
 
-  /// Marks the event as cancelled if it has not fired yet. Returns true if
-  /// the event was live.
+  /// Cancels the event if it has not fired: the payload is destroyed now,
+  /// the heap entry is tombstoned in place. Returns true if it was live.
   bool Cancel(EventHandle handle);
 
-  /// True if no live events remain.
-  bool empty() const { return live_ids_.empty(); }
+  /// True if no live events remain (tombstone-aware: cancelled events never
+  /// count, whether or not their heap entries have been dropped yet).
+  bool empty() const { return live_count_ == 0; }
 
-  size_t live_count() const { return live_ids_.size(); }
+  size_t live_count() const { return live_count_; }
 
   /// Time of the earliest live event. Requires !empty().
-  double PeekTime();
+  double PeekTime() const;
 
   /// Removes and returns the earliest live event. Requires !empty().
   struct Fired {
     double time;
-    Callback cb;
+    Cell cell;
   };
   Fired Pop();
 
+  /// Introspection for tests and benchmarks.
+  size_t heap_size() const { return heap_.size(); }
+  size_t slot_count() const { return slots_.size(); }
+  uint64_t compactions() const { return compactions_; }
+
  private:
+  /// Entry keys use EventHandle's seq/slot packing. Comparing keys
+  /// compares sequences: seq is unique, so the (time, key) order is a
+  /// strict total order and the pop sequence is independent of the heap's
+  /// internal arrangement — compaction cannot reorder fires.
+  static constexpr int kSlotBits = EventHandle::kSlotBits;
+  static constexpr uint32_t kSlotMask = EventHandle::kSlotMask;
+
+  /// Event times are required to be >= 0 (virtual time), so their IEEE-754
+  /// bit patterns order identically to the doubles themselves when compared
+  /// as unsigned integers. Storing the bits makes the heap order one
+  /// 128-bit unsigned comparison — branch-free, which matters because sift
+  /// comparisons on event timestamps are data-dependent and mispredict
+  /// heavily when compared as doubles-then-sequence.
   struct Entry {
+    uint64_t tbits;  // bit pattern of the (non-negative) event time
+    uint64_t key;    // (seq << kSlotBits) | slot
+  };
+  struct Slot {
+    /// Sequence of the occupying event; 0 when free (tombstone marker).
+    /// First member so the liveness probe warms the payload's cache line.
+    uint64_t live_seq = 0;
+    Cell cell;
+  };
+
+  static uint64_t TimeBits(double time) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(time));
+    std::memcpy(&bits, &time, sizeof(bits));
+    return bits;
+  }
+  static double BitsTime(uint64_t bits) {
     double time;
-    uint64_t seq;
-    uint64_t id;
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
+    std::memcpy(&time, &bits, sizeof(time));
+    return time;
+  }
+
+  static bool Earlier(const Entry& a, const Entry& b) {
+#ifdef __SIZEOF_INT128__
+    const auto pack = [](const Entry& e) {
+      return static_cast<unsigned __int128>(e.tbits) << 64 | e.key;
+    };
+    return pack(a) < pack(b);
+#else
+    if (a.tbits != b.tbits) return a.tbits < b.tbits;
+    return a.key < b.key;
+#endif
+  }
+
+  bool EntryDead(const Entry& entry) const {
+    return slots_[entry.key & kSlotMask].live_seq != entry.key >> kSlotBits;
+  }
+
+  uint32_t AcquireSlot() {
+    if (!free_slots_.empty()) {
+      const uint32_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      return slot;
     }
-  };
+    slots_.emplace_back();
+    return static_cast<uint32_t>(slots_.size() - 1);
+  }
+  /// Non-template tail of Push (heap insertion + handle construction); the
+  /// slot's cell must already hold the payload.
+  EventHandle FinishPush(double time, uint32_t slot);
+  void ReleaseSlot(uint32_t slot);
+  void SiftUp(size_t index);
+  /// const: reorders the mutable heap without changing the live set.
+  void SiftDown(size_t index) const;
+  /// Removes heap_[0] (hole dig + leaf re-insertion); const as above.
+  void RemoveRoot() const;
+  /// Drops tombstones from the heap head; const for the same reason (their
+  /// slots were already released when they were cancelled).
+  void PruneDeadHead() const;
+  void CompactIfWorthIt();
 
-  void DropCancelledHead();
-
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<uint64_t> live_ids_;
+  /// 4-ary min-heap by (time, key): shallower than binary for the same
+  /// size, and one cache line holds all 4 children of a node. mutable so
+  /// that const peeks can drop tombstones lazily.
+  mutable std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;
   uint64_t next_seq_ = 1;
+  size_t live_count_ = 0;
+  uint64_t compactions_ = 0;
 };
 
 }  // namespace alc::sim

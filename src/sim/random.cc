@@ -106,7 +106,8 @@ double RandomStream::NextNormal(double mean, double stddev) {
 }
 
 void RandomStream::SampleWithoutReplacement(uint64_t population, int k,
-                                            std::vector<uint32_t>* out) {
+                                            std::vector<uint32_t>* out,
+                                            SampleScratch* scratch) {
   ALC_CHECK_GE(k, 0);
   ALC_CHECK_LE(static_cast<uint64_t>(k), population);
   out->clear();
@@ -115,20 +116,18 @@ void RandomStream::SampleWithoutReplacement(uint64_t population, int k,
   // the access-set sizes here are small relative to the database, so we use
   // Floyd's algorithm instead: O(k) draws with a membership check.
   // Floyd guarantees uniformity over k-subsets.
+  if (scratch != nullptr) scratch->Begin(population);
   for (uint64_t j = population - static_cast<uint64_t>(k); j < population; ++j) {
     const uint32_t t = static_cast<uint32_t>(NextUint64(j + 1));
-    bool present = false;
-    for (uint32_t v : *out) {
-      if (v == t) {
-        present = true;
-        break;
-      }
-    }
-    if (present) {
-      out->push_back(static_cast<uint32_t>(j));
+    bool present;
+    if (scratch != nullptr) {
+      present = scratch->Contains(t);
     } else {
-      out->push_back(t);
+      present = std::find(out->begin(), out->end(), t) != out->end();
     }
+    const uint32_t value = present ? static_cast<uint32_t>(j) : t;
+    out->push_back(value);
+    if (scratch != nullptr) scratch->Add(value);
   }
 }
 

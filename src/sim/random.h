@@ -1,10 +1,35 @@
 #ifndef ALC_SIM_RANDOM_H_
 #define ALC_SIM_RANDOM_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 namespace alc::sim {
+
+/// Reusable O(1)-membership scratch for sampling routines: a value-indexed
+/// stamp array with epoch invalidation, so "clearing" between draws is one
+/// counter bump, not a buffer wipe. Sized to the population on first use
+/// (one allocation); steady state allocates nothing. Turns the duplicate
+/// check in sampling loops from an O(k) scan into one indexed load, without
+/// changing which variates are drawn or the order values are emitted in.
+class SampleScratch {
+ public:
+  /// Starts a new draw over values in [0, population).
+  void Begin(uint64_t population) {
+    if (stamps_.size() < population) stamps_.resize(population, 0);
+    if (++epoch_ == 0) {  // wrapped: stale stamps could alias, wipe once
+      std::fill(stamps_.begin(), stamps_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+  bool Contains(uint32_t value) const { return stamps_[value] == epoch_; }
+  void Add(uint32_t value) { stamps_[value] = epoch_; }
+
+ private:
+  std::vector<uint32_t> stamps_;
+  uint32_t epoch_ = 0;
+};
 
 /// xoshiro256++ pseudo-random generator (Blackman & Vigna). Implemented from
 /// scratch so simulation results are bit-identical across platforms and
@@ -52,10 +77,19 @@ class RandomStream {
   /// Standard normal via Box-Muller (no cached spare; stateless per call).
   double NextNormal(double mean, double stddev);
 
-  /// k distinct integers drawn uniformly from [0, population). Selection
-  /// sampling; ordering is ascending. Requires k <= population.
+  /// k distinct integers drawn uniformly from [0, population) via Floyd's
+  /// algorithm (O(k) draws); ordering is the insertion order of the draws.
+  /// Requires k <= population. With `scratch` the duplicate check is O(1)
+  /// per draw and allocation-free at steady state; without it a linear scan
+  /// is used. Both variants consume identical variates and emit identical
+  /// output, so they are interchangeable without perturbing simulations.
   void SampleWithoutReplacement(uint64_t population, int k,
-                                std::vector<uint32_t>* out);
+                                std::vector<uint32_t>* out,
+                                SampleScratch* scratch);
+  void SampleWithoutReplacement(uint64_t population, int k,
+                                std::vector<uint32_t>* out) {
+    SampleWithoutReplacement(population, k, out, nullptr);
+  }
 
  private:
   explicit RandomStream(Xoshiro256pp engine) : engine_(engine) {}

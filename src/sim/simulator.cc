@@ -1,20 +1,6 @@
 #include "sim/simulator.h"
 
-#include <utility>
-
-#include "util/check.h"
-
 namespace alc::sim {
-
-EventHandle Simulator::Schedule(double delay, Callback cb) {
-  ALC_CHECK_GE(delay, 0.0);
-  return queue_.Push(now_ + delay, std::move(cb));
-}
-
-EventHandle Simulator::ScheduleAt(double time, Callback cb) {
-  ALC_CHECK_GE(time, now_);
-  return queue_.Push(time, std::move(cb));
-}
 
 bool Simulator::Cancel(EventHandle handle) { return queue_.Cancel(handle); }
 
@@ -24,7 +10,7 @@ bool Simulator::Step() {
   ALC_CHECK_GE(fired.time, now_);
   now_ = fired.time;
   ++events_executed_;
-  fired.cb();
+  fired.cell();
   return true;
 }
 

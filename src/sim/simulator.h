@@ -2,9 +2,10 @@
 #define ALC_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
+#include <utility>
 
 #include "sim/event_queue.h"
+#include "util/check.h"
 
 namespace alc::sim {
 
@@ -13,8 +14,6 @@ namespace alc::sim {
 /// current time, which fire after all previously scheduled same-time events).
 class Simulator {
  public:
-  using Callback = EventQueue::Callback;
-
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -22,11 +21,21 @@ class Simulator {
   /// Current virtual time in seconds.
   double Now() const { return now_; }
 
-  /// Schedules `cb` to run `delay >= 0` seconds from now.
-  EventHandle Schedule(double delay, Callback cb);
+  /// Schedules `fn` to run `delay >= 0` seconds from now. Accepts any
+  /// callable; ones that fit the queue cell's inline buffer (all hot-path
+  /// captures) are stored without allocating.
+  template <typename F>
+  EventHandle Schedule(double delay, F&& fn) {
+    ALC_CHECK_GE(delay, 0.0);
+    return queue_.Push(now_ + delay, std::forward<F>(fn));
+  }
 
-  /// Schedules `cb` at absolute virtual time `time >= Now()`.
-  EventHandle ScheduleAt(double time, Callback cb);
+  /// Schedules `fn` at absolute virtual time `time >= Now()`.
+  template <typename F>
+  EventHandle ScheduleAt(double time, F&& fn) {
+    ALC_CHECK_GE(time, now_);
+    return queue_.Push(time, std::forward<F>(fn));
+  }
 
   /// Cancels a pending event. Returns true if the event had not fired.
   bool Cancel(EventHandle handle);

@@ -1,0 +1,71 @@
+// Pins the CSV artifacts of specs/node_failover.spec to the bytes produced
+// before the event-engine rewrite (typed POD event cells + generation-
+// stamped cancellation + 4-ary heap, PR 5). The engine swap must change no
+// simulation results: same RNG draws, same event order (equal-time FIFO),
+// same CSV bytes. The pinned hashes were captured from the pre-refactor
+// engine (sha256 of the alc_run exports was verified identical); if this
+// test fails, the event engine reordered or perturbed the simulation.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/export.h"
+#include "core/spec.h"
+
+namespace alc {
+namespace {
+
+/// FNV-1a 64-bit: stable, dependency-free content fingerprint.
+uint64_t Fnv1a(const std::string& text) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string ClusterCsv(const core::ClusterResult& cluster) {
+  // Mirrors tools/alc_run.cc ExportResult so the pinned bytes are exactly
+  // what `alc_run specs/node_failover.spec --out ...` writes.
+  std::vector<std::vector<core::TrajectoryPoint>> trajectories;
+  std::vector<core::ClusterNodePlacementInfo> placement_info;
+  for (const core::ClusterNodeResult& node : cluster.nodes) {
+    trajectories.push_back(node.trajectory);
+    placement_info.push_back({node.remote_frac, node.partitions_owned});
+  }
+  std::ostringstream csv;
+  core::WriteClusterTrajectoryCsv(csv, trajectories, placement_info,
+                                  cluster.membership);
+  return csv.str();
+}
+
+TEST(EngineDeterminismTest, NodeFailoverCsvMatchesPreRefactorBaseline) {
+  core::ExperimentSpec spec;
+  std::string error;
+  ASSERT_TRUE(core::LoadSpecFile(
+      std::string(ALC_SOURCE_DIR) + "/specs/node_failover.spec", &spec,
+      &error))
+      << error;
+  const core::SpecRunResult result = core::RunSpec(spec);
+  ASSERT_TRUE(result.cluster);
+
+  const std::string cluster_csv = ClusterCsv(result.cluster_result);
+  std::ostringstream aggregate;
+  core::WriteTrajectoryCsv(aggregate, result.cluster_result.aggregate, {});
+  const std::string aggregate_csv = aggregate.str();
+
+  // Sizes first: a length diff gives a much better failure message than a
+  // hash mismatch.
+  EXPECT_EQ(cluster_csv.size(), 112237u);
+  EXPECT_EQ(aggregate_csv.size(), 26555u);
+  EXPECT_EQ(Fnv1a(cluster_csv), 17203859782119457895ULL);
+  EXPECT_EQ(Fnv1a(aggregate_csv), 5637044466475686148ULL);
+}
+
+}  // namespace
+}  // namespace alc

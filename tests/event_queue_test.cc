@@ -1,12 +1,71 @@
+#include <algorithm>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "sim/event_cell.h"
 #include "sim/event_queue.h"
+#include "sim/random.h"
 #include "sim/simulator.h"
 
 namespace alc::sim {
 namespace {
+
+TEST(EventCellTest, SmallCapturesStayInline) {
+  int sink = 0;
+  int* p = &sink;
+  EventCell cell([p] { ++*p; });
+  EXPECT_TRUE(cell.is_inline());
+  cell();
+  EXPECT_EQ(sink, 1);
+}
+
+TEST(EventCellTest, OversizedCapturesFallBackToHeap) {
+  struct Big {
+    char bytes[96];
+  };
+  Big big{};
+  big.bytes[0] = 7;
+  int sink = 0;
+  EventCell cell([big, &sink] { sink = big.bytes[0]; });
+  EXPECT_FALSE(cell.is_inline());
+  cell();
+  EXPECT_EQ(sink, 7);
+}
+
+TEST(EventCellTest, MoveTransfersPayload) {
+  int sink = 0;
+  EventCell a([&sink] { ++sink; });
+  EventCell b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(sink, 1);
+  EventCell c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));
+  c();
+  EXPECT_EQ(sink, 2);
+}
+
+TEST(EventCellTest, QueueCellFitsOwnerPlusPayloadInline) {
+  // The CPU/disk completion pattern: an owner pointer plus a moved-in
+  // payload cell must still be inline in the queue's storage cell,
+  // otherwise every service completion in the system allocates.
+  int sink = 0;
+  EventCell payload([&sink] { sink += 10; });
+  int* owner = &sink;
+  EventQueue::Cell completion(
+      [owner, done = std::move(payload)]() mutable {
+        ++*owner;
+        done();
+      });
+  EXPECT_TRUE(completion.is_inline());
+  completion();
+  EXPECT_EQ(sink, 11);
+}
 
 TEST(EventQueueTest, PopsInTimeOrder) {
   EventQueue queue;
@@ -14,7 +73,7 @@ TEST(EventQueueTest, PopsInTimeOrder) {
   queue.Push(3.0, [&] { order.push_back(3); });
   queue.Push(1.0, [&] { order.push_back(1); });
   queue.Push(2.0, [&] { order.push_back(2); });
-  while (!queue.empty()) queue.Pop().cb();
+  while (!queue.empty()) queue.Pop().cell();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
@@ -24,7 +83,7 @@ TEST(EventQueueTest, EqualTimesFireInScheduleOrder) {
   for (int i = 0; i < 50; ++i) {
     queue.Push(7.0, [&order, i] { order.push_back(i); });
   }
-  while (!queue.empty()) queue.Pop().cb();
+  while (!queue.empty()) queue.Pop().cell();
   ASSERT_EQ(order.size(), 50u);
   for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
 }
@@ -36,6 +95,27 @@ TEST(EventQueueTest, PeekTimeMatchesPop) {
   EXPECT_DOUBLE_EQ(queue.PeekTime(), 2.5);
   EXPECT_DOUBLE_EQ(queue.Pop().time, 2.5);
   EXPECT_DOUBLE_EQ(queue.PeekTime(), 4.5);
+}
+
+TEST(EventQueueTest, PeekAndEmptyAreConstAndTombstoneAware) {
+  // Regression for the pre-refactor interface: PeekTime was non-const, and
+  // peek/empty had to be usable with tombstones sitting at the heap head.
+  EventQueue queue;
+  const EventQueue& view = queue;
+  EventHandle head = queue.Push(1.0, [] {});
+  queue.Push(2.0, [] {});
+  ASSERT_TRUE(queue.Cancel(head));
+  // The cancelled event is still in the heap, but a const peek must see
+  // through it to the first live event.
+  EXPECT_FALSE(view.empty());
+  EXPECT_EQ(view.live_count(), 1u);
+  EXPECT_DOUBLE_EQ(view.PeekTime(), 2.0);
+  EventHandle last = queue.Push(3.0, [] {});
+  queue.Pop();
+  ASSERT_TRUE(queue.Cancel(last));
+  // Only tombstones remain: empty() must say so without popping them.
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(view.live_count(), 0u);
 }
 
 TEST(EventQueueTest, CancelPreventsExecution) {
@@ -57,7 +137,7 @@ TEST(EventQueueTest, CancelTwiceFails) {
 TEST(EventQueueTest, CancelAfterFireFails) {
   EventQueue queue;
   EventHandle handle = queue.Push(1.0, [] {});
-  queue.Pop().cb();
+  queue.Pop().cell();
   EXPECT_FALSE(queue.Cancel(handle));
   EXPECT_TRUE(queue.empty());
 }
@@ -65,7 +145,15 @@ TEST(EventQueueTest, CancelAfterFireFails) {
 TEST(EventQueueTest, CancelInvalidHandleFails) {
   EventQueue queue;
   EXPECT_FALSE(queue.Cancel(EventHandle{}));
-  EXPECT_FALSE(queue.Cancel(EventHandle{9999}));
+  // Out-of-range slot and mismatched generation are both rejected.
+  EXPECT_FALSE(queue.Cancel(EventHandle{(uint64_t{1} << 24) | 9999u}));
+  queue.Push(1.0, [] {});
+  EXPECT_FALSE(queue.Cancel(EventHandle{uint64_t{4242} << 24}));
+  // A forged generation-0 handle must not match a free slot's cleared
+  // stamp (that would double-free the slot).
+  queue.Pop().cell();
+  EXPECT_FALSE(queue.Cancel(EventHandle{1}));
+  EXPECT_TRUE(queue.empty());
 }
 
 TEST(EventQueueTest, CancelMiddleKeepsOthers) {
@@ -76,7 +164,7 @@ TEST(EventQueueTest, CancelMiddleKeepsOthers) {
   queue.Push(3.0, [&] { order.push_back(3); });
   EXPECT_TRUE(queue.Cancel(mid));
   EXPECT_EQ(queue.live_count(), 2u);
-  while (!queue.empty()) queue.Pop().cb();
+  while (!queue.empty()) queue.Pop().cell();
   EXPECT_EQ(order, (std::vector<int>{1, 3}));
 }
 
@@ -91,6 +179,129 @@ TEST(EventQueueTest, LiveCountTracksPushPopCancel) {
   queue.Pop();
   EXPECT_EQ(queue.live_count(), 0u);
   EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueTest, SlotReuseAfterGenerationBump) {
+  EventQueue queue;
+  bool first_fired = false;
+  bool second_fired = false;
+  EventHandle first = queue.Push(1.0, [&] { first_fired = true; });
+  ASSERT_TRUE(queue.Cancel(first));
+  // The freed slot is reused: the new event gets the same slot with a
+  // bumped generation.
+  EventHandle second = queue.Push(2.0, [&] { second_fired = true; });
+  EXPECT_EQ(second.slot(), first.slot());
+  EXPECT_NE(second.gen(), first.gen());
+  // The stale handle must not cancel (or otherwise affect) the new event.
+  EXPECT_FALSE(queue.Cancel(first));
+  EXPECT_EQ(queue.live_count(), 1u);
+  queue.Pop().cell();
+  EXPECT_FALSE(first_fired);
+  EXPECT_TRUE(second_fired);
+  // And after the fire, both handles are dead.
+  EXPECT_FALSE(queue.Cancel(second));
+  EXPECT_FALSE(queue.Cancel(first));
+}
+
+TEST(EventQueueTest, CompactionDropsTombstonesAndPreservesOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  constexpr int kEvents = 512;
+  for (int i = 0; i < kEvents; ++i) {
+    // Colliding times so ordering falls back to scheduling order.
+    const double time = static_cast<double>(i % 7);
+    handles.push_back(queue.Push(time, [&order, i] { order.push_back(i); }));
+  }
+  // Cancel two thirds to cross the tombstone-majority compaction boundary.
+  std::vector<int> expected;
+  for (int i = 0; i < kEvents; ++i) {
+    if (i % 3 != 0) {
+      ASSERT_TRUE(queue.Cancel(handles[i]));
+    }
+  }
+  EXPECT_GE(queue.compactions(), 1u);
+  // Compaction keeps the invariant: tombstones never make up more than half
+  // of the heap (cancels after the last compaction may leave a minority).
+  EXPECT_LT(queue.heap_size(), static_cast<size_t>(kEvents));
+  EXPECT_LE((queue.heap_size() - queue.live_count()) * 2, queue.heap_size());
+  for (int t = 0; t < 7; ++t) {
+    for (int i = 0; i < kEvents; ++i) {
+      if (i % 3 == 0 && i % 7 == t) expected.push_back(i);
+    }
+  }
+  while (!queue.empty()) queue.Pop().cell();
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueueTest, StressInterleavedPushCancelPopMatchesModel) {
+  // Reference-model check: random interleaving of pushes (many with equal
+  // timestamps), cancels and pops must fire exactly the model's sequence.
+  // Crosses compaction boundaries and reuses slots across generations.
+  struct ModelEvent {
+    double time;
+    uint64_t seq;
+    int id;
+  };
+  RandomStream rng(99);
+  EventQueue queue;
+  std::vector<ModelEvent> model;
+  std::vector<std::pair<int, EventHandle>> cancellable;
+  std::vector<int> fired;
+  std::vector<int> expected;
+  uint64_t seq = 0;
+  int next_id = 0;
+  for (int step = 0; step < 20000; ++step) {
+    const double p = rng.NextDouble();
+    if (p < 0.55) {
+      // Equal timestamps on purpose: only 8 distinct times.
+      const double time = static_cast<double>(rng.NextUint64(8));
+      const int id = next_id++;
+      EventHandle handle =
+          queue.Push(time, [&fired, id] { fired.push_back(id); });
+      model.push_back(ModelEvent{time, seq++, id});
+      cancellable.emplace_back(id, handle);
+    } else if (p < 0.75 && !cancellable.empty()) {
+      const size_t pick = rng.NextUint64(cancellable.size());
+      const auto [id, handle] = cancellable[pick];
+      cancellable.erase(cancellable.begin() + static_cast<long>(pick));
+      ASSERT_TRUE(queue.Cancel(handle));
+      EXPECT_FALSE(queue.Cancel(handle));
+      auto it = std::find_if(model.begin(), model.end(),
+                             [id](const ModelEvent& e) { return e.id == id; });
+      ASSERT_NE(it, model.end());
+      model.erase(it);
+    } else if (!queue.empty()) {
+      auto it = std::min_element(model.begin(), model.end(),
+                                 [](const ModelEvent& a, const ModelEvent& b) {
+                                   if (a.time != b.time) return a.time < b.time;
+                                   return a.seq < b.seq;
+                                 });
+      ASSERT_NE(it, model.end());
+      EXPECT_DOUBLE_EQ(queue.PeekTime(), it->time);
+      expected.push_back(it->id);
+      const int id = it->id;
+      model.erase(it);
+      const auto popped =
+          std::find_if(cancellable.begin(), cancellable.end(),
+                       [id](const auto& c) { return c.first == id; });
+      if (popped != cancellable.end()) cancellable.erase(popped);
+      queue.Pop().cell();
+    }
+    ASSERT_EQ(queue.live_count(), model.size());
+  }
+  while (!queue.empty()) {
+    auto it = std::min_element(model.begin(), model.end(),
+                               [](const ModelEvent& a, const ModelEvent& b) {
+                                 if (a.time != b.time) return a.time < b.time;
+                                 return a.seq < b.seq;
+                               });
+    expected.push_back(it->id);
+    model.erase(it);
+    queue.Pop().cell();
+  }
+  EXPECT_TRUE(model.empty());
+  EXPECT_EQ(fired, expected);
 }
 
 TEST(SimulatorTest, ClockAdvancesWithEvents) {
