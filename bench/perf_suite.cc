@@ -29,6 +29,8 @@
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
+#include "telemetry/histogram.h"
+#include "telemetry/trace.h"
 #include "util/strformat.h"
 
 // ------------------------------------------------------------------------
@@ -164,13 +166,41 @@ SuiteResult BenchSampleWithoutReplacement(double target_sec) {
   return Finish("sample_without_replacement_k32", start, items, allocs_before);
 }
 
+/// Histogram recording alone: the per-commit cost the telemetry layer adds
+/// to the hot path. Values are pre-drawn so the loop times Add(), not the
+/// RNG. Must be exactly allocation-free (fixed bucket array).
+SuiteResult BenchLogHistogramAdd(double target_sec) {
+  telemetry::LogHistogram hist;
+  sim::RandomStream rng(11);
+  std::vector<double> values(4096);
+  for (double& v : values) v = rng.NextExponential(0.1);
+  uint64_t items = 0;
+  const uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  const auto start = Clock::now();
+  do {
+    for (int rep = 0; rep < 100; ++rep) {
+      for (const double v : values) hist.Add(v);
+      items += values.size();
+    }
+  } while (Seconds(start, Clock::now()) < target_sec);
+  if (hist.count() != items) std::abort();  // keep `hist` observable
+  return Finish("log_histogram_add", start, items, allocs_before);
+}
+
 /// End-to-end paper-default closed system; items = simulated events over
 /// the measured span (after a warmup that settles pools and trackers).
-SuiteResult BenchEndToEnd(double sim_span) {
+/// `per_phase` toggles the phase histograms and `trace` optionally attaches
+/// a recorder, so the emitted JSON pins the telemetry overhead (histograms
+/// on vs off, trace on vs off) as first-class numbers.
+SuiteResult BenchEndToEndVariant(const char* name, double sim_span,
+                                 bool per_phase,
+                                 telemetry::TraceRecorder* trace) {
   sim::Simulator simulator;
   db::SystemConfig config;  // paper defaults
   config.seed = 5;
+  config.telemetry.per_phase = per_phase;
   db::TransactionSystem system(&simulator, config);
+  if (trace != nullptr) system.SetTraceRecorder(trace, 0);
   system.Start();
   // Warmup must cover a few think+execute cycles of all 850 terminals
   // (think times are several sim-seconds), or the measured window still
@@ -182,7 +212,12 @@ SuiteResult BenchEndToEnd(double sim_span) {
   const auto start = Clock::now();
   simulator.RunUntil(kWarmup + sim_span);
   const uint64_t events = simulator.events_executed() - events_before;
-  return Finish("end_to_end_paper_default", start, events, allocs_before);
+  return Finish(name, start, events, allocs_before);
+}
+
+SuiteResult BenchEndToEnd(double sim_span) {
+  return BenchEndToEndVariant("end_to_end_paper_default", sim_span,
+                              /*per_phase=*/true, nullptr);
 }
 
 /// One real bench through the spec path: the node-failover cluster run
@@ -271,7 +306,18 @@ int main(int argc, char** argv) {
   results.push_back(BenchEventQueuePushPop(micro_sec));
   results.push_back(BenchEventQueueCancel(micro_sec));
   results.push_back(BenchSampleWithoutReplacement(micro_sec));
+  results.push_back(BenchLogHistogramAdd(micro_sec));
   results.push_back(BenchEndToEnd(sim_span));
+  // Telemetry overhead rail: the same simulation with per-phase histograms
+  // disabled and with a trace recorder attached, so a regression in either
+  // direction (telemetry cost, or disabled-path cost) is pinned by numbers.
+  results.push_back(BenchEndToEndVariant("end_to_end_telemetry_off", sim_span,
+                                         /*per_phase=*/false, nullptr));
+  {
+    telemetry::TraceRecorder trace;
+    results.push_back(BenchEndToEndVariant("end_to_end_trace", sim_span,
+                                           /*per_phase=*/true, &trace));
+  }
   results.push_back(BenchSpecNodeFailover(specs_dir));
 
   for (const SuiteResult& r : results) {
@@ -297,11 +343,19 @@ int main(int argc, char** argv) {
       // state; the end-to-end run tolerates the amortized tail of growing
       // stat containers. Thresholds are machine-independent (counts, not
       // times), so this check is stable on shared CI runners.
+      // The trace variant tolerates the same amortized tail: the recorder's
+      // event buffer grows geometrically, a handful of allocations across
+      // millions of events.
       const double limit =
           (r.name == "event_queue_push_pop" || r.name == "event_queue_cancel" ||
-           r.name == "sample_without_replacement_k32")
+           r.name == "sample_without_replacement_k32" ||
+           r.name == "log_histogram_add")
               ? 0.0
-              : (r.name == "end_to_end_paper_default" ? 0.05 : -1.0);
+              : (r.name == "end_to_end_paper_default" ||
+                         r.name == "end_to_end_telemetry_off" ||
+                         r.name == "end_to_end_trace"
+                     ? 0.05
+                     : -1.0);
       if (limit >= 0.0 && r.allocs_per_item > limit) {
         std::fprintf(stderr,
                      "perf_suite: CHECK FAILED: %s allocates %.6f per item "

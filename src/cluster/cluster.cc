@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <climits>
+#include <string>
 #include <utility>
 
 #include "util/check.h"
+#include "util/logging.h"
 
 namespace alc::cluster {
 
@@ -75,6 +77,13 @@ void Cluster::SetRetraction(const RetractionConfig& config) {
 void Cluster::SetLifecycleListener(LifecycleListener listener) {
   ALC_CHECK(!started_);
   listener_ = std::move(listener);
+}
+
+void Cluster::SetTraceRecorder(telemetry::TraceRecorder* recorder) {
+  trace_ = recorder;
+  for (int i = 0; i < size(); ++i) {
+    nodes_[i]->system().SetTraceRecorder(recorder, i);
+  }
 }
 
 void Cluster::EnablePlacement(const PlacementSpec& spec) {
@@ -149,6 +158,23 @@ void Cluster::ApplyTransition(int node, NodeState to) {
     if (states_[i] == NodeState::kUp) live_.push_back(i);
   }
   ++epoch_;
+  const char* transition_name = to == NodeState::kDown    ? "node_down"
+                                : to == NodeState::kDrain ? "node_drain"
+                                                          : "node_up";
+  if (trace_ != nullptr) {
+    const double now = sim_->Now();
+    trace_->Instant(transition_name, node, now);
+    trace_->Counter("epoch", telemetry::TraceRecorder::kClusterPid, now,
+                    static_cast<double>(epoch_));
+    trace_->Counter("members", telemetry::TraceRecorder::kClusterPid, now,
+                    static_cast<double>(live_.size()));
+  }
+  if (util::Logger::level() <= util::LogLevel::kInfo) {
+    ALC_LOG(kInfo, std::string(transition_name) + " node=" +
+                       std::to_string(node) + " epoch=" +
+                       std::to_string(epoch_) + " live=" +
+                       std::to_string(live_.size()));
+  }
   if (catalog_ != nullptr) {
     // Placement subscribes to membership: replica filtering excludes the
     // node through the MembershipView, and orphaned homes move now.
@@ -195,6 +221,11 @@ void Cluster::RetractAndReroute(int node, int max_count, bool drop) {
   retract_scratch_.clear();
   nodes_[node]->gate().RetractQueued(max_count, &retract_scratch_);
   if (retract_scratch_.empty()) return;
+  if (util::Logger::level() <= util::LogLevel::kInfo) {
+    ALC_LOG(kInfo, "retract node=" + std::to_string(node) + " count=" +
+                       std::to_string(retract_scratch_.size()) +
+                       (drop ? " (drop)" : " (reroute)"));
+  }
   // A still-live origin (degradation-triggered retraction) is excluded
   // from the re-route targets: the point is to shed its backlog.
   live_scratch_.clear();

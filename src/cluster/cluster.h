@@ -17,6 +17,7 @@
 #include "placement/catalog.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
+#include "telemetry/trace.h"
 
 namespace alc::cluster {
 
@@ -145,6 +146,11 @@ class Cluster {
   /// Registers the lifecycle listener. Must be called before Start().
   void SetLifecycleListener(LifecycleListener listener);
 
+  /// Attaches an optional trace recorder: each node's system emits its
+  /// lifecycle with pid = node index, and the cluster emits membership
+  /// epoch transitions and retraction batches. nullptr detaches.
+  void SetTraceRecorder(telemetry::TraceRecorder* recorder);
+
   /// Starts every node, the lifecycle schedules, and the arrival process.
   /// Call once.
   void Start();
@@ -218,6 +224,8 @@ class Cluster {
   std::vector<uint64_t> routed_;
   uint64_t total_routed_ = 0;
   bool started_ = false;
+
+  telemetry::TraceRecorder* trace_ = nullptr;
 
   // Membership state.
   std::vector<NodeState> states_;

@@ -16,6 +16,18 @@ void ClusterMetrics::AddPoint(int node, const core::TrajectoryPoint& point) {
   trajectories_[node].push_back(point);
 }
 
+void ClusterMetrics::AddPoint(int node, const core::TrajectoryPoint& point,
+                              const telemetry::LogHistogram& interval_hist) {
+  ALC_CHECK_GE(node, 0);
+  ALC_CHECK_LT(node, static_cast<int>(trajectories_.size()));
+  // Tick index before the push: every node reporting the same aligned tick
+  // merges into the same slot regardless of callback order.
+  const size_t tick = trajectories_[node].size();
+  if (tick >= tick_hists_.size()) tick_hists_.resize(tick + 1);
+  tick_hists_[tick].Merge(interval_hist);
+  trajectories_[node].push_back(point);
+}
+
 std::vector<core::TrajectoryPoint> ClusterMetrics::Aggregate() const {
   size_t ticks = trajectories_[0].size();
   for (const auto& series : trajectories_) {
@@ -44,6 +56,13 @@ std::vector<core::TrajectoryPoint> ClusterMetrics::Aggregate() const {
       sum.conflict_rate = weighted_conflicts / sum.throughput;
     }
     sum.cpu_utilization = cpu_sum / static_cast<double>(trajectories_.size());
+    if (t < tick_hists_.size()) {
+      const telemetry::LogHistogram& hist = tick_hists_[t];
+      sum.response_p50 = hist.Quantile(0.50);
+      sum.response_p95 = hist.Quantile(0.95);
+      sum.response_p99 = hist.Quantile(0.99);
+      sum.response_p999 = hist.Quantile(0.999);
+    }
     aggregate.push_back(sum);
   }
   return aggregate;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "telemetry/histogram.h"
 
 namespace alc::cluster {
 
@@ -27,6 +28,14 @@ class ClusterMetrics {
 
   void AddPoint(int node, const core::TrajectoryPoint& point);
 
+  /// Adds a node's point together with its interval response histogram.
+  /// Per-tick histograms are merged across nodes as they arrive, so
+  /// Aggregate() can report true cluster-wide percentiles — a quantile
+  /// cannot be recovered from per-node quantiles, only from merged
+  /// buckets. Memory is O(ticks), independent of transaction count.
+  void AddPoint(int node, const core::TrajectoryPoint& point,
+                const telemetry::LogHistogram& interval_hist);
+
   /// Records the membership in force at one tick (the experiment samples
   /// it once per grid tick, alongside node 0's trajectory point).
   void AddMembershipSample(const MembershipSample& sample) {
@@ -47,11 +56,16 @@ class ClusterMetrics {
   /// gate queue) are summed; response time and conflict rate are
   /// commit-weighted means (weight = per-node throughput of the tick);
   /// cpu_utilization is the unweighted node mean (the front-end has no view
-  /// of per-node processor counts).
+  /// of per-node processor counts). Response percentiles come from the
+  /// tick's merged cross-node histogram (see the AddPoint overload); zero
+  /// when points were added without histograms.
   std::vector<core::TrajectoryPoint> Aggregate() const;
 
  private:
   std::vector<std::vector<core::TrajectoryPoint>> trajectories_;
+  /// Per aligned tick: the interval response histogram merged across every
+  /// node that reported the tick.
+  std::vector<telemetry::LogHistogram> tick_hists_;
   std::vector<MembershipSample> membership_;
 };
 

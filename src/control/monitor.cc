@@ -33,6 +33,7 @@ void Monitor::Start() {
 Monitor::Snapshot Monitor::TakeSnapshot() const {
   Snapshot snapshot;
   snapshot.counters = system_->metrics().counters;
+  snapshot.response_hist = system_->metrics().response_hist;
   snapshot.cpu_busy_time = system_->cpu().busy_time();
   snapshot.time = sim_->Now();
   return snapshot;
@@ -60,6 +61,15 @@ void Monitor::Tick() {
       commits > 0
           ? (now.response_time_sum - before.response_time_sum) / commits
           : 0.0;
+
+  // Interval percentiles: the cumulative histogram minus its last-tick
+  // snapshot is exactly the histogram of the interval's commits.
+  interval_hist_ = current.response_hist;
+  interval_hist_.Subtract(last_.response_hist);
+  sample.response_p50 = interval_hist_.Quantile(0.50);
+  sample.response_p95 = interval_hist_.Quantile(0.95);
+  sample.response_p99 = interval_hist_.Quantile(0.99);
+  sample.response_p999 = interval_hist_.Quantile(0.999);
 
   db::Metrics& metrics = system_->metrics();
   sample.mean_active = metrics.active_track.AverageUntil(current.time);

@@ -7,6 +7,7 @@
 #include "control/sample.h"
 #include "db/system.h"
 #include "sim/simulator.h"
+#include "telemetry/histogram.h"
 
 namespace alc::control {
 
@@ -35,9 +36,18 @@ class Monitor {
   /// All samples observed so far (kept for reporting).
   const std::vector<Sample>& samples() const { return samples_; }
 
+  /// Response-time histogram of the most recent completed interval (the
+  /// difference of consecutive cumulative snapshots). Valid during and
+  /// after the callback of that interval; the cluster layer merges it
+  /// across nodes for aggregate percentiles.
+  const telemetry::LogHistogram& interval_response_hist() const {
+    return interval_hist_;
+  }
+
  private:
   struct Snapshot {
     db::Counters counters;
+    telemetry::LogHistogram response_hist;
     double cpu_busy_time = 0.0;
     double time = 0.0;
   };
@@ -50,6 +60,7 @@ class Monitor {
   double interval_;
   std::function<void(const Sample&)> callback_;
   Snapshot last_;
+  telemetry::LogHistogram interval_hist_;
   std::vector<Sample> samples_;
   bool started_ = false;
 };

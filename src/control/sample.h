@@ -19,6 +19,16 @@ struct Sample {
   double cpu_utilization = 0.0; // fraction of processor-seconds used
   double useful_cpu_fraction = 0.0;  // useful / (useful + wasted) CPU
   long long commits = 0;        // raw commit count (estimation accuracy)
+
+  // Response-time percentiles of the interval's commits, from the
+  // differenced telemetry::LogHistogram (zero when no commits landed in
+  // the interval). Few-commit intervals make the tails coarse — p999 of 40
+  // commits is just the maximum — but the columns stay comparable across
+  // ticks and nodes because the bucketing is fixed.
+  double response_p50 = 0.0;
+  double response_p95 = 0.0;
+  double response_p99 = 0.0;
+  double response_p999 = 0.0;
 };
 
 /// Which scalar a controller maximizes (reconstruction of paper section 6,

@@ -60,6 +60,7 @@ ClusterResult ClusterExperiment::Run() {
     cluster.EnablePlacement(scenario_.placement);
   }
   cluster.SetRetraction(scenario_.retraction);
+  if (trace_ != nullptr) cluster.SetTraceRecorder(trace_);
 
   // Per-node control loop: monitor -> controller -> gate, exactly the
   // single-node wiring replicated N times on the shared event queue.
@@ -81,11 +82,14 @@ ClusterResult ClusterExperiment::Run() {
     }
     control::AdmissionGate* gate = &cluster.node(i).gate();
     control::OuterTuner* tuner = tuners[i].get();
+    control::Monitor* monitor = monitors.back().get();
+    telemetry::TraceRecorder* trace = trace_;
     // The controller is looked up through the vector, not captured raw: a
     // fresh rejoin replaces controllers[i] mid-run (lifecycle listener
     // below) and the control loop must pick up the rebuilt instance.
     monitors.back()->SetCallback([&metrics, &controllers, &cluster, gate,
-                                  tuner, i](const control::Sample& sample) {
+                                  tuner, monitor, trace,
+                                  i](const control::Sample& sample) {
       // A crashed node has no control plane: while it is down the
       // controller neither learns from the (empty) samples nor moves the
       // gate, so RejoinPolicy::kRetained resumes exactly the pre-crash
@@ -102,6 +106,9 @@ ClusterResult ClusterExperiment::Run() {
         gate->SetLimit(bound);
         if (tuner) tuner->Observe(sample);
       }
+      if (trace != nullptr) {
+        trace->Counter("limit", i, sample.time, bound);
+      }
 
       TrajectoryPoint point;
       point.time = sample.time;
@@ -112,7 +119,11 @@ ClusterResult ClusterExperiment::Run() {
       point.conflict_rate = sample.conflict_rate;
       point.gate_queue = sample.gate_queue;
       point.cpu_utilization = sample.cpu_utilization;
-      metrics.AddPoint(i, point);
+      point.response_p50 = sample.response_p50;
+      point.response_p95 = sample.response_p95;
+      point.response_p99 = sample.response_p99;
+      point.response_p999 = sample.response_p999;
+      metrics.AddPoint(i, point, monitor->interval_response_hist());
       if (i == 0) {
         // One membership sample per grid tick, alongside node 0's point
         // (membership only changes at lifecycle events, so intra-tick
@@ -140,9 +151,14 @@ ClusterResult ClusterExperiment::Run() {
 
   // Warmup boundary snapshots for summary statistics.
   std::vector<db::Counters> at_warmup(num_nodes);
+  std::vector<telemetry::LogHistogram> hist_at_warmup(num_nodes);
+  std::vector<std::array<telemetry::LogHistogram, telemetry::kNumPhases>>
+      phases_at_warmup(num_nodes);
   simulator.ScheduleAt(scenario_.warmup, [&] {
     for (int i = 0; i < num_nodes; ++i) {
       at_warmup[i] = cluster.node(i).system().metrics().counters;
+      hist_at_warmup[i] = cluster.node(i).system().metrics().response_hist;
+      phases_at_warmup[i] = cluster.node(i).system().metrics().phase_hists;
     }
   });
 
@@ -210,6 +226,23 @@ ClusterResult ClusterExperiment::Run() {
     if (cluster.catalog() != nullptr) {
       node.partitions_owned = cluster.catalog()->HomePartitionCount(i);
       node.partitions_held = cluster.catalog()->ReplicaPartitionCount(i);
+    }
+    // Post-warmup distributions: node percentiles from its own histogram,
+    // cluster percentiles from the merge (== pooled-sample bucketing).
+    telemetry::LogHistogram node_hist =
+        cluster.node(i).system().metrics().response_hist;
+    node_hist.Subtract(hist_at_warmup[i]);
+    node.response_p50 = node_hist.Quantile(0.50);
+    node.response_p95 = node_hist.Quantile(0.95);
+    node.response_p99 = node_hist.Quantile(0.99);
+    node.response_p999 = node_hist.Quantile(0.999);
+    result.response_hist.Merge(node_hist);
+    for (int p = 0; p < telemetry::kNumPhases; ++p) {
+      telemetry::LogHistogram phase_hist =
+          cluster.node(i).system().metrics().phase_hists[static_cast<size_t>(
+              p)];
+      phase_hist.Subtract(phases_at_warmup[i][static_cast<size_t>(p)]);
+      result.phase_hists[static_cast<size_t>(p)].Merge(phase_hist);
     }
     total_local += node.local_accesses;
     total_remote += node.remote_accesses;

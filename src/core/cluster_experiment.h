@@ -1,12 +1,15 @@
 #ifndef ALC_CORE_CLUSTER_EXPERIMENT_H_
 #define ALC_CORE_CLUSTER_EXPERIMENT_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "cluster/metrics.h"
 #include "core/cluster_scenario.h"
 #include "core/experiment.h"
+#include "telemetry/histogram.h"
+#include "telemetry/trace.h"
 
 namespace alc::core {
 
@@ -42,6 +45,13 @@ struct ClusterNodeResult {
   int partitions_owned = 0;
   /// Partitions this node holds any replica of at run end.
   int partitions_held = 0;
+
+  // Post-warmup response-time percentiles of this node's commits (from its
+  // log histogram; zero when the node committed nothing after warmup).
+  double response_p50 = 0.0;
+  double response_p95 = 0.0;
+  double response_p99 = 0.0;
+  double response_p999 = 0.0;
 };
 
 /// End-of-run snapshot of one partition's placement (placement runs only):
@@ -89,6 +99,14 @@ struct ClusterResult {
 
   double duration = 0.0;
   double warmup = 0.0;
+
+  /// Post-warmup response-time distribution merged across all nodes: the
+  /// cluster-wide percentiles (exactly equal to bucketing the pooled
+  /// commits, by merge determinism).
+  telemetry::LogHistogram response_hist;
+  /// Post-warmup per-phase distributions merged across nodes, indexed by
+  /// telemetry::Phase (empty when nodes ran telemetry.per_phase = false).
+  std::array<telemetry::LogHistogram, telemetry::kNumPhases> phase_hists;
 };
 
 /// Builds the full cluster stack (one simulator, N node systems with gates,
@@ -99,12 +117,20 @@ class ClusterExperiment {
  public:
   explicit ClusterExperiment(const ClusterScenarioConfig& scenario);
 
+  /// Attaches an optional trace recorder for the next Run(): per-node
+  /// transaction lifecycle, gate decisions, controller limit changes, and
+  /// membership epoch transitions. Pass nullptr (default) for no tracing.
+  void SetTraceRecorder(telemetry::TraceRecorder* recorder) {
+    trace_ = recorder;
+  }
+
   ClusterResult Run();
 
   const ClusterScenarioConfig& scenario() const { return scenario_; }
 
  private:
   ClusterScenarioConfig scenario_;
+  telemetry::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace alc::core

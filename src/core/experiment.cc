@@ -23,6 +23,7 @@ ExperimentResult Experiment::Run() {
   db::TransactionSystem system(&simulator, scenario_.system);
   system.SetWorkloadDynamics(scenario_.dynamics);
   system.SetActiveTerminalsSchedule(scenario_.active_terminals);
+  if (trace_ != nullptr) system.SetTraceRecorder(trace_, 0);
 
   control::AdmissionGate gate(&system, scenario_.control.initial_limit);
   gate.EnableDisplacement(scenario_.control.displacement);
@@ -46,6 +47,9 @@ ExperimentResult Experiment::Run() {
     const double bound = controller->Update(sample);
     gate.SetLimit(bound);
     if (tuner) tuner->Observe(sample);
+    if (trace_ != nullptr) {
+      trace_->Counter("limit", 0, sample.time, bound);
+    }
 
     TrajectoryPoint point;
     point.time = sample.time;
@@ -56,13 +60,22 @@ ExperimentResult Experiment::Run() {
     point.conflict_rate = sample.conflict_rate;
     point.gate_queue = sample.gate_queue;
     point.cpu_utilization = sample.cpu_utilization;
+    point.response_p50 = sample.response_p50;
+    point.response_p95 = sample.response_p95;
+    point.response_p99 = sample.response_p99;
+    point.response_p999 = sample.response_p999;
     result.trajectory.push_back(point);
   });
 
   // Warmup boundary snapshot for summary statistics.
   db::Counters at_warmup;
-  simulator.ScheduleAt(scenario_.warmup,
-                       [&] { at_warmup = system.metrics().counters; });
+  telemetry::LogHistogram hist_at_warmup;
+  std::array<telemetry::LogHistogram, telemetry::kNumPhases> phases_at_warmup;
+  simulator.ScheduleAt(scenario_.warmup, [&] {
+    at_warmup = system.metrics().counters;
+    hist_at_warmup = system.metrics().response_hist;
+    phases_at_warmup = system.metrics().phase_hists;
+  });
 
   system.Start();
   monitor.Start();
@@ -70,6 +83,14 @@ ExperimentResult Experiment::Run() {
 
   const db::Counters& final = system.metrics().counters;
   result.final_counters = final;
+  result.response_hist = system.metrics().response_hist;
+  result.response_hist.Subtract(hist_at_warmup);
+  for (int i = 0; i < telemetry::kNumPhases; ++i) {
+    result.phase_hists[static_cast<size_t>(i)] =
+        system.metrics().phase_hists[static_cast<size_t>(i)];
+    result.phase_hists[static_cast<size_t>(i)].Subtract(
+        phases_at_warmup[static_cast<size_t>(i)]);
+  }
   const double span = scenario_.duration - scenario_.warmup;
   const uint64_t commits = final.commits - at_warmup.commits;
   const uint64_t aborts = final.total_aborts() - at_warmup.total_aborts();

@@ -1,10 +1,13 @@
 #ifndef ALC_CORE_EXPERIMENT_H_
 #define ALC_CORE_EXPERIMENT_H_
 
+#include <array>
 #include <vector>
 
 #include "core/scenario.h"
 #include "db/metrics.h"
+#include "telemetry/histogram.h"
+#include "telemetry/trace.h"
 
 namespace alc::core {
 
@@ -19,6 +22,12 @@ struct TrajectoryPoint {
   double conflict_rate = 0.0;
   double gate_queue = 0.0;
   double cpu_utilization = 0.0;
+  // Response-time percentiles of the interval's commits (log-histogram
+  // interpolation, zero on commit-free intervals).
+  double response_p50 = 0.0;
+  double response_p95 = 0.0;
+  double response_p99 = 0.0;
+  double response_p999 = 0.0;
 };
 
 /// Everything a finished run reports.
@@ -45,6 +54,14 @@ struct ExperimentResult {
   db::Counters final_counters;   // cumulative, including warmup
   double duration = 0.0;
   double warmup = 0.0;
+
+  /// Post-warmup response-time distribution (final histogram minus the
+  /// warmup snapshot): any quantile of the run is one lookup away.
+  telemetry::LogHistogram response_hist;
+  /// Post-warmup per-phase wall-clock distributions, indexed by
+  /// telemetry::Phase. Empty when the scenario disabled per-phase
+  /// recording (telemetry.per_phase = false).
+  std::array<telemetry::LogHistogram, telemetry::kNumPhases> phase_hists;
 };
 
 /// Builds the full stack (simulator, transaction system, gate, monitor,
@@ -54,12 +71,20 @@ class Experiment {
  public:
   explicit Experiment(const ScenarioConfig& scenario);
 
+  /// Attaches an optional trace recorder for the next Run(): transaction
+  /// lifecycle, gate decisions, and controller limit changes are emitted
+  /// as Chrome trace events. Pass nullptr (default) for no tracing.
+  void SetTraceRecorder(telemetry::TraceRecorder* recorder) {
+    trace_ = recorder;
+  }
+
   ExperimentResult Run();
 
   const ScenarioConfig& scenario() const { return scenario_; }
 
  private:
   ScenarioConfig scenario_;
+  telemetry::TraceRecorder* trace_ = nullptr;
 };
 
 /// Convenience: stationary throughput under a fixed admission limit with

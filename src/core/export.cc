@@ -14,7 +14,9 @@ void WriteTrajectoryCsv(std::ostream& out,
   std::vector<std::string> header = {
       "time",          "bound",      "load",
       "throughput",    "response",   "conflict_rate",
-      "gate_queue",    "cpu_utilization"};
+      "gate_queue",    "cpu_utilization",
+      "response_p50",  "response_p95",
+      "response_p99",  "response_p999"};
   const bool with_optimum = !timeline.empty();
   if (with_optimum) header.push_back("n_opt");
   csv.WriteRow(header);
@@ -22,7 +24,9 @@ void WriteTrajectoryCsv(std::ostream& out,
     std::vector<double> row = {point.time,          point.bound,
                                point.load,          point.throughput,
                                point.response,      point.conflict_rate,
-                               point.gate_queue,    point.cpu_utilization};
+                               point.gate_queue,    point.cpu_utilization,
+                               point.response_p50,  point.response_p95,
+                               point.response_p99,  point.response_p999};
     if (with_optimum) row.push_back(OptimumAt(timeline, point.time));
     csv.WriteNumericRow(row);
   }
@@ -38,7 +42,9 @@ void WriteClusterTrajectoryCsv(
                 "load",          "throughput",  "response",
                 "conflict_rate", "gate_queue",  "cpu_utilization",
                 "remote_frac",   "partitions_owned",
-                "members",       "epoch"});
+                "members",       "epoch",
+                "response_p50",  "response_p95",
+                "response_p99",  "response_p999"});
   // Without a membership series every row reports the always-up default:
   // the whole fleet live at epoch 0.
   const double default_members =
@@ -61,7 +67,9 @@ void WriteClusterTrajectoryCsv(
                            point.gate_queue, point.cpu_utilization,
                            info.remote_frac,
                            static_cast<double>(info.partitions_owned),
-                           members, epoch});
+                           members, epoch,
+                           point.response_p50, point.response_p95,
+                           point.response_p99, point.response_p999});
     }
   }
 }

@@ -16,21 +16,27 @@ namespace alc::core {
 /// with external tooling. Column layouts are stable and documented here:
 ///
 ///   trajectory: time,bound,load,throughput,response,conflict_rate,
-///               gate_queue,cpu_utilization[,n_opt]
+///               gate_queue,cpu_utilization,response_p50,response_p95,
+///               response_p99,response_p999[,n_opt]
 ///   cluster:    node,time,bound,load,throughput,response,conflict_rate,
 ///               gate_queue,cpu_utilization,remote_frac,partitions_owned,
-///               members,epoch
+///               members,epoch,response_p50,response_p95,response_p99,
+///               response_p999
 ///   placement:  partition,home_node,num_replicas,heat
 ///   curve:      n,throughput
 ///   timeline:   start_time,n_opt,peak_throughput
 ///
 /// The cluster header is stable: the placement columns (remote_frac,
-/// partitions_owned) and the membership columns (members, epoch — the live
-/// node count and membership epoch at the row's tick) are always present
-/// and trail the original columns, so older plotting scripts that select by
-/// name or by the first nine positions keep working. Placement-free runs
-/// write zeros in the placement columns; always-up runs write the constant
-/// fleet size and epoch 0.
+/// partitions_owned), the membership columns (members, epoch — the live
+/// node count and membership epoch at the row's tick), and the percentile
+/// columns (response_p50..p999 — the tick's interval response distribution
+/// from the log-bucketed histogram) are always present and trail the
+/// original columns, so older plotting scripts that select by name or by
+/// the first nine positions keep working. Placement-free runs write zeros
+/// in the placement columns; always-up runs write the constant fleet size
+/// and epoch 0. Percentiles are exact bucket interpolations of the
+/// always-on response histogram, so they do not depend on any telemetry
+/// toggle; ticks with no commits write zeros.
 
 /// Writes a controller trajectory; if `timeline` is non-empty an `n_opt`
 /// column with the true-optimum overlay is appended.

@@ -4,6 +4,7 @@
 #include <climits>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <utility>
 
@@ -255,6 +256,11 @@ bool AssignExperimentKey(ExperimentSpec* spec, const std::string& key,
     spec->routing_params.Set(key.substr(8), value);
     return true;
   }
+  if (key == "trace") {
+    // Empty re-disables tracing (the PrintSpec default round-trips).
+    spec->trace_path = value;
+    return true;
+  }
   if (key == "retraction") {
     return SetBoolField(key, value, &spec->retraction, error);
   }
@@ -416,6 +422,9 @@ bool AssignNodeKey(NodeSpec* node, const std::string& key,
   }
   if (key == "record_history") {
     return SetBoolField(key, value, &node->system.record_history, error);
+  }
+  if (key == "telemetry.per_phase") {
+    return SetBoolField(key, value, &node->system.telemetry.per_phase, error);
   }
 
   db::PhysicalConfig* physical = &node->system.physical;
@@ -586,6 +595,7 @@ void EmitNode(std::string* out, const NodeSpec& node) {
   Emit(out, "arrivals", ArrivalModeName(node.system.arrivals));
   EmitDouble(out, "open_arrival_rate", node.system.open_arrival_rate);
   EmitBool(out, "record_history", node.system.record_history);
+  EmitBool(out, "telemetry.per_phase", node.system.telemetry.per_phase);
 
   const db::PhysicalConfig& physical = node.system.physical;
   EmitInt(out, "physical.num_terminals", physical.num_terminals);
@@ -675,6 +685,7 @@ std::string PrintSpec(const ExperimentSpec& spec) {
   for (const auto& [key, value] : spec.routing_params.entries()) {
     Emit(&out, "routing." + key, value);
   }
+  Emit(&out, "trace", spec.trace_path);
   EmitBool(&out, "retraction", spec.retraction);
   EmitDouble(&out, "retraction_queue_factor", spec.retraction_queue_factor);
   EmitDouble(&out, "retraction_interval", spec.retraction_interval);
@@ -1113,10 +1124,24 @@ ClusterScenarioConfig ToClusterScenario(const ExperimentSpec& spec) {
 SpecRunResult RunSpec(const ExperimentSpec& spec) {
   SpecRunResult result;
   result.cluster = spec.cluster;
+  // The recorder outlives the run only long enough to flush; it observes
+  // the simulation (no RNG draws, no scheduled events), so attaching it
+  // cannot change any result.
+  std::unique_ptr<telemetry::TraceRecorder> trace;
+  if (!spec.trace_path.empty()) {
+    trace = std::make_unique<telemetry::TraceRecorder>();
+  }
   if (spec.cluster) {
-    result.cluster_result = ClusterExperiment(ToClusterScenario(spec)).Run();
+    ClusterExperiment experiment(ToClusterScenario(spec));
+    if (trace) experiment.SetTraceRecorder(trace.get());
+    result.cluster_result = experiment.Run();
   } else {
-    result.single = Experiment(ToScenario(spec)).Run();
+    Experiment experiment(ToScenario(spec));
+    if (trace) experiment.SetTraceRecorder(trace.get());
+    result.single = experiment.Run();
+  }
+  if (trace) {
+    ALC_CHECK(trace->WriteFile(spec.trace_path));
   }
   return result;
 }

@@ -104,6 +104,12 @@ struct ExperimentSpec {
   double retraction_queue_factor = 0.0;
   double retraction_interval = 1.0;
 
+  /// When non-empty, RunSpec records a Chrome trace-event JSON of the run
+  /// (transaction lifecycle, gate decisions, controller limit changes,
+  /// membership transitions) and writes it here; empty disables tracing.
+  /// Observability only: the trace never perturbs the simulation.
+  std::string trace_path;
+
   /// Cluster mode: data placement layer (see cluster::PlacementSpec).
   bool placement_enabled = false;
   placement::PlacementConfig placement;
@@ -122,6 +128,7 @@ struct ExperimentSpec {
            retraction == other.retraction &&
            retraction_queue_factor == other.retraction_queue_factor &&
            retraction_interval == other.retraction_interval &&
+           trace_path == other.trace_path &&
            placement_enabled == other.placement_enabled &&
            placement == other.placement &&
            placement_workload == other.placement_workload &&

@@ -128,6 +128,24 @@ inline bool operator!=(const RemoteAccessConfig& a,
   return !(a == b);
 }
 
+/// Telemetry recording knobs. The response-time LogHistogram is always
+/// recorded — it is the canonical latency statistic, O(1) memory and free
+/// of side effects — so this only gates the optional extras. Telemetry
+/// never draws random numbers or schedules events: toggling it cannot
+/// change simulation results (pinned by tests/telemetry_perturbation_test).
+struct TelemetryConfig {
+  /// Record the five per-phase histograms (gate/lock/cpu/disk/commit wall
+  /// clock, see telemetry::Phase) on every commit.
+  bool per_phase = true;
+};
+
+inline bool operator==(const TelemetryConfig& a, const TelemetryConfig& b) {
+  return a.per_phase == b.per_phase;
+}
+inline bool operator!=(const TelemetryConfig& a, const TelemetryConfig& b) {
+  return !(a == b);
+}
+
 /// Everything needed to build a TransactionSystem.
 struct SystemConfig {
   PhysicalConfig physical;
@@ -145,13 +163,16 @@ struct SystemConfig {
   /// transactions for serializability verification in tests. Costs memory;
   /// off by default.
   bool record_history = false;
+  /// Observability knobs (per-phase histograms); see TelemetryConfig.
+  TelemetryConfig telemetry;
 };
 
 inline bool operator==(const SystemConfig& a, const SystemConfig& b) {
   return a.physical == b.physical && a.logical == b.logical && a.cc == b.cc &&
          a.arrivals == b.arrivals &&
          a.open_arrival_rate == b.open_arrival_rate && a.remote == b.remote &&
-         a.seed == b.seed && a.record_history == b.record_history;
+         a.seed == b.seed && a.record_history == b.record_history &&
+         a.telemetry == b.telemetry;
 }
 inline bool operator!=(const SystemConfig& a, const SystemConfig& b) {
   return !(a == b);

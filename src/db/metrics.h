@@ -1,11 +1,13 @@
 #ifndef ALC_DB_METRICS_H_
 #define ALC_DB_METRICS_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "db/types.h"
 #include "sim/stats.h"
+#include "telemetry/histogram.h"
 
 namespace alc::db {
 
@@ -69,6 +71,17 @@ class Metrics {
   sim::WelfordAccumulator response_times;
   /// Attempts needed per committed transaction.
   sim::WelfordAccumulator attempts_per_commit;
+
+  /// Log-bucketed distribution of committed response times (submit->commit,
+  /// cumulative like the counters): the canonical latency statistic. The
+  /// monitor differences per-tick snapshots for interval percentiles and
+  /// the experiment layer subtracts the warmup snapshot / merges nodes for
+  /// run-level p50/p95/p99/p999 — all in O(1) memory per system.
+  telemetry::LogHistogram response_hist;
+  /// Wall-clock decomposition of committed responses, indexed by
+  /// telemetry::Phase. Recorded only when SystemConfig::telemetry.per_phase
+  /// (recording is side-effect-free either way).
+  std::array<telemetry::LogHistogram, telemetry::kNumPhases> phase_hists;
 
   bool record_history = false;
   std::vector<CommitRecord> history;

@@ -7,6 +7,17 @@
 #include "util/check.h"
 
 namespace alc::db {
+namespace {
+
+/// Chrome-trace thread lane for a transaction: closed-mode work keeps its
+/// terminal's lane; pooled (open/external) work folds onto a bounded set of
+/// lanes by id so the viewer stays navigable.
+int64_t TraceTid(const Transaction* txn) {
+  return txn->terminal_id >= 0 ? txn->terminal_id
+                               : static_cast<int64_t>(txn->id % 256);
+}
+
+}  // namespace
 
 TransactionSystem::TransactionSystem(sim::Simulator* sim,
                                      const SystemConfig& config)
@@ -63,6 +74,12 @@ void TransactionSystem::SetDepartureHook(
     std::function<void(Transaction*)> on_departure) {
   ALC_CHECK(on_departure != nullptr);
   on_departure_ = std::move(on_departure);
+}
+
+void TransactionSystem::SetTraceRecorder(telemetry::TraceRecorder* recorder,
+                                         int pid) {
+  trace_ = recorder;
+  trace_pid_ = pid;
 }
 
 void TransactionSystem::SetWorkloadDynamics(WorkloadDynamics dynamics) {
@@ -129,6 +146,12 @@ void TransactionSystem::SubmitExternalPlanned(
 void TransactionSystem::InitSubmission(Transaction* txn) {
   txn->id = next_txn_id_++;
   txn->first_submit_time = sim_->Now();
+  txn->queue_enter_time = txn->first_submit_time;
+  txn->gate_wait = 0.0;
+  txn->lock_wait = 0.0;
+  txn->cpu_wall = 0.0;
+  txn->disk_wall = 0.0;
+  txn->commit_wall = 0.0;
   txn->attempts = 0;
   txn->doomed = false;
   txn->displaced = false;
@@ -207,6 +230,12 @@ void TransactionSystem::SetActive(int delta) {
 void TransactionSystem::Admit(Transaction* txn) {
   ALC_CHECK(txn->state == TxnState::kQueued);
   txn->admit_time = sim_->Now();
+  const double waited = txn->admit_time - txn->queue_enter_time;
+  txn->gate_wait += waited;
+  if (trace_ != nullptr && waited > 0.0) {
+    trace_->Complete("gate_wait", trace_pid_, TraceTid(txn),
+                     txn->queue_enter_time, waited);
+  }
   txn->displaced = false;
   SetActive(+1);
   StartAttempt(txn);
@@ -244,10 +273,18 @@ void TransactionSystem::StartAttempt(Transaction* txn) {
 
   cc_->OnAttemptStart(txn);
 
-  // Phase 0: initialization (CPU burst + one I/O).
+  // Phase 0: initialization (CPU burst + one I/O). The phase_stamp deltas
+  // split the wall clock between the CPU and disk stations.
+  txn->phase_stamp = now;
   const double service = DrawCpu(txn, config_.physical.cpu_init_mean);
   cpu_.Request(service, [this, txn] {
-    disk_.Request([this, txn] { RunAccessPhase(txn, 0); });
+    const double t = sim_->Now();
+    txn->cpu_wall += t - txn->phase_stamp;
+    txn->phase_stamp = t;
+    disk_.Request([this, txn] {
+      txn->disk_wall += sim_->Now() - txn->phase_stamp;
+      RunAccessPhase(txn, 0);
+    });
   });
 }
 
@@ -282,6 +319,7 @@ void TransactionSystem::RunAccessPhase(Transaction* txn, int index) {
       return;
     }
     txn->state = TxnState::kRunning;
+    txn->phase_stamp = sim_->Now();
     double service = DrawCpu(txn, config_.physical.cpu_access_mean);
     const bool remote = RemoteAt(txn, index);
     if (remote && config_.remote.cpu_penalty > 0.0) {
@@ -292,14 +330,24 @@ void TransactionSystem::RunAccessPhase(Transaction* txn, int index) {
       txn->attempt_cpu += config_.remote.cpu_penalty;
     }
     cpu_.Request(service, [this, txn, index, remote] {
+      const double t = sim_->Now();
+      txn->cpu_wall += t - txn->phase_stamp;
+      txn->phase_stamp = t;
       if (remote && config_.remote.latency > 0.0) {
-        // Network round trip to the remote replica before the local I/O.
+        // Network round trip to the remote replica before the local I/O
+        // (the round trip lands in disk_wall together with the I/O).
         sim_->Schedule(config_.remote.latency, [this, txn, index] {
-          disk_.Request([this, txn, index] { CompleteAccess(txn, index); });
+          disk_.Request([this, txn, index] {
+            txn->disk_wall += sim_->Now() - txn->phase_stamp;
+            CompleteAccess(txn, index);
+          });
         });
         return;
       }
-      disk_.Request([this, txn, index] { CompleteAccess(txn, index); });
+      disk_.Request([this, txn, index] {
+        txn->disk_wall += sim_->Now() - txn->phase_stamp;
+        CompleteAccess(txn, index);
+      });
     });
   });
 }
@@ -336,12 +384,16 @@ void TransactionSystem::RunCommitPhase(Transaction* txn) {
   txn->phase = txn->k + 1;
   // Commit processing: fixed bookkeeping plus install/log work per written
   // item (queries commit cheaply, heavy updaters expensively).
+  txn->phase_stamp = sim_->Now();
   double service = DrawCpu(txn, config_.physical.cpu_commit_mean);
   for (size_t i = 0; i < txn->write_set.size(); ++i) {
     service += DrawCpu(txn, config_.physical.cpu_write_commit_mean);
   }
   cpu_.Request(service, [this, txn] {
-    disk_.Request([this, txn] { Finalize(txn); });
+    disk_.Request([this, txn] {
+      txn->commit_wall += sim_->Now() - txn->phase_stamp;
+      Finalize(txn);
+    });
   });
 }
 
@@ -366,6 +418,23 @@ void TransactionSystem::Commit(Transaction* txn) {
   metrics_.response_times.Add(response);
   metrics_.attempts_per_commit.Add(txn->attempts);
   metrics_.counters.useful_cpu += txn->attempt_cpu;
+  metrics_.response_hist.Add(response);
+  if (config_.telemetry.per_phase) {
+    auto& phases = metrics_.phase_hists;
+    phases[static_cast<size_t>(telemetry::Phase::kGateWait)].Add(
+        txn->gate_wait);
+    phases[static_cast<size_t>(telemetry::Phase::kLockWait)].Add(
+        txn->lock_wait);
+    phases[static_cast<size_t>(telemetry::Phase::kCpu)].Add(txn->cpu_wall);
+    phases[static_cast<size_t>(telemetry::Phase::kDisk)].Add(txn->disk_wall);
+    phases[static_cast<size_t>(telemetry::Phase::kCommit)].Add(
+        txn->commit_wall);
+  }
+  if (trace_ != nullptr) {
+    trace_->Complete("txn", trace_pid_, TraceTid(txn),
+                     txn->first_submit_time, response, "attempts",
+                     static_cast<double>(txn->attempts));
+  }
   SetActive(-1);
   txn->state = TxnState::kThinking;
   on_departure_(txn);
@@ -392,12 +461,21 @@ void TransactionSystem::AbortAttempt(Transaction* txn, AbortReason reason) {
       ++metrics_.counters.aborts_displacement;
       break;
   }
+  if (trace_ != nullptr) {
+    const char* name = reason == AbortReason::kCertificationFailure
+                           ? "abort_certification"
+                           : reason == AbortReason::kDeadlock
+                                 ? "abort_deadlock"
+                                 : "displace";
+    trace_->Instant(name, trace_pid_, sim_->Now());
+  }
   if (reason == AbortReason::kDisplacement) {
     // Leaves the admitted set and re-queues at the gate.
     SetActive(-1);
     txn->state = TxnState::kQueued;
     txn->displaced = true;
     txn->doomed = false;
+    txn->queue_enter_time = sim_->Now();
     txn->ResetAttempt();
     on_submit_(txn);
     return;
@@ -483,6 +561,9 @@ int TransactionSystem::CrashActive() {
 void TransactionSystem::FinishKill(Transaction* txn) {
   cc_->OnAbort(txn);
   ++metrics_.counters.crash_kills;
+  if (trace_ != nullptr) {
+    trace_->Instant("crash_kill", trace_pid_, sim_->Now());
+  }
   metrics_.counters.wasted_cpu += txn->attempt_cpu;
   SetActive(-1);
   txn->state = TxnState::kThinking;
@@ -497,6 +578,9 @@ void TransactionSystem::ReleaseQueued(Transaction* txn) {
   ALC_CHECK(config_.arrivals == ArrivalMode::kExternal);
   ALC_CHECK(txn->state == TxnState::kQueued);
   ++metrics_.counters.retracted;
+  if (trace_ != nullptr) {
+    trace_->Instant("retract", trace_pid_, sim_->Now());
+  }
   txn->state = TxnState::kThinking;
   txn->displaced = false;
   free_pool_.push_back(txn);

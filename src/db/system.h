@@ -18,6 +18,7 @@
 #include "db/workload.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
+#include "telemetry/trace.h"
 
 namespace alc::db {
 
@@ -61,6 +62,12 @@ class TransactionSystem {
   /// second); overrides config.open_arrival_rate. Must be called before
   /// Start().
   void SetArrivalRateSchedule(Schedule schedule);
+
+  /// Attaches an optional trace recorder (nullptr detaches). `pid` is the
+  /// Chrome-trace process lane, the node index in cluster runs. Recording
+  /// is branch-gated on the pointer: with no recorder the hot path costs
+  /// one predictable branch and never allocates.
+  void SetTraceRecorder(telemetry::TraceRecorder* recorder, int pid);
 
   /// Schedules the initial think times; call once.
   void Start();
@@ -187,6 +194,9 @@ class TransactionSystem {
   std::vector<Transaction*> free_pool_;  // open mode: idle work units
   std::function<void(Transaction*)> on_submit_;
   std::function<void(Transaction*)> on_departure_;
+
+  telemetry::TraceRecorder* trace_ = nullptr;
+  int32_t trace_pid_ = 0;
 
   int active_ = 0;
   TxnId next_txn_id_ = 1;

@@ -75,6 +75,22 @@ struct Transaction {
   /// Pending restart-delay event, cancellable on displacement.
   sim::EventHandle restart_event;
 
+  // --- Telemetry: submit->commit wall-clock decomposition. Pure stamped
+  // doubles, accumulated over the whole work unit (across attempts) and
+  // reset at submission; recording them perturbs nothing. ---
+  /// When the work unit last entered the admission queue (fresh submission
+  /// or displacement re-queue), for gate-wait accounting.
+  double queue_enter_time = 0.0;
+  double gate_wait = 0.0;    // total time queued at the admission gate
+  double lock_wait = 0.0;    // 2PL: total time blocked in lock queues
+  double cpu_wall = 0.0;     // CPU queue + service, init and access phases
+  double disk_wall = 0.0;    // disk service + remote latency, init/accesses
+  double commit_wall = 0.0;  // commit-phase CPU + disk
+  /// Scratch: start of the in-flight CPU/disk/commit segment.
+  double phase_stamp = 0.0;
+  /// Scratch: when this transaction entered a lock wait queue.
+  double block_start_time = 0.0;
+
   /// Clears per-attempt state (access plan, sets, locks, CPU accounting).
   void ResetAttempt() {
     access_items.clear();

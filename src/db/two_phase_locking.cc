@@ -52,6 +52,7 @@ void LockManager::RequestAccess(Transaction* txn, int index,
   lock.waiters.push_back(Waiter{txn, mode, std::move(proceed)});
   txn->state = TxnState::kBlocked;
   txn->blocked_on = item;
+  txn->block_start_time = sim_->Now();
   ++blocked_count_;
   metrics_->blocked_track.Update(sim_->Now(), blocked_count_);
   ResolveDeadlock(txn);
@@ -87,6 +88,7 @@ void LockManager::RemoveWaiter(Transaction* txn) {
   const ItemId item = static_cast<ItemId>(txn->blocked_on);
   lock.waiters.erase(it);
   txn->blocked_on = -1;
+  txn->lock_wait += sim_->Now() - txn->block_start_time;
   --blocked_count_;
   metrics_->blocked_track.Update(sim_->Now(), blocked_count_);
   // Removing a queue head may unblock the run behind it.
@@ -124,6 +126,7 @@ void LockManager::GrantWaiters(ItemId item) {
     Grant(&lock, txn, head.mode);
     lock.waiters.pop_front();
     txn->blocked_on = -1;
+    txn->lock_wait += sim_->Now() - txn->block_start_time;
     txn->state = TxnState::kRunning;
     --blocked_count_;
     metrics_->blocked_track.Update(sim_->Now(), blocked_count_);

@@ -1,6 +1,27 @@
 #include "sim/simulator.h"
 
+#include "util/logging.h"
+
 namespace alc::sim {
+
+namespace {
+
+/// The simulator whose clock stamps this thread's log lines.
+thread_local Simulator* g_log_simulator = nullptr;
+
+double LogNow() { return g_log_simulator->Now(); }
+
+}  // namespace
+
+Simulator::Simulator() : prev_log_simulator_(g_log_simulator) {
+  g_log_simulator = this;
+  util::Logger::SetTimeSource(&LogNow);
+}
+
+Simulator::~Simulator() {
+  g_log_simulator = prev_log_simulator_;
+  if (g_log_simulator == nullptr) util::Logger::SetTimeSource(nullptr);
+}
 
 bool Simulator::Cancel(EventHandle handle) { return queue_.Cancel(handle); }
 

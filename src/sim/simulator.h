@@ -14,7 +14,11 @@ namespace alc::sim {
 /// current time, which fire after all previously scheduled same-time events).
 class Simulator {
  public:
-  Simulator() = default;
+  /// Registers this simulator's clock as the thread's log-time source
+  /// (util::Logger), so log lines carry the simulated time; the destructor
+  /// restores whatever was registered before.
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -61,6 +65,9 @@ class Simulator {
   EventQueue queue_;
   double now_ = 0.0;
   uint64_t events_executed_ = 0;
+  /// The thread's previously registered log-time simulator (nesting: a
+  /// test or sweep worker may build simulators back to back or stacked).
+  Simulator* prev_log_simulator_ = nullptr;
 };
 
 }  // namespace alc::sim

@@ -1,0 +1,98 @@
+#ifndef ALC_TELEMETRY_HISTOGRAM_H_
+#define ALC_TELEMETRY_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace alc::telemetry {
+
+/// Wall-clock decomposition of a committed transaction's response time,
+/// recorded per phase into db::Metrics::phase_hists so overload diagnosis
+/// can say *where* a percentile went (gate queue vs data contention vs
+/// resource). The buckets do not sum exactly to the response: restart
+/// delays and scheduling slack between phases are attributed nowhere.
+enum class Phase {
+  kGateWait = 0,  // submitted/displaced -> admitted (admission queue)
+  kLockWait,      // 2PL: blocked in lock queues (zero under OCC)
+  kCpu,           // CPU queue + service, init and access phases
+  kDisk,          // disk service + remote-access latency, init and accesses
+  kCommit,        // commit-phase CPU + disk
+};
+
+inline constexpr int kNumPhases = 5;
+
+const char* PhaseName(Phase phase);
+
+/// HdrHistogram-style log-linear bucketed histogram over positive doubles
+/// (seconds). Each power-of-two octave above kMinValue is split into
+/// kSubBuckets linear sub-buckets, so any recorded value lands in a bucket
+/// whose width is at most 1/kSubBuckets of its magnitude — quantiles carry
+/// a bounded relative error (~3% at 32 sub-buckets) at O(1) memory,
+/// independent of run length.
+///
+/// Everything is integer bucket counts over a fixed array: recording never
+/// allocates, Merge() of per-node histograms is bucket-wise addition and
+/// therefore exactly equals the histogram of the pooled samples, and
+/// Subtract() of an earlier snapshot yields the interval histogram (counts
+/// are cumulative and monotone). This is the repo's canonical latency
+/// statistic: a 10M-transaction run reports p50/p99/p999 from ~9 KB of
+/// state instead of a full sample series.
+class LogHistogram {
+ public:
+  static constexpr int kSubBucketBits = 5;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;  // 32
+  static constexpr int kOctaves = 36;
+  static constexpr int kNumBuckets = kOctaves * kSubBuckets;
+  /// Lower edge of bucket 0; values below land in the underflow range
+  /// [0, kMinValue). 1 us resolution floor, ~68719 s ceiling.
+  static constexpr double kMinValue = 1e-6;
+
+  /// Records one value. Negative and NaN values count as underflow (zero).
+  void Add(double value);
+
+  /// Bucket-wise addition: afterwards *this equals the histogram of the
+  /// union of both sample sets, exactly.
+  void Merge(const LogHistogram& other);
+
+  /// Removes an earlier snapshot of *this* histogram (bucket-wise
+  /// subtraction), leaving the histogram of the values recorded since the
+  /// snapshot. The argument must be a prefix snapshot: every bucket count
+  /// must be <= the current one.
+  void Subtract(const LogHistogram& earlier);
+
+  void Clear();
+
+  /// Interpolated quantile, q in [0, 1]. Returns 0 for an empty histogram.
+  /// The result is the linear interpolation inside the target bucket, so
+  /// it differs from the exact sample quantile by at most one bucket width
+  /// (relative error <= 1/kSubBuckets, plus interpolation slack).
+  double Quantile(double q) const;
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Bucket index for a value: -1 for underflow (< kMinValue),
+  /// kNumBuckets for overflow (beyond the top octave).
+  static int BucketIndex(double value);
+  /// Lower/upper value edges of bucket `index` in [0, kNumBuckets).
+  static double BucketLow(int index);
+  static double BucketHigh(int index);
+
+  const std::array<uint64_t, kNumBuckets>& buckets() const { return buckets_; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+
+ private:
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace alc::telemetry
+
+#endif  // ALC_TELEMETRY_HISTOGRAM_H_

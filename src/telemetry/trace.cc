@@ -1,0 +1,154 @@
+#include "telemetry/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace alc::telemetry {
+
+TraceRecorder::TraceRecorder(size_t capacity) : capacity_(capacity) {
+  // Start small: a recorder is often constructed unconditionally and only
+  // fills up when tracing is actually requested.
+  events_.reserve(std::min<size_t>(capacity_, 4096));
+}
+
+void TraceRecorder::Push(const TraceEvent& event) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(event);
+}
+
+void TraceRecorder::Complete(const char* name, int32_t pid, int64_t tid,
+                             double start, double duration,
+                             const char* arg_name, double value) {
+  TraceEvent event;
+  event.name = name;
+  event.arg_name = arg_name;
+  event.ph = 'X';
+  event.pid = pid;
+  event.tid = tid;
+  event.ts = start;
+  event.dur = duration;
+  event.value = value;
+  Push(event);
+}
+
+void TraceRecorder::Instant(const char* name, int32_t pid, double time,
+                            const char* arg_name, double value) {
+  TraceEvent event;
+  event.name = name;
+  event.arg_name = arg_name;
+  event.ph = 'I';
+  event.pid = pid;
+  event.ts = time;
+  event.value = value;
+  Push(event);
+}
+
+void TraceRecorder::Counter(const char* name, int32_t pid, double time,
+                            double value) {
+  TraceEvent event;
+  event.name = name;
+  event.ph = 'C';
+  event.pid = pid;
+  event.ts = time;
+  event.value = value;
+  Push(event);
+}
+
+void TraceRecorder::Clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+void TraceRecorder::WriteJson(std::ostream& out) const {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  // Process-name metadata first, one entry per distinct pid, so the viewer
+  // labels the lanes. The pid set is tiny (nodes + cluster scope).
+  std::vector<int32_t> pids;
+  for (const TraceEvent& event : events_) {
+    if (std::find(pids.begin(), pids.end(), event.pid) == pids.end()) {
+      pids.push_back(event.pid);
+    }
+  }
+  std::sort(pids.begin(), pids.end());
+  bool first = true;
+  char buffer[256];
+  for (const int32_t pid : pids) {
+    if (!first) out << ',';
+    first = false;
+    if (pid == kClusterPid) {
+      std::snprintf(buffer, sizeof(buffer),
+                    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                    "\"args\":{\"name\":\"cluster\"}}",
+                    pid);
+    } else {
+      std::snprintf(buffer, sizeof(buffer),
+                    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                    "\"args\":{\"name\":\"node %d\"}}",
+                    pid, pid);
+    }
+    out << buffer;
+  }
+  for (const TraceEvent& event : events_) {
+    if (!first) out << ',';
+    first = false;
+    // Simulated seconds -> trace microseconds.
+    const double ts = event.ts * 1e6;
+    switch (event.ph) {
+      case 'X':
+        if (event.arg_name != nullptr) {
+          std::snprintf(buffer, sizeof(buffer),
+                        "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%lld,"
+                        "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"%s\":%g}}",
+                        event.name, event.pid,
+                        static_cast<long long>(event.tid), ts,
+                        event.dur * 1e6, event.arg_name, event.value);
+        } else {
+          std::snprintf(buffer, sizeof(buffer),
+                        "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%lld,"
+                        "\"ts\":%.3f,\"dur\":%.3f}",
+                        event.name, event.pid,
+                        static_cast<long long>(event.tid), ts,
+                        event.dur * 1e6);
+        }
+        break;
+      case 'C':
+        std::snprintf(buffer, sizeof(buffer),
+                      "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":%d,\"tid\":0,"
+                      "\"ts\":%.3f,\"args\":{\"%s\":%g}}",
+                      event.name, event.pid, ts, event.name, event.value);
+        break;
+      case 'I':
+      default:
+        if (event.arg_name != nullptr) {
+          std::snprintf(buffer, sizeof(buffer),
+                        "{\"name\":\"%s\",\"ph\":\"I\",\"pid\":%d,\"tid\":%lld,"
+                        "\"ts\":%.3f,\"s\":\"p\",\"args\":{\"%s\":%g}}",
+                        event.name, event.pid,
+                        static_cast<long long>(event.tid), ts, event.arg_name,
+                        event.value);
+        } else {
+          std::snprintf(buffer, sizeof(buffer),
+                        "{\"name\":\"%s\",\"ph\":\"I\",\"pid\":%d,\"tid\":%lld,"
+                        "\"ts\":%.3f,\"s\":\"p\"}",
+                        event.name, event.pid,
+                        static_cast<long long>(event.tid), ts);
+        }
+        break;
+    }
+    out << buffer;
+  }
+  out << "]}";
+}
+
+bool TraceRecorder::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  WriteJson(out);
+  return out.good();
+}
+
+}  // namespace alc::telemetry

@@ -1,0 +1,75 @@
+#ifndef ALC_TELEMETRY_TRACE_H_
+#define ALC_TELEMETRY_TRACE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace alc::telemetry {
+
+/// One recorded trace event. `name` and `arg_name` are stored as raw
+/// pointers: callers must pass string literals (or strings that outlive the
+/// recorder) so the hot path never copies or allocates.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* arg_name = nullptr;  // optional payload key for X/I events
+  char ph = 'I';                   // Chrome phase: X complete, I instant, C counter
+  int32_t pid = 0;                 // process lane: node index, kClusterPid
+  int64_t tid = 0;                 // thread lane within the process
+  double ts = 0.0;                 // simulated seconds (written as us)
+  double dur = 0.0;                // X only: span length in seconds
+  double value = 0.0;              // C value, or the arg payload for X/I
+};
+
+/// Bounded in-memory recorder emitting Chrome trace-event JSON, viewable in
+/// chrome://tracing or https://ui.perfetto.dev. The simulation layers hold a
+/// nullable TraceRecorder* and emit behind a pointer check, so with tracing
+/// disabled the hot path costs one predictable branch and zero allocations;
+/// with tracing enabled each event is one POD append (the backing vector
+/// grows geometrically up to `capacity`, then further events are counted as
+/// dropped instead of recorded).
+///
+/// Recording only observes the simulation — it draws no random numbers and
+/// schedules no events — so a traced run produces bit-identical results to
+/// an untraced one (pinned by tests/telemetry_perturbation_test.cc).
+class TraceRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 1u << 21;  // ~2M events
+  /// Pseudo process id for cluster-scope series (epoch, membership).
+  static constexpr int32_t kClusterPid = 999;
+
+  explicit TraceRecorder(size_t capacity = kDefaultCapacity);
+
+  /// A complete span [start, start + duration].
+  void Complete(const char* name, int32_t pid, int64_t tid, double start,
+                double duration, const char* arg_name = nullptr,
+                double value = 0.0);
+  /// A point-in-time marker.
+  void Instant(const char* name, int32_t pid, double time,
+               const char* arg_name = nullptr, double value = 0.0);
+  /// A counter series sample (rendered as a stacked area track).
+  void Counter(const char* name, int32_t pid, double time, double value);
+
+  size_t size() const { return events_.size(); }
+  size_t capacity() const { return capacity_; }
+  /// Events discarded after the capacity was reached.
+  size_t dropped() const { return dropped_; }
+  void Clear();
+
+  /// Serializes all recorded events as a Chrome trace-event JSON object.
+  void WriteJson(std::ostream& out) const;
+  /// Writes the JSON to `path` (truncating). Returns false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  void Push(const TraceEvent& event);
+
+  std::vector<TraceEvent> events_;
+  size_t capacity_;
+  size_t dropped_ = 0;
+};
+
+}  // namespace alc::telemetry
+
+#endif  // ALC_TELEMETRY_TRACE_H_

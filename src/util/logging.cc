@@ -6,6 +6,7 @@ namespace alc::util {
 namespace {
 
 LogLevel g_level = LogLevel::kWarning;
+thread_local Logger::TimeSource g_time_source = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -29,9 +30,33 @@ void Logger::SetLevel(LogLevel level) { g_level = level; }
 
 LogLevel Logger::level() { return g_level; }
 
+bool Logger::ParseLevel(const std::string& name, LogLevel* out) {
+  if (name == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (name == "info") {
+    *out = LogLevel::kInfo;
+  } else if (name == "warning") {
+    *out = LogLevel::kWarning;
+  } else if (name == "error") {
+    *out = LogLevel::kError;
+  } else if (name == "off") {
+    *out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void Logger::SetTimeSource(TimeSource source) { g_time_source = source; }
+
 void Logger::Log(LogLevel level, const std::string& message) {
   if (level < g_level) return;
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  if (g_time_source != nullptr) {
+    std::fprintf(stderr, "[%s t=%.6f] %s\n", LevelName(level),
+                 g_time_source(), message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  }
 }
 
 }  // namespace alc::util

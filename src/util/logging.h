@@ -11,8 +11,19 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 
 /// single threaded; no locking is needed or provided.
 class Logger {
  public:
+  /// Returns the current simulated time, for log-line prefixes.
+  using TimeSource = double (*)();
+
   static void SetLevel(LogLevel level);
   static LogLevel level();
+  /// Parses debug/info/warning/error/off (case-sensitive). False and no
+  /// change on anything else.
+  static bool ParseLevel(const std::string& name, LogLevel* out);
+
+  /// Registers the simulated-clock source: while set, every line carries a
+  /// `t=<seconds>` prefix. Thread-local, so the parallel sweep runner's
+  /// per-thread simulators each stamp their own clock. nullptr clears.
+  static void SetTimeSource(TimeSource source);
 
   static void Log(LogLevel level, const std::string& message);
 };

@@ -517,7 +517,8 @@ TEST(PlacementExportTest, ClusterCsvHeaderIsStable) {
   EXPECT_EQ(csv.substr(0, csv.find('\n')),
             "node,time,bound,load,throughput,response,conflict_rate,"
             "gate_queue,cpu_utilization,remote_frac,partitions_owned,"
-            "members,epoch");
+            "members,epoch,response_p50,response_p95,response_p99,"
+            "response_p999");
   // Without a membership series the row reports the always-up default:
   // whole fleet (1 node) live at epoch 0.
   EXPECT_NE(csv.find("0.25,3,1,0"), std::string::npos);

@@ -125,6 +125,30 @@ TEST(SpecRoundTripTest, HeterogeneousCluster) {
   EXPECT_TRUE(RoundTrip(spec) == spec);
 }
 
+TEST(SpecRoundTripTest, TelemetryKeysRoundTrip) {
+  core::ExperimentSpec spec;
+  spec.cluster = false;
+  spec.trace_path = "/tmp/run_trace.json";
+  core::NodeSpec node;
+  node.system.telemetry.per_phase = false;
+  spec.nodes = {node};
+  const core::ExperimentSpec round = RoundTrip(spec);
+  EXPECT_EQ(round.trace_path, "/tmp/run_trace.json");
+  EXPECT_FALSE(round.nodes[0].system.telemetry.per_phase);
+  EXPECT_TRUE(round == spec);
+
+  // Overrides address the same keys.
+  core::ExperimentSpec overridden = spec;
+  std::string error;
+  ASSERT_TRUE(core::ApplySpecOverride(&overridden, "trace", "", &error))
+      << error;
+  EXPECT_TRUE(overridden.trace_path.empty());
+  ASSERT_TRUE(core::ApplySpecOverride(&overridden, "node.telemetry.per_phase",
+                                      "true", &error))
+      << error;
+  EXPECT_TRUE(overridden.nodes[0].system.telemetry.per_phase);
+}
+
 TEST(SpecRoundTripTest, PlacementClusterWithDynamics) {
   core::ExperimentSpec spec;
   spec.cluster = true;

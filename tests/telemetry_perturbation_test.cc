@@ -1,0 +1,91 @@
+// Telemetry must observe, never perturb: running the same spec with every
+// telemetry feature off and with everything on (per-phase histograms +
+// trace recording) must produce byte-identical CSV artifacts. The response
+// histogram feeding the percentile columns is always on precisely so this
+// holds — it draws no random numbers and schedules no events, and neither
+// does the trace recorder.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/export.h"
+#include "core/spec.h"
+
+namespace alc {
+namespace {
+
+struct CsvArtifacts {
+  std::string cluster;
+  std::string aggregate;
+};
+
+CsvArtifacts RunAndExport(const core::ExperimentSpec& spec) {
+  const core::SpecRunResult result = core::RunSpec(spec);
+  EXPECT_TRUE(result.cluster);
+  const core::ClusterResult& cluster = result.cluster_result;
+  std::vector<std::vector<core::TrajectoryPoint>> trajectories;
+  std::vector<core::ClusterNodePlacementInfo> placement_info;
+  for (const core::ClusterNodeResult& node : cluster.nodes) {
+    trajectories.push_back(node.trajectory);
+    placement_info.push_back({node.remote_frac, node.partitions_owned});
+  }
+  CsvArtifacts artifacts;
+  std::ostringstream cluster_csv;
+  core::WriteClusterTrajectoryCsv(cluster_csv, trajectories, placement_info,
+                                  cluster.membership);
+  artifacts.cluster = cluster_csv.str();
+  std::ostringstream aggregate_csv;
+  core::WriteTrajectoryCsv(aggregate_csv, cluster.aggregate, {});
+  artifacts.aggregate = aggregate_csv.str();
+  return artifacts;
+}
+
+TEST(TelemetryPerturbationTest, TelemetryTogglesDoNotChangeResults) {
+  core::ExperimentSpec spec;
+  std::string error;
+  ASSERT_TRUE(core::LoadSpecFile(
+      std::string(ALC_SOURCE_DIR) + "/specs/node_failover.spec", &spec,
+      &error))
+      << error;
+
+  // Everything off: no per-phase histograms, no trace.
+  core::ExperimentSpec off = spec;
+  ASSERT_TRUE(core::ApplySpecOverride(&off, "node.telemetry.per_phase",
+                                      "false", &error))
+      << error;
+  off.trace_path.clear();
+
+  // Everything on: per-phase histograms and a full trace recording.
+  const std::string trace_path =
+      testing::TempDir() + "/telemetry_perturbation_trace.json";
+  core::ExperimentSpec on = spec;
+  ASSERT_TRUE(core::ApplySpecOverride(&on, "node.telemetry.per_phase",
+                                      "true", &error))
+      << error;
+  on.trace_path = trace_path;
+
+  const CsvArtifacts off_csv = RunAndExport(off);
+  const CsvArtifacts on_csv = RunAndExport(on);
+
+  // Byte-identical artifacts — including the percentile columns, which come
+  // from the always-on response histogram.
+  EXPECT_EQ(off_csv.cluster, on_csv.cluster);
+  EXPECT_EQ(off_csv.aggregate, on_csv.aggregate);
+
+  // The traced run actually recorded something.
+  std::ifstream trace(trace_path);
+  ASSERT_TRUE(trace.good());
+  std::ostringstream trace_text;
+  trace_text << trace.rdbuf();
+  EXPECT_NE(trace_text.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace_text.str().find("node_down"), std::string::npos);
+  std::remove(trace_path.c_str());
+}
+
+}  // namespace
+}  // namespace alc

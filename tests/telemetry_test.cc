@@ -1,0 +1,232 @@
+// LogHistogram properties (quantile error bound, exact merge determinism,
+// interval subtraction) and TraceRecorder structural checks.
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "telemetry/histogram.h"
+#include "telemetry/trace.h"
+
+namespace alc {
+namespace {
+
+using telemetry::LogHistogram;
+using telemetry::TraceRecorder;
+
+/// Exact sample quantile with the same "target = q * n, linear position"
+/// convention the histogram interpolates towards.
+double ExactQuantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const double target = q * static_cast<double>(values.size());
+  size_t index = static_cast<size_t>(target);
+  if (index >= values.size()) index = values.size() - 1;
+  return values[index];
+}
+
+// ---------------------------------------------------------------- buckets --
+
+TEST(LogHistogramTest, BucketIndexEdges) {
+  EXPECT_EQ(LogHistogram::BucketIndex(0.0), -1);
+  EXPECT_EQ(LogHistogram::BucketIndex(-1.0), -1);
+  EXPECT_EQ(LogHistogram::BucketIndex(std::nan("")), -1);
+  EXPECT_EQ(LogHistogram::BucketIndex(LogHistogram::kMinValue / 2), -1);
+  EXPECT_EQ(LogHistogram::BucketIndex(LogHistogram::kMinValue), 0);
+  EXPECT_EQ(LogHistogram::BucketIndex(1e12), LogHistogram::kNumBuckets);
+}
+
+TEST(LogHistogramTest, BucketEdgesContainTheirValues) {
+  sim::RandomStream rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    // Log-uniform over ~12 decades, covering every octave.
+    const double value = std::exp(rng.NextDouble() * 27.0 - 13.0);
+    const int index = LogHistogram::BucketIndex(value);
+    if (index < 0 || index >= LogHistogram::kNumBuckets) continue;
+    EXPECT_LE(LogHistogram::BucketLow(index), value);
+    EXPECT_LT(value, LogHistogram::BucketHigh(index));
+  }
+}
+
+TEST(LogHistogramTest, BucketWidthIsBoundedRelative) {
+  for (int index = 0; index < LogHistogram::kNumBuckets; ++index) {
+    const double low = LogHistogram::BucketLow(index);
+    const double high = LogHistogram::BucketHigh(index);
+    // Log-linear guarantee: width <= low / kSubBuckets (one sub-bucket of
+    // the octave), hence the relative quantile error bound.
+    EXPECT_LE(high - low, low / LogHistogram::kSubBuckets * (1 + 1e-12));
+  }
+}
+
+// -------------------------------------------------------------- quantiles --
+
+TEST(LogHistogramTest, EmptyHistogramQuantileIsZero) {
+  LogHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.Quantile(0.5), 0.0);
+  EXPECT_EQ(hist.mean(), 0.0);
+}
+
+TEST(LogHistogramTest, QuantileRelativeErrorBoundExponential) {
+  sim::RandomStream rng(42);
+  LogHistogram hist;
+  std::vector<double> values;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.NextExponential(0.1);  // mean 0.1 s
+    values.push_back(v);
+    hist.Add(v);
+  }
+  for (const double q : {0.1, 0.5, 0.9, 0.95, 0.99, 0.999}) {
+    const double exact = ExactQuantile(values, q);
+    const double approx = hist.Quantile(q);
+    // One sub-bucket of relative width plus interpolation slack.
+    EXPECT_NEAR(approx, exact, exact * 0.04)
+        << "q=" << q << " exact=" << exact << " approx=" << approx;
+  }
+  EXPECT_NEAR(hist.mean(), 0.1, 0.01);
+}
+
+TEST(LogHistogramTest, QuantileRelativeErrorBoundLogUniform) {
+  // A heavy-spread distribution across many octaves: the log-linear layout
+  // must hold the same relative error everywhere, not just near the mean.
+  sim::RandomStream rng(1234);
+  LogHistogram hist;
+  std::vector<double> values;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = std::exp(rng.NextDouble() * 11.5 - 9.2);  // ~1e-4..1e1
+    values.push_back(v);
+    hist.Add(v);
+  }
+  for (const double q : {0.05, 0.25, 0.5, 0.75, 0.95, 0.999}) {
+    const double exact = ExactQuantile(values, q);
+    EXPECT_NEAR(hist.Quantile(q), exact, exact * 0.04) << "q=" << q;
+  }
+}
+
+TEST(LogHistogramTest, UnderflowOnlyQuantileInterpolates) {
+  LogHistogram hist;
+  for (int i = 0; i < 10; ++i) hist.Add(0.0);
+  EXPECT_EQ(hist.count(), 10u);
+  EXPECT_EQ(hist.underflow(), 10u);
+  const double q = hist.Quantile(0.5);
+  EXPECT_GE(q, 0.0);
+  EXPECT_LE(q, LogHistogram::kMinValue);
+}
+
+TEST(LogHistogramTest, OverflowValuesCountAndClamp) {
+  LogHistogram hist;
+  hist.Add(1e15);
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_EQ(hist.overflow(), 1u);
+  EXPECT_GT(hist.Quantile(0.5), 0.0);
+}
+
+// ------------------------------------------------------------------ merge --
+
+TEST(LogHistogramTest, MergeEqualsPooledSamples) {
+  // Merge determinism: merging per-node histograms must equal bucketing
+  // the pooled sample set exactly, bucket by bucket — this is what makes
+  // cluster-wide percentiles from per-node state trustworthy.
+  sim::RandomStream rng(99);
+  LogHistogram pooled;
+  std::vector<LogHistogram> nodes(4);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.NextExponential(0.05 * (1 + i % 4));
+    pooled.Add(v);
+    nodes[static_cast<size_t>(i % 4)].Add(v);
+  }
+  LogHistogram merged;
+  for (const LogHistogram& node : nodes) merged.Merge(node);
+  EXPECT_EQ(merged.count(), pooled.count());
+  EXPECT_EQ(merged.underflow(), pooled.underflow());
+  EXPECT_EQ(merged.overflow(), pooled.overflow());
+  // Bucket counts are exactly equal; the double `sum` may differ in the
+  // last bits because merge adds per-node subtotals in a different order
+  // than pooled addition.
+  EXPECT_NEAR(merged.sum(), pooled.sum(), pooled.sum() * 1e-12);
+  for (int b = 0; b < LogHistogram::kNumBuckets; ++b) {
+    ASSERT_EQ(merged.buckets()[static_cast<size_t>(b)],
+              pooled.buckets()[static_cast<size_t>(b)])
+        << "bucket " << b;
+  }
+  for (const double q : {0.5, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(merged.Quantile(q), pooled.Quantile(q));
+  }
+}
+
+TEST(LogHistogramTest, SubtractYieldsIntervalHistogram) {
+  sim::RandomStream rng(7);
+  LogHistogram hist;
+  LogHistogram interval_only;
+  for (int i = 0; i < 1000; ++i) hist.Add(rng.NextExponential(0.2));
+  const LogHistogram snapshot = hist;  // warmup boundary
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextExponential(0.02);
+    hist.Add(v);
+    interval_only.Add(v);
+  }
+  LogHistogram interval = hist;
+  interval.Subtract(snapshot);
+  EXPECT_EQ(interval.count(), interval_only.count());
+  for (int b = 0; b < LogHistogram::kNumBuckets; ++b) {
+    ASSERT_EQ(interval.buckets()[static_cast<size_t>(b)],
+              interval_only.buckets()[static_cast<size_t>(b)]);
+  }
+  EXPECT_DOUBLE_EQ(interval.Quantile(0.5), interval_only.Quantile(0.5));
+}
+
+TEST(LogHistogramTest, ClearResets) {
+  LogHistogram hist;
+  hist.Add(0.5);
+  hist.Add(1e15);
+  hist.Add(0.0);
+  hist.Clear();
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.underflow(), 0u);
+  EXPECT_EQ(hist.overflow(), 0u);
+  EXPECT_EQ(hist.sum(), 0.0);
+}
+
+// ------------------------------------------------------------------ trace --
+
+TEST(TraceRecorderTest, RecordsAndSerializes) {
+  TraceRecorder trace;
+  trace.Complete("txn", 0, 7, 1.0, 0.25, "attempts", 2.0);
+  trace.Instant("abort_deadlock", 1, 2.5);
+  trace.Counter("limit", 0, 3.0, 42.0);
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.dropped(), 0u);
+
+  std::ostringstream out;
+  trace.WriteJson(out);
+  const std::string json = out.str();
+  // Structural smoke: the Chrome trace-event envelope and all three phase
+  // kinds are present (full JSON validity is checked by CI via python).
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"I\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"txn\""), std::string::npos);
+  EXPECT_NE(json.find("\"attempts\""), std::string::npos);
+  // ts is microseconds: 1.0 s -> 1000000.
+  EXPECT_NE(json.find("\"ts\":1000000"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(TraceRecorderTest, CapacityBoundsAndCountsDrops) {
+  TraceRecorder trace(4);
+  for (int i = 0; i < 10; ++i) trace.Instant("e", 0, i);
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  trace.Clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace alc

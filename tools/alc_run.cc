@@ -26,6 +26,8 @@
 #include "core/export.h"
 #include "core/spec.h"
 #include "core/sweep.h"
+#include "telemetry/histogram.h"
+#include "util/logging.h"
 #include "util/params.h"
 #include "util/strformat.h"
 #include "util/table.h"
@@ -46,6 +48,11 @@ int Usage(const char* argv0) {
       "  --seed-stride K         seed spacing for --repeat (default 1)\n"
       "  --threads N             sweep parallelism (default 1; 0 = all cores)\n"
       "  --out DIR               write CSV exports into DIR\n"
+      "  --trace FILE            record a Chrome trace-event JSON of the run\n"
+      "                          (open in chrome://tracing or Perfetto;\n"
+      "                          single runs only, not sweeps/repeats)\n"
+      "  --log-level LEVEL       debug|info|warning|error|off (default\n"
+      "                          warning); lines carry the simulated time\n"
       "\nOverride keys use spec-file syntax: experiment keys bare\n"
       "(duration, routing, arrival_rate, ...), placement.<key>,\n"
       "node.<key> for every node or node<i>.<key> for one.\n",
@@ -121,6 +128,42 @@ bool ExportResult(const std::string& dir, const std::string& prefix,
   return true;
 }
 
+/// Response-time percentiles and the per-phase timing breakdown, from the
+/// run's merged log histograms (O(1) memory regardless of commit count).
+void PrintTelemetry(const core::SpecRunResult& result) {
+  const telemetry::LogHistogram& response =
+      result.cluster ? result.cluster_result.response_hist
+                     : result.single.response_hist;
+  if (response.count() == 0) return;
+  util::Table table({"response", "seconds"});
+  table.AddRow({"p50", util::StrFormat("%.4f", response.Quantile(0.50))});
+  table.AddRow({"p95", util::StrFormat("%.4f", response.Quantile(0.95))});
+  table.AddRow({"p99", util::StrFormat("%.4f", response.Quantile(0.99))});
+  table.AddRow({"p99.9", util::StrFormat("%.4f", response.Quantile(0.999))});
+  table.Print(std::cout);
+
+  const std::array<telemetry::LogHistogram, telemetry::kNumPhases>& phases =
+      result.cluster ? result.cluster_result.phase_hists
+                     : result.single.phase_hists;
+  bool any = false;
+  for (const telemetry::LogHistogram& hist : phases) {
+    if (hist.count() > 0) any = true;
+  }
+  if (!any) return;  // telemetry.per_phase = false on every node
+  util::Table phase_table({"phase", "count", "mean", "p50", "p99"});
+  for (int p = 0; p < telemetry::kNumPhases; ++p) {
+    const telemetry::LogHistogram& hist = phases[static_cast<size_t>(p)];
+    phase_table.AddRow(
+        {telemetry::PhaseName(static_cast<telemetry::Phase>(p)),
+         util::StrFormat("%llu",
+                         static_cast<unsigned long long>(hist.count())),
+         util::StrFormat("%.4f", hist.mean()),
+         util::StrFormat("%.4f", hist.Quantile(0.50)),
+         util::StrFormat("%.4f", hist.Quantile(0.99))});
+  }
+  phase_table.Print(std::cout);
+}
+
 void PrintSummary(const core::ExperimentSpec& spec,
                   const core::SpecRunResult& result) {
   std::printf("%s: %s, %d node%s, %.0fs (+%.0fs warmup)\n", spec.name.c_str(),
@@ -171,6 +214,7 @@ void PrintSummary(const core::ExperimentSpec& spec,
     }
   }
   table.Print(std::cout);
+  PrintTelemetry(result);
 }
 
 /// Sample mean and standard error of `values` (stderr 0 for n < 2).
@@ -204,6 +248,7 @@ int main(int argc, char** argv) {
   int repeat = 1;
   uint64_t seed_stride = 1;
   std::string out_dir;
+  std::string trace_path;
   std::vector<std::pair<std::string, std::string>> overrides;
   std::vector<core::SweepAxis> axes;
 
@@ -259,6 +304,22 @@ int main(int argc, char** argv) {
       threads = std::atoi(argv[++i]);
     } else if (arg == "--out" && i + 1 < argc) {
       out_dir = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+      if (trace_path.empty()) {
+        std::fprintf(stderr, "alc_run: --trace expects a file path\n");
+        return 2;
+      }
+    } else if (arg == "--log-level" && i + 1 < argc) {
+      util::LogLevel level = util::LogLevel::kWarning;
+      if (!util::Logger::ParseLevel(argv[++i], &level)) {
+        std::fprintf(stderr,
+                     "alc_run: --log-level expects "
+                     "debug|info|warning|error|off, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      util::Logger::SetLevel(level);
     } else {
       std::fprintf(stderr, "alc_run: unknown argument '%s'\n", arg.c_str());
       return Usage(argv[0]);
@@ -279,6 +340,8 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!trace_path.empty()) spec.trace_path = trace_path;
+
   if (print_only) {
     std::fputs(core::PrintSpec(spec).c_str(), stdout);
     return 0;
@@ -287,11 +350,23 @@ int main(int argc, char** argv) {
   if (axes.empty() && repeat == 1) {
     const core::SpecRunResult result = core::RunSpec(spec);
     PrintSummary(spec, result);
+    if (!spec.trace_path.empty()) {
+      std::printf("trace written to %s\n", spec.trace_path.c_str());
+    }
     if (!out_dir.empty() && !ExportResult(out_dir, "", result)) return 1;
     if (!out_dir.empty()) {
       std::printf("CSV exports written to %s/\n", out_dir.c_str());
     }
     return 0;
+  }
+
+  if (!spec.trace_path.empty()) {
+    // Every sweep point would race on the one output file; tracing is a
+    // single-run affair.
+    std::fprintf(stderr,
+                 "alc_run: --trace (or a spec 'trace' key) cannot be "
+                 "combined with --sweep/--repeat\n");
+    return 1;
   }
 
   // Replication: "seed" is just another SweepRunner axis. It is appended
