@@ -346,6 +346,10 @@ int main(int argc, char** argv) {
       // The trace variant tolerates the same amortized tail: the recorder's
       // event buffer grows geometrically, a handful of allocations across
       // millions of events.
+      // The failover spec run carries a higher per-commit budget: node
+      // crash/rejoin churn rebuilds per-epoch routing state, and the spec
+      // layer snapshots trajectories per node (currently ~1.23/commit;
+      // budget leaves headroom without masking a leaky hot path).
       const double limit =
           (r.name == "event_queue_push_pop" || r.name == "event_queue_cancel" ||
            r.name == "sample_without_replacement_k32" ||
@@ -355,7 +359,7 @@ int main(int argc, char** argv) {
                          r.name == "end_to_end_telemetry_off" ||
                          r.name == "end_to_end_trace"
                      ? 0.05
-                     : -1.0);
+                     : (r.name == "spec_node_failover" ? 1.30 : -1.0));
       if (limit >= 0.0 && r.allocs_per_item > limit) {
         std::fprintf(stderr,
                      "perf_suite: CHECK FAILED: %s allocates %.6f per item "

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "telemetry/registry.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -83,6 +84,19 @@ void Cluster::SetTraceRecorder(telemetry::TraceRecorder* recorder) {
   trace_ = recorder;
   for (int i = 0; i < size(); ++i) {
     nodes_[i]->system().SetTraceRecorder(recorder, i);
+  }
+}
+
+void Cluster::RegisterMetrics(telemetry::MetricRegistry* registry) const {
+  registry->LinkCounter("cluster.total_routed", &total_routed_);
+  registry->LinkCounter("cluster.arrivals_dropped", &arrivals_dropped_);
+  registry->LinkCounter("cluster.epoch", &epoch_);
+  for (int i = 0; i < size(); ++i) {
+    const std::string prefix = "node" + std::to_string(i) + ".";
+    registry->LinkCounter(prefix + "routed", &routed_[i]);
+    registry->LinkCounter(prefix + "lifecycle_crash_kills", &crash_kills_[i]);
+    registry->LinkCounter(prefix + "lifecycle_retracted", &retracted_[i]);
+    registry->LinkCounter(prefix + "lifecycle_lost", &lost_[i]);
   }
 }
 

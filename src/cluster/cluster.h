@@ -19,6 +19,10 @@
 #include "sim/simulator.h"
 #include "telemetry/trace.h"
 
+namespace alc::telemetry {
+class MetricRegistry;
+}  // namespace alc::telemetry
+
 namespace alc::cluster {
 
 /// Everything needed to build one cluster node. Nodes may be heterogeneous:
@@ -150,6 +154,12 @@ class Cluster {
   /// lifecycle with pid = node index, and the cluster emits membership
   /// epoch transitions and retraction batches. nullptr detaches.
   void SetTraceRecorder(telemetry::TraceRecorder* recorder);
+
+  /// Links the cluster-scope counters (routing, lifecycle outcomes, epoch)
+  /// into `registry` under "cluster." and "node<i>." prefixes.
+  /// Observation-only; the Cluster must outlive the registry's last
+  /// Snapshot().
+  void RegisterMetrics(telemetry::MetricRegistry* registry) const;
 
   /// Starts every node, the lifecycle schedules, and the arrival process.
   /// Call once.

@@ -7,6 +7,27 @@
 
 namespace alc::control {
 
+/// Snapshot of why a controller chose its last bound: a reason code plus up
+/// to kMaxValues named internal-state values (fitted coefficients, error
+/// terms, bracket endpoints, ...). All strings are string literals owned by
+/// the controller implementation, so filling a DecisionState allocates
+/// nothing and the snapshot stays valid for the controller's lifetime.
+struct DecisionState {
+  static constexpr int kMaxValues = 4;
+
+  const char* reason = "steady";
+  int num_values = 0;
+  const char* names[kMaxValues] = {nullptr, nullptr, nullptr, nullptr};
+  double values[kMaxValues] = {0.0, 0.0, 0.0, 0.0};
+
+  void Set(const char* key, double value) {
+    if (num_values >= kMaxValues) return;
+    names[num_values] = key;
+    values[num_values] = value;
+    ++num_values;
+  }
+};
+
 /// A load controller maps the series of measurement samples to a new upper
 /// bound n* for the concurrency level (paper section 3: a dynamic optimum
 /// search over (load, performance) pairs — deliberately model independent).
@@ -26,6 +47,14 @@ class LoadController {
   virtual double bound() const = 0;
 
   virtual std::string_view name() const = 0;
+
+  /// Explains the most recent Update: reason code + named internal state.
+  /// Pure observation — implementations must not mutate controller state.
+  /// The default leaves the DecisionState untouched so controllers written
+  /// before this hook (external registry plugins) keep compiling.
+  virtual void DescribeDecision(DecisionState* state) const {
+    (void)state;
+  }
 };
 
 }  // namespace alc::control

@@ -21,6 +21,9 @@ class NoControlController : public LoadController {
   void Reset(double initial_bound) override { (void)initial_bound; }
   double bound() const override { return kUnbounded; }
   std::string_view name() const override { return "none"; }
+  void DescribeDecision(DecisionState* state) const override {
+    state->reason = "unbounded";
+  }
 };
 
 /// "Fixed upper bound" (paper section 1, option 2): the commercial-DBMS
@@ -37,6 +40,9 @@ class FixedLimitController : public LoadController {
   void Reset(double initial_bound) override { limit_ = initial_bound; }
   double bound() const override { return limit_; }
   std::string_view name() const override { return "fixed"; }
+  void DescribeDecision(DecisionState* state) const override {
+    state->reason = "fixed";
+  }
 
  private:
   double limit_;

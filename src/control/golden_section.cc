@@ -51,11 +51,21 @@ void GoldenSectionController::Reset(double initial_bound) {
   restarts_ = 0;
   PlaceProbes();
   bound_ = initial_bound;
+  last_reason_ = "measure";
+}
+
+void GoldenSectionController::DescribeDecision(DecisionState* state) const {
+  state->reason = last_reason_;
+  state->Set("bracket_lo", lo_);
+  state->Set("bracket_hi", hi_);
+  state->Set("value_a", value_a_);
+  state->Set("value_b", value_b_);
 }
 
 double GoldenSectionController::Update(const Sample& sample) {
   accum_ += PerformanceValue(sample, config_.index);
   if (++samples_seen_ < config_.samples_per_probe) {
+    last_reason_ = "measure";
     return bound_;  // keep measuring the current probe point
   }
   const double value = accum_ / samples_seen_;
@@ -66,6 +76,7 @@ double GoldenSectionController::Update(const Sample& sample) {
     value_a_ = value;
     have_a_ = true;
     measuring_b_ = true;
+    last_reason_ = "probe-b";
     bound_ = probe_b_;
     return bound_;
   }
@@ -82,9 +93,11 @@ double GoldenSectionController::Update(const Sample& sample) {
     // Converged for the current regime: the workload may drift, so re-open
     // a bracket around the winner and keep searching.
     RestartAround(0.5 * (lo_ + hi_));
+    last_reason_ = "restart";
     return bound_;
   }
   PlaceProbes();
+  last_reason_ = "shrink";
   return bound_;
 }
 

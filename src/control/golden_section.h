@@ -38,6 +38,7 @@ class GoldenSectionController : public LoadController {
   void Reset(double initial_bound) override;
   double bound() const override { return bound_; }
   std::string_view name() const override { return "golden-section"; }
+  void DescribeDecision(DecisionState* state) const override;
 
   double bracket_lo() const { return lo_; }
   double bracket_hi() const { return hi_; }
@@ -57,6 +58,7 @@ class GoldenSectionController : public LoadController {
   bool measuring_b_ = false;  // which probe the system is currently at
   bool have_a_ = false;
   int restarts_ = 0;
+  const char* last_reason_ = "measure";
 };
 
 }  // namespace alc::control

@@ -32,6 +32,13 @@ void IncrementalStepsController::Reset(double initial_bound) {
   prev_bound_ = initial_bound;
   prev_performance_ = 0.0;
   has_prev_ = false;
+  last_reason_ = "probe-first";
+}
+
+void IncrementalStepsController::DescribeDecision(DecisionState* state) const {
+  state->reason = last_reason_;
+  state->Set("prev_performance", prev_performance_);
+  state->Set("prev_bound", prev_bound_);
 }
 
 double IncrementalStepsController::Update(const Sample& sample) {
@@ -42,6 +49,7 @@ double IncrementalStepsController::Update(const Sample& sample) {
     // First interval: no P(t_{i-1}) yet. Take one exploratory step upward so
     // the next interval has both a performance delta and a direction.
     has_prev_ = true;
+    last_reason_ = "probe-first";
     prev_performance_ = performance;
     prev_bound_ = bound_;
     bound_ = util::Clamp(bound_ + config_.gamma, config_.min_bound,
@@ -53,6 +61,7 @@ double IncrementalStepsController::Update(const Sample& sample) {
   if (std::abs(bound_ - load) <= config_.delta) {
     const double delta_p = performance - prev_performance_;
     const double direction = Signum(bound_ - prev_bound_);
+    last_reason_ = "step";
     next = bound_ + config_.beta * delta_p * direction;
     if (next == bound_) {
       // Exactly flat performance (possible at a clamped bound or on a
@@ -60,11 +69,14 @@ double IncrementalStepsController::Update(const Sample& sample) {
       // so the next interval regains a gradient signal. Measurement noise
       // makes this unreachable in practice; it matters for deterministic
       // inputs and at the static bounds of section 5.1.
+      last_reason_ = "flat-probe";
       next = bound_ + 0.5 * config_.gamma;
     }
   } else if (bound_ < load) {
+    last_reason_ = "pull-up";
     next = bound_ + config_.gamma;
   } else {
+    last_reason_ = "pull-down";
     next = bound_ - config_.gamma;
   }
   next = util::Clamp(next, config_.min_bound, config_.max_bound);

@@ -38,6 +38,7 @@ class IncrementalStepsController : public LoadController {
   void Reset(double initial_bound) override;
   double bound() const override { return bound_; }
   std::string_view name() const override { return "incremental-steps"; }
+  void DescribeDecision(DecisionState* state) const override;
 
   const IsConfig& config() const { return config_; }
 
@@ -47,6 +48,7 @@ class IncrementalStepsController : public LoadController {
   double prev_bound_;       // n*(t_{i-1})
   double prev_performance_; // P(t_{i-1})
   bool has_prev_ = false;
+  const char* last_reason_ = "probe-first";
 };
 
 }  // namespace alc::control

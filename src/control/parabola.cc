@@ -29,6 +29,18 @@ void ParabolaApproximationController::Reset(double initial_bound) {
   excitation_boost_ = 1.0;
   ticks_in_phase_ = 0;
   recent_loads_.clear();
+  last_reason_ = "warmup";
+}
+
+void ParabolaApproximationController::DescribeDecision(
+    DecisionState* state) const {
+  state->reason = last_reason_;
+  double a0, a1, a2;
+  FittedCoefficients(&a0, &a1, &a2);
+  state->Set("a0", a0);
+  state->Set("a1", a1);
+  state->Set("a2", a2);
+  state->Set("excitation", excitation_boost_);
 }
 
 void ParabolaApproximationController::UpdateExcitationBoost(double load) {
@@ -79,8 +91,10 @@ double ParabolaApproximationController::ApplyRecovery(double load) {
   }
   switch (config_.recovery) {
     case PaRecoveryPolicy::kHold:
+      last_reason_ = "recovery-hold";
       return center_;
     case PaRecoveryPolicy::kGradient: {
+      last_reason_ = "recovery-gradient";
       const auto& c = rls_.coefficients();
       const double x = load / scale_;
       const double slope = c[1] + 2.0 * c[2] * x;  // dP/dx, sign matches dP/dn
@@ -88,12 +102,15 @@ double ParabolaApproximationController::ApplyRecovery(double load) {
                                     : -config_.recovery_step);
     }
     case PaRecoveryPolicy::kContract:
+      last_reason_ = "recovery-contract";
       return center_ - config_.recovery_step;
     case PaRecoveryPolicy::kReset:
+      last_reason_ = "recovery-reset";
       rls_.Reset();
       consecutive_upward_ = 0;
       return center_;
   }
+  last_reason_ = "recovery-hold";
   return center_;
 }
 
@@ -115,6 +132,7 @@ double ParabolaApproximationController::Update(const Sample& sample) {
   if (rls_.updates() <= config_.warmup_updates) {
     // Not enough excitation for a trustworthy fit: probe around the initial
     // bound to generate the variation least squares needs.
+    last_reason_ = "warmup";
     bound_ = util::Clamp(center_ + dither_sign_ * dither, config_.min_bound,
                          config_.max_bound);
     return bound_;
@@ -123,6 +141,7 @@ double ParabolaApproximationController::Update(const Sample& sample) {
   const auto& c = rls_.coefficients();
   const double a2 = c[2];
   if (a2 < 0.0) {
+    last_reason_ = "vertex";
     consecutive_upward_ = 0;
     const double vertex_x = -c[1] / (2.0 * a2);
     center_ = util::Clamp(vertex_x * scale_, config_.min_bound,

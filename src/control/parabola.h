@@ -62,6 +62,7 @@ class ParabolaApproximationController : public LoadController {
   void Reset(double initial_bound) override;
   double bound() const override { return bound_; }
   std::string_view name() const override { return "parabola-approximation"; }
+  void DescribeDecision(DecisionState* state) const override;
 
   const PaConfig& config() const { return config_; }
 
@@ -89,6 +90,7 @@ class ParabolaApproximationController : public LoadController {
   double excitation_boost_ = 1.0;
   int ticks_in_phase_ = 0;
   std::vector<double> recent_loads_;
+  const char* last_reason_ = "warmup";
 };
 
 }  // namespace alc::control

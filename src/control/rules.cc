@@ -22,11 +22,18 @@ TayRuleController::TayRuleController(double db_size,
 double TayRuleController::Update(const Sample& sample) {
   const double k = k_of_time_(sample.time);
   ALC_CHECK_GT(k, 0.0);
+  last_k_ = k;
   bound_ = std::max(1.0, threshold_ * db_size_ / (k * k));
   return bound_;
 }
 
 void TayRuleController::Reset(double initial_bound) { bound_ = initial_bound; }
+
+void TayRuleController::DescribeDecision(DecisionState* state) const {
+  state->reason = "rule";
+  state->Set("k", last_k_);
+  state->Set("threshold", threshold_);
+}
 
 IyerRuleController::IyerRuleController(const Config& config)
     : config_(config), bound_(config.initial_bound) {
@@ -37,6 +44,7 @@ IyerRuleController::IyerRuleController(const Config& config)
 
 double IyerRuleController::Update(const Sample& sample) {
   const double error = config_.target_conflicts - sample.conflict_rate;
+  last_error_ = error;
   bound_ = util::Clamp(bound_ + config_.gain * error, config_.min_bound,
                        config_.max_bound);
   return bound_;
@@ -44,6 +52,12 @@ double IyerRuleController::Update(const Sample& sample) {
 
 void IyerRuleController::Reset(double initial_bound) {
   bound_ = initial_bound;
+}
+
+void IyerRuleController::DescribeDecision(DecisionState* state) const {
+  state->reason = "feedback";
+  state->Set("error", last_error_);
+  state->Set("target", config_.target_conflicts);
 }
 
 }  // namespace alc::control

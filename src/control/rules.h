@@ -22,12 +22,14 @@ class TayRuleController : public LoadController {
   void Reset(double initial_bound) override;
   double bound() const override { return bound_; }
   std::string_view name() const override { return "tay-rule"; }
+  void DescribeDecision(DecisionState* state) const override;
 
  private:
   double db_size_;
   std::function<double(double)> k_of_time_;
   double threshold_;
   double bound_;
+  double last_k_ = 0.0;
 };
 
 /// Iyer's rule of thumb (paper section 1, option 3): the mean number of
@@ -50,10 +52,12 @@ class IyerRuleController : public LoadController {
   void Reset(double initial_bound) override;
   double bound() const override { return bound_; }
   std::string_view name() const override { return "iyer-rule"; }
+  void DescribeDecision(DecisionState* state) const override;
 
  private:
   Config config_;
   double bound_;
+  double last_error_ = 0.0;
 };
 
 }  // namespace alc::control

@@ -1,12 +1,14 @@
 #include "core/cluster_experiment.h"
 
 #include <memory>
+#include <string>
 #include <utility>
 
 #include "cluster/cluster.h"
 #include "cluster/metrics.h"
 #include "control/monitor.h"
 #include "control/tuner.h"
+#include "core/introspect.h"
 #include "sim/simulator.h"
 #include "util/check.h"
 
@@ -65,6 +67,7 @@ ClusterResult ClusterExperiment::Run() {
   // Per-node control loop: monitor -> controller -> gate, exactly the
   // single-node wiring replicated N times on the shared event queue.
   cluster::ClusterMetrics metrics(num_nodes);
+  DecisionProbe probe(audit_, trace_);
   std::vector<std::unique_ptr<control::LoadController>> controllers;
   std::vector<std::unique_ptr<control::Monitor>> monitors;
   std::vector<std::unique_ptr<control::OuterTuner>> tuners(num_nodes);
@@ -87,8 +90,8 @@ ClusterResult ClusterExperiment::Run() {
     // The controller is looked up through the vector, not captured raw: a
     // fresh rejoin replaces controllers[i] mid-run (lifecycle listener
     // below) and the control loop must pick up the rebuilt instance.
-    monitors.back()->SetCallback([&metrics, &controllers, &cluster, gate,
-                                  tuner, monitor, trace,
+    monitors.back()->SetCallback([&metrics, &controllers, &cluster, &probe,
+                                  gate, tuner, monitor, trace,
                                   i](const control::Sample& sample) {
       // A crashed node has no control plane: while it is down the
       // controller neither learns from the (empty) samples nor moves the
@@ -102,9 +105,13 @@ ClusterResult ClusterExperiment::Run() {
           cluster.node_state(i) == cluster::NodeState::kDown;
       double bound = gate->limit();
       if (!down) {
+        const double old_limit = bound;
         bound = controllers[i]->Update(sample);
         gate->SetLimit(bound);
         if (tuner) tuner->Observe(sample);
+        if (probe.active()) {
+          probe.Observe(*controllers[i], i, sample, old_limit, bound);
+        }
       }
       if (trace != nullptr) {
         trace->Counter("limit", i, sample.time, bound);
@@ -162,11 +169,21 @@ ClusterResult ClusterExperiment::Run() {
     }
   });
 
+  // The registry links per-node db metrics plus the cluster-scope counters
+  // (observation-only) so the end-of-run snapshot lands in the result.
+  telemetry::MetricRegistry registry;
+  for (int i = 0; i < num_nodes; ++i) {
+    cluster.node(i).system().metrics().RegisterMetrics(
+        &registry, "node" + std::to_string(i) + ".");
+  }
+  cluster.RegisterMetrics(&registry);
+
   cluster.Start();
   for (auto& monitor : monitors) monitor->Start();
   simulator.RunUntil(scenario_.duration);
 
   ClusterResult result;
+  result.metrics = registry.Snapshot();
   result.duration = scenario_.duration;
   result.warmup = scenario_.warmup;
   result.routed = cluster.total_routed();

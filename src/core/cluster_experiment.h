@@ -107,6 +107,11 @@ struct ClusterResult {
   /// Post-warmup per-phase distributions merged across nodes, indexed by
   /// telemetry::Phase (empty when nodes ran telemetry.per_phase = false).
   std::array<telemetry::LogHistogram, telemetry::kNumPhases> phase_hists;
+
+  /// End-of-run snapshot of every registered metric (per-node db counters
+  /// and histograms under "node<i>.", cluster routing/lifecycle counters
+  /// under "cluster."), sorted by name. Feeds the run manifest.
+  std::vector<telemetry::MetricSample> metrics;
 };
 
 /// Builds the full cluster stack (one simulator, N node systems with gates,
@@ -124,6 +129,12 @@ class ClusterExperiment {
     trace_ = recorder;
   }
 
+  /// Attaches an optional decision audit for the next Run(): every
+  /// controller step on every live node is recorded as a DecisionRecord.
+  /// Down nodes record nothing — their control plane does not step.
+  /// Observation-only; pass nullptr (default) for no auditing.
+  void SetDecisionAudit(telemetry::DecisionAudit* audit) { audit_ = audit; }
+
   ClusterResult Run();
 
   const ClusterScenarioConfig& scenario() const { return scenario_; }
@@ -131,6 +142,7 @@ class ClusterExperiment {
  private:
   ClusterScenarioConfig scenario_;
   telemetry::TraceRecorder* trace_ = nullptr;
+  telemetry::DecisionAudit* audit_ = nullptr;
 };
 
 }  // namespace alc::core

@@ -5,6 +5,7 @@
 #include "control/gate.h"
 #include "control/monitor.h"
 #include "control/tuner.h"
+#include "core/introspect.h"
 #include "db/system.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
@@ -43,12 +44,17 @@ ExperimentResult Experiment::Run() {
   result.duration = scenario_.duration;
   result.warmup = scenario_.warmup;
 
+  DecisionProbe probe(audit_, trace_);
   monitor.SetCallback([&](const control::Sample& sample) {
+    const double old_limit = gate.limit();
     const double bound = controller->Update(sample);
     gate.SetLimit(bound);
     if (tuner) tuner->Observe(sample);
     if (trace_ != nullptr) {
       trace_->Counter("limit", 0, sample.time, bound);
+    }
+    if (probe.active()) {
+      probe.Observe(*controller, 0, sample, old_limit, bound);
     }
 
     TrajectoryPoint point;
@@ -77,10 +83,16 @@ ExperimentResult Experiment::Run() {
     phases_at_warmup = system.metrics().phase_hists;
   });
 
+  // The registry links the system's metric fields (observation-only) so
+  // the end-of-run snapshot lands in the result for the manifest.
+  telemetry::MetricRegistry registry;
+  system.metrics().RegisterMetrics(&registry, "node0.");
+
   system.Start();
   monitor.Start();
   simulator.RunUntil(scenario_.duration);
 
+  result.metrics = registry.Snapshot();
   const db::Counters& final = system.metrics().counters;
   result.final_counters = final;
   result.response_hist = system.metrics().response_hist;

@@ -6,7 +6,9 @@
 
 #include "core/scenario.h"
 #include "db/metrics.h"
+#include "telemetry/audit.h"
 #include "telemetry/histogram.h"
+#include "telemetry/registry.h"
 #include "telemetry/trace.h"
 
 namespace alc::core {
@@ -62,6 +64,11 @@ struct ExperimentResult {
   /// telemetry::Phase. Empty when the scenario disabled per-phase
   /// recording (telemetry.per_phase = false).
   std::array<telemetry::LogHistogram, telemetry::kNumPhases> phase_hists;
+
+  /// End-of-run snapshot of every registered metric (db counters, load
+  /// gauges, response/phase histograms) under the "node0." namespace,
+  /// sorted by name. Feeds the run manifest.
+  std::vector<telemetry::MetricSample> metrics;
 };
 
 /// Builds the full stack (simulator, transaction system, gate, monitor,
@@ -78,6 +85,12 @@ class Experiment {
     trace_ = recorder;
   }
 
+  /// Attaches an optional decision audit for the next Run(): every
+  /// controller step is recorded as a DecisionRecord (inputs, limit move,
+  /// reason, controller state). Observation-only; pass nullptr (default)
+  /// for no auditing.
+  void SetDecisionAudit(telemetry::DecisionAudit* audit) { audit_ = audit; }
+
   ExperimentResult Run();
 
   const ScenarioConfig& scenario() const { return scenario_; }
@@ -85,6 +98,7 @@ class Experiment {
  private:
   ScenarioConfig scenario_;
   telemetry::TraceRecorder* trace_ = nullptr;
+  telemetry::DecisionAudit* audit_ = nullptr;
 };
 
 /// Convenience: stationary throughput under a fixed admission limit with

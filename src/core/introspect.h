@@ -1,0 +1,78 @@
+#ifndef ALC_CORE_INTROSPECT_H_
+#define ALC_CORE_INTROSPECT_H_
+
+#include <vector>
+
+#include "control/controller.h"
+#include "control/sample.h"
+#include "telemetry/audit.h"
+#include "telemetry/trace.h"
+
+namespace alc::core {
+
+/// Shared audit/trace plumbing of one controller step, used by both the
+/// single-node and the cluster experiment loops. Call Observe() right
+/// after controller->Update() with the limit the gate held *before* the
+/// update. Everything here only reads controller state (DescribeDecision
+/// is const) and appends PODs to the audit/trace sinks, so wiring a probe
+/// cannot perturb the run.
+class DecisionProbe {
+ public:
+  DecisionProbe(telemetry::DecisionAudit* audit,
+                telemetry::TraceRecorder* trace)
+      : audit_(audit), trace_(trace) {}
+
+  bool active() const { return audit_ != nullptr || trace_ != nullptr; }
+
+  void Observe(const control::LoadController& controller, int node,
+               const control::Sample& sample, double old_limit,
+               double new_limit) {
+    control::DecisionState state;
+    controller.DescribeDecision(&state);
+    if (audit_ != nullptr) {
+      telemetry::DecisionRecord record;
+      record.time = sample.time;
+      record.node = node;
+      // Controller names are string-literal string_views, so .data() is a
+      // null-terminated literal that outlives the audit.
+      record.controller = controller.name().data();
+      record.reason = state.reason;
+      record.old_limit = old_limit;
+      record.new_limit = new_limit;
+      record.throughput = sample.throughput;
+      record.conflict_rate = sample.conflict_rate;
+      record.gate_queue = sample.gate_queue;
+      record.mean_active = sample.mean_active;
+      record.num_state = state.num_values;
+      for (int i = 0; i < state.num_values; ++i) {
+        record.state_names[i] = state.names[i];
+        record.state_values[i] = state.values[i];
+      }
+      audit_->Record(record);
+    }
+    if (trace_ != nullptr) {
+      for (int i = 0; i < state.num_values; ++i) {
+        trace_->Counter(state.names[i], node, sample.time, state.values[i]);
+      }
+      // One instant per reason *change* (per node) keeps the track
+      // readable: the steady reason shows as counter context, transitions
+      // as markers.
+      if (node >= static_cast<int>(last_reason_.size())) {
+        last_reason_.resize(static_cast<size_t>(node) + 1, nullptr);
+      }
+      if (state.reason != last_reason_[static_cast<size_t>(node)]) {
+        trace_->Instant(state.reason, node, sample.time, "limit", new_limit);
+        last_reason_[static_cast<size_t>(node)] = state.reason;
+      }
+    }
+  }
+
+ private:
+  telemetry::DecisionAudit* audit_;
+  telemetry::TraceRecorder* trace_;
+  std::vector<const char*> last_reason_;  // per node, literal identity
+};
+
+}  // namespace alc::core
+
+#endif  // ALC_CORE_INTROSPECT_H_

@@ -1,0 +1,49 @@
+#ifndef ALC_CORE_MANIFEST_H_
+#define ALC_CORE_MANIFEST_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/spec.h"
+
+namespace alc::core {
+
+/// Writes the run manifest (`run.json`): one self-contained JSON ledger of
+/// what ran and what came out —
+///
+///   schema      "alc-run-manifest-v1"
+///   name/mode   spec name, "single" or "cluster"
+///   seed/node_seeds  the experiment seed and each node's resolved seed
+///   overrides   the (key, value) list applied on top of the spec file
+///               (--set flags and sweep-cell assignments, in order)
+///   build       compiler + build type (informational; alc_compare
+///               ignores this section when diffing)
+///   spec        the exact PrintSpec round-trip text, so the manifest
+///               alone reproduces the run
+///   summary     throughput / mean_response / abort_ratio / commits over
+///               [warmup, duration]
+///   response    post-warmup p50/p95/p99/p999 response percentiles
+///   metrics     the full end-of-run metric-registry snapshot
+///
+/// All doubles use the shortest exact round-trip form (util::FormatDouble),
+/// so two manifests of the same run are byte-identical and regressions
+/// diff cleanly under alc_compare.
+void WriteRunManifestJson(
+    std::ostream& out, const ExperimentSpec& spec, const SpecRunResult& result,
+    const std::vector<std::pair<std::string, std::string>>& overrides = {});
+
+/// Same artifact to `path` (truncating). Returns false on I/O failure.
+bool WriteRunManifest(
+    const std::string& path, const ExperimentSpec& spec,
+    const SpecRunResult& result,
+    const std::vector<std::pair<std::string, std::string>>& overrides = {});
+
+/// JSON string escaping shared with the manifest writer (quotes,
+/// backslashes, control characters, newlines).
+std::string JsonEscape(const std::string& text);
+
+}  // namespace alc::core
+
+#endif  // ALC_CORE_MANIFEST_H_

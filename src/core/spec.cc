@@ -261,6 +261,11 @@ bool AssignExperimentKey(ExperimentSpec* spec, const std::string& key,
     spec->trace_path = value;
     return true;
   }
+  if (key == "decisions") {
+    // Empty re-disables the decision audit, like "trace".
+    spec->decisions_path = value;
+    return true;
+  }
   if (key == "retraction") {
     return SetBoolField(key, value, &spec->retraction, error);
   }
@@ -686,6 +691,7 @@ std::string PrintSpec(const ExperimentSpec& spec) {
     Emit(&out, "routing." + key, value);
   }
   Emit(&out, "trace", spec.trace_path);
+  Emit(&out, "decisions", spec.decisions_path);
   EmitBool(&out, "retraction", spec.retraction);
   EmitDouble(&out, "retraction_queue_factor", spec.retraction_queue_factor);
   EmitDouble(&out, "retraction_interval", spec.retraction_interval);
@@ -1131,17 +1137,31 @@ SpecRunResult RunSpec(const ExperimentSpec& spec) {
   if (!spec.trace_path.empty()) {
     trace = std::make_unique<telemetry::TraceRecorder>();
   }
+  // The decision audit observes exactly like the recorder: controller
+  // state is read const-ly after each step and appended as PODs.
+  std::unique_ptr<telemetry::DecisionAudit> audit;
+  if (!spec.decisions_path.empty()) {
+    audit = std::make_unique<telemetry::DecisionAudit>();
+  }
   if (spec.cluster) {
     ClusterExperiment experiment(ToClusterScenario(spec));
     if (trace) experiment.SetTraceRecorder(trace.get());
+    if (audit) experiment.SetDecisionAudit(audit.get());
     result.cluster_result = experiment.Run();
   } else {
     Experiment experiment(ToScenario(spec));
     if (trace) experiment.SetTraceRecorder(trace.get());
+    if (audit) experiment.SetDecisionAudit(audit.get());
     result.single = experiment.Run();
   }
   if (trace) {
     ALC_CHECK(trace->WriteFile(spec.trace_path));
+  }
+  if (audit) {
+    result.decisions = audit->InOrder();
+    result.decisions_dropped = audit->dropped();
+    ALC_CHECK(telemetry::ExportDecisions(spec.decisions_path,
+                                         result.decisions));
   }
   return result;
 }

@@ -110,6 +110,12 @@ struct ExperimentSpec {
   /// Observability only: the trace never perturbs the simulation.
   std::string trace_path;
 
+  /// When non-empty, RunSpec audits every controller step (monitor inputs,
+  /// limit move, reason code, controller state) and writes the stable
+  /// decisions.csv here; empty disables auditing. Observability only: the
+  /// audit never perturbs the simulation.
+  std::string decisions_path;
+
   /// Cluster mode: data placement layer (see cluster::PlacementSpec).
   bool placement_enabled = false;
   placement::PlacementConfig placement;
@@ -129,6 +135,7 @@ struct ExperimentSpec {
            retraction_queue_factor == other.retraction_queue_factor &&
            retraction_interval == other.retraction_interval &&
            trace_path == other.trace_path &&
+           decisions_path == other.decisions_path &&
            placement_enabled == other.placement_enabled &&
            placement == other.placement &&
            placement_workload == other.placement_workload &&
@@ -200,6 +207,13 @@ struct SpecRunResult {
   ExperimentResult single;
   ClusterResult cluster_result;
 
+  /// Decision audit of the run, in chronological order (empty unless the
+  /// spec set decisions_path). The same records RunSpec already wrote as
+  /// decisions.csv, kept for the alc_run summary and tests.
+  std::vector<telemetry::DecisionRecord> decisions;
+  /// Records the audit ring overwrote (0 unless the run out-ran capacity).
+  size_t decisions_dropped = 0;
+
   double total_throughput() const {
     return cluster ? cluster_result.total_throughput : single.mean_throughput;
   }
@@ -211,6 +225,9 @@ struct SpecRunResult {
   }
   uint64_t commits() const {
     return cluster ? cluster_result.commits : single.commits;
+  }
+  const std::vector<telemetry::MetricSample>& metrics() const {
+    return cluster ? cluster_result.metrics : single.metrics;
   }
 };
 

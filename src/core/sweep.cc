@@ -51,6 +51,7 @@ ExperimentSpec SweepRunner::SpecAt(
     }
     if (assignment != nullptr) assignment->emplace_back(key, value);
   }
+  if (hook_) hook_(index, &spec);
   return spec;
 }
 

@@ -1,6 +1,7 @@
 #ifndef ALC_CORE_SWEEP_H_
 #define ALC_CORE_SWEEP_H_
 
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -54,9 +55,19 @@ class SweepRunner {
   /// capped at the number of points.
   std::vector<SweepPointResult> Run(int threads = 1) const;
 
+  /// Optional per-point spec rewrite, applied at the end of SpecAt after
+  /// the axis overrides (so Run() applies it on the calling thread, before
+  /// any worker starts). Used by alc_run to give every grid point its own
+  /// trace/decisions output file; a hook that varies only such output
+  /// paths preserves the bit-identical-to-sequential guarantee.
+  void SetSpecHook(std::function<void(int index, ExperimentSpec*)> hook) {
+    hook_ = std::move(hook);
+  }
+
  private:
   ExperimentSpec base_;
   std::vector<SweepAxis> axes_;
+  std::function<void(int index, ExperimentSpec*)> hook_;
 };
 
 }  // namespace alc::core

@@ -1,0 +1,37 @@
+#include "db/metrics.h"
+
+#include "telemetry/registry.h"
+
+namespace alc::db {
+
+void Metrics::RegisterMetrics(telemetry::MetricRegistry* registry,
+                              const std::string& prefix) const {
+  registry->LinkCounter(prefix + "submitted", &counters.submitted);
+  registry->LinkCounter(prefix + "commits", &counters.commits);
+  registry->LinkCounter(prefix + "aborts_certification",
+                        &counters.aborts_certification);
+  registry->LinkCounter(prefix + "aborts_deadlock",
+                        &counters.aborts_deadlock);
+  registry->LinkCounter(prefix + "aborts_displacement",
+                        &counters.aborts_displacement);
+  registry->LinkCounter(prefix + "lock_waits", &counters.lock_waits);
+  registry->LinkCounter(prefix + "lock_requests", &counters.lock_requests);
+  registry->LinkCounter(prefix + "local_accesses", &counters.local_accesses);
+  registry->LinkCounter(prefix + "remote_accesses",
+                        &counters.remote_accesses);
+  registry->LinkCounter(prefix + "crash_kills", &counters.crash_kills);
+  registry->LinkCounter(prefix + "retracted", &counters.retracted);
+  registry->LinkGauge(prefix + "response_time_sum",
+                      &counters.response_time_sum);
+  registry->LinkGauge(prefix + "useful_cpu", &counters.useful_cpu);
+  registry->LinkGauge(prefix + "wasted_cpu", &counters.wasted_cpu);
+  registry->LinkHistogram(prefix + "response", &response_hist);
+  for (int p = 0; p < telemetry::kNumPhases; ++p) {
+    registry->LinkHistogram(
+        prefix + "phase_" +
+            telemetry::PhaseName(static_cast<telemetry::Phase>(p)),
+        &phase_hists[static_cast<size_t>(p)]);
+  }
+}
+
+}  // namespace alc::db

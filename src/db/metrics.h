@@ -3,11 +3,16 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "db/types.h"
 #include "sim/stats.h"
 #include "telemetry/histogram.h"
+
+namespace alc::telemetry {
+class MetricRegistry;
+}  // namespace alc::telemetry
 
 namespace alc::db {
 
@@ -85,6 +90,14 @@ class Metrics {
 
   bool record_history = false;
   std::vector<CommitRecord> history;
+
+  /// Links every counter, the load gauges, and the response/phase
+  /// histograms into `registry` under `prefix` (e.g. "node0."). Linking is
+  /// observation-only: the registry reads these fields at snapshot time and
+  /// the hot-path layout above is untouched. The Metrics object must
+  /// outlive the registry's last Snapshot().
+  void RegisterMetrics(telemetry::MetricRegistry* registry,
+                       const std::string& prefix) const;
 };
 
 }  // namespace alc::db

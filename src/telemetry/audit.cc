@@ -1,0 +1,122 @@
+#include "telemetry/audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <utility>
+
+#include "util/params.h"
+
+namespace alc::telemetry {
+
+DecisionAudit::DecisionAudit(size_t capacity) : capacity_(capacity) {
+  records_.reserve(std::min<size_t>(capacity_, 1024));
+}
+
+void DecisionAudit::Record(const DecisionRecord& record) {
+  if (records_.size() < capacity_) {
+    records_.push_back(record);
+    return;
+  }
+  if (capacity_ == 0) {
+    ++dropped_;
+    return;
+  }
+  records_[head_] = record;
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void DecisionAudit::Clear() {
+  records_.clear();
+  head_ = 0;
+  dropped_ = 0;
+}
+
+std::vector<DecisionRecord> DecisionAudit::InOrder() const {
+  std::vector<DecisionRecord> out;
+  out.reserve(records_.size());
+  // Once the ring wrapped, head_ points at the oldest retained record.
+  for (size_t i = 0; i < records_.size(); ++i) {
+    out.push_back(records_[(head_ + i) % records_.size()]);
+  }
+  return out;
+}
+
+void WriteDecisionsCsv(std::ostream& out,
+                       const std::vector<DecisionRecord>& records) {
+  out << "time,node,controller,reason,old_limit,new_limit,throughput,"
+         "conflict_rate,gate_queue,mean_active,s0_key,s0,s1_key,s1,s2_key,s2,"
+         "s3_key,s3\n";
+  for (const DecisionRecord& r : records) {
+    out << util::FormatDouble(r.time) << ',' << r.node << ',' << r.controller
+        << ',' << r.reason << ',' << util::FormatDouble(r.old_limit) << ','
+        << util::FormatDouble(r.new_limit) << ','
+        << util::FormatDouble(r.throughput) << ','
+        << util::FormatDouble(r.conflict_rate) << ','
+        << util::FormatDouble(r.gate_queue) << ','
+        << util::FormatDouble(r.mean_active);
+    for (int s = 0; s < DecisionRecord::kMaxState; ++s) {
+      if (s < r.num_state && r.state_names[s] != nullptr) {
+        out << ',' << r.state_names[s] << ','
+            << util::FormatDouble(r.state_values[s]);
+      } else {
+        out << ",,0";
+      }
+    }
+    out << '\n';
+  }
+}
+
+bool ExportDecisions(const std::string& path,
+                     const std::vector<DecisionRecord>& records) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code error;  // failure surfaces as the ofstream open error
+    std::filesystem::create_directories(parent, error);
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  WriteDecisionsCsv(out, records);
+  return out.good();
+}
+
+std::vector<DecisionSummary> SummarizeDecisions(
+    const std::vector<DecisionRecord>& records) {
+  struct Accum {
+    uint64_t decisions = 0;
+    uint64_t direction_changes = 0;
+    double abs_step_sum = 0.0;
+    std::map<int32_t, int> last_direction;  // per node stream, -1/0/+1
+  };
+  std::map<std::string, Accum> by_controller;
+  for (const DecisionRecord& r : records) {
+    Accum& a = by_controller[r.controller];
+    ++a.decisions;
+    const double step = r.new_limit - r.old_limit;
+    a.abs_step_sum += std::abs(step);
+    const int direction = step > 0.0 ? 1 : (step < 0.0 ? -1 : 0);
+    if (direction != 0) {
+      int& last = a.last_direction[r.node];
+      if (last != 0 && direction != last) ++a.direction_changes;
+      last = direction;
+    }
+  }
+  std::vector<DecisionSummary> out;
+  out.reserve(by_controller.size());
+  for (const auto& [name, a] : by_controller) {
+    DecisionSummary s;
+    s.controller = name;
+    s.decisions = a.decisions;
+    s.direction_changes = a.direction_changes;
+    s.mean_abs_step =
+        a.decisions > 0 ? a.abs_step_sum / static_cast<double>(a.decisions)
+                        : 0.0;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace alc::telemetry

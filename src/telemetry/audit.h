@@ -1,0 +1,102 @@
+#ifndef ALC_TELEMETRY_AUDIT_H_
+#define ALC_TELEMETRY_AUDIT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace alc::telemetry {
+
+/// One admission-control decision: the monitor inputs the controller saw,
+/// the limit move it made, and a controller-specific explanation (reason
+/// code + up to kMaxState named state values, e.g. fitted parabola
+/// coefficients or a feedback error term). `controller`, `reason`, and
+/// `state_names[]` are raw pointers to string literals owned by the
+/// controller implementation — recording a DecisionRecord never allocates.
+struct DecisionRecord {
+  static constexpr int kMaxState = 4;
+
+  double time = 0.0;
+  int32_t node = 0;
+  const char* controller = "";
+  const char* reason = "";
+  double old_limit = 0.0;
+  double new_limit = 0.0;
+  double throughput = 0.0;
+  double conflict_rate = 0.0;
+  double gate_queue = 0.0;
+  double mean_active = 0.0;
+  int32_t num_state = 0;
+  const char* state_names[kMaxState] = {nullptr, nullptr, nullptr, nullptr};
+  double state_values[kMaxState] = {0.0, 0.0, 0.0, 0.0};
+};
+
+/// Bounded ring of decision records. Below capacity each Record() is one
+/// POD append (the backing vector grows geometrically); at capacity the
+/// oldest record is overwritten and counted in dropped(), so a very long
+/// run keeps the most recent window — the part that explains where the
+/// controller ended up. Like the TraceRecorder, the audit only observes:
+/// it draws no random numbers and schedules no events, so an audited run
+/// is bit-identical to an unaudited one (pinned by tests/audit_test.cc).
+class DecisionAudit {
+ public:
+  static constexpr size_t kDefaultCapacity = 1u << 20;  // ~1M decisions
+
+  explicit DecisionAudit(size_t capacity = kDefaultCapacity);
+
+  void Record(const DecisionRecord& record);
+
+  size_t size() const { return records_.size(); }
+  size_t capacity() const { return capacity_; }
+  /// Records overwritten after the ring filled.
+  size_t dropped() const { return dropped_; }
+  void Clear();
+
+  /// Retained records in chronological order (oldest first). Cold path:
+  /// copies out of the ring.
+  std::vector<DecisionRecord> InOrder() const;
+
+ private:
+  std::vector<DecisionRecord> records_;
+  size_t capacity_;
+  size_t head_ = 0;  // overwrite position once the ring is full
+  size_t dropped_ = 0;
+};
+
+/// Writes `decisions.csv`. The column layout is stable and documented:
+///
+///   decisions: time,node,controller,reason,old_limit,new_limit,throughput,
+///              conflict_rate,gate_queue,mean_active,s0_key,s0,s1_key,s1,
+///              s2_key,s2,s3_key,s3
+///
+/// The four state slots are self-describing key/value pairs (the keys are
+/// controller-specific, e.g. a0/a1/a2/excitation for the parabola fit);
+/// unused slots write an empty key and 0. Doubles use the shortest exact
+/// round-trip form.
+void WriteDecisionsCsv(std::ostream& out,
+                       const std::vector<DecisionRecord>& records);
+
+/// Same artifact to `path` (truncating). Returns false on I/O failure.
+bool ExportDecisions(const std::string& path,
+                     const std::vector<DecisionRecord>& records);
+
+/// Per-controller rollup of a decision series for the alc_run summary.
+struct DecisionSummary {
+  std::string controller;
+  uint64_t decisions = 0;
+  /// Nonzero limit moves whose sign flipped vs the previous nonzero move of
+  /// the same (controller, node) stream — the zig-zag count.
+  uint64_t direction_changes = 0;
+  double mean_abs_step = 0.0;  // mean |new_limit - old_limit|
+};
+
+/// Groups records by controller name (sorted); direction changes are
+/// tracked per node stream and summed.
+std::vector<DecisionSummary> SummarizeDecisions(
+    const std::vector<DecisionRecord>& records);
+
+}  // namespace alc::telemetry
+
+#endif  // ALC_TELEMETRY_AUDIT_H_

@@ -1,0 +1,158 @@
+#include "telemetry/registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+#include "util/params.h"
+
+namespace alc::telemetry {
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+void MetricRegistry::AddEntry(Entry entry) {
+  for (const Entry& existing : entries_) {
+    // Duplicate names would make snapshots ambiguous.
+    ALC_CHECK(existing.name != entry.name);
+  }
+  entries_.push_back(std::move(entry));
+}
+
+uint64_t* MetricRegistry::Counter(const std::string& name) {
+  owned_counters_.push_back(0);
+  uint64_t* slot = &owned_counters_.back();
+  Entry entry;
+  entry.name = name;
+  entry.kind = MetricKind::kCounter;
+  entry.counter = slot;
+  AddEntry(std::move(entry));
+  return slot;
+}
+
+double* MetricRegistry::Gauge(const std::string& name) {
+  owned_gauges_.push_back(0.0);
+  double* slot = &owned_gauges_.back();
+  Entry entry;
+  entry.name = name;
+  entry.kind = MetricKind::kGauge;
+  entry.gauge = slot;
+  AddEntry(std::move(entry));
+  return slot;
+}
+
+LogHistogram* MetricRegistry::Histogram(const std::string& name) {
+  owned_hists_.emplace_back();
+  LogHistogram* slot = &owned_hists_.back();
+  Entry entry;
+  entry.name = name;
+  entry.kind = MetricKind::kHistogram;
+  entry.hist = slot;
+  AddEntry(std::move(entry));
+  return slot;
+}
+
+void MetricRegistry::LinkCounter(const std::string& name,
+                                 const uint64_t* value) {
+  ALC_CHECK(value != nullptr);
+  Entry entry;
+  entry.name = name;
+  entry.kind = MetricKind::kCounter;
+  entry.counter = value;
+  AddEntry(std::move(entry));
+}
+
+void MetricRegistry::LinkGauge(const std::string& name, const double* value) {
+  ALC_CHECK(value != nullptr);
+  Entry entry;
+  entry.name = name;
+  entry.kind = MetricKind::kGauge;
+  entry.gauge = value;
+  AddEntry(std::move(entry));
+}
+
+void MetricRegistry::LinkHistogram(const std::string& name,
+                                   const LogHistogram* hist) {
+  ALC_CHECK(hist != nullptr);
+  Entry entry;
+  entry.name = name;
+  entry.kind = MetricKind::kHistogram;
+  entry.hist = hist;
+  AddEntry(std::move(entry));
+}
+
+std::vector<MetricSample> MetricRegistry::Snapshot() const {
+  std::vector<MetricSample> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    MetricSample sample;
+    sample.name = entry.name;
+    sample.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricKind::kCounter:
+        sample.value = static_cast<double>(*entry.counter);
+        sample.count = *entry.counter;
+        break;
+      case MetricKind::kGauge:
+        sample.value = *entry.gauge;
+        break;
+      case MetricKind::kHistogram:
+        sample.count = entry.hist->count();
+        sample.mean = entry.hist->mean();
+        sample.p50 = entry.hist->Quantile(0.50);
+        sample.p95 = entry.hist->Quantile(0.95);
+        sample.p99 = entry.hist->Quantile(0.99);
+        sample.p999 = entry.hist->Quantile(0.999);
+        break;
+    }
+    out.push_back(std::move(sample));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void MetricRegistry::WriteSnapshotJson(
+    std::ostream& out, const std::vector<MetricSample>& snapshot) {
+  out << '{';
+  bool first = true;
+  for (const MetricSample& sample : snapshot) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << sample.name << "\":";
+    switch (sample.kind) {
+      case MetricKind::kCounter:
+        out << sample.count;
+        break;
+      case MetricKind::kGauge:
+        out << util::FormatDouble(sample.value);
+        break;
+      case MetricKind::kHistogram:
+        out << "{\"count\":" << sample.count << ",\"mean\":"
+            << util::FormatDouble(sample.mean)
+            << ",\"p50\":" << util::FormatDouble(sample.p50)
+            << ",\"p95\":" << util::FormatDouble(sample.p95)
+            << ",\"p99\":" << util::FormatDouble(sample.p99)
+            << ",\"p999\":" << util::FormatDouble(sample.p999) << '}';
+        break;
+    }
+  }
+  out << '}';
+}
+
+void MetricRegistry::WriteJson(std::ostream& out) const {
+  WriteSnapshotJson(out, Snapshot());
+}
+
+}  // namespace alc::telemetry

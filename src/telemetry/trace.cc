@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 namespace alc::telemetry {
@@ -145,6 +146,11 @@ void TraceRecorder::WriteJson(std::ostream& out) const {
 }
 
 bool TraceRecorder::WriteFile(const std::string& path) const {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code error;  // failure surfaces as the ofstream open error
+    std::filesystem::create_directories(parent, error);
+  }
   std::ofstream out(path, std::ios::trunc);
   if (!out) return false;
   WriteJson(out);

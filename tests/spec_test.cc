@@ -129,11 +129,13 @@ TEST(SpecRoundTripTest, TelemetryKeysRoundTrip) {
   core::ExperimentSpec spec;
   spec.cluster = false;
   spec.trace_path = "/tmp/run_trace.json";
+  spec.decisions_path = "/tmp/run_decisions.csv";
   core::NodeSpec node;
   node.system.telemetry.per_phase = false;
   spec.nodes = {node};
   const core::ExperimentSpec round = RoundTrip(spec);
   EXPECT_EQ(round.trace_path, "/tmp/run_trace.json");
+  EXPECT_EQ(round.decisions_path, "/tmp/run_decisions.csv");
   EXPECT_FALSE(round.nodes[0].system.telemetry.per_phase);
   EXPECT_TRUE(round == spec);
 
@@ -143,6 +145,9 @@ TEST(SpecRoundTripTest, TelemetryKeysRoundTrip) {
   ASSERT_TRUE(core::ApplySpecOverride(&overridden, "trace", "", &error))
       << error;
   EXPECT_TRUE(overridden.trace_path.empty());
+  ASSERT_TRUE(core::ApplySpecOverride(&overridden, "decisions", "", &error))
+      << error;
+  EXPECT_TRUE(overridden.decisions_path.empty());
   ASSERT_TRUE(core::ApplySpecOverride(&overridden, "node.telemetry.per_phase",
                                       "true", &error))
       << error;

@@ -11,6 +11,7 @@
 
 #include "sim/random.h"
 #include "telemetry/histogram.h"
+#include "telemetry/registry.h"
 #include "telemetry/trace.h"
 
 namespace alc {
@@ -226,6 +227,124 @@ TEST(TraceRecorderTest, CapacityBoundsAndCountsDrops) {
   trace.Clear();
   EXPECT_EQ(trace.size(), 0u);
   EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(TraceRecorderTest, JsonStaysWellFormedAfterDroppingAtCapacity) {
+  TraceRecorder trace(3);
+  trace.Counter("limit", 0, 0.5, 20.0);
+  trace.Instant("node_down", 1, 1.0);
+  trace.Counter("limit", 0, 1.5, 22.0);
+  trace.Counter("limit", 0, 2.0, 24.0);  // dropped
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.dropped(), 1u);
+  std::ostringstream out;
+  trace.WriteJson(out);
+  const std::string json = out.str();
+  // Structurally balanced and closed despite the drop.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // The dropped fourth event is absent.
+  EXPECT_EQ(json.find("2000000"), std::string::npos);  // 2.0 s in micros
+}
+
+// ----------------------------------------------------- histogram edges --
+
+TEST(LogHistogramTest, NonPositiveAndSubMinimumAddsLandInUnderflow) {
+  LogHistogram hist;
+  hist.Add(0.0);
+  hist.Add(-4.0);
+  hist.Add(std::nan(""));
+  hist.Add(LogHistogram::kMinValue / 10);  // positive but below range
+  EXPECT_EQ(hist.count(), 4u);
+  EXPECT_EQ(hist.underflow(), 4u);
+  EXPECT_EQ(hist.overflow(), 0u);
+  // Every quantile of an underflow-only histogram stays within [0, min].
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_GE(hist.Quantile(q), 0.0) << q;
+    EXPECT_LE(hist.Quantile(q), LogHistogram::kMinValue) << q;
+  }
+}
+
+TEST(LogHistogramTest, BeyondTopOctaveQuantilesHitTheCeiling) {
+  LogHistogram hist;
+  const double huge = 1e18;  // far beyond kMinValue * 2^kOctaves
+  for (int i = 0; i < 100; ++i) hist.Add(huge);
+  EXPECT_EQ(hist.count(), 100u);
+  EXPECT_EQ(hist.overflow(), 100u);
+  // Overflow samples clamp to the histogram ceiling: finite, at least the
+  // top of the tracked range, and identical for every quantile.
+  const double ceiling = hist.Quantile(0.5);
+  EXPECT_TRUE(std::isfinite(ceiling));
+  EXPECT_GE(ceiling, LogHistogram::BucketLow(LogHistogram::kNumBuckets - 1));
+  EXPECT_EQ(hist.Quantile(0.01), ceiling);
+  EXPECT_EQ(hist.Quantile(0.999), ceiling);
+}
+
+TEST(LogHistogramTest, EmptyHistogramEveryQuantileAndMomentIsZero) {
+  const LogHistogram hist;
+  for (const double q : {0.0, 0.25, 0.5, 0.95, 0.999, 1.0}) {
+    EXPECT_EQ(hist.Quantile(q), 0.0) << q;
+  }
+  EXPECT_EQ(hist.mean(), 0.0);
+  EXPECT_EQ(hist.underflow(), 0u);
+  EXPECT_EQ(hist.overflow(), 0u);
+}
+
+// ----------------------------------------------------- metric registry --
+
+TEST(MetricRegistryTest, OwnedAndLinkedMetricsSnapshotSortedByName) {
+  telemetry::MetricRegistry registry;
+  uint64_t* counter = registry.Counter("zeta.count");
+  double* gauge = registry.Gauge("alpha.level");
+  *counter = 42;
+  *gauge = 1.5;
+
+  uint64_t external_counter = 7;
+  double external_gauge = 2.25;
+  LogHistogram external_hist;
+  external_hist.Add(0.5);
+  external_hist.Add(1.0);
+  registry.LinkCounter("mid.linked_count", &external_counter);
+  registry.LinkGauge("mid.linked_level", &external_gauge);
+  registry.LinkHistogram("mid.response", &external_hist);
+
+  const std::vector<telemetry::MetricSample> snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 5u);
+  EXPECT_EQ(snapshot[0].name, "alpha.level");
+  EXPECT_EQ(snapshot[1].name, "mid.linked_count");
+  EXPECT_EQ(snapshot[2].name, "mid.linked_level");
+  EXPECT_EQ(snapshot[3].name, "mid.response");
+  EXPECT_EQ(snapshot[4].name, "zeta.count");
+
+  EXPECT_EQ(snapshot[0].kind, telemetry::MetricKind::kGauge);
+  EXPECT_DOUBLE_EQ(snapshot[0].value, 1.5);
+  EXPECT_EQ(snapshot[1].kind, telemetry::MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(snapshot[1].value, 7.0);
+  EXPECT_EQ(snapshot[3].kind, telemetry::MetricKind::kHistogram);
+  EXPECT_EQ(snapshot[3].count, 2u);
+  EXPECT_DOUBLE_EQ(snapshot[3].mean, 0.75);
+
+  // Snapshots read live values: mutations after linking are visible.
+  external_counter = 8;
+  EXPECT_DOUBLE_EQ(registry.Snapshot()[1].value, 8.0);
+}
+
+TEST(MetricRegistryTest, JsonSnapshotIsStructurallySound) {
+  telemetry::MetricRegistry registry;
+  *registry.Counter("commits") = 10;
+  *registry.Gauge("cpu") = 0.5;
+  registry.Histogram("response")->Add(1.0);
+  std::ostringstream out;
+  registry.WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_NE(json.find("\"commits\""), std::string::npos);
+  EXPECT_NE(json.find("\"cpu\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
 }
 
 }  // namespace

@@ -24,8 +24,10 @@
 #include <vector>
 
 #include "core/export.h"
+#include "core/manifest.h"
 #include "core/spec.h"
 #include "core/sweep.h"
+#include "telemetry/audit.h"
 #include "telemetry/histogram.h"
 #include "util/logging.h"
 #include "util/params.h"
@@ -49,8 +51,11 @@ int Usage(const char* argv0) {
       "  --threads N             sweep parallelism (default 1; 0 = all cores)\n"
       "  --out DIR               write CSV exports into DIR\n"
       "  --trace FILE            record a Chrome trace-event JSON of the run\n"
-      "                          (open in chrome://tracing or Perfetto;\n"
-      "                          single runs only, not sweeps/repeats)\n"
+      "                          (open in chrome://tracing or Perfetto; with\n"
+      "                          --sweep/--repeat each point writes\n"
+      "                          FILE-stem.<cell>.<rep>.json)\n"
+      "  --decisions FILE        export the controller decision audit trail\n"
+      "                          as CSV (same per-point naming under sweeps)\n"
       "  --log-level LEVEL       debug|info|warning|error|off (default\n"
       "                          warning); lines carry the simulated time\n"
       "\nOverride keys use spec-file syntax: experiment keys bare\n"
@@ -217,6 +222,41 @@ void PrintSummary(const core::ExperimentSpec& spec,
   PrintTelemetry(result);
 }
 
+/// One-line-per-controller digest of the decision audit trail: how many
+/// steps each controller took, how often it reversed direction, and the
+/// mean magnitude of its limit moves.
+void PrintDecisionSummary(const std::vector<telemetry::DecisionRecord>& records,
+                          size_t dropped) {
+  if (records.empty()) return;
+  const std::vector<telemetry::DecisionSummary> summaries =
+      telemetry::SummarizeDecisions(records);
+  util::Table table(
+      {"controller", "decisions", "direction changes", "mean |step|"});
+  for (const telemetry::DecisionSummary& s : summaries) {
+    table.AddRow({s.controller,
+                  util::StrFormat("%llu",
+                                  static_cast<unsigned long long>(s.decisions)),
+                  util::StrFormat("%llu", static_cast<unsigned long long>(
+                                              s.direction_changes)),
+                  util::StrFormat("%.4f", s.mean_abs_step)});
+  }
+  table.Print(std::cout);
+  if (dropped > 0) {
+    std::printf("(decision ring overflowed: %llu oldest records dropped)\n",
+                static_cast<unsigned long long>(dropped));
+  }
+}
+
+/// "/tmp/out.json" -> {"/tmp/out", ".json"} for per-sweep-point file names.
+std::pair<std::string, std::string> SplitExtension(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return {path, ""};
+  }
+  return {path.substr(0, dot), path.substr(dot)};
+}
+
 /// Sample mean and standard error of `values` (stderr 0 for n < 2).
 std::pair<double, double> MeanStderr(const std::vector<double>& values) {
   const double n = static_cast<double>(values.size());
@@ -249,6 +289,7 @@ int main(int argc, char** argv) {
   uint64_t seed_stride = 1;
   std::string out_dir;
   std::string trace_path;
+  std::string decisions_path;
   std::vector<std::pair<std::string, std::string>> overrides;
   std::vector<core::SweepAxis> axes;
 
@@ -310,6 +351,12 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "alc_run: --trace expects a file path\n");
         return 2;
       }
+    } else if (arg == "--decisions" && i + 1 < argc) {
+      decisions_path = argv[++i];
+      if (decisions_path.empty()) {
+        std::fprintf(stderr, "alc_run: --decisions expects a file path\n");
+        return 2;
+      }
     } else if (arg == "--log-level" && i + 1 < argc) {
       util::LogLevel level = util::LogLevel::kWarning;
       if (!util::Logger::ParseLevel(argv[++i], &level)) {
@@ -341,6 +388,7 @@ int main(int argc, char** argv) {
   }
 
   if (!trace_path.empty()) spec.trace_path = trace_path;
+  if (!decisions_path.empty()) spec.decisions_path = decisions_path;
 
   if (print_only) {
     std::fputs(core::PrintSpec(spec).c_str(), stdout);
@@ -350,23 +398,25 @@ int main(int argc, char** argv) {
   if (axes.empty() && repeat == 1) {
     const core::SpecRunResult result = core::RunSpec(spec);
     PrintSummary(spec, result);
+    PrintDecisionSummary(result.decisions, result.decisions_dropped);
     if (!spec.trace_path.empty()) {
       std::printf("trace written to %s\n", spec.trace_path.c_str());
     }
-    if (!out_dir.empty() && !ExportResult(out_dir, "", result)) return 1;
+    if (!spec.decisions_path.empty()) {
+      std::printf("decision audit written to %s\n",
+                  spec.decisions_path.c_str());
+    }
     if (!out_dir.empty()) {
+      if (!ExportResult(out_dir, "", result)) return 1;
+      if (!core::WriteRunManifest(out_dir + "/run.json", spec, result,
+                                  overrides)) {
+        std::fprintf(stderr, "alc_run: cannot write %s/run.json\n",
+                     out_dir.c_str());
+        return 1;
+      }
       std::printf("CSV exports written to %s/\n", out_dir.c_str());
     }
     return 0;
-  }
-
-  if (!spec.trace_path.empty()) {
-    // Every sweep point would race on the one output file; tracing is a
-    // single-run affair.
-    std::fprintf(stderr,
-                 "alc_run: --trace (or a spec 'trace' key) cannot be "
-                 "combined with --sweep/--repeat\n");
-    return 1;
   }
 
   // Replication: "seed" is just another SweepRunner axis. It is appended
@@ -399,6 +449,27 @@ int main(int argc, char** argv) {
   }
 
   core::SweepRunner runner(spec, axes);
+  // Per-point artifact files: every grid point writes its own trace /
+  // decision CSV as <stem>.<cell>.<rep><ext> (cell = logical sweep point,
+  // rep = repetition index), so parallel points never race on one path.
+  // The hook only renames outputs — specs stay bit-identical otherwise.
+  if (!spec.trace_path.empty() || !spec.decisions_path.empty()) {
+    const auto [trace_stem, trace_ext] = SplitExtension(spec.trace_path);
+    const auto [dec_stem, dec_ext] = SplitExtension(spec.decisions_path);
+    const int reps = repeat;
+    runner.SetSpecHook([trace_stem = trace_stem, trace_ext = trace_ext,
+                        dec_stem = dec_stem, dec_ext = dec_ext,
+                        reps](int index, core::ExperimentSpec* point_spec) {
+      const std::string suffix = "." + std::to_string(index / reps) + "." +
+                                 std::to_string(index % reps);
+      if (!point_spec->trace_path.empty()) {
+        point_spec->trace_path = trace_stem + suffix + trace_ext;
+      }
+      if (!point_spec->decisions_path.empty()) {
+        point_spec->decisions_path = dec_stem + suffix + dec_ext;
+      }
+    });
+  }
   if (repeat > 1) {
     std::printf("%s: sweeping %d point%s x %d seed%s on %s\n",
                 spec.name.c_str(), runner.num_points() / repeat,
@@ -416,7 +487,30 @@ int main(int argc, char** argv) {
     for (const core::SweepPointResult& point : results) {
       const std::string prefix = "point" + std::to_string(point.index) + "_";
       if (!ExportResult(out_dir, prefix, point.result)) return 1;
+      // Each cell's manifest records the full override chain: the --set
+      // flags first, then this cell's sweep assignment.
+      std::vector<std::pair<std::string, std::string>> cell_overrides =
+          overrides;
+      cell_overrides.insert(cell_overrides.end(), point.assignment.begin(),
+                            point.assignment.end());
+      if (!core::WriteRunManifest(out_dir + "/" + prefix + "run.json",
+                                  point.spec, point.result, cell_overrides)) {
+        std::fprintf(stderr, "alc_run: cannot write %srun.json\n",
+                     prefix.c_str());
+        return 1;
+      }
     }
+  }
+
+  if (!spec.decisions_path.empty()) {
+    std::vector<telemetry::DecisionRecord> all_decisions;
+    size_t all_dropped = 0;
+    for (const core::SweepPointResult& point : results) {
+      all_decisions.insert(all_decisions.end(), point.result.decisions.begin(),
+                           point.result.decisions.end());
+      all_dropped += point.result.decisions_dropped;
+    }
+    PrintDecisionSummary(all_decisions, all_dropped);
   }
 
   std::vector<std::string> header;
