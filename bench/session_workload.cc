@@ -1,0 +1,152 @@
+// Session workload under a flash-crowd surge: adaptive vs fixed admission.
+//
+// The hybrid session source opens user sessions as a Poisson process on a
+// schedule-driven rate; each session issues a heavy-tailed burst of
+// transactions with think times in between. A flash crowd at the *session*
+// level is nastier than the open-arrival flash crowd bench/cluster_routing
+// throws at the fleet: every surge session keeps re-offering work until
+// its burst finishes, so overload persists after the arrival spike ends
+// (the paper's closed-system feedback, now at cluster scale).
+//
+// Claim under test: per-node adaptive admission (Parabola) holds the fleet
+// at its throughput peak through the surge, while a fixed gate set for the
+// pre-surge load thrashes — same claim as the paper's Figure 7/8
+// pathology, driven by the session model instead of a terminal population.
+//
+// The fleet is the specs/diurnal_1m.spec shape at bench scale (8 nodes,
+// shorter horizon, flash-crowd session rate instead of the diurnal
+// sinusoid):
+//
+//   $ ./build/bench/session_workload
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/cluster_experiment.h"
+#include "core/spec.h"
+#include "core/sweep.h"
+#include "util/strformat.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace alc;
+
+constexpr double kSurgeStart = 60.0;
+constexpr double kSurgeEnd = 90.0;
+
+/// 8-node locality-routed placement fleet driven by the hybrid session
+/// source; the session-opening rate triples during [60s, 90s).
+core::ExperimentSpec SurgeSpec() {
+  core::ExperimentSpec spec;
+  std::string error;
+  const std::string source_dir = ALC_SOURCE_DIR;
+  if (!core::LoadSpecFile(source_dir + "/specs/diurnal_1m.spec", &spec,
+                          &error)) {
+    std::fprintf(stderr, "diurnal_1m.spec: %s\n", error.c_str());
+    std::abort();
+  }
+  // Bench scale: 8 nodes, flash-crowd session rate sized to the smaller
+  // fleet (~2x capacity during the surge), 16 partitions.
+  const auto overrides = std::vector<std::pair<std::string, std::string>>{
+      {"name", "session-surge"},
+      {"duration", "150"},
+      {"warmup", "20"},
+      {"workload.session_rate",
+       util::StrFormat("steps(120; %g:900, %g:120)", kSurgeStart, kSurgeEnd)},
+      {"placement.num_partitions", "16"},
+      {"placement.workload.db_size", "4800"},
+      {"node.logical.db_size", "4800"},
+      // Update-heavy surge: data contention is what makes over-admission
+      // expensive (the paper's thrashing mechanism); the diurnal demo's
+      // read-mostly mix never pushes the fleet past its lock knee.
+      {"placement.workload.query_fraction", "0.3"},
+      {"placement.workload.write_fraction", "0.4"},
+  };
+  // Bench-scale fleet: keep the first 8 of the 256 cloned nodes (their
+  // seeds are already decorrelated by the spec's count-expansion).
+  spec.nodes.resize(8);
+  for (const auto& [key, value] : overrides) {
+    if (!core::ApplySpecOverride(&spec, key, value, &error)) {
+      std::fprintf(stderr, "override %s: %s\n", key.c_str(), error.c_str());
+      std::abort();
+    }
+  }
+  return spec;
+}
+
+/// Mean aggregate throughput over ticks in (from, to] (commits/s).
+double ThroughputBetween(const core::ClusterResult& result, double from,
+                         double to) {
+  double sum = 0.0;
+  int count = 0;
+  for (const core::TrajectoryPoint& point : result.aggregate) {
+    if (point.time <= from || point.time > to) continue;
+    sum += point.throughput;
+    ++count;
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Session workload: flash-crowd surge, adaptive vs fixed admission",
+      "a surge of user sessions keeps re-offering its burst until it "
+      "finishes; adaptive per-node gates ride the surge at the throughput "
+      "peak while gates fixed for the pre-surge load thrash");
+
+  // Both gates start at the same loose limit — plenty for the light
+  // pre-surge load, far past the per-node optimum under surge contention.
+  // The adaptive controller walks down from it; the fixed gate cannot.
+  core::SweepRunner runner(
+      SurgeSpec(),
+      {{"node.control.controller", {"fixed", "parabola-approximation"}},
+       {"node.control.initial_limit", {"150"}}});
+  const std::vector<core::SweepPointResult> results =
+      runner.Run(bench::SweepThreads(runner.num_points()));
+
+  util::Table table({"admission", "T overall", "T surge", "T post-surge",
+                     "p99 resp", "commits"});
+  core::ClusterResult fixed, adaptive;
+  for (const core::SweepPointResult& point : results) {
+    const bool is_adaptive =
+        point.assignment[0].second == "parabola-approximation";
+    const core::ClusterResult& result = point.result.cluster_result;
+    (is_adaptive ? adaptive : fixed) = result;
+    table.AddRow(
+        {is_adaptive ? "adaptive (parabola)" : "fixed gate",
+         util::StrFormat("%.1f/s", result.total_throughput),
+         util::StrFormat("%.1f/s",
+                         ThroughputBetween(result, kSurgeStart, kSurgeEnd)),
+         util::StrFormat("%.1f/s",
+                         ThroughputBetween(result, kSurgeEnd, 1e30)),
+         util::StrFormat("%.3fs", result.response_hist.Quantile(0.99)),
+         util::StrFormat("%llu",
+                         static_cast<unsigned long long>(result.commits))});
+  }
+  table.Print(std::cout);
+
+  const double fixed_surge = ThroughputBetween(fixed, kSurgeStart, kSurgeEnd);
+  const double adaptive_surge =
+      ThroughputBetween(adaptive, kSurgeStart, kSurgeEnd);
+  std::printf(
+      "\nverdict:\n"
+      "  surge-window throughput, adaptive : %.1f commits/s\n"
+      "  surge-window throughput, fixed    : %.1f commits/s\n"
+      "  adaptive admission rides the session surge: %s\n",
+      adaptive_surge, fixed_surge,
+      adaptive_surge >= fixed_surge ? "YES" : "NO");
+  std::printf(
+      "\nSurge sessions that are refused admission do not vanish — they\n"
+      "wait at the gate and re-offer, exactly the feedback loop the\n"
+      "paper's closed model captures. The adaptive gate converts that\n"
+      "pressure into bounded in-system load at the peak; the fixed gate\n"
+      "admits by a stale constant and drives the nodes into thrashing\n"
+      "territory during the surge.\n");
+  return adaptive_surge >= fixed_surge ? 0 : 1;
+}

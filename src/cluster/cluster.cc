@@ -41,7 +41,6 @@ Cluster::Cluster(sim::Simulator* sim, const std::vector<NodeConfig>& nodes,
     : sim_(sim),
       configs_(nodes),
       policy_(std::move(policy)),
-      arrival_rng_(seed ^ 0xc2b2ae3d27d4eb4fULL),
       seed_(seed),
       routed_(nodes.size(), 0),
       crash_kills_(nodes.size(), 0),
@@ -66,6 +65,17 @@ Cluster::Cluster(sim::Simulator* sim, const std::vector<NodeConfig>& nodes,
 void Cluster::SetArrivalRateSchedule(db::Schedule schedule) {
   ALC_CHECK(!started_);
   arrival_rate_ = std::move(schedule);
+}
+
+void Cluster::SetWorkloadSource(
+    std::unique_ptr<workload::WorkloadSource> source) {
+  ALC_CHECK(!started_);
+  ALC_CHECK(source != nullptr);
+  source_ = std::move(source);
+}
+
+uint32_t Cluster::keyspace() const {
+  return catalog_ != nullptr ? placement_spec_.workload.db_size : 0;
 }
 
 void Cluster::SetRetraction(const RetractionConfig& config) {
@@ -125,6 +135,20 @@ void Cluster::EnablePlacement(const PlacementSpec& spec) {
 void Cluster::Start() {
   ALC_CHECK(!started_);
   started_ = true;
+  if (source_ == nullptr) {
+    // Historical default: the open Poisson stream the inline driver ran,
+    // with its exact seed salt, so pre-[workload] configurations replay
+    // byte-identically.
+    source_ = std::make_unique<workload::OpenArrivalSource>(
+        arrival_rate_, seed_ ^ workload::kOpenArrivalSeedSalt);
+  }
+  if (trace_ != nullptr) source_->SetTraceRecorder(trace_);
+  for (auto& node : nodes_) {
+    node->system().SetSessionHook(
+        [this](int32_t session, double response, bool ok) {
+          source_->OnComplete(session, response, ok);
+        });
+  }
   for (auto& node : nodes_) node->system().Start();
   if (lifecycle_active_) {
     // Sync the catalog with nodes that begin outside the membership, then
@@ -143,7 +167,7 @@ void Cluster::Start() {
       }
     }
   }
-  ScheduleNextArrival();
+  source_->Start(sim_, this);
   if (catalog_ != nullptr &&
       placement_spec_.placement.rebalance_interval > 0.0) {
     ScheduleRebalance();
@@ -248,9 +272,13 @@ void Cluster::RetractAndReroute(int node, int max_count, bool drop) {
   }
   db::TransactionSystem& origin = nodes_[node]->system();
   for (db::Transaction* txn : retract_scratch_) {
+    // Retraction bypasses the node's terminal paths, so the session tag
+    // travels with the front-end: re-routes keep it, drops report it.
+    const int32_t session = txn->session;
     if (drop || live_scratch_.empty()) {
       origin.ReleaseQueued(txn);
       ++lost_[node];
+      if (session >= 0) source_->OnComplete(session, 0.0, false);
       continue;
     }
     ++retracted_[node];
@@ -282,14 +310,14 @@ void Cluster::RetractAndReroute(int node, int max_count, bool drop) {
       context.catalog = catalog_.get();
       context.partitions = &plan_partitions_;
       const int target = policy_->Route(membership, context);
-      SubmitPlanned(target);
+      SubmitPlanned(target, session);
     } else {
       const int target = policy_->Route(membership, RouteContext{});
       ALC_CHECK_GE(target, 0);
       ALC_CHECK_LT(target, size());
       ++routed_[target];
       ++total_routed_;
-      nodes_[target]->system().SubmitExternal();
+      nodes_[target]->system().SubmitExternal(session);
     }
   }
 }
@@ -301,9 +329,11 @@ void Cluster::RetryElsewhere(int origin) {
   }
   // The client re-issues the lost request: a fresh submission through the
   // normal routing path (placement runs re-draw the plan — the in-flight
-  // execution state is unrecoverable, re-stamping models the retry).
+  // execution state is unrecoverable, re-stamping models the retry). The
+  // retry is untagged: the crash kill already reported the session's
+  // request as failed, so the replay runs as background repair traffic.
   if (catalog_ != nullptr) {
-    StampPlan();
+    StampPlan(workload::Arrival{});
     MembershipView membership = Snapshot();
     RouteContext context;
     context.keys = &plan_.access_items;
@@ -351,25 +381,19 @@ void Cluster::ScheduleRetractionScan() {
   });
 }
 
-void Cluster::ScheduleNextArrival() {
-  // Poisson process with a (slowly) time-varying rate, same approximation
-  // as the single-node open driver: the next gap is drawn at the current
-  // rate, so schedule changes lag by one inter-arrival time.
-  const double rate = std::max(arrival_rate_.Value(sim_->Now()), 1e-9);
-  sim_->Schedule(arrival_rng_.NextExponential(1.0 / rate),
-                 [this] { RouteOne(); });
-}
-
-void Cluster::RouteOne() {
-  ScheduleNextArrival();
+void Cluster::SubmitArrival(const workload::Arrival& arrival) {
   if (live_.empty()) {
     // Whole fleet down or draining: the front door has nowhere to send
-    // work and sheds the arrival.
+    // work and sheds the arrival. A tracked session hears about the loss
+    // immediately so its think/issue loop keeps turning.
     ++arrivals_dropped_;
+    if (arrival.session >= 0) {
+      source_->OnComplete(arrival.session, 0.0, false);
+    }
     return;
   }
   if (catalog_ != nullptr) {
-    RouteOnePlaced();
+    RouteOnePlaced(arrival);
     return;
   }
   MembershipView membership = Snapshot();
@@ -379,10 +403,10 @@ void Cluster::RouteOne() {
   ALC_CHECK(states_[target] == NodeState::kUp);
   ++routed_[target];
   ++total_routed_;
-  nodes_[target]->system().SubmitExternal();
+  nodes_[target]->system().SubmitExternal(arrival.session);
 }
 
-void Cluster::StampPlan() {
+void Cluster::StampPlan(const workload::Arrival& arrival) {
   const double now = sim_->Now();
   const uint32_t db_size = placement_spec_.workload.db_size;
 
@@ -394,8 +418,14 @@ void Cluster::StampPlan() {
           ? db::TxnClass::kQuery
           : db::TxnClass::kUpdater;
   const int k = plan_dynamics_.KAt(now, db_size);
-  plan_gen_->PlanAccesses(&plan_, db_size, k,
-                          plan_dynamics_.WriteFractionAt(now));
+  if (arrival.affinity_size > 0) {
+    plan_gen_->PlanAccessesWithAffinity(
+        &plan_, db_size, k, plan_dynamics_.WriteFractionAt(now),
+        arrival.affinity, arrival.affinity_start, arrival.affinity_size);
+  } else {
+    plan_gen_->PlanAccesses(&plan_, db_size, k,
+                            plan_dynamics_.WriteFractionAt(now));
+  }
 
   // Map each key to its partition once; heat accounting feeds the
   // rebalancer.
@@ -407,7 +437,7 @@ void Cluster::StampPlan() {
   }
 }
 
-void Cluster::SubmitPlanned(int target) {
+void Cluster::SubmitPlanned(int target, int32_t session) {
   ALC_CHECK_GE(target, 0);
   ALC_CHECK_LT(target, size());
   ALC_CHECK(states_[target] == NodeState::kUp);
@@ -435,11 +465,12 @@ void Cluster::SubmitPlanned(int target) {
   ++routed_[target];
   ++total_routed_;
   nodes_[target]->system().SubmitExternalPlanned(
-      plan_.cls, plan_.access_items, plan_.access_modes, remote_flags_);
+      plan_.cls, plan_.access_items, plan_.access_modes, remote_flags_,
+      session);
 }
 
-void Cluster::RouteOnePlaced() {
-  StampPlan();
+void Cluster::RouteOnePlaced(const workload::Arrival& arrival) {
+  StampPlan(arrival);
   MembershipView membership = Snapshot();
   RouteContext context;
   context.keys = &plan_.access_items;
@@ -447,7 +478,7 @@ void Cluster::RouteOnePlaced() {
   context.partitions = &plan_partitions_;
   const int target = policy_->Route(membership, context);
   ALC_CHECK(states_[target] == NodeState::kUp);
-  SubmitPlanned(target);
+  SubmitPlanned(target, arrival.session);
 }
 
 }  // namespace alc::cluster

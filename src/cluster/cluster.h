@@ -18,6 +18,7 @@
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "telemetry/trace.h"
+#include "workload/source.h"
 
 namespace alc::telemetry {
 class MetricRegistry;
@@ -99,12 +100,16 @@ struct PlacementSpec {
 };
 
 /// N transaction-system replicas sharing one simulator event queue, fed by
-/// a cluster-wide Poisson arrival stream through a routing policy over the
-/// epoch-versioned live membership. Each arrival is routed on the current
-/// MembershipView and submitted to the chosen node. Without placement, the
-/// node stamps the work from its own workload dynamics; with placement the
-/// front-end draws a key-carrying plan from the global keyspace, routes on
-/// it, and marks non-replica keys remote.
+/// a pluggable workload source (default: the open Poisson stream over the
+/// arrival-rate schedule) through a routing policy over the epoch-versioned
+/// live membership. Each arrival is routed on the current MembershipView
+/// and submitted to the chosen node. Without placement, the node stamps the
+/// work from its own workload dynamics; with placement the front-end draws
+/// a key-carrying plan from the global keyspace (biased toward the
+/// arrival's session-affinity key range when one is attached), routes on
+/// it, and marks non-replica keys remote. Session-tagged arrivals report
+/// their commit/kill/drop back to the source, closing the think/issue loop
+/// of closed and hybrid workloads.
 ///
 /// Lifecycle: each node follows its availability schedule. A node going
 /// kDown crashes — its in-flight work is killed and its gate queue is
@@ -120,7 +125,7 @@ struct PlacementSpec {
 /// All randomness (arrival gaps, per-node variates, policy choices) comes
 /// from seeded streams, so a cluster run is bit-deterministic per
 /// configuration — lifecycle events included.
-class Cluster {
+class Cluster : public workload::WorkloadHost {
  public:
   /// (node, previous state, new state), fired after the membership and data
   /// plane updated. The experiment layer uses it to rebuild controllers on
@@ -134,9 +139,29 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  /// Cluster-wide offered load: arrivals per second (time-varying allowed,
-  /// e.g. a flash crowd). Must be called before Start().
+  /// Cluster-wide offered load for the default open source: arrivals per
+  /// second (time-varying allowed, e.g. a flash crowd). Must be called
+  /// before Start(). Ignored when SetWorkloadSource installs a source that
+  /// does not consume it.
   void SetArrivalRateSchedule(db::Schedule schedule);
+
+  /// Installs the workload source that will drive arrivals. Must be called
+  /// before Start(). When unset, Start() builds the historical open
+  /// Poisson source from the arrival-rate schedule (byte-identical event
+  /// stream to the pre-subsystem inline driver).
+  void SetWorkloadSource(std::unique_ptr<workload::WorkloadSource> source);
+
+  /// The installed (or defaulted) source; null before Start() unless
+  /// SetWorkloadSource ran. The experiment layer uses this to register
+  /// source metrics under the "workload." namespace.
+  workload::WorkloadSource* workload_source() { return source_.get(); }
+
+  // WorkloadHost API (called by the source).
+  /// Routes one arrival to a node, or drops it (and reports the drop back
+  /// to the source for tracked arrivals) when no node is live.
+  void SubmitArrival(const workload::Arrival& arrival) override;
+  /// Global keyspace size under placement, 0 for placement-blind runs.
+  uint32_t keyspace() const override;
 
   /// Enables the data placement layer. Must be called before Start(). The
   /// catalog is built here; if the placement config sets a rebalance
@@ -200,9 +225,7 @@ class Cluster {
   const placement::PlacementCatalog* catalog() const { return catalog_.get(); }
 
  private:
-  void ScheduleNextArrival();
-  void RouteOne();
-  void RouteOnePlaced();
+  void RouteOnePlaced(const workload::Arrival& arrival);
   void ScheduleRebalance();
   void ScheduleRetractionScan();
   /// Builds views_ for the whole fleet and returns the membership view over
@@ -217,17 +240,18 @@ class Cluster {
   /// as a fresh arrival over the live set.
   void RetryElsewhere(int origin);
   /// Stamps plan_ from the front-end keyspace at the current time
-  /// (placement mode) — shared by fresh arrivals and crash retries.
-  void StampPlan();
+  /// (placement mode) — shared by fresh arrivals and crash retries. The
+  /// arrival's affinity range, when present, biases the key draw.
+  void StampPlan(const workload::Arrival& arrival);
   /// Routes the already-stamped plan_ to `target`: remote marking, serve
-  /// charges, submission.
-  void SubmitPlanned(int target);
+  /// charges, submission (tagged with `session` when >= 0).
+  void SubmitPlanned(int target, int32_t session = -1);
 
   sim::Simulator* sim_;
   std::vector<std::unique_ptr<ClusterNode>> nodes_;
   std::vector<NodeConfig> configs_;
   std::unique_ptr<RoutingPolicy> policy_;
-  sim::RandomStream arrival_rng_;
+  std::unique_ptr<workload::WorkloadSource> source_;
   uint64_t seed_;
   db::Schedule arrival_rate_ = db::Schedule::Constant(100.0);
   std::vector<NodeView> views_;  // reused per arrival (hot path)

@@ -11,6 +11,8 @@
 #include "core/introspect.h"
 #include "sim/simulator.h"
 #include "util/check.h"
+#include "util/logging.h"
+#include "workload/registry.h"
 
 namespace alc::core {
 
@@ -63,6 +65,26 @@ ClusterResult ClusterExperiment::Run() {
   }
   cluster.SetRetraction(scenario_.retraction);
   if (trace_ != nullptr) cluster.SetTraceRecorder(trace_);
+
+  // The arrival process comes from the workload registry; the default spec
+  // selects "open", which the cluster would also build on its own — going
+  // through the registry here keeps user-registered sources reachable from
+  // spec files. The raw pointer stays valid for metric registration below
+  // (the cluster owns the source for the run's lifetime).
+  workload::WorkloadSourceContext source_context;
+  source_context.spec = &scenario_.workload;
+  source_context.arrival_rate = scenario_.arrival_rate;
+  source_context.seed = scenario_.seed;
+  std::string source_error;
+  std::unique_ptr<workload::WorkloadSource> source =
+      workload::WorkloadRegistry::Global().Make(
+          scenario_.workload.source, source_context, &source_error);
+  if (source == nullptr) {
+    ALC_LOG(kError, source_error);
+    ALC_CHECK(source != nullptr);
+  }
+  workload::WorkloadSource* workload_source = source.get();
+  cluster.SetWorkloadSource(std::move(source));
 
   // Per-node control loop: monitor -> controller -> gate, exactly the
   // single-node wiring replicated N times on the shared event queue.
@@ -177,6 +199,7 @@ ClusterResult ClusterExperiment::Run() {
         &registry, "node" + std::to_string(i) + ".");
   }
   cluster.RegisterMetrics(&registry);
+  workload_source->RegisterMetrics(&registry, "workload.");
 
   cluster.Start();
   for (auto& monitor : monitors) monitor->Start();

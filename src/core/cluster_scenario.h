@@ -46,8 +46,12 @@ struct ClusterScenarioConfig {
   cluster::ThresholdPolicy::Config threshold;   // used by kThresholdBased
   cluster::PowerOfDPolicy::Config power_of_d;   // used by kPowerOfD
   /// Cluster-wide Poisson arrival rate (transactions per second); a Steps
-  /// schedule models a flash crowd hitting the whole fleet.
+  /// schedule models a flash crowd hitting the whole fleet. Drives the
+  /// default "open" workload source.
   db::Schedule arrival_rate = db::Schedule::Constant(100.0);
+  /// Arrival-process selection (WorkloadRegistry name + session model);
+  /// the default reproduces the open Poisson stream exactly.
+  workload::WorkloadSpec workload;
   /// Data placement layer (off by default). When enabled, the front-end
   /// draws each arrival's access plan from `placement.workload`, the router
   /// sees the keys and the catalog, and every node pays `remote_access` for

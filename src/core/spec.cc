@@ -11,6 +11,7 @@
 #include "cluster/registry.h"
 #include "control/registry.h"
 #include "util/check.h"
+#include "workload/registry.h"
 
 namespace alc::core {
 
@@ -290,6 +291,83 @@ bool AssignExperimentKey(ExperimentSpec* spec, const std::string& key,
     return true;
   }
   *error = "unknown experiment key '" + key + "'";
+  return false;
+}
+
+/// A distribution value is always a literal; there is no named-distribution
+/// section (distributions are small enough to inline).
+bool SetDistributionField(const std::string& key, const std::string& value,
+                          workload::Distribution* out, std::string* error) {
+  if (!workload::Distribution::Parse(value, out)) {
+    *error = "key '" + key + "': malformed distribution literal '" + value +
+             "' (expected constant(v), exp(mean), lognormal(mu, sigma), or "
+             "pareto(alpha, lo, hi))";
+    return false;
+  }
+  return true;
+}
+
+bool AssignWorkloadKey(ExperimentSpec* spec, const std::string& key,
+                       const std::string& value, const NamedSchedules& named,
+                       std::string* error) {
+  workload::WorkloadSpec* w = &spec->workload;
+  if (key == "source") {
+    if (!CheckRegistered(workload::WorkloadRegistry::Global(),
+                         "workload source", value, error)) {
+      return false;
+    }
+    w->source = value;
+    return true;
+  }
+  if (key == "population") {
+    if (!SetUint64Field(key, value, &w->population, error)) return false;
+    if (w->population < 1) {
+      *error = "key 'population': must be >= 1";
+      return false;
+    }
+    return true;
+  }
+  if (key == "session_rate") {
+    return SetScheduleField(key, value, named, &w->session_rate, error);
+  }
+  if (key == "sessions") {
+    if (!SetIntField(key, value, &w->sessions, error)) return false;
+    if (w->sessions < 1) {
+      *error = "key 'sessions': must be >= 1";
+      return false;
+    }
+    return true;
+  }
+  if (key == "txns_per_session") {
+    return SetDistributionField(key, value, &w->txns_per_session, error);
+  }
+  if (key == "think_time") {
+    return SetDistributionField(key, value, &w->think_time, error);
+  }
+  if (key == "affinity") {
+    if (!SetDoubleField(key, value, &w->affinity, error)) return false;
+    if (w->affinity < 0.0 || w->affinity > 1.0) {
+      *error = "key 'affinity': must be in [0, 1]";
+      return false;
+    }
+    return true;
+  }
+  if (key == "affinity_keys") {
+    if (!SetIntField(key, value, &w->affinity_keys, error)) return false;
+    if (w->affinity_keys < 1) {
+      *error = "key 'affinity_keys': must be >= 1";
+      return false;
+    }
+    return true;
+  }
+  if (key.find('.') != std::string::npos) {
+    // Dotted keys pass through to the source factory's ParamMap, so
+    // externally registered sources can define their own namespace
+    // (mirrors routing.* and control.*).
+    w->params.Set(key, value);
+    return true;
+  }
+  *error = "unknown workload key '" + key + "'";
   return false;
 }
 
@@ -696,6 +774,19 @@ std::string PrintSpec(const ExperimentSpec& spec) {
   EmitDouble(&out, "retraction_queue_factor", spec.retraction_queue_factor);
   EmitDouble(&out, "retraction_interval", spec.retraction_interval);
 
+  out += "\n[workload]\n";
+  Emit(&out, "source", spec.workload.source);
+  Emit(&out, "population", std::to_string(spec.workload.population));
+  Emit(&out, "session_rate", spec.workload.session_rate.ToString());
+  EmitInt(&out, "sessions", spec.workload.sessions);
+  Emit(&out, "txns_per_session", spec.workload.txns_per_session.ToString());
+  Emit(&out, "think_time", spec.workload.think_time.ToString());
+  EmitDouble(&out, "affinity", spec.workload.affinity);
+  EmitInt(&out, "affinity_keys", spec.workload.affinity_keys);
+  for (const auto& [key, value] : spec.workload.params.entries()) {
+    Emit(&out, key, value);
+  }
+
   out += "\n[placement]\n";
   EmitBool(&out, "enabled", spec.placement_enabled);
   Emit(&out, "kind", placement::PlacementKindName(spec.placement.kind));
@@ -732,7 +823,7 @@ bool ParseSpec(const std::string& text, ExperimentSpec* out,
   NamedSchedules named;
   std::vector<NodeParseState> node_states;
 
-  enum class Section { kExperiment, kSchedules, kPlacement, kNode };
+  enum class Section { kExperiment, kSchedules, kWorkload, kPlacement, kNode };
   Section section = Section::kExperiment;
 
   std::istringstream stream(text);
@@ -768,6 +859,8 @@ bool ParseSpec(const std::string& text, ExperimentSpec* out,
         section = Section::kExperiment;
       } else if (name == "schedules") {
         section = Section::kSchedules;
+      } else if (name == "workload") {
+        section = Section::kWorkload;
       } else if (name == "placement") {
         section = Section::kPlacement;
       } else if (name == "node") {
@@ -812,6 +905,9 @@ bool ParseSpec(const std::string& text, ExperimentSpec* out,
         }
         break;
       }
+      case Section::kWorkload:
+        ok = AssignWorkloadKey(&spec, key, value, named, &message);
+        break;
       case Section::kPlacement:
         ok = AssignPlacementKey(&spec, key, value, named, &message);
         break;
@@ -887,6 +983,15 @@ bool ParseSpec(const std::string& text, ExperimentSpec* out,
       }
       return false;
     }
+    if (spec.workload.source != "open") {
+      // The single-node model drives itself (terminals / its own open
+      // stream); workload sources feed the routed front-end only.
+      if (error != nullptr) {
+        *error = "workload source '" + spec.workload.source +
+                 "' requires cluster mode (cluster = true)";
+      }
+      return false;
+    }
   }
 
   *out = std::move(spec);
@@ -938,6 +1043,15 @@ bool ApplySpecOverride(ExperimentSpec* spec, const std::string& key,
       }
       return false;
     }
+    if (HasPrefix(key, "workload.")) {
+      // Single-node runs never construct a workload source; accepting the
+      // override would sweep bit-identical points.
+      if (error != nullptr) {
+        *error = "override '" + key +
+                 "': workload sources require cluster mode (cluster = true)";
+      }
+      return false;
+    }
   }
 
   if (key == "seed") {
@@ -964,6 +1078,14 @@ bool ApplySpecOverride(ExperimentSpec* spec, const std::string& key,
   if (HasPrefix(key, "placement.")) {
     if (!AssignPlacementKey(spec, key.substr(10), value, kNoSchedules,
                             &message)) {
+      if (error != nullptr) *error = message;
+      return false;
+    }
+    return true;
+  }
+  if (HasPrefix(key, "workload.")) {
+    if (!AssignWorkloadKey(spec, key.substr(9), value, kNoSchedules,
+                           &message)) {
       if (error != nullptr) *error = message;
       return false;
     }
@@ -1060,6 +1182,7 @@ ExperimentSpec SpecFromCluster(const ClusterScenarioConfig& scenario) {
   cluster::AppendPowerOfDParams(scenario.power_of_d, &spec.routing_params);
   spec.routing_params.Merge(scenario.routing_params);
   spec.arrival_rate = scenario.arrival_rate;
+  spec.workload = scenario.workload;
   spec.retraction = scenario.retraction.enabled;
   spec.retraction_queue_factor = scenario.retraction.queue_factor;
   spec.retraction_interval = scenario.retraction.check_interval;
@@ -1102,6 +1225,7 @@ ClusterScenarioConfig ToClusterScenario(const ExperimentSpec& spec) {
   scenario.routing_name = spec.routing;
   scenario.routing_params = spec.routing_params;
   scenario.arrival_rate = spec.arrival_rate;
+  scenario.workload = spec.workload;
   scenario.retraction.enabled = spec.retraction;
   scenario.retraction.queue_factor = spec.retraction_queue_factor;
   scenario.retraction.check_interval = spec.retraction_interval;

@@ -14,6 +14,7 @@
 #include "db/workload.h"
 #include "placement/catalog.h"
 #include "util/params.h"
+#include "workload/source.h"
 
 namespace alc::core {
 
@@ -91,8 +92,16 @@ struct ExperimentSpec {
   /// parameters ("threshold.initial_threshold", "power-of-d.d", ...).
   std::string routing = "join-shortest-queue";
   util::ParamMap routing_params;
-  /// Cluster-wide Poisson arrival rate (transactions per second).
+  /// Cluster-wide Poisson arrival rate (transactions per second). Drives
+  /// the default "open" workload source; session sources use the
+  /// `[workload]` section instead.
   db::Schedule arrival_rate = db::Schedule::Constant(100.0);
+
+  /// Cluster mode: the arrival process ([workload] section) — which
+  /// WorkloadRegistry source drives the front-end and, for session
+  /// sources, the population/burst/think/affinity model. Defaults
+  /// reproduce the classic open Poisson stream exactly.
+  workload::WorkloadSpec workload;
 
   /// Cluster-level displacement: when true the front-end retracts queued
   /// admissions from nodes that crash or drain and re-routes them (crash
@@ -131,6 +140,7 @@ struct ExperimentSpec {
            routing == other.routing &&
            routing_params == other.routing_params &&
            arrival_rate == other.arrival_rate &&
+           workload == other.workload &&
            retraction == other.retraction &&
            retraction_queue_factor == other.retraction_queue_factor &&
            retraction_interval == other.retraction_interval &&

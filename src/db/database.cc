@@ -55,4 +55,40 @@ void AccessPatternGenerator::PlanAccesses(Transaction* txn, uint32_t db_size,
   }
 }
 
+void AccessPatternGenerator::PlanAccessesWithAffinity(
+    Transaction* txn, uint32_t db_size, int k, double write_fraction,
+    double affinity, uint32_t region_start, uint32_t region_size) {
+  ALC_CHECK_GT(k, 0);
+  ALC_CHECK_LE(static_cast<uint32_t>(k), db_size);
+  ALC_CHECK_GT(region_size, 0u);
+  ALC_CHECK_LE(static_cast<uint64_t>(region_start) + region_size, db_size);
+  // affinity == 1 never samples outside the region, so the region must be
+  // able to hold k distinct items or the redraw loop could not terminate.
+  if (affinity >= 1.0) ALC_CHECK_GE(region_size, static_cast<uint32_t>(k));
+
+  // Same b-c rule as the static hotspot, but the "hot" region is the
+  // session's private key range — a hot spot that moves with the user.
+  txn->access_items.clear();
+  txn->access_modes.clear();
+  dedup_.Begin(db_size);
+  while (static_cast<int>(txn->access_items.size()) < k) {
+    const bool in_region = rng_.NextBernoulli(affinity);
+    const uint32_t item =
+        in_region ? region_start +
+                        static_cast<uint32_t>(rng_.NextUint64(region_size))
+                  : static_cast<uint32_t>(rng_.NextUint64(db_size));
+    if (!dedup_.Contains(item)) {
+      dedup_.Add(item);
+      txn->access_items.push_back(item);
+    }
+  }
+
+  txn->access_modes.resize(txn->access_items.size(), AccessMode::kRead);
+  if (txn->cls == TxnClass::kUpdater) {
+    for (auto& mode : txn->access_modes) {
+      if (rng_.NextBernoulli(write_fraction)) mode = AccessMode::kWrite;
+    }
+  }
+}
+
 }  // namespace alc::db

@@ -47,6 +47,17 @@ class AccessPatternGenerator {
   void PlanAccesses(Transaction* txn, uint32_t db_size, int k,
                     double write_fraction);
 
+  /// PlanAccesses variant with a movable per-transaction hot region
+  /// (session key affinity): each access lands uniformly in
+  /// [region_start, region_start + region_size) with probability
+  /// `affinity`, uniformly over the whole keyspace otherwise (collisions
+  /// redrawn, like the hotspot rule). The region must fit the keyspace and
+  /// k <= db_size. Draws a different variate sequence than PlanAccesses,
+  /// so callers must choose one path per arrival, not mix per attempt.
+  void PlanAccessesWithAffinity(Transaction* txn, uint32_t db_size, int k,
+                                double write_fraction, double affinity,
+                                uint32_t region_start, uint32_t region_size);
+
  private:
   const LogicalConfig* config_;
   sim::RandomStream rng_;

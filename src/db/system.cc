@@ -76,6 +76,12 @@ void TransactionSystem::SetDepartureHook(
   on_departure_ = std::move(on_departure);
 }
 
+void TransactionSystem::SetSessionHook(
+    std::function<void(int32_t, double, bool)> on_done) {
+  ALC_CHECK(on_done != nullptr);
+  on_session_done_ = std::move(on_done);
+}
+
 void TransactionSystem::SetTraceRecorder(telemetry::TraceRecorder* recorder,
                                          int pid) {
   trace_ = recorder;
@@ -110,17 +116,20 @@ void TransactionSystem::Start() {
   }
 }
 
-void TransactionSystem::SubmitExternal() {
+void TransactionSystem::SubmitExternal(int32_t session) {
   ALC_CHECK(started_);
   ALC_CHECK(config_.arrivals == ArrivalMode::kExternal);
   Transaction* txn = AcquireFromPool();
   SetupNewWork(txn);
+  // Safe to tag after the submission hook: no phase completes
+  // synchronously, so the slot cannot have reached the session hook yet.
+  txn->session = session;
 }
 
 void TransactionSystem::SubmitExternalPlanned(
     TxnClass cls, const std::vector<ItemId>& items,
     const std::vector<AccessMode>& modes,
-    const std::vector<uint8_t>& remote) {
+    const std::vector<uint8_t>& remote, int32_t session) {
   ALC_CHECK(started_);
   ALC_CHECK(config_.arrivals == ArrivalMode::kExternal);
   ALC_CHECK(!items.empty());
@@ -139,6 +148,7 @@ void TransactionSystem::SubmitExternalPlanned(
   txn->planned_items = items;
   txn->planned_modes = modes;
   txn->planned_remote = remote;
+  txn->session = session;
   ++metrics_.counters.submitted;
   on_submit_(txn);
 }
@@ -164,6 +174,8 @@ void TransactionSystem::InitSubmission(Transaction* txn) {
   txn->planned_items.clear();
   txn->planned_modes.clear();
   txn->planned_remote.clear();
+  // Likewise a recycled slot must not report to a previous session.
+  txn->session = -1;
 }
 
 void TransactionSystem::ScheduleNextArrival() {
@@ -444,6 +456,11 @@ void TransactionSystem::Commit(Transaction* txn) {
     // Open/external systems: committed work leaves; the slot returns to
     // the pool.
     free_pool_.push_back(txn);
+    // After the departure hook so the freed admission slot is refilled
+    // before the session schedules its next think.
+    if (txn->session >= 0 && on_session_done_) {
+      on_session_done_(txn->session, response, true);
+    }
   }
 }
 
@@ -572,6 +589,13 @@ void TransactionSystem::FinishKill(Transaction* txn) {
   // No departure hook: the admission slot that opened up belongs to a dead
   // node; the gate queue was already retracted or dropped by the caller.
   free_pool_.push_back(txn);
+  // The session's request is terminally gone on this node; report the
+  // failure so a closed-loop source can move on (any cluster-level retry
+  // re-enters untagged).
+  if (txn->session >= 0 && on_session_done_) {
+    on_session_done_(txn->session, sim_->Now() - txn->first_submit_time,
+                     false);
+  }
 }
 
 void TransactionSystem::ReleaseQueued(Transaction* txn) {

@@ -49,6 +49,15 @@ class TransactionSystem {
   /// slot became free).
   void SetDepartureHook(std::function<void(Transaction*)> on_departure);
 
+  /// Called once per session-tagged external submission (session >= 0 at
+  /// SubmitExternal/SubmitExternalPlanned) when it terminally leaves this
+  /// node: (session, response, ok) with ok true on commit, false on a
+  /// crash kill. Retracted-but-queued work does not fire the hook — the
+  /// caller that retracts decides whether the work re-routes (keeping the
+  /// tag) or drops. Distinct from the departure hook, which the admission
+  /// gate owns. External mode only.
+  void SetSessionHook(std::function<void(int32_t, double, bool)> on_done);
+
   /// Replaces the (default: constant) workload schedules. Must be called
   /// before Start().
   void SetWorkloadDynamics(WorkloadDynamics dynamics);
@@ -75,8 +84,9 @@ class TransactionSystem {
   /// External mode only: submits one new transaction right now. This is the
   /// entry point a cluster router uses to place work on this node; the node
   /// stamps the work unit (class, access count) from its own workload
-  /// dynamics at the current time.
-  void SubmitExternal();
+  /// dynamics at the current time. `session >= 0` tags the work for the
+  /// session hook (see SetSessionHook).
+  void SubmitExternal(int32_t session = -1);
 
   /// External mode only: submits one transaction whose access plan was
   /// already drawn by the cluster front-end from the global keyspace
@@ -88,7 +98,8 @@ class TransactionSystem {
   /// within this node's database size.
   void SubmitExternalPlanned(TxnClass cls, const std::vector<ItemId>& items,
                              const std::vector<AccessMode>& modes,
-                             const std::vector<uint8_t>& remote);
+                             const std::vector<uint8_t>& remote,
+                             int32_t session = -1);
 
   /// Admits a queued transaction into execution (gate-facing API).
   void Admit(Transaction* txn);
@@ -194,6 +205,7 @@ class TransactionSystem {
   std::vector<Transaction*> free_pool_;  // open mode: idle work units
   std::function<void(Transaction*)> on_submit_;
   std::function<void(Transaction*)> on_departure_;
+  std::function<void(int32_t, double, bool)> on_session_done_;
 
   telemetry::TraceRecorder* trace_ = nullptr;
   int32_t trace_pid_ = 0;

@@ -72,6 +72,12 @@ struct Transaction {
   /// remote-access penalty), parallel to planned_items.
   std::vector<uint8_t> planned_remote;
 
+  /// Workload-source session slot this submission belongs to, or -1 for
+  /// untracked open-loop arrivals. Stamped by the cluster front-end at
+  /// submission; the system reports commit/kill back through the session
+  /// hook so closed-loop sources can drive their think/issue cycle.
+  int32_t session = -1;
+
   /// Pending restart-delay event, cancellable on displacement.
   sim::EventHandle restart_event;
 

@@ -1,0 +1,158 @@
+#include "workload/distribution.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/params.h"
+
+namespace alc::workload {
+
+Distribution Distribution::Constant(double value) {
+  Distribution d;
+  d.kind_ = Kind::kConstant;
+  d.a_ = value;
+  return d;
+}
+
+Distribution Distribution::Exponential(double mean) {
+  ALC_CHECK_GT(mean, 0.0);
+  Distribution d;
+  d.kind_ = Kind::kExponential;
+  d.a_ = mean;
+  return d;
+}
+
+Distribution Distribution::LogNormal(double mu, double sigma) {
+  ALC_CHECK_GE(sigma, 0.0);
+  Distribution d;
+  d.kind_ = Kind::kLogNormal;
+  d.a_ = mu;
+  d.b_ = sigma;
+  return d;
+}
+
+Distribution Distribution::BoundedPareto(double alpha, double lo, double hi) {
+  ALC_CHECK_GT(alpha, 0.0);
+  ALC_CHECK_GT(lo, 0.0);
+  ALC_CHECK_LT(lo, hi);
+  Distribution d;
+  d.kind_ = Kind::kBoundedPareto;
+  d.a_ = alpha;
+  d.b_ = lo;
+  d.c_ = hi;
+  return d;
+}
+
+double Distribution::Sample(sim::RandomStream* rng) const {
+  switch (kind_) {
+    case Kind::kConstant:
+      return a_;
+    case Kind::kExponential:
+      return rng->NextExponential(a_);
+    case Kind::kLogNormal:
+      return std::exp(rng->NextNormal(a_, b_));
+    case Kind::kBoundedPareto: {
+      // Inverse CDF of Pareto(alpha) restricted to [lo, hi]:
+      //   F(x) = (1 - (lo/x)^a) / (1 - (lo/hi)^a)
+      const double u = rng->NextDouble();
+      const double tail = 1.0 - std::pow(b_ / c_, a_);
+      return b_ * std::pow(1.0 - u * tail, -1.0 / a_);
+    }
+  }
+  return 0.0;
+}
+
+double Distribution::Mean() const {
+  switch (kind_) {
+    case Kind::kConstant:
+    case Kind::kExponential:
+      return a_;
+    case Kind::kLogNormal:
+      return std::exp(a_ + 0.5 * b_ * b_);
+    case Kind::kBoundedPareto: {
+      const double alpha = a_, lo = b_, hi = c_;
+      if (alpha == 1.0) {
+        // E[X] = lo*hi/(hi-lo) * ln(hi/lo)
+        return lo * hi / (hi - lo) * std::log(hi / lo);
+      }
+      const double norm =
+          std::pow(lo, alpha) / (1.0 - std::pow(lo / hi, alpha));
+      return norm * alpha / (alpha - 1.0) *
+             (std::pow(lo, 1.0 - alpha) - std::pow(hi, 1.0 - alpha));
+    }
+  }
+  return 0.0;
+}
+
+std::string Distribution::ToString() const {
+  switch (kind_) {
+    case Kind::kConstant:
+      return "constant(" + util::FormatDouble(a_) + ")";
+    case Kind::kExponential:
+      return "exp(" + util::FormatDouble(a_) + ")";
+    case Kind::kLogNormal:
+      return "lognormal(" + util::FormatDouble(a_) + ", " +
+             util::FormatDouble(b_) + ")";
+    case Kind::kBoundedPareto:
+      return "pareto(" + util::FormatDouble(a_) + ", " +
+             util::FormatDouble(b_) + ", " + util::FormatDouble(c_) + ")";
+  }
+  return "constant(0)";
+}
+
+bool Distribution::Parse(std::string_view text, Distribution* out) {
+  const std::string trimmed = util::TrimWhitespace(text);
+  const size_t open = trimmed.find('(');
+  if (open == std::string::npos || trimmed.back() != ')') return false;
+  const std::string name = util::TrimWhitespace(trimmed.substr(0, open));
+  const std::string args = trimmed.substr(open + 1, trimmed.size() - open - 2);
+  const std::vector<std::string> pieces = util::SplitTrimmed(args, ',');
+
+  if (name == "constant") {
+    double value = 0.0;
+    if (pieces.size() != 1 || !util::ParseDouble(pieces[0], &value)) {
+      return false;
+    }
+    *out = Constant(value);
+    return true;
+  }
+  if (name == "exp") {
+    double mean = 0.0;
+    if (pieces.size() != 1 || !util::ParseDouble(pieces[0], &mean) ||
+        mean <= 0.0) {
+      return false;
+    }
+    *out = Exponential(mean);
+    return true;
+  }
+  if (name == "lognormal") {
+    double mu = 0.0, sigma = 0.0;
+    if (pieces.size() != 2 || !util::ParseDouble(pieces[0], &mu) ||
+        !util::ParseDouble(pieces[1], &sigma) || sigma < 0.0) {
+      return false;
+    }
+    *out = LogNormal(mu, sigma);
+    return true;
+  }
+  if (name == "pareto") {
+    double alpha = 0.0, lo = 0.0, hi = 0.0;
+    if (pieces.size() != 3 || !util::ParseDouble(pieces[0], &alpha) ||
+        !util::ParseDouble(pieces[1], &lo) ||
+        !util::ParseDouble(pieces[2], &hi) || alpha <= 0.0 || lo <= 0.0 ||
+        lo >= hi) {
+      return false;
+    }
+    *out = BoundedPareto(alpha, lo, hi);
+    return true;
+  }
+  return false;
+}
+
+bool Distribution::operator==(const Distribution& other) const {
+  return kind_ == other.kind_ && a_ == other.a_ && b_ == other.b_ &&
+         c_ == other.c_;
+}
+
+}  // namespace alc::workload

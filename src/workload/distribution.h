@@ -1,0 +1,82 @@
+#ifndef ALC_WORKLOAD_DISTRIBUTION_H_
+#define ALC_WORKLOAD_DISTRIBUTION_H_
+
+#include <string>
+#include <string_view>
+
+#include "sim/random.h"
+
+namespace alc::workload {
+
+/// A sampleable scalar distribution for workload parameters (think times,
+/// per-session burst lengths). Complements db::Schedule the way variance
+/// complements the mean: schedules say how a rate moves over time, a
+/// Distribution says how individual draws scatter around it. Heavy-tailed
+/// kinds (lognormal, bounded Pareto) model the burst-length and think-time
+/// tails observed in real transaction workloads, which a memoryless
+/// exponential source cannot reproduce.
+class Distribution {
+ public:
+  /// Constant zero; the spec parser and containers need a default state.
+  Distribution() = default;
+
+  /// Every draw returns `value`.
+  static Distribution Constant(double value);
+
+  /// Exponential with the given mean (> 0).
+  static Distribution Exponential(double mean);
+
+  /// exp(N(mu, sigma^2)): lognormal in natural-log parameterization.
+  /// sigma >= 0 (sigma == 0 degenerates to constant exp(mu)).
+  static Distribution LogNormal(double mu, double sigma);
+
+  /// Pareto with shape `alpha` (> 0) truncated to [lo, hi], 0 < lo < hi.
+  /// Sampled by inverse CDF, one uniform per draw. The bounded form keeps
+  /// the analytic mean finite even for alpha <= 1, so statistical pins and
+  /// load planning stay well-defined.
+  static Distribution BoundedPareto(double alpha, double lo, double hi);
+
+  /// Draws one variate. Consumes exactly one uniform for constant (zero),
+  /// exponential, and Pareto draws; lognormal consumes what NextNormal
+  /// does. Constant draws consume nothing.
+  double Sample(sim::RandomStream* rng) const;
+
+  /// Analytic expectation (exact, not sampled).
+  double Mean() const;
+
+  /// Canonical text literal, exact under Parse (doubles round trip):
+  ///
+  ///   constant(4)
+  ///   exp(1.5)                       mean
+  ///   lognormal(0.25, 1.2)           mu, sigma (natural log scale)
+  ///   pareto(1.5, 1, 1000)           alpha, lo, hi (bounded)
+  ///
+  /// The spec-file parser uses these literals for every
+  /// distribution-valued key.
+  std::string ToString() const;
+
+  /// Parses a literal produced by ToString (whitespace-tolerant). Returns
+  /// false on malformed input or out-of-domain parameters and leaves `out`
+  /// untouched.
+  static bool Parse(std::string_view text, Distribution* out);
+
+  /// Structural equality: same kind and exactly equal parameters. A
+  /// constant(1) and a pareto(2, 1, 1) that agree pointwise still compare
+  /// unequal.
+  bool operator==(const Distribution& other) const;
+  bool operator!=(const Distribution& other) const {
+    return !(*this == other);
+  }
+
+ private:
+  enum class Kind { kConstant, kExponential, kLogNormal, kBoundedPareto };
+
+  Kind kind_ = Kind::kConstant;
+  double a_ = 0.0;  // constant value / exp mean / lognormal mu / pareto alpha
+  double b_ = 0.0;  // lognormal sigma / pareto lo
+  double c_ = 0.0;  // pareto hi
+};
+
+}  // namespace alc::workload
+
+#endif  // ALC_WORKLOAD_DISTRIBUTION_H_

@@ -1,0 +1,58 @@
+#ifndef ALC_WORKLOAD_REGISTRY_H_
+#define ALC_WORKLOAD_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/source.h"
+
+namespace alc::workload {
+
+/// What a workload-source factory may consume: the parsed [workload] spec
+/// section, the experiment's arrival-rate schedule (the open source's
+/// drive), and the experiment seed (factories apply their own salts).
+struct WorkloadSourceContext {
+  const WorkloadSpec* spec = nullptr;  // never null inside a factory
+  db::Schedule arrival_rate;
+  uint64_t seed = 0;
+};
+
+using WorkloadSourceFactory =
+    std::function<std::unique_ptr<WorkloadSource>(const WorkloadSourceContext&)>;
+
+/// String-keyed factory registry for workload sources, mirroring
+/// RoutingPolicyRegistry / ControllerRegistry: built-ins ("open", "closed",
+/// "hybrid") self-register, user code adds sources by name and selects
+/// them through `[workload] source = name` with no core edits.
+/// Registration must finish before concurrent Make() calls begin (the
+/// registry takes no locks).
+class WorkloadRegistry {
+ public:
+  static WorkloadRegistry& Global();
+
+  /// False (and no change) when `name` is already taken.
+  bool Register(const std::string& name, WorkloadSourceFactory factory);
+
+  bool Contains(const std::string& name) const;
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Builds the named source. Null on unknown name; `error` (optional)
+  /// then receives a message listing the registered names.
+  std::unique_ptr<WorkloadSource> Make(const std::string& name,
+                                       const WorkloadSourceContext& context,
+                                       std::string* error = nullptr) const;
+
+ private:
+  WorkloadRegistry();
+
+  std::map<std::string, WorkloadSourceFactory> factories_;
+};
+
+}  // namespace alc::workload
+
+#endif  // ALC_WORKLOAD_REGISTRY_H_

@@ -1,0 +1,103 @@
+#ifndef ALC_WORKLOAD_SESSION_H_
+#define ALC_WORKLOAD_SESSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "telemetry/histogram.h"
+#include "workload/source.h"
+
+namespace alc::workload {
+
+/// User-session workload: the population model behind the "closed" and
+/// "hybrid" registry entries.
+///
+/// Hybrid mode (the million-user model): sessions open as a Poisson
+/// process on a schedule-driven rate (diurnal curves are one sinusoid
+/// literal). Each session picks a user uniformly from the population,
+/// derives that user's private RNG stream and key-affinity range from the
+/// user id (so re-running a spec replays the same users doing the same
+/// things), issues a heavy-tailed number of transactions with think times
+/// between completions, and leaves. The offered load is open at the
+/// session level but closed within a session — a surge of new sessions
+/// queues, thinks, and retries like real users instead of like a
+/// memoryless firehose.
+///
+/// Closed mode: a fixed set of forever-cycling sessions (think/issue
+/// loops), the classic interactive-terminals model the paper's single-node
+/// experiments use, now available cluster-wide.
+///
+/// Session state is pooled (slot indices recycle through a free list), so
+/// steady state allocates nothing; `perf_suite --check` pins that. All
+/// telemetry here is observation-only: counters, gauges, and histograms
+/// record what happened but never change what is scheduled.
+class SessionWorkload : public WorkloadSource {
+ public:
+  enum class Mode { kClosed, kHybrid };
+
+  SessionWorkload(Mode mode, const WorkloadSpec& spec, uint64_t seed);
+
+  void Start(sim::Simulator* sim, WorkloadHost* host) override;
+  void OnComplete(int32_t session, double response, bool ok) override;
+  void RegisterMetrics(telemetry::MetricRegistry* registry,
+                       const std::string& prefix) override;
+  void SetTraceRecorder(telemetry::TraceRecorder* trace) override;
+
+  uint64_t sessions_started() const { return sessions_started_; }
+  uint64_t sessions_completed() const { return sessions_completed_; }
+  uint64_t requests_ok() const { return requests_ok_; }
+  uint64_t requests_failed() const { return requests_failed_; }
+  double active_sessions() const { return active_sessions_; }
+  const telemetry::LogHistogram& response_histogram() const {
+    return response_hist_;
+  }
+
+ private:
+  struct Session {
+    Session() : rng(0) {}
+    sim::RandomStream rng;
+    uint64_t user = 0;
+    int64_t remaining = 0;
+    double start_time = 0.0;
+    uint32_t affinity_start = 0;
+    uint32_t affinity_size = 0;
+  };
+
+  void ScheduleNextSessionArrival();
+  void BeginHybridSession();
+  int32_t AcquireSlot();
+  void InitSession(int32_t slot, uint64_t user);
+  void IssueRequest(int32_t slot);
+  void ScheduleThink(int32_t slot);
+  void EndSession(int32_t slot);
+
+  const Mode mode_;
+  const WorkloadSpec spec_;
+  const uint64_t seed_;
+  sim::RandomStream arrival_rng_;  // session arrivals + user identity draws
+
+  sim::Simulator* sim_ = nullptr;
+  WorkloadHost* host_ = nullptr;
+
+  // Pooled session slots. The deque keeps Session storage stable across
+  // growth; free_slots_ recycles finished slots so steady state never
+  // grows the pool.
+  std::deque<Session> pool_;
+  std::vector<int32_t> free_slots_;
+
+  // Telemetry (observation-only).
+  double active_sessions_ = 0.0;
+  uint64_t sessions_started_ = 0;
+  uint64_t sessions_completed_ = 0;
+  uint64_t requests_ok_ = 0;
+  uint64_t requests_failed_ = 0;
+  telemetry::LogHistogram response_hist_;
+  telemetry::LogHistogram session_duration_hist_;
+  telemetry::TraceRecorder* trace_ = nullptr;
+};
+
+}  // namespace alc::workload
+
+#endif  // ALC_WORKLOAD_SESSION_H_

@@ -1,0 +1,161 @@
+#ifndef ALC_WORKLOAD_SOURCE_H_
+#define ALC_WORKLOAD_SOURCE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "db/schedule.h"
+#include "sim/simulator.h"
+#include "telemetry/registry.h"
+#include "telemetry/trace.h"
+#include "util/params.h"
+#include "workload/distribution.h"
+
+namespace alc::workload {
+
+/// One front-end arrival handed from a WorkloadSource to the cluster.
+/// `session < 0` marks an untracked open-loop arrival (fire and forget);
+/// `session >= 0` asks the host to report completion back through
+/// WorkloadSource::OnComplete so the source can drive a think/issue loop.
+/// A nonzero `affinity_size` biases the arrival's access plan toward the
+/// key range [affinity_start, affinity_start + affinity_size): each access
+/// lands in the range with probability `affinity`, uniformly over the full
+/// keyspace otherwise. Sessions carry a per-user range, so locality routing
+/// sees temporally correlated keys instead of a memoryless spray.
+struct Arrival {
+  int32_t session = -1;
+  double affinity = 0.0;
+  uint32_t affinity_start = 0;
+  uint32_t affinity_size = 0;
+};
+
+/// What a workload source may ask of the cluster front-end. Implemented by
+/// cluster::Cluster; kept abstract so sources unit-test against a stub.
+class WorkloadHost {
+ public:
+  virtual ~WorkloadHost() = default;
+
+  /// Routes one arrival to a node (or drops it when no node is live). For
+  /// tracked arrivals the host guarantees exactly one OnComplete callback
+  /// per submission — commit, kill, or immediate drop.
+  virtual void SubmitArrival(const Arrival& arrival) = 0;
+
+  /// Size of the global keyspace arrivals draw keys from, or 0 when the
+  /// cluster routes placement-blind (no key-carrying plans). Sources use
+  /// this to size per-user affinity ranges.
+  virtual uint32_t keyspace() const = 0;
+};
+
+/// Generates the cluster's external arrival process. Replaces the inline
+/// Poisson driver that lived in cluster::Cluster: the cluster now only
+/// routes what a source submits, and the source decides *who* arrives and
+/// *how bursty* they are (open Poisson stream, closed think/issue loops, or
+/// a hybrid session population). Sources run inside the simulation — they
+/// schedule their own events and must preserve bit-determinism (private
+/// RNG streams, no wall-clock input) and steady-state allocation-freedom
+/// (pool session state up front).
+class WorkloadSource {
+ public:
+  virtual ~WorkloadSource() = default;
+
+  /// Called once by the cluster at Start(), before any arrivals. The
+  /// source schedules its first event(s) here. Both pointers outlive the
+  /// source.
+  virtual void Start(sim::Simulator* sim, WorkloadHost* host) = 0;
+
+  /// Completion report for a tracked arrival (Arrival::session >= 0).
+  /// `ok` is true for a commit, false for a crash kill or a routing drop;
+  /// `response` is submit-to-completion time (0 for immediate drops).
+  virtual void OnComplete(int32_t /*session*/, double /*response*/,
+                          bool /*ok*/) {}
+
+  /// Registers source-level metrics (gauges, counters, histograms) under
+  /// `prefix` ("workload."). Observation-only: must not perturb the run.
+  virtual void RegisterMetrics(telemetry::MetricRegistry* /*registry*/,
+                               const std::string& /*prefix*/) {}
+
+  /// Optional trace hook; `trace` outlives the source. Observation-only.
+  virtual void SetTraceRecorder(telemetry::TraceRecorder* /*trace*/) {}
+};
+
+/// Declarative source selection + parameters: the [workload] spec section.
+/// Defaults reproduce the pre-subsystem behavior exactly (source "open"
+/// driven by the experiment's arrival_rate schedule); the session fields
+/// only apply to the "closed" and "hybrid" sources.
+struct WorkloadSpec {
+  /// WorkloadRegistry key: "open", "closed", "hybrid", or user-registered.
+  std::string source = "open";
+
+  /// Hybrid: distinct users behind the session stream. Only the identity
+  /// mix depends on it (user ids pick RNG streams and affinity ranges), so
+  /// a million users cost no more memory than a hundred.
+  uint64_t population = 1000000;
+
+  /// Hybrid: session (user) arrival rate per simulated second; schedule-
+  /// driven so a diurnal curve is one sinusoid literal.
+  db::Schedule session_rate = db::Schedule::Constant(10.0);
+
+  /// Closed: number of permanently-cycling sessions (think/issue loops).
+  int sessions = 100;
+
+  /// Hybrid: transactions a session issues before leaving (draw rounded,
+  /// clamped to >= 1). Heavy-tailed by default: most sessions are short,
+  /// rare ones are 100x the median — the flash-crowd kernel.
+  Distribution txns_per_session = Distribution::BoundedPareto(1.5, 1.0, 1000.0);
+
+  /// Closed + hybrid: think time between a completion and the session's
+  /// next request (draws clamped to >= 0).
+  Distribution think_time = Distribution::Exponential(1.0);
+
+  /// Probability each access of a session's transaction lands in the
+  /// session's private key range (0 disables affinity). Needs placement.
+  double affinity = 0.0;
+
+  /// Size of each user's affinity key range, in keys.
+  int affinity_keys = 64;
+
+  /// Passthrough for user-registered sources ("[workload] mysource.k = v"),
+  /// mirroring routing.* params.
+  util::ParamMap params;
+
+  bool operator==(const WorkloadSpec& other) const {
+    return source == other.source && population == other.population &&
+           session_rate == other.session_rate && sessions == other.sessions &&
+           txns_per_session == other.txns_per_session &&
+           think_time == other.think_time && affinity == other.affinity &&
+           affinity_keys == other.affinity_keys && params == other.params;
+  }
+  bool operator!=(const WorkloadSpec& other) const {
+    return !(*this == other);
+  }
+};
+
+/// Seed salt for the open source's arrival stream. Historically the salt of
+/// the inline cluster Poisson driver; keeping it makes "source = open" (and
+/// every pre-[workload] spec) replay the exact variate sequence the old
+/// driver drew, which the golden manifests pin.
+inline constexpr uint64_t kOpenArrivalSeedSalt = 0xc2b2ae3d27d4eb4fULL;
+
+/// The pre-subsystem driver as a source: a non-homogeneous Poisson stream
+/// over a rate schedule, untracked arrivals. With the cluster's historical
+/// seed salt this reproduces the old inline driver's event and variate
+/// sequence exactly (pinned by the golden node_failover manifest).
+class OpenArrivalSource : public WorkloadSource {
+ public:
+  OpenArrivalSource(db::Schedule rate, uint64_t seed);
+
+  void Start(sim::Simulator* sim, WorkloadHost* host) override;
+
+ private:
+  void Fire();
+  void ScheduleNext();
+
+  db::Schedule rate_;
+  sim::RandomStream rng_;
+  sim::Simulator* sim_ = nullptr;
+  WorkloadHost* host_ = nullptr;
+};
+
+}  // namespace alc::workload
+
+#endif  // ALC_WORKLOAD_SOURCE_H_

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Pre-merge gate: everything a change must pass before it lands, runnable
+# locally in one command. Mirrors the CI release leg:
+#
+#   1. configure + build (Release unless BUILD_DIR is already configured)
+#   2. the full ctest tier-1 suite
+#   3. both alc_compare golden-manifest gates (node_failover + smoke):
+#      fresh runs of the checked-in specs must match the committed
+#      manifests bit-for-bit on the comparable sections
+#   4. perf_suite --smoke --check: the allocation pins (event engine,
+#      session source) must hold
+#
+#   $ tools/premerge.sh            # uses ./build
+#   $ BUILD_DIR=build-rel tools/premerge.sh
+#
+# If a golden gate fails because the spec or engine changed *on purpose*,
+# re-mint the manifest from the fresh run it printed
+# (cp <out>/run.json specs/golden/<name>.run.json) and say so in the PR.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "$OUT_DIR"' EXIT
+
+echo "== configure + build (${BUILD_DIR})"
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j
+
+echo "== tier-1 tests"
+(cd "$BUILD_DIR" && ctest --output-on-failure -j)
+
+echo "== golden gate: node_failover"
+"./$BUILD_DIR/tools/alc_run" specs/node_failover.spec \
+  --out "$OUT_DIR/failover" >/dev/null
+"./$BUILD_DIR/tools/alc_compare" \
+  specs/golden/node_failover.run.json "$OUT_DIR/failover/run.json"
+
+echo "== golden gate: smoke"
+"./$BUILD_DIR/tools/alc_run" specs/smoke.spec \
+  --out "$OUT_DIR/smoke" >/dev/null
+"./$BUILD_DIR/tools/alc_compare" \
+  specs/golden/smoke.run.json "$OUT_DIR/smoke/run.json"
+
+echo "== perf allocation pins"
+"./$BUILD_DIR/bench/perf_suite" --smoke --check \
+  --out "$OUT_DIR/BENCH_perf.json" >/dev/null
+
+echo "premerge: all gates passed"
