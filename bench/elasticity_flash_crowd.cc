@@ -1,0 +1,172 @@
+// Closed-loop elasticity under a flash crowd: a 4-node base fleet with a
+// 2-node standby pool takes a 1100/s surge ([40s, 100s), ~1.8x base
+// capacity) while node 0 crashes mid-surge at t=60 and repairs at t=110.
+//
+// The sweep runs the 2x2 of {fixed fleet | hysteresis autoscaler} x
+// {membership oracle | heartbeat detector} over the checked-in
+// specs/elasticity_flash.spec. Claims under test:
+//
+//  - the autoscaler provisions the standby pool off the measured gate
+//    queue factor within a bounded lag and beats the fixed fleet on
+//    surge-window throughput;
+//  - the heartbeat detector pays a real detection window (misroutes to the
+//    dead node, measurable detection latency) where the oracle pays none;
+//  - the decision audit observes only: re-running the headline variant
+//    with decisions.csv attached commits bit-identically.
+//
+//   $ ./build/bench/elasticity_flash_crowd
+//   $ ./build/tools/alc_run specs/elasticity_flash.spec
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/cluster_experiment.h"
+#include "core/spec.h"
+#include "core/sweep.h"
+#include "util/strformat.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace alc;
+
+constexpr double kSurgeStart = 40.0;
+constexpr double kSurgeEnd = 100.0;
+constexpr double kMaxProvisionLag = 15.0;  // bounded-lag acceptance
+
+core::ExperimentSpec LoadBenchSpec() {
+  core::ExperimentSpec spec;
+  std::string error;
+  const std::string path =
+      std::string(ALC_SOURCE_DIR) + "/specs/elasticity_flash.spec";
+  if (!core::LoadSpecFile(path, &spec, &error)) {
+    std::fprintf(stderr, "elasticity_flash_crowd: %s\n", error.c_str());
+    std::abort();
+  }
+  return spec;
+}
+
+/// Mean aggregate throughput over monitor ticks inside the surge window.
+double SurgeThroughput(const core::ClusterResult& result) {
+  double sum = 0.0;
+  int count = 0;
+  for (const core::TrajectoryPoint& point : result.aggregate) {
+    if (point.time <= kSurgeStart || point.time > kSurgeEnd) continue;
+    sum += point.throughput;
+    ++count;
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+/// Time of the first autoscaler decision that grew the fleet, or -1.
+double FirstProvisionTime(
+    const std::vector<telemetry::DecisionRecord>& decisions) {
+  for (const telemetry::DecisionRecord& record : decisions) {
+    if (std::string(record.controller) == "hysteresis" &&
+        record.new_limit > record.old_limit) {
+      return record.time;
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Closed-loop elasticity: flash crowd vs autoscaled standby pool",
+      "an autoscaler on measured fleet signals + heartbeat failure "
+      "detection recovers flash-crowd throughput that a fixed fleet "
+      "cannot, paying only a bounded provisioning lag and detection "
+      "window");
+
+  core::SweepRunner runner(
+      LoadBenchSpec(),
+      {{"elasticity.scaler", {"none", "hysteresis"}},
+       {"elasticity.detector", {"false", "true"}}});
+  const std::vector<core::SweepPointResult> results =
+      runner.Run(bench::SweepThreads(runner.num_points()));
+
+  util::Table table({"fleet", "membership", "surge tput", "commits",
+                     "provisions", "misroutes", "detect lat", "false susp"});
+  core::ClusterResult fixed_hb, scaled_hb, scaled_oracle;
+  for (const core::SweepPointResult& point : results) {
+    const bool scaled = point.assignment[0].second == "hysteresis";
+    const bool heartbeat = point.assignment[1].second == "true";
+    const core::ClusterResult& result = point.result.cluster_result;
+    if (scaled && heartbeat) scaled_hb = result;
+    if (scaled && !heartbeat) scaled_oracle = result;
+    if (!scaled && heartbeat) fixed_hb = result;
+    table.AddRow(
+        {scaled ? "autoscaled" : "fixed", heartbeat ? "heartbeat" : "oracle",
+         util::StrFormat("%.1f/s", SurgeThroughput(result)),
+         util::StrFormat("%llu",
+                         static_cast<unsigned long long>(result.commits)),
+         util::StrFormat("%llu",
+                         static_cast<unsigned long long>(result.provisions)),
+         util::StrFormat("%llu",
+                         static_cast<unsigned long long>(result.misroutes)),
+         util::StrFormat("%.2fs", result.detection_latency_mean),
+         util::StrFormat(
+             "%llu",
+             static_cast<unsigned long long>(result.false_suspicions))});
+  }
+  table.Print(std::cout);
+
+  // Headline variant once more with the decision audit attached: the CSV
+  // is the artifact (detector verdicts + scaler actions) and the identical
+  // commit count demonstrates observation-only telemetry.
+  core::ExperimentSpec audited = LoadBenchSpec();
+  audited.decisions_path = "elasticity_flash.decisions.csv";
+  const core::SpecRunResult audited_run = core::RunSpec(audited);
+  const double provision_time = FirstProvisionTime(audited_run.decisions);
+  const double provision_lag =
+      provision_time >= 0.0 ? provision_time - kSurgeStart : -1.0;
+
+  const double fixed_tput = SurgeThroughput(fixed_hb);
+  const double scaled_tput = SurgeThroughput(scaled_hb);
+  const bool beats_fixed = scaled_tput > fixed_tput;
+  const bool lag_bounded =
+      provision_lag >= 0.0 && provision_lag <= kMaxProvisionLag;
+  const bool detection_measured = scaled_hb.declared_down > 0 &&
+                                  scaled_hb.detection_latency_mean > 0.0 &&
+                                  scaled_hb.misroutes > 0;
+  const bool oracle_free = scaled_oracle.misroutes == 0;
+  const bool audit_inert =
+      audited_run.cluster_result.commits == scaled_hb.commits;
+
+  std::printf(
+      "\nverdict:\n"
+      "  surge-window throughput, autoscaled + heartbeat : %.1f commits/s\n"
+      "  surge-window throughput, fixed fleet + heartbeat: %.1f commits/s\n"
+      "  closed loop beats fixed fleet: %s\n"
+      "  first provision %.1fs after surge onset (bound %.0fs): %s\n"
+      "  detection window measured (declared=%llu, latency=%.2fs, "
+      "misroutes=%llu): %s\n"
+      "  oracle pays no misroutes: %s\n"
+      "  decision audit observation-only (commits %llu == %llu): %s\n",
+      scaled_tput, fixed_tput, beats_fixed ? "YES" : "NO", provision_lag,
+      kMaxProvisionLag, lag_bounded ? "YES" : "NO",
+      static_cast<unsigned long long>(scaled_hb.declared_down),
+      scaled_hb.detection_latency_mean,
+      static_cast<unsigned long long>(scaled_hb.misroutes),
+      detection_measured ? "YES" : "NO", oracle_free ? "YES" : "NO",
+      static_cast<unsigned long long>(audited_run.cluster_result.commits),
+      static_cast<unsigned long long>(scaled_hb.commits),
+      audit_inert ? "YES" : "NO");
+  std::printf(
+      "\nThe surge arrives at t=%.0fs; the hysteresis loop sees the gate\n"
+      "queue factor cross its threshold and walks the standby pool into\n"
+      "the fleet (slow-start gates, cooldown between steps). Node 0 dies\n"
+      "at t=60 with no oracle: the router keeps paying misroutes until\n"
+      "the heartbeat detector declares it down and retraction re-homes\n"
+      "its queue. decisions.csv: elasticity_flash.decisions.csv\n",
+      kSurgeStart);
+  return beats_fixed && lag_bounded && detection_measured && oracle_free &&
+                 audit_inert
+             ? 0
+             : 1;
+}

@@ -32,7 +32,10 @@ NodeView ClusterNode::View() const {
   NodeView view;
   view.active = system_.active();
   view.gate_queue = gate_.queue_length();
-  view.limit = gate_.limit();
+  // During elasticity slow-start the ramp cap is the bound that actually
+  // admits, so it is what the router (and the retraction scanner) should
+  // see as n*. Identical to limit() outside a ramp.
+  view.limit = gate_.effective_limit();
   return view;
 }
 
@@ -43,6 +46,8 @@ Cluster::Cluster(sim::Simulator* sim, const std::vector<NodeConfig>& nodes,
       policy_(std::move(policy)),
       seed_(seed),
       routed_(nodes.size(), 0),
+      truth_down_(nodes.size(), 0),
+      truth_down_since_(nodes.size(), 0.0),
       crash_kills_(nodes.size(), 0),
       retracted_(nodes.size(), 0),
       lost_(nodes.size(), 0),
@@ -90,6 +95,79 @@ void Cluster::SetLifecycleListener(LifecycleListener listener) {
   listener_ = std::move(listener);
 }
 
+void Cluster::SetManagedMembership(bool managed) {
+  ALC_CHECK(!started_);
+  managed_ = managed;
+}
+
+void Cluster::SetNodeStandby(int node) {
+  ALC_CHECK(!started_);
+  ALC_CHECK_GE(node, 0);
+  ALC_CHECK_LT(node, size());
+  states_[node] = NodeState::kStandby;
+  lifecycle_active_ = true;
+  live_.clear();
+  for (int i = 0; i < size(); ++i) {
+    if (states_[i] == NodeState::kUp) live_.push_back(i);
+  }
+}
+
+void Cluster::ForceTransition(int node, NodeState to) {
+  ALC_CHECK_GE(node, 0);
+  ALC_CHECK_LT(node, size());
+  ApplyTransition(node, to);
+}
+
+void Cluster::InjectTruth(int node, NodeState to) {
+  ALC_CHECK(managed_);
+  switch (to) {
+    case NodeState::kDown: {
+      if (truth_down_[node] != 0) return;
+      // The node is dead as of now — but only ground truth knows. Its gate
+      // freezes (arrivals keep piling up behind a dead connection), its
+      // in-flight work dies, and the membership stays put until the
+      // failure detector declares it.
+      truth_down_[node] = 1;
+      truth_down_since_[node] = sim_->Now();
+      nodes_[node]->gate().SetFrozen(true);
+      const int killed = nodes_[node]->system().CrashActive();
+      crash_kills_[node] += static_cast<uint64_t>(killed);
+      if (retraction_.enabled) {
+        for (int k = 0; k < killed; ++k) RetryElsewhere(node);
+      } else {
+        lost_[node] += static_cast<uint64_t>(killed);
+      }
+      if (trace_ != nullptr) trace_->Instant("node_fault", node, sim_->Now());
+      if (util::Logger::level() <= util::LogLevel::kInfo) {
+        ALC_LOG(kInfo, "node_fault node=" + std::to_string(node) +
+                           " killed=" + std::to_string(killed));
+      }
+      break;
+    }
+    case NodeState::kUp: {
+      if (truth_down_[node] != 0) {
+        // Repair: the node answers heartbeats again. The membership still
+        // believes whatever the detector last declared; recovery flows
+        // through the detector's clear path, not through the oracle.
+        truth_down_[node] = 0;
+        nodes_[node]->gate().SetFrozen(false);
+        if (trace_ != nullptr) {
+          trace_->Instant("node_repair", node, sim_->Now());
+        }
+      } else if (states_[node] == NodeState::kDrain) {
+        // Un-drain is an announced administrative action, not a fault.
+        ApplyTransition(node, NodeState::kUp);
+      }
+      break;
+    }
+    case NodeState::kDrain:
+    case NodeState::kStandby:
+      // Announced transitions go straight to the membership.
+      ApplyTransition(node, to);
+      break;
+  }
+}
+
 void Cluster::SetTraceRecorder(telemetry::TraceRecorder* recorder) {
   trace_ = recorder;
   for (int i = 0; i < size(); ++i) {
@@ -101,6 +179,7 @@ void Cluster::RegisterMetrics(telemetry::MetricRegistry* registry) const {
   registry->LinkCounter("cluster.total_routed", &total_routed_);
   registry->LinkCounter("cluster.arrivals_dropped", &arrivals_dropped_);
   registry->LinkCounter("cluster.epoch", &epoch_);
+  registry->LinkCounter("cluster.misroutes", &misroutes_);
   for (int i = 0; i < size(); ++i) {
     const std::string prefix = "node" + std::to_string(i) + ".";
     registry->LinkCounter(prefix + "routed", &routed_[i]);
@@ -163,7 +242,13 @@ void Cluster::Start() {
     for (int i = 0; i < size(); ++i) {
       for (const auto& [time, state] : configs_[i].availability.transitions()) {
         const NodeState to = state;
-        sim_->ScheduleAt(time, [this, i, to] { ApplyTransition(i, to); });
+        if (managed_) {
+          // Measured mode: the schedule injects ground-truth faults; the
+          // membership follows only when the detector acts.
+          sim_->ScheduleAt(time, [this, i, to] { InjectTruth(i, to); });
+        } else {
+          sim_->ScheduleAt(time, [this, i, to] { ApplyTransition(i, to); });
+        }
       }
     }
   }
@@ -196,9 +281,10 @@ void Cluster::ApplyTransition(int node, NodeState to) {
     if (states_[i] == NodeState::kUp) live_.push_back(i);
   }
   ++epoch_;
-  const char* transition_name = to == NodeState::kDown    ? "node_down"
-                                : to == NodeState::kDrain ? "node_drain"
-                                                          : "node_up";
+  const char* transition_name = to == NodeState::kDown      ? "node_down"
+                                : to == NodeState::kDrain   ? "node_drain"
+                                : to == NodeState::kStandby ? "node_standby"
+                                                            : "node_up";
   if (trace_ != nullptr) {
     const double now = sim_->Now();
     trace_->Instant(transition_name, node, now);
@@ -221,16 +307,21 @@ void Cluster::ApplyTransition(int node, NodeState to) {
 
   switch (to) {
     case NodeState::kDown: {
-      // Crash: queued admissions are retracted and re-routed (or dropped
-      // without retraction), in-flight work is killed and — with
-      // retraction — retried elsewhere as fresh requests.
+      // Crash declaration: queued admissions are retracted and re-routed
+      // (or dropped without retraction). In oracle mode the crash itself
+      // happens here too; in managed mode the data plane already died at
+      // InjectTruth — what moves now is the queue that piled up during the
+      // detection window. A falsely declared node keeps its admitted work
+      // running, like a drain.
       RetractAndReroute(node, INT_MAX, /*drop=*/!retraction_.enabled);
-      const int killed = nodes_[node]->system().CrashActive();
-      crash_kills_[node] += static_cast<uint64_t>(killed);
-      if (retraction_.enabled) {
-        for (int k = 0; k < killed; ++k) RetryElsewhere(node);
-      } else {
-        lost_[node] += static_cast<uint64_t>(killed);
+      if (!managed_) {
+        const int killed = nodes_[node]->system().CrashActive();
+        crash_kills_[node] += static_cast<uint64_t>(killed);
+        if (retraction_.enabled) {
+          for (int k = 0; k < killed; ++k) RetryElsewhere(node);
+        } else {
+          lost_[node] += static_cast<uint64_t>(killed);
+        }
       }
       break;
     }
@@ -242,12 +333,20 @@ void Cluster::ApplyTransition(int node, NodeState to) {
         RetractAndReroute(node, INT_MAX, /*drop=*/false);
       }
       break;
+    case NodeState::kStandby:
+      // Back to the provisionable pool: whatever is still queued moves
+      // elsewhere (the autoscaler drains before standby, so this is
+      // usually empty), admitted stragglers finish on their own.
+      RetractAndReroute(node, INT_MAX, /*drop=*/!retraction_.enabled);
+      break;
     case NodeState::kUp:
-      // Rejoin. After a crash the control plane either restarts fresh
+      // (Re)join. After a crash the control plane either restarts fresh
       // (gate back to the initial limit here, controller rebuilt by the
-      // lifecycle listener) or keeps what it had learned.
-      if (from == NodeState::kDown &&
-          configs_[node].rejoin == RejoinPolicy::kFresh) {
+      // lifecycle listener) or keeps what it had learned; a node leaving
+      // the standby pool always starts fresh.
+      if ((from == NodeState::kDown &&
+           configs_[node].rejoin == RejoinPolicy::kFresh) ||
+          from == NodeState::kStandby) {
         nodes_[node]->gate().SetLimit(configs_[node].initial_limit);
       }
       break;
@@ -309,14 +408,16 @@ void Cluster::RetractAndReroute(int node, int max_count, bool drop) {
       context.keys = &plan_.access_items;
       context.catalog = catalog_.get();
       context.partitions = &plan_partitions_;
+      context.is_retraction = true;
       const int target = policy_->Route(membership, context);
       SubmitPlanned(target, session);
     } else {
-      const int target = policy_->Route(membership, RouteContext{});
+      RouteContext context;
+      context.is_retraction = true;
+      const int target = policy_->Route(membership, context);
       ALC_CHECK_GE(target, 0);
       ALC_CHECK_LT(target, size());
-      ++routed_[target];
-      ++total_routed_;
+      NoteRouted(target);
       nodes_[target]->system().SubmitExternal(session);
     }
   }
@@ -346,8 +447,7 @@ void Cluster::RetryElsewhere(int origin) {
     const int target = policy_->Route(membership, RouteContext{});
     ALC_CHECK_GE(target, 0);
     ALC_CHECK_LT(target, size());
-    ++routed_[target];
-    ++total_routed_;
+    NoteRouted(target);
     nodes_[target]->system().SubmitExternal();
   }
 }
@@ -401,8 +501,7 @@ void Cluster::SubmitArrival(const workload::Arrival& arrival) {
   ALC_CHECK_GE(target, 0);
   ALC_CHECK_LT(target, size());
   ALC_CHECK(states_[target] == NodeState::kUp);
-  ++routed_[target];
-  ++total_routed_;
+  NoteRouted(target);
   nodes_[target]->system().SubmitExternal(arrival.session);
 }
 
@@ -437,6 +536,14 @@ void Cluster::StampPlan(const workload::Arrival& arrival) {
   }
 }
 
+void Cluster::NoteRouted(int target) {
+  ++routed_[target];
+  ++total_routed_;
+  // A routed arrival landing on an in-truth-dead member is a misroute: the
+  // cost of measured (rather than oracle) failure detection.
+  if (managed_ && truth_down_[target] != 0) ++misroutes_;
+}
+
 void Cluster::SubmitPlanned(int target, int32_t session) {
   ALC_CHECK_GE(target, 0);
   ALC_CHECK_LT(target, size());
@@ -462,8 +569,7 @@ void Cluster::SubmitPlanned(int target, int32_t session) {
     }
   }
 
-  ++routed_[target];
-  ++total_routed_;
+  NoteRouted(target);
   nodes_[target]->system().SubmitExternalPlanned(
       plan_.cls, plan_.access_items, plan_.access_modes, remote_flags_,
       session);

@@ -175,6 +175,43 @@ class Cluster : public workload::WorkloadHost {
   /// Registers the lifecycle listener. Must be called before Start().
   void SetLifecycleListener(LifecycleListener listener);
 
+  /// Managed-membership mode (measured failure detection). Availability
+  /// transitions to down/up stop flipping the membership directly and
+  /// become ground-truth fault injection instead: a node's crash freezes
+  /// its gate and kills its in-flight work, but the router keeps sending
+  /// arrivals to it (counted in misroutes()) until the failure detector
+  /// calls ForceTransition(kDown) — the detection window is a real,
+  /// measurable cost. Must be called before Start().
+  void SetManagedMembership(bool managed);
+  bool managed_membership() const { return managed_; }
+
+  /// Moves a node into the standby pool before the run starts: it begins
+  /// outside the membership holding no work, available for the autoscaler
+  /// to provision. Must be called before Start().
+  void SetNodeStandby(int node);
+
+  /// Applies a membership transition as the *control plane's* belief — the
+  /// actuator for failure detectors (declare kDown / kUp) and autoscalers
+  /// (provision standby -> kUp, drain kUp -> kDrain -> kStandby). In
+  /// managed mode the data-plane crash semantics stay with the ground
+  /// truth: declaring a truly-dead node down retracts its piled-up queue
+  /// through the retraction path; declaring a live node down (false
+  /// positive) moves its queue but lets admitted work finish, like a
+  /// drain.
+  void ForceTransition(int node, NodeState to);
+
+  /// Ground-truth fault injection (managed mode): what availability
+  /// schedules actuate instead of the membership.
+  void InjectTruth(int node, NodeState to);
+
+  /// True while node i is in truth crashed (managed mode only).
+  bool truth_down(int i) const { return truth_down_[i] != 0; }
+  /// Time the current truth fault of node i began (valid while
+  /// truth_down(i)).
+  double truth_down_since(int i) const { return truth_down_since_[i]; }
+  /// Arrivals routed to an in-truth-dead node during detection windows.
+  uint64_t misroutes() const { return misroutes_; }
+
   /// Attaches an optional trace recorder: each node's system emits its
   /// lifecycle with pid = node index, and the cluster emits membership
   /// epoch transitions and retraction batches. nullptr detaches.
@@ -246,6 +283,9 @@ class Cluster : public workload::WorkloadHost {
   /// Routes the already-stamped plan_ to `target`: remote marking, serve
   /// charges, submission (tagged with `session` when >= 0).
   void SubmitPlanned(int target, int32_t session = -1);
+  /// Routing bookkeeping shared by every submission path: per-node and
+  /// total counts plus misroute detection against the ground truth.
+  void NoteRouted(int target);
 
   sim::Simulator* sim_;
   std::vector<std::unique_ptr<ClusterNode>> nodes_;
@@ -266,6 +306,11 @@ class Cluster : public workload::WorkloadHost {
   std::vector<int> live_;  // sorted live node indices
   uint64_t epoch_ = 0;
   bool lifecycle_active_ = false;  // any non-always-up schedule?
+  // Managed-membership (measured failure detection) state.
+  bool managed_ = false;
+  std::vector<uint8_t> truth_down_;      // ground truth: node is crashed
+  std::vector<double> truth_down_since_;  // fault start time per node
+  uint64_t misroutes_ = 0;
   RetractionConfig retraction_;
   LifecycleListener listener_;
   std::vector<uint64_t> crash_kills_;

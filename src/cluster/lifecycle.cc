@@ -22,6 +22,8 @@ const char* NodeStateName(NodeState state) {
       return "drain";
     case NodeState::kDown:
       return "down";
+    case NodeState::kStandby:
+      return "standby";
   }
   return "?";
 }
@@ -33,6 +35,8 @@ bool ParseNodeState(std::string_view text, NodeState* out) {
     *out = NodeState::kDrain;
   } else if (text == "down") {
     *out = NodeState::kDown;
+  } else if (text == "standby") {
+    *out = NodeState::kStandby;
   } else {
     return false;
   }
@@ -133,7 +137,7 @@ bool AvailabilitySchedule::Parse(std::string_view text,
   NodeState initial;
   if (!ParseNodeState(initial_text, &initial)) {
     SetError(error, "unknown availability state '" + initial_text +
-                        "' (expected up/drain/down)");
+                        "' (expected up/drain/down/standby)");
     return false;
   }
   std::vector<std::pair<double, NodeState>> transitions;
@@ -158,7 +162,7 @@ bool AvailabilitySchedule::Parse(std::string_view text,
           util::TrimWhitespace(piece.substr(colon + 1));
       if (!ParseNodeState(state_text, &state)) {
         SetError(error, "unknown availability state '" + state_text +
-                            "' (expected up/drain/down)");
+                            "' (expected up/drain/down/standby)");
         return false;
       }
       transitions.emplace_back(time, state);

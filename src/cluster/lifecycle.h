@@ -12,12 +12,16 @@ namespace alc::cluster {
 /// (what the data plane does on each transition) live in cluster::Cluster;
 /// this header only carries the schedule vocabulary.
 ///
-///   kUp    — member of the routing set, executes work normally.
-///   kDrain — removed from the routing set; no new work is routed to it,
-///            but everything already queued or admitted finishes.
-///   kDown  — crashed: in-flight work is lost, the gate queue is either
-///            retracted and re-routed (front-end displacement) or dropped.
-enum class NodeState { kUp, kDrain, kDown };
+///   kUp      — member of the routing set, executes work normally.
+///   kDrain   — removed from the routing set; no new work is routed to it,
+///              but everything already queued or admitted finishes.
+///   kDown    — crashed: in-flight work is lost, the gate queue is either
+///              retracted and re-routed (front-end displacement) or dropped.
+///   kStandby — provisionable but not provisioned: outside the routing set,
+///              holding no work, waiting for the elasticity autoscaler to
+///              bring it up. Unlike kDown, entering standby loses nothing
+///              (queued work is retracted first).
+enum class NodeState { kUp, kDrain, kDown, kStandby };
 
 const char* NodeStateName(NodeState state);
 bool ParseNodeState(std::string_view text, NodeState* out);

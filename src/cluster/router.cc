@@ -138,16 +138,31 @@ int RandomPolicy::Route(const MembershipView& cluster,
 
 int JoinShortestQueuePolicy::Route(const MembershipView& cluster,
                                    const RouteContext& context) {
-  (void)context;
   const std::vector<int>& live = *cluster.live;
   ALC_CHECK(!live.empty());
   const size_t n = live.size();
   size_t best = rotate_ % n;
-  for (size_t j = 1; j < n; ++j) {
-    const size_t i = (rotate_ + j) % n;
-    if (Occupancy(cluster.view(live[i])) <
-        Occupancy(cluster.view(live[best]))) {
-      best = i;
+  if (context.is_retraction) {
+    // Displacement-aware variant: retracted work goes where the gate has
+    // the most admission headroom (n* - occupancy), so it restarts instead
+    // of trading one queue for another. Equivalent to shortest-queue when
+    // all limits are equal.
+    for (size_t j = 1; j < n; ++j) {
+      const size_t i = (rotate_ + j) % n;
+      const NodeView& candidate = cluster.view(live[i]);
+      const NodeView& incumbent = cluster.view(live[best]);
+      if (candidate.limit - Occupancy(candidate) >
+          incumbent.limit - Occupancy(incumbent)) {
+        best = i;
+      }
+    }
+  } else {
+    for (size_t j = 1; j < n; ++j) {
+      const size_t i = (rotate_ + j) % n;
+      if (Occupancy(cluster.view(live[i])) <
+          Occupancy(cluster.view(live[best]))) {
+        best = i;
+      }
     }
   }
   rotate_ = (rotate_ + 1) % n;

@@ -93,6 +93,12 @@ struct RouteContext {
   /// front-end already maps keys for heat accounting); policies use it to
   /// avoid re-mapping on the per-arrival hot path. Must parallel `keys`.
   const std::vector<int>* partitions = nullptr;
+  /// True when this decision re-routes retracted work (displacement after a
+  /// crash, drain, or degradation shed). Retracted transactions already
+  /// waited in a queue once; load-aware policies use the flag to prefer
+  /// nodes with gate *headroom* (n* minus occupancy) — somewhere the work
+  /// will actually be admitted — over plain shortest-queue.
+  bool is_retraction = false;
 
   bool has_placement() const {
     return keys != nullptr && catalog != nullptr && !keys->empty();

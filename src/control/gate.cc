@@ -42,9 +42,11 @@ void AdmissionGate::OnDeparture(db::Transaction* txn) {
 }
 
 void AdmissionGate::TryAdmit() {
-  // Paper's rule: admit iff n < n*.
+  if (frozen_) return;
+  // Paper's rule: admit iff n < n* (capped by the slow-start ramp).
+  const double bound = effective_limit();
   while (!queue_.empty() &&
-         static_cast<double>(system_->active()) < limit_) {
+         static_cast<double>(system_->active()) < bound) {
     db::Transaction* next = queue_.front();
     queue_.pop_front();
     ++total_admitted_;
@@ -73,23 +75,40 @@ void AdmissionGate::SetLimit(double limit) {
   TryAdmit();
 }
 
+void AdmissionGate::SetRampCap(double cap) {
+  ALC_CHECK_GT(cap, 0.0);
+  ramp_cap_ = cap;
+  TryAdmit();  // a ramp step only ever raises the cap
+}
+
+void AdmissionGate::ClearRampCap() {
+  ramp_cap_ = 0.0;
+  TryAdmit();
+}
+
+void AdmissionGate::SetFrozen(bool frozen) {
+  if (frozen_ == frozen) return;
+  frozen_ = frozen;
+  if (!frozen_) TryAdmit();
+}
+
 void AdmissionGate::DisplaceExcess() {
   // The admission rule "admit while n < n*" has fixed point ceil(n*); use
   // the same target here so displaced transactions are not re-admitted in
   // the same control action.
-  int excess = system_->active() - static_cast<int>(std::ceil(limit_));
+  int excess =
+      system_->active() - static_cast<int>(std::ceil(effective_limit()));
   if (excess <= 0) return;
-  std::vector<db::Transaction*> active;
-  system_->CollectActive(&active);
+  system_->CollectActive(&displace_scratch_);
   // Youngest first: latest attempt start, ties by larger id.
-  std::sort(active.begin(), active.end(),
+  std::sort(displace_scratch_.begin(), displace_scratch_.end(),
             [](const db::Transaction* a, const db::Transaction* b) {
               if (a->attempt_start_time != b->attempt_start_time) {
                 return a->attempt_start_time > b->attempt_start_time;
               }
               return a->id > b->id;
             });
-  for (db::Transaction* txn : active) {
+  for (db::Transaction* txn : displace_scratch_) {
     if (excess <= 0) break;
     system_->Displace(txn);
     ++total_displaced_;

@@ -33,6 +33,25 @@ class AdmissionGate {
   void SetLimit(double limit);
   double limit() const { return limit_; }
 
+  /// Elasticity warm-up slow-start: an additional cap on top of n* while a
+  /// freshly provisioned node ramps. The effective threshold is
+  /// min(n*, ramp cap); the per-node controller keeps tuning n* underneath
+  /// and takes over fully once the ramp clears.
+  void SetRampCap(double cap);
+  void ClearRampCap();
+  bool ramping() const { return ramp_cap_ > 0.0; }
+  /// The admission rule's actual bound: min(n*, ramp cap) while ramping.
+  double effective_limit() const {
+    return ramp_cap_ > 0.0 && ramp_cap_ < limit_ ? ramp_cap_ : limit_;
+  }
+
+  /// Crash freeze (managed-membership mode): a frozen gate accepts
+  /// submissions into its queue but admits nothing — the node is in truth
+  /// dead, yet the front-end keeps routing to it until the failure detector
+  /// notices. Unfreezing re-admits per the normal rule.
+  void SetFrozen(bool frozen);
+  bool frozen() const { return frozen_; }
+
   void EnableDisplacement(bool enabled) { displacement_ = enabled; }
   bool displacement_enabled() const { return displacement_; }
 
@@ -60,11 +79,14 @@ class AdmissionGate {
 
   db::TransactionSystem* system_;
   double limit_;
+  double ramp_cap_ = 0.0;  // 0 = no ramp in effect
+  bool frozen_ = false;
   bool displacement_ = false;
   std::deque<db::Transaction*> queue_;
   uint64_t total_admitted_ = 0;
   uint64_t total_displaced_ = 0;
   uint64_t total_retracted_ = 0;
+  std::vector<db::Transaction*> displace_scratch_;  // reused per displacement
 };
 
 }  // namespace alc::control

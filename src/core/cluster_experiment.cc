@@ -9,6 +9,7 @@
 #include "control/monitor.h"
 #include "control/tuner.h"
 #include "core/introspect.h"
+#include "elasticity/elasticity.h"
 #include "sim/simulator.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -66,6 +67,19 @@ ClusterResult ClusterExperiment::Run() {
   cluster.SetRetraction(scenario_.retraction);
   if (trace_ != nullptr) cluster.SetTraceRecorder(trace_);
 
+  // Elasticity wiring happens before Start(): managed membership flips the
+  // availability schedules to ground-truth injection, and the standby pool
+  // is the last `standby` node indices (so node 0 is always base fleet).
+  const elasticity::ElasticityConfig& elastic = scenario_.elasticity;
+  if (elastic.enabled) {
+    ALC_CHECK_GE(elastic.standby, 0);
+    ALC_CHECK_LT(elastic.standby, num_nodes);
+    if (elastic.detector) cluster.SetManagedMembership(true);
+    for (int i = num_nodes - elastic.standby; i < num_nodes; ++i) {
+      cluster.SetNodeStandby(i);
+    }
+  }
+
   // The arrival process comes from the workload registry; the default spec
   // selects "open", which the cluster would also build on its own — going
   // through the registry here keeps user-registered sources reachable from
@@ -122,9 +136,11 @@ ClusterResult ClusterExperiment::Run() {
       // would have taught. The monitor keeps ticking regardless — every
       // node series must stay on the shared grid for aggregation and CSV
       // alignment. Draining nodes keep their loop: they still finish
-      // admitted work.
-      const bool down =
-          cluster.node_state(i) == cluster::NodeState::kDown;
+      // admitted work. Standby nodes idle like down ones: nothing reaches
+      // them until the autoscaler provisions them.
+      const cluster::NodeState state = cluster.node_state(i);
+      const bool down = state == cluster::NodeState::kDown ||
+                        state == cluster::NodeState::kStandby;
       double bound = gate->limit();
       if (!down) {
         const double old_limit = bound;
@@ -172,7 +188,11 @@ ClusterResult ClusterExperiment::Run() {
   cluster.SetLifecycleListener([&controllers, this](int node,
                                                     cluster::NodeState from,
                                                     cluster::NodeState to) {
-    if (from == cluster::NodeState::kDown && to == cluster::NodeState::kUp &&
+    // A provision from standby is a cold start like a fresh rejoin: the
+    // cluster resets the gate, the experiment rebuilds the controller.
+    if ((from == cluster::NodeState::kDown ||
+         from == cluster::NodeState::kStandby) &&
+        to == cluster::NodeState::kUp &&
         scenario_.nodes[node].rejoin == cluster::RejoinPolicy::kFresh) {
       controllers[node] = MakeNodeController(scenario_.nodes[node]);
     }
@@ -201,6 +221,17 @@ ClusterResult ClusterExperiment::Run() {
   cluster.RegisterMetrics(&registry);
   workload_source->RegisterMetrics(&registry, "workload.");
 
+  // The elasticity loop (heartbeat detector + autoscaler) rides the same
+  // event queue; Start() schedules its first ticks at t = interval, so
+  // calling it before cluster.Start() changes nothing at t = 0.
+  std::unique_ptr<elasticity::ElasticityController> elasticity_loop;
+  if (elastic.enabled) {
+    elasticity_loop = std::make_unique<elasticity::ElasticityController>(
+        &simulator, &cluster, elastic, scenario_.seed, audit_, trace_);
+    elasticity_loop->RegisterMetrics(&registry);
+    elasticity_loop->Start();
+  }
+
   cluster.Start();
   for (auto& monitor : monitors) monitor->Start();
   simulator.RunUntil(scenario_.duration);
@@ -213,6 +244,15 @@ ClusterResult ClusterExperiment::Run() {
   result.membership = metrics.membership();
   result.final_epoch = cluster.epoch();
   result.arrivals_dropped = cluster.arrivals_dropped();
+  result.misroutes = cluster.misroutes();
+  if (elasticity_loop != nullptr) {
+    result.suspicions = elasticity_loop->suspicions();
+    result.false_suspicions = elasticity_loop->false_suspicions();
+    result.declared_down = elasticity_loop->declared_down();
+    result.provisions = elasticity_loop->provisions();
+    result.drains = elasticity_loop->drains();
+    result.detection_latency_mean = elasticity_loop->detection_latency_mean();
+  }
   if (cluster.catalog() != nullptr) {
     result.rebalances = cluster.catalog()->rebalances();
     result.migrations = cluster.catalog()->migrations();

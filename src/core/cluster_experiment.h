@@ -89,6 +89,17 @@ struct ClusterResult {
   uint64_t lost = 0;          // work lost to crashes without retraction
   uint64_t arrivals_dropped = 0;  // arrivals with no live node to go to
 
+  // Elasticity runs only (zero otherwise):
+  /// Arrivals routed to a ground-truth-dead node during detection windows.
+  uint64_t misroutes = 0;
+  uint64_t suspicions = 0;        // detector suspicion onsets
+  uint64_t false_suspicions = 0;  // ... of nodes that were actually alive
+  uint64_t declared_down = 0;     // detector down declarations
+  uint64_t provisions = 0;        // standby nodes brought into the fleet
+  uint64_t drains = 0;            // fleet nodes drained back to standby
+  /// Mean time from ground-truth fault to the detector's kDown declaration.
+  double detection_latency_mean = 0.0;
+
   // Placement runs only (zero/empty otherwise):
   double remote_frac = 0.0;  // cluster-wide remote share of accesses
   uint64_t rebalances = 0;   // rebalance ticks that ran

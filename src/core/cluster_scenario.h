@@ -11,6 +11,7 @@
 #include "core/scenario.h"
 #include "db/schedule.h"
 #include "db/workload.h"
+#include "elasticity/config.h"
 #include "placement/catalog.h"
 #include "util/params.h"
 
@@ -63,6 +64,9 @@ struct ClusterScenarioConfig {
   /// Cluster-level displacement: front-end retraction of queued admissions
   /// from nodes that leave or degrade past the queue-factor threshold.
   cluster::RetractionConfig retraction;
+  /// Closed-loop elasticity: heartbeat failure detection + autoscaler over
+  /// a standby pool (off by default; see elasticity::ElasticityConfig).
+  elasticity::ElasticityConfig elasticity;
   /// Seeds the router policy and the arrival stream (node variates come
   /// from the per-node system seeds).
   uint64_t seed = 1;

@@ -10,6 +10,7 @@
 
 #include "cluster/registry.h"
 #include "control/registry.h"
+#include "elasticity/autoscaler.h"
 #include "util/check.h"
 #include "workload/registry.h"
 
@@ -457,6 +458,139 @@ bool AssignPlacementKey(ExperimentSpec* spec, const std::string& key,
   return false;
 }
 
+bool AssignElasticityKey(ExperimentSpec* spec, const std::string& key,
+                         const std::string& value, std::string* error) {
+  elasticity::ElasticityConfig* e = &spec->elasticity;
+  if (key == "enabled") return SetBoolField(key, value, &e->enabled, error);
+  if (key == "detector") return SetBoolField(key, value, &e->detector, error);
+  elasticity::HeartbeatConfig* hb = &e->heartbeat;
+  if (key == "hb.interval") {
+    if (!SetDoubleField(key, value, &hb->interval, error)) return false;
+    if (hb->interval <= 0.0) {
+      *error = "key 'hb.interval': must be > 0";
+      return false;
+    }
+    return true;
+  }
+  if (key == "hb.timeout") {
+    if (!SetDoubleField(key, value, &hb->timeout, error)) return false;
+    if (hb->timeout <= 0.0) {
+      *error = "key 'hb.timeout': must be > 0";
+      return false;
+    }
+    return true;
+  }
+  if (key == "hb.suspect_after") {
+    if (!SetIntField(key, value, &hb->suspect_after, error)) return false;
+    if (hb->suspect_after < 1) {
+      *error = "key 'hb.suspect_after': must be >= 1";
+      return false;
+    }
+    return true;
+  }
+  if (key == "hb.down_after") {
+    if (!SetIntField(key, value, &hb->down_after, error)) return false;
+    if (hb->down_after < 1) {
+      *error = "key 'hb.down_after': must be >= 1";
+      return false;
+    }
+    return true;
+  }
+  if (key == "hb.clear_after") {
+    if (!SetIntField(key, value, &hb->clear_after, error)) return false;
+    if (hb->clear_after < 1) {
+      *error = "key 'hb.clear_after': must be >= 1";
+      return false;
+    }
+    return true;
+  }
+  if (key == "hb.delay_base") {
+    if (!SetDoubleField(key, value, &hb->delay_base, error)) return false;
+    if (hb->delay_base < 0.0) {
+      *error = "key 'hb.delay_base': must be >= 0";
+      return false;
+    }
+    return true;
+  }
+  if (key == "hb.delay_load") {
+    if (!SetDoubleField(key, value, &hb->delay_load, error)) return false;
+    if (hb->delay_load < 0.0) {
+      *error = "key 'hb.delay_load': must be >= 0";
+      return false;
+    }
+    return true;
+  }
+  if (key == "scaler") {
+    if (!CheckRegistered(elasticity::AutoscalerRegistry::Global(),
+                         "autoscaler", value, error)) {
+      return false;
+    }
+    e->scaler = value;
+    return true;
+  }
+  if (key == "scaler_interval") {
+    if (!SetDoubleField(key, value, &e->scaler_interval, error)) return false;
+    if (e->scaler_interval <= 0.0) {
+      *error = "key 'scaler_interval': must be > 0";
+      return false;
+    }
+    return true;
+  }
+  if (key == "standby") {
+    if (!SetIntField(key, value, &e->standby, error)) return false;
+    if (e->standby < 0) {
+      *error = "key 'standby': must be >= 0";
+      return false;
+    }
+    return true;
+  }
+  if (key == "min_live") {
+    if (!SetIntField(key, value, &e->min_live, error)) return false;
+    if (e->min_live < 1) {
+      *error = "key 'min_live': must be >= 1";
+      return false;
+    }
+    return true;
+  }
+  if (key == "slow_start_initial") {
+    if (!SetDoubleField(key, value, &e->slow_start_initial, error)) {
+      return false;
+    }
+    if (e->slow_start_initial <= 0.0) {
+      *error = "key 'slow_start_initial': must be > 0";
+      return false;
+    }
+    return true;
+  }
+  if (key == "slow_start_duration") {
+    if (!SetDoubleField(key, value, &e->slow_start_duration, error)) {
+      return false;
+    }
+    if (e->slow_start_duration <= 0.0) {
+      *error = "key 'slow_start_duration': must be > 0";
+      return false;
+    }
+    return true;
+  }
+  if (key == "drain_delay") {
+    if (!SetDoubleField(key, value, &e->drain_delay, error)) return false;
+    if (e->drain_delay < 0.0) {
+      *error = "key 'drain_delay': must be >= 0";
+      return false;
+    }
+    return true;
+  }
+  if (HasPrefix(key, "scaler.")) {
+    // Autoscaler parameters flow through as strings, e.g. scaler.pi.kp ->
+    // scaler_params["pi.kp"]; unknown keys belong to externally registered
+    // policies and are validated by the consuming factory.
+    e->scaler_params.Set(key.substr(7), value);
+    return true;
+  }
+  *error = "unknown elasticity key '" + key + "'";
+  return false;
+}
+
 /// Parse-time-only per-node state: `count` cloning and whether the node
 /// declared its own seed (both drive the expansion pass). Null in override
 /// mode, where `count` is rejected.
@@ -811,6 +945,29 @@ std::string PrintSpec(const ExperimentSpec& spec) {
   EmitDouble(&out, "remote.latency", spec.remote_access.latency);
   EmitDouble(&out, "remote.serve_cpu", spec.remote_access.serve_cpu);
 
+  out += "\n[elasticity]\n";
+  const elasticity::ElasticityConfig& elastic = spec.elasticity;
+  EmitBool(&out, "enabled", elastic.enabled);
+  EmitBool(&out, "detector", elastic.detector);
+  const elasticity::HeartbeatConfig& heartbeat = elastic.heartbeat;
+  EmitDouble(&out, "hb.interval", heartbeat.interval);
+  EmitDouble(&out, "hb.timeout", heartbeat.timeout);
+  EmitInt(&out, "hb.suspect_after", heartbeat.suspect_after);
+  EmitInt(&out, "hb.down_after", heartbeat.down_after);
+  EmitInt(&out, "hb.clear_after", heartbeat.clear_after);
+  EmitDouble(&out, "hb.delay_base", heartbeat.delay_base);
+  EmitDouble(&out, "hb.delay_load", heartbeat.delay_load);
+  Emit(&out, "scaler", elastic.scaler);
+  EmitDouble(&out, "scaler_interval", elastic.scaler_interval);
+  EmitInt(&out, "standby", elastic.standby);
+  EmitInt(&out, "min_live", elastic.min_live);
+  EmitDouble(&out, "slow_start_initial", elastic.slow_start_initial);
+  EmitDouble(&out, "slow_start_duration", elastic.slow_start_duration);
+  EmitDouble(&out, "drain_delay", elastic.drain_delay);
+  for (const auto& [key, value] : elastic.scaler_params.entries()) {
+    Emit(&out, "scaler." + key, value);
+  }
+
   for (const NodeSpec& node : spec.nodes) {
     EmitNode(&out, node);
   }
@@ -823,7 +980,14 @@ bool ParseSpec(const std::string& text, ExperimentSpec* out,
   NamedSchedules named;
   std::vector<NodeParseState> node_states;
 
-  enum class Section { kExperiment, kSchedules, kWorkload, kPlacement, kNode };
+  enum class Section {
+    kExperiment,
+    kSchedules,
+    kWorkload,
+    kPlacement,
+    kElasticity,
+    kNode
+  };
   Section section = Section::kExperiment;
 
   std::istringstream stream(text);
@@ -863,6 +1027,8 @@ bool ParseSpec(const std::string& text, ExperimentSpec* out,
         section = Section::kWorkload;
       } else if (name == "placement") {
         section = Section::kPlacement;
+      } else if (name == "elasticity") {
+        section = Section::kElasticity;
       } else if (name == "node") {
         spec.nodes.emplace_back();
         node_states.emplace_back();
@@ -910,6 +1076,9 @@ bool ParseSpec(const std::string& text, ExperimentSpec* out,
         break;
       case Section::kPlacement:
         ok = AssignPlacementKey(&spec, key, value, named, &message);
+        break;
+      case Section::kElasticity:
+        ok = AssignElasticityKey(&spec, key, value, &message);
         break;
       case Section::kNode:
         ok = AssignNodeKey(&spec.nodes.back(), key, value, named,
@@ -992,6 +1161,35 @@ bool ParseSpec(const std::string& text, ExperimentSpec* out,
       }
       return false;
     }
+    if (spec.elasticity.enabled) {
+      // Elasticity is fleet machinery: heartbeats probe routed members and
+      // the autoscaler moves nodes in and out of the membership.
+      if (error != nullptr) {
+        *error = "elasticity requires cluster mode (cluster = true)";
+      }
+      return false;
+    }
+  }
+  if (spec.elasticity.enabled) {
+    // Cross-field checks a per-key validator cannot see. Matching aborts
+    // exist at run time (HeartbeatDetector / ElasticityController CHECKs);
+    // failing here names the line instead.
+    if (spec.elasticity.heartbeat.down_after <
+        spec.elasticity.heartbeat.suspect_after) {
+      if (error != nullptr) {
+        *error = "elasticity hb.down_after must be >= hb.suspect_after";
+      }
+      return false;
+    }
+    if (spec.elasticity.standby >= static_cast<int>(spec.nodes.size())) {
+      if (error != nullptr) {
+        *error = "elasticity standby pool (" +
+                 std::to_string(spec.elasticity.standby) +
+                 ") must leave at least one live node (" +
+                 std::to_string(spec.nodes.size()) + " nodes)";
+      }
+      return false;
+    }
   }
 
   *out = std::move(spec);
@@ -1052,6 +1250,13 @@ bool ApplySpecOverride(ExperimentSpec* spec, const std::string& key,
       }
       return false;
     }
+    if (HasPrefix(key, "elasticity.")) {
+      if (error != nullptr) {
+        *error = "override '" + key +
+                 "': elasticity requires cluster mode (cluster = true)";
+      }
+      return false;
+    }
   }
 
   if (key == "seed") {
@@ -1086,6 +1291,13 @@ bool ApplySpecOverride(ExperimentSpec* spec, const std::string& key,
   if (HasPrefix(key, "workload.")) {
     if (!AssignWorkloadKey(spec, key.substr(9), value, kNoSchedules,
                            &message)) {
+      if (error != nullptr) *error = message;
+      return false;
+    }
+    return true;
+  }
+  if (HasPrefix(key, "elasticity.")) {
+    if (!AssignElasticityKey(spec, key.substr(11), value, &message)) {
       if (error != nullptr) *error = message;
       return false;
     }
@@ -1191,6 +1403,7 @@ ExperimentSpec SpecFromCluster(const ClusterScenarioConfig& scenario) {
   spec.placement_workload = scenario.placement.workload;
   spec.placement_dynamics = scenario.placement.dynamics;
   spec.remote_access = scenario.remote_access;
+  spec.elasticity = scenario.elasticity;
   spec.nodes.reserve(scenario.nodes.size());
   for (const ClusterNodeScenario& node : scenario.nodes) {
     NodeSpec node_spec;
@@ -1234,6 +1447,7 @@ ClusterScenarioConfig ToClusterScenario(const ExperimentSpec& spec) {
   scenario.placement.workload = spec.placement_workload;
   scenario.placement.dynamics = spec.placement_dynamics;
   scenario.remote_access = spec.remote_access;
+  scenario.elasticity = spec.elasticity;
   scenario.seed = spec.seed;
   scenario.duration = spec.duration;
   scenario.warmup = spec.warmup;

@@ -10,6 +10,7 @@
 #include "core/experiment.h"
 #include "core/scenario.h"
 #include "db/config.h"
+#include "elasticity/config.h"
 #include "db/schedule.h"
 #include "db/workload.h"
 #include "placement/catalog.h"
@@ -132,6 +133,11 @@ struct ExperimentSpec {
   std::optional<db::WorkloadDynamics> placement_dynamics;
   db::RemoteAccessConfig remote_access;
 
+  /// Cluster mode: closed-loop elasticity ([elasticity] section) — measured
+  /// heartbeat failure detection replacing the membership oracle, and an
+  /// autoscaler provisioning/draining a standby pool off fleet signals.
+  elasticity::ElasticityConfig elasticity;
+
   bool operator==(const ExperimentSpec& other) const {
     return name == other.name && cluster == other.cluster &&
            seed == other.seed && duration == other.duration &&
@@ -150,7 +156,8 @@ struct ExperimentSpec {
            placement == other.placement &&
            placement_workload == other.placement_workload &&
            placement_dynamics == other.placement_dynamics &&
-           remote_access == other.remote_access;
+           remote_access == other.remote_access &&
+           elasticity == other.elasticity;
   }
   bool operator!=(const ExperimentSpec& other) const {
     return !(*this == other);

@@ -1,0 +1,100 @@
+#ifndef ALC_ELASTICITY_CONFIG_H_
+#define ALC_ELASTICITY_CONFIG_H_
+
+#include <string>
+
+#include "util/params.h"
+
+namespace alc::elasticity {
+
+/// Heartbeat failure-detection parameters. The front-end probes every
+/// announced member once per `interval`; a probe *misses* when the node's
+/// ground truth is down or when the modeled round-trip exceeds `timeout`.
+/// The round trip grows with the node's front-end occupancy,
+///
+///   rtt = delay_base * (1 + delay_load * occupancy / n*),
+///
+/// so a saturated-but-alive node can exceed the timeout and be falsely
+/// suspected — the failure mode real phi/timeout detectors trade against,
+/// here as a measurable, deterministic phenomenon.
+struct HeartbeatConfig {
+  double interval = 0.5;  // seconds between probes of one node
+  double timeout = 0.05;  // rtt above this counts as a missed beat
+  int suspect_after = 1;  // consecutive misses -> suspected
+  int down_after = 3;     // consecutive misses -> declared down
+  int clear_after = 2;    // consecutive good beats -> cleared / recovered
+  double delay_base = 0.005;  // modeled rtt of an idle node
+  double delay_load = 2.0;    // rtt growth per unit of occupancy / n*
+
+  bool operator==(const HeartbeatConfig& other) const {
+    return interval == other.interval && timeout == other.timeout &&
+           suspect_after == other.suspect_after &&
+           down_after == other.down_after &&
+           clear_after == other.clear_after &&
+           delay_base == other.delay_base && delay_load == other.delay_load;
+  }
+  bool operator!=(const HeartbeatConfig& other) const {
+    return !(*this == other);
+  }
+};
+
+/// The closed elasticity loop above the per-node admission loop: measured
+/// failure detection (heartbeats feeding the router-visible membership
+/// instead of the availability oracle) and a fleet autoscaler that
+/// provisions/drains nodes from a standby pool off measured signals.
+struct ElasticityConfig {
+  /// Master switch. When false nothing below runs and cluster runs stay
+  /// byte-identical to pre-elasticity builds.
+  bool enabled = false;
+
+  /// Measured failure detection. When true the cluster runs in managed-
+  /// membership mode: availability transitions to down/up change ground
+  /// truth only (the node crashes, its gate freezes), and the router keeps
+  /// mis-routing to it until the heartbeat detector declares it down — the
+  /// detection window is paid through the existing retraction path. When
+  /// false, transitions apply to the membership directly (the oracle).
+  bool detector = true;
+  HeartbeatConfig heartbeat;
+
+  /// Fleet autoscaler: an AutoscalerRegistry name ("none" disables the
+  /// control loop; the standby pool then never provisions).
+  std::string scaler = "none";
+  util::ParamMap scaler_params;  // canonical keys: "hysteresis.*", "pi.*"
+  double scaler_interval = 1.0;  // seconds between fleet samples
+
+  /// Standby pool: the last `standby` nodes of the fleet start outside the
+  /// membership (state standby) and are provisioned by the autoscaler.
+  int standby = 0;
+  /// The autoscaler never drains below this many live nodes.
+  int min_live = 1;
+
+  /// Warm-up slow-start of a provisioned node: its admission gate opens at
+  /// `slow_start_initial` and the cap doubles per step over
+  /// `slow_start_duration` seconds until it clears — a cold node is not
+  /// handed a full share of a flash crowd on its first second.
+  double slow_start_initial = 4.0;
+  double slow_start_duration = 10.0;
+
+  /// Scale-down grace: a drained node returns to the standby pool after
+  /// this many seconds (its queue is retracted immediately; stragglers
+  /// finish during the grace period).
+  double drain_delay = 5.0;
+
+  bool operator==(const ElasticityConfig& other) const {
+    return enabled == other.enabled && detector == other.detector &&
+           heartbeat == other.heartbeat && scaler == other.scaler &&
+           scaler_params == other.scaler_params &&
+           scaler_interval == other.scaler_interval &&
+           standby == other.standby && min_live == other.min_live &&
+           slow_start_initial == other.slow_start_initial &&
+           slow_start_duration == other.slow_start_duration &&
+           drain_delay == other.drain_delay;
+  }
+  bool operator!=(const ElasticityConfig& other) const {
+    return !(*this == other);
+  }
+};
+
+}  // namespace alc::elasticity
+
+#endif  // ALC_ELASTICITY_CONFIG_H_

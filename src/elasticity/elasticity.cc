@@ -1,0 +1,361 @@
+#include "elasticity/elasticity.h"
+
+#include <algorithm>
+#include <string>
+
+#include "telemetry/registry.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace alc::elasticity {
+
+ElasticityController::ElasticityController(sim::Simulator* sim,
+                                           cluster::Cluster* cluster,
+                                           const ElasticityConfig& config,
+                                           uint64_t seed,
+                                           telemetry::DecisionAudit* audit,
+                                           telemetry::TraceRecorder* trace)
+    : sim_(sim),
+      cluster_(cluster),
+      config_(config),
+      audit_(audit),
+      trace_(trace),
+      detector_(config.heartbeat, cluster->size()),
+      pool_member_(cluster->size(), 0),
+      ramps_(cluster->size()),
+      prev_hists_(cluster->size()) {
+  ALC_CHECK(sim != nullptr);
+  ALC_CHECK(cluster != nullptr);
+  ALC_CHECK(config.enabled);
+  ALC_CHECK_GT(config.heartbeat.interval, 0.0);
+  ALC_CHECK_GT(config.scaler_interval, 0.0);
+  ALC_CHECK_GE(config.min_live, 1);
+  if (config.detector) ALC_CHECK(cluster->managed_membership());
+  AutoscalerContext context;
+  context.params = &config_.scaler_params;
+  context.seed = seed;
+  std::string error;
+  scaler_ = AutoscalerRegistry::Global().Make(config_.scaler, context, &error);
+  if (scaler_ == nullptr) {
+    ALC_LOG(kError, error);
+    ALC_CHECK(scaler_ != nullptr);
+  }
+  scaling_enabled_ = config_.scaler != "none";
+  for (int i = 0; i < cluster_->size(); ++i) {
+    if (cluster_->node_state(i) == cluster::NodeState::kStandby) {
+      pool_member_[i] = 1;
+      pool_size_ += 1.0;
+    }
+  }
+}
+
+void ElasticityController::RegisterMetrics(
+    telemetry::MetricRegistry* registry) const {
+  registry->LinkCounter("elasticity.suspicions", &suspicions_);
+  registry->LinkCounter("elasticity.false_suspicions", &false_suspicions_);
+  registry->LinkCounter("elasticity.declared_down", &declared_down_);
+  registry->LinkCounter("elasticity.recoveries", &recoveries_);
+  registry->LinkCounter("elasticity.provisions", &provisions_);
+  registry->LinkCounter("elasticity.drains", &drains_);
+  registry->LinkGauge("elasticity.pool_size", &pool_size_);
+  registry->LinkGauge("elasticity.detection_latency_last",
+                      &detection_latency_last_);
+  registry->LinkGauge("elasticity.detection_latency_mean",
+                      &detection_latency_mean_);
+}
+
+void ElasticityController::Start() {
+  if (config_.detector) {
+    for (int i = 0; i < cluster_->size(); ++i) {
+      sim_->Schedule(config_.heartbeat.interval,
+                     [this, i] { HeartbeatTick(i); });
+    }
+  }
+  if (scaling_enabled_) {
+    // Seed the p95 window baselines so the first sample covers exactly the
+    // first interval.
+    for (int i = 0; i < cluster_->size(); ++i) {
+      prev_hists_[i] = cluster_->node(i).system().metrics().response_hist;
+    }
+    sim_->Schedule(config_.scaler_interval, [this] { ScalerTick(); });
+  }
+  UpdatePoolGauge();
+}
+
+void ElasticityController::UpdatePoolGauge() {
+  int standby = 0;
+  for (int i = 0; i < cluster_->size(); ++i) {
+    if (cluster_->node_state(i) == cluster::NodeState::kStandby) ++standby;
+  }
+  pool_size_ = static_cast<double>(standby);
+  if (trace_ != nullptr) {
+    trace_->Counter("pool", telemetry::TraceRecorder::kClusterPid,
+                    sim_->Now(), pool_size_);
+  }
+}
+
+void ElasticityController::RecordDetector(int node, const char* reason,
+                                          int live_before, double rtt,
+                                          double latency) {
+  if (audit_ == nullptr) return;
+  telemetry::DecisionRecord record;
+  record.time = sim_->Now();
+  record.node = node;
+  record.controller = "heartbeat-detector";
+  record.reason = reason;
+  record.old_limit = static_cast<double>(live_before);
+  record.new_limit = static_cast<double>(cluster_->num_live());
+  record.num_state = 0;
+  record.state_names[record.num_state] = "misses";
+  record.state_values[record.num_state++] =
+      static_cast<double>(detector_.consecutive_misses(node));
+  record.state_names[record.num_state] = "rtt";
+  record.state_values[record.num_state++] = rtt;
+  if (latency > 0.0) {
+    record.state_names[record.num_state] = "detect_latency";
+    record.state_values[record.num_state++] = latency;
+  }
+  audit_->Record(record);
+}
+
+void ElasticityController::HeartbeatTick(int node) {
+  const cluster::NodeState state = cluster_->node_state(node);
+  if (state == cluster::NodeState::kStandby) {
+    // Standby nodes are not probed; their next provisioning starts with a
+    // clean detection history.
+    detector_.Reset(node);
+    sim_->Schedule(config_.heartbeat.interval,
+                   [this, node] { HeartbeatTick(node); });
+    return;
+  }
+
+  // Modeled probe round-trip: grows with the node's front-end occupancy
+  // relative to its admission limit, so deep overload looks like silence.
+  // The denominator is the gate's configured limit, not the slow-start
+  // effective limit — a ramped cap throttles admission, not the node's
+  // ability to answer a probe (using the ramp cap would flap freshly
+  // provisioned nodes straight back out of the membership).
+  const cluster::NodeView view = cluster_->node(node).View();
+  const double rel = static_cast<double>(cluster::Occupancy(view)) /
+                     std::max(cluster_->node(node).gate().limit(), 1.0);
+  const double rtt =
+      config_.heartbeat.delay_base * (1.0 + config_.heartbeat.delay_load * rel);
+  const bool missed = cluster_->truth_down(node) || rtt > config_.heartbeat.timeout;
+
+  const int live_before = cluster_->num_live();
+  switch (detector_.Observe(node, missed)) {
+    case HealthEvent::kNone:
+      break;
+    case HealthEvent::kSuspected: {
+      ++suspicions_;
+      const bool real = cluster_->truth_down(node);
+      if (!real) ++false_suspicions_;
+      if (trace_ != nullptr) {
+        trace_->Instant("suspect", node, sim_->Now());
+      }
+      RecordDetector(node, real ? "suspect" : "false-suspect", live_before,
+                     rtt, 0.0);
+      break;
+    }
+    case HealthEvent::kDeclaredDown: {
+      ++declared_down_;
+      double latency = 0.0;
+      const bool real = cluster_->truth_down(node);
+      if (real) {
+        latency = sim_->Now() - cluster_->truth_down_since(node);
+        detection_latency_last_ = latency;
+        detection_latency_sum_ += latency;
+        ++detections_;
+        detection_latency_mean_ = detection_latency_sum_ /
+                                  static_cast<double>(detections_);
+      } else if (detector_.consecutive_misses(node) >=
+                 config_.heartbeat.down_after) {
+        // A declaration of a live node went through the suspect stage (or
+        // skipped it when the thresholds coincide) — either way it is a
+        // false declaration.
+        if (config_.heartbeat.suspect_after >= config_.heartbeat.down_after) {
+          ++false_suspicions_;
+        }
+      }
+      // Declare it: the membership finally learns what ground truth has
+      // known for `latency` seconds. The piled-up gate queue moves through
+      // the retraction path now.
+      if (state == cluster::NodeState::kUp ||
+          state == cluster::NodeState::kDrain) {
+        cluster_->ForceTransition(node, cluster::NodeState::kDown);
+      }
+      RecordDetector(node, real ? "down-confirmed" : "down-false",
+                     live_before, rtt, latency);
+      break;
+    }
+    case HealthEvent::kCleared: {
+      if (trace_ != nullptr) trace_->Instant("clear", node, sim_->Now());
+      RecordDetector(node, "clear", live_before, rtt, 0.0);
+      break;
+    }
+    case HealthEvent::kRecovered: {
+      ++recoveries_;
+      if (state == cluster::NodeState::kDown) {
+        cluster_->ForceTransition(node, cluster::NodeState::kUp);
+        StartRamp(node);
+      }
+      RecordDetector(node, "recover", live_before, rtt, 0.0);
+      break;
+    }
+  }
+  sim_->Schedule(config_.heartbeat.interval,
+                 [this, node] { HeartbeatTick(node); });
+}
+
+void ElasticityController::StartRamp(int node) {
+  if (config_.slow_start_initial <= 0.0 || config_.slow_start_duration <= 0.0) {
+    return;
+  }
+  Ramp& ramp = ramps_[node];
+  ++ramp.gen;
+  ramp.step = 0;
+  ramp.cap = config_.slow_start_initial;
+  cluster_->node(node).gate().SetRampCap(ramp.cap);
+  const uint64_t gen = ramp.gen;
+  sim_->Schedule(config_.slow_start_duration / 8.0,
+                 [this, node, gen] { RampStep(node, gen); });
+}
+
+void ElasticityController::RampStep(int node, uint64_t gen) {
+  Ramp& ramp = ramps_[node];
+  if (ramp.gen != gen) return;  // superseded by a newer ramp
+  if (cluster_->node_state(node) != cluster::NodeState::kUp) {
+    // The node left the membership mid-ramp; abandon the ramp (a fresh
+    // provision restarts it from the initial cap).
+    cluster_->node(node).gate().ClearRampCap();
+    ++ramp.gen;
+    return;
+  }
+  ++ramp.step;
+  if (ramp.step >= 8) {
+    cluster_->node(node).gate().ClearRampCap();
+    return;
+  }
+  ramp.cap *= 2.0;
+  cluster_->node(node).gate().SetRampCap(ramp.cap);
+  sim_->Schedule(config_.slow_start_duration / 8.0,
+                 [this, node, gen] { RampStep(node, gen); });
+}
+
+void ElasticityController::FinishDrain(int node, uint64_t gen) {
+  if (ramps_[node].gen != gen) return;  // re-provisioned during the grace
+  if (cluster_->node_state(node) != cluster::NodeState::kDrain) return;
+  cluster_->ForceTransition(node, cluster::NodeState::kStandby);
+  detector_.Reset(node);
+  UpdatePoolGauge();
+}
+
+void ElasticityController::ScalerTick() {
+  FleetSample sample;
+  sample.time = sim_->Now();
+  sample.live = cluster_->num_live();
+
+  double queue_factor_sum = 0.0;
+  for (const int i : cluster_->live_nodes()) {
+    const cluster::NodeView view = cluster_->node(i).View();
+    queue_factor_sum +=
+        static_cast<double>(view.gate_queue) / std::max(view.limit, 1.0);
+  }
+  sample.queue_factor =
+      sample.live > 0 ? queue_factor_sum / sample.live : 0.0;
+
+  // Fleet p95 over the last interval: merge each node's histogram delta.
+  window_.Clear();
+  for (int i = 0; i < cluster_->size(); ++i) {
+    delta_ = cluster_->node(i).system().metrics().response_hist;
+    delta_.Subtract(prev_hists_[i]);
+    window_.Merge(delta_);
+    prev_hists_[i] = cluster_->node(i).system().metrics().response_hist;
+  }
+  sample.p95 = window_.count() > 0 ? window_.Quantile(0.95) : 0.0;
+
+  int standby = 0;
+  for (int i = 0; i < cluster_->size(); ++i) {
+    if (cluster_->node_state(i) == cluster::NodeState::kStandby) ++standby;
+  }
+  sample.standby = standby;
+
+  const int live_before = sample.live;
+  ScaleDecision decision = scaler_->Update(sample);
+  const char* outcome = decision.reason;
+  if (decision.delta > 0) {
+    // Provision the lowest-index standby node.
+    int target = -1;
+    for (int i = 0; i < cluster_->size(); ++i) {
+      if (cluster_->node_state(i) == cluster::NodeState::kStandby) {
+        target = i;
+        break;
+      }
+    }
+    if (target < 0) {
+      outcome = "pool-empty";
+    } else {
+      ++ramps_[target].gen;  // invalidate a pending FinishDrain
+      cluster_->ForceTransition(target, cluster::NodeState::kUp);
+      StartRamp(target);
+      ++provisions_;
+      UpdatePoolGauge();
+      if (util::Logger::level() <= util::LogLevel::kInfo) {
+        ALC_LOG(kInfo, "provision node=" + std::to_string(target) +
+                           " live=" + std::to_string(cluster_->num_live()));
+      }
+    }
+  } else if (decision.delta < 0) {
+    // Drain the highest-index live pool member; the base fleet and the
+    // min_live floor are never scaled away.
+    int target = -1;
+    if (cluster_->num_live() > config_.min_live) {
+      for (int i = cluster_->size() - 1; i >= 0; --i) {
+        if (pool_member_[i] != 0 &&
+            cluster_->node_state(i) == cluster::NodeState::kUp &&
+            !cluster_->truth_down(i)) {
+          target = i;
+          break;
+        }
+      }
+    }
+    if (target < 0) {
+      outcome = "no-drain-target";
+    } else {
+      cluster_->ForceTransition(target, cluster::NodeState::kDrain);
+      ++drains_;
+      const uint64_t gen = ramps_[target].gen;
+      sim_->Schedule(config_.drain_delay,
+                     [this, target, gen] { FinishDrain(target, gen); });
+      if (util::Logger::level() <= util::LogLevel::kInfo) {
+        ALC_LOG(kInfo, "drain node=" + std::to_string(target) +
+                           " live=" + std::to_string(cluster_->num_live()));
+      }
+    }
+  }
+
+  if (audit_ != nullptr) {
+    control::DecisionState state;
+    scaler_->DescribeDecision(&state);
+    telemetry::DecisionRecord record;
+    record.time = sample.time;
+    record.node = -1;  // fleet-scope decision
+    record.controller = scaler_->name().data();
+    record.reason = outcome;
+    record.old_limit = static_cast<double>(live_before);
+    record.new_limit = static_cast<double>(cluster_->num_live());
+    record.gate_queue = sample.queue_factor;
+    record.throughput = sample.p95;
+    record.mean_active = static_cast<double>(sample.standby);
+    record.num_state = state.num_values;
+    for (int s = 0; s < state.num_values; ++s) {
+      record.state_names[s] = state.names[s];
+      record.state_values[s] = state.values[s];
+    }
+    audit_->Record(record);
+  }
+
+  sim_->Schedule(config_.scaler_interval, [this] { ScalerTick(); });
+}
+
+}  // namespace alc::elasticity

@@ -1,0 +1,62 @@
+#include "elasticity/heartbeat.h"
+
+#include "util/check.h"
+
+namespace alc::elasticity {
+
+const char* HealthStateName(HealthState state) {
+  switch (state) {
+    case HealthState::kAlive:
+      return "alive";
+    case HealthState::kSuspect:
+      return "suspect";
+    case HealthState::kDown:
+      return "down";
+  }
+  return "?";
+}
+
+HeartbeatDetector::HeartbeatDetector(const HeartbeatConfig& config,
+                                     int num_nodes)
+    : config_(config), nodes_(num_nodes) {
+  ALC_CHECK_GE(config_.suspect_after, 1);
+  ALC_CHECK_GE(config_.down_after, config_.suspect_after);
+  ALC_CHECK_GE(config_.clear_after, 1);
+}
+
+HealthEvent HeartbeatDetector::Observe(int node, bool missed) {
+  NodeHealth& h = nodes_[node];
+  if (missed) {
+    ++h.misses;
+    h.goods = 0;
+    if (h.state == HealthState::kAlive && h.misses >= config_.suspect_after &&
+        h.misses < config_.down_after) {
+      h.state = HealthState::kSuspect;
+      return HealthEvent::kSuspected;
+    }
+    if (h.state != HealthState::kDown && h.misses >= config_.down_after) {
+      // With suspect_after == down_after a node can be declared down from
+      // kAlive directly — the suspicion edge is skipped, not synthesized.
+      h.state = HealthState::kDown;
+      return HealthEvent::kDeclaredDown;
+    }
+    return HealthEvent::kNone;
+  }
+  ++h.goods;
+  h.misses = 0;
+  if (h.state == HealthState::kSuspect && h.goods >= config_.clear_after) {
+    h.state = HealthState::kAlive;
+    h.goods = 0;
+    return HealthEvent::kCleared;
+  }
+  if (h.state == HealthState::kDown && h.goods >= config_.clear_after) {
+    h.state = HealthState::kAlive;
+    h.goods = 0;
+    return HealthEvent::kRecovered;
+  }
+  return HealthEvent::kNone;
+}
+
+void HeartbeatDetector::Reset(int node) { nodes_[node] = NodeHealth{}; }
+
+}  // namespace alc::elasticity

@@ -1,0 +1,61 @@
+#ifndef ALC_ELASTICITY_HEARTBEAT_H_
+#define ALC_ELASTICITY_HEARTBEAT_H_
+
+#include <vector>
+
+#include "elasticity/config.h"
+
+namespace alc::elasticity {
+
+/// Health as the detector believes it — deliberately distinct from the
+/// cluster's ground-truth NodeState. A node the detector calls kDown may in
+/// truth be alive (false positive) and vice versa during the detection
+/// window; the gap between the two is the phenomenon this subsystem
+/// measures.
+enum class HealthState { kAlive, kSuspect, kDown };
+
+const char* HealthStateName(HealthState state);
+
+/// Edge produced by one heartbeat observation.
+enum class HealthEvent {
+  kNone,          // no state change
+  kSuspected,     // kAlive -> kSuspect (suspect_after consecutive misses)
+  kDeclaredDown,  // -> kDown (down_after consecutive misses)
+  kCleared,       // kSuspect -> kAlive (clear_after consecutive good beats)
+  kRecovered,     // kDown -> kAlive (clear_after consecutive good beats)
+};
+
+/// Pure per-node miss/clear counting state machine — no clocks, no events,
+/// no cluster knowledge. The ElasticityController drives it with one
+/// Observe() per heartbeat and acts on the returned edges. Keeping the
+/// machine pure makes the threshold logic unit-testable without a
+/// simulator.
+class HeartbeatDetector {
+ public:
+  HeartbeatDetector(const HeartbeatConfig& config, int num_nodes);
+
+  /// Consumes one heartbeat outcome for `node` (missed = no response within
+  /// the timeout) and returns the state edge it caused, if any.
+  HealthEvent Observe(int node, bool missed);
+
+  /// Forgets everything about `node` (used when a node leaves the fleet for
+  /// the standby pool — its next provisioning starts with a clean slate).
+  void Reset(int node);
+
+  HealthState state(int node) const { return nodes_[node].state; }
+  int consecutive_misses(int node) const { return nodes_[node].misses; }
+
+ private:
+  struct NodeHealth {
+    HealthState state = HealthState::kAlive;
+    int misses = 0;  // consecutive missed beats
+    int goods = 0;   // consecutive good beats
+  };
+
+  HeartbeatConfig config_;
+  std::vector<NodeHealth> nodes_;
+};
+
+}  // namespace alc::elasticity
+
+#endif  // ALC_ELASTICITY_HEARTBEAT_H_

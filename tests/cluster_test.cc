@@ -68,6 +68,38 @@ TEST(RoutingPolicyTest, JsqPicksLeastOccupied) {
   EXPECT_EQ(RouteAllLive(policy, Views({0, 5, 3}, {0, 4, 0})), 0);
 }
 
+TEST(RoutingPolicyTest, JsqRetractionPrefersGateHeadroom) {
+  // Retracted work restarts from the gate queue, so the displacement-aware
+  // variant routes it to admission headroom (limit - occupancy), not to the
+  // shortest queue. Node 0: occupancy 5 against limit 10 (headroom 5).
+  // Node 1: occupancy 8 against limit 50 (headroom 42).
+  auto views = Views({5, 8}, {0, 0});
+  views[0].limit = 10.0;
+  cluster::AllLiveMembership membership(views);
+
+  cluster::RouteContext retraction;
+  retraction.is_retraction = true;
+  cluster::JoinShortestQueuePolicy fresh;
+  EXPECT_EQ(fresh.Route(membership.view(), cluster::RouteContext{}), 0);
+  cluster::JoinShortestQueuePolicy retracting;
+  EXPECT_EQ(retracting.Route(membership.view(), retraction), 1);
+
+  // With equal limits the headroom argmax IS the occupancy argmin: the flag
+  // cannot change routing on a homogeneous fleet (golden-run compatibility).
+  const auto equal = Views({5, 8, 2}, {1, 0, 3});
+  cluster::AllLiveMembership equal_membership(equal);
+  for (int i = 0; i < 6; ++i) {
+    cluster::JoinShortestQueuePolicy a;
+    cluster::JoinShortestQueuePolicy b;
+    for (int spin = 0; spin < i; ++spin) {
+      a.Route(equal_membership.view(), cluster::RouteContext{});
+      b.Route(equal_membership.view(), retraction);
+    }
+    EXPECT_EQ(a.Route(equal_membership.view(), cluster::RouteContext{}),
+              b.Route(equal_membership.view(), retraction));
+  }
+}
+
 TEST(RoutingPolicyTest, JsqBreaksTiesByRotation) {
   cluster::JoinShortestQueuePolicy policy;
   const auto tied = Views({1, 1, 1}, {0, 0, 0});

@@ -4,9 +4,11 @@
 #
 #   1. configure + build (Release unless BUILD_DIR is already configured)
 #   2. the full ctest tier-1 suite
-#   3. both alc_compare golden-manifest gates (node_failover + smoke):
-#      fresh runs of the checked-in specs must match the committed
-#      manifests bit-for-bit on the comparable sections
+#   3. the alc_compare golden-manifest gates (node_failover + smoke +
+#      cluster_routing_flash): fresh runs of the checked-in specs must
+#      match the committed manifests bit-for-bit on the comparable
+#      sections, plus an end-to-end run of the closed-loop elasticity
+#      spec (heartbeat detector + autoscaler over the standby pool)
 #   4. perf_suite --smoke --check: the allocation pins (event engine,
 #      session source) must hold
 #
@@ -41,6 +43,19 @@ echo "== golden gate: smoke"
   --out "$OUT_DIR/smoke" >/dev/null
 "./$BUILD_DIR/tools/alc_compare" \
   specs/golden/smoke.run.json "$OUT_DIR/smoke/run.json"
+
+echo "== golden gate: cluster_routing_flash"
+"./$BUILD_DIR/tools/alc_run" specs/cluster_routing_flash.spec \
+  --out "$OUT_DIR/flash" >/dev/null
+"./$BUILD_DIR/tools/alc_compare" \
+  specs/golden/cluster_routing_flash.run.json "$OUT_DIR/flash/run.json"
+
+echo "== elasticity: closed-loop flash crowd"
+"./$BUILD_DIR/tools/alc_run" specs/elasticity_flash.spec \
+  --out "$OUT_DIR/elasticity" \
+  --decisions "$OUT_DIR/elasticity/decisions.csv" >/dev/null
+grep -q 'elasticity.declared_down' "$OUT_DIR/elasticity/run.json"
+grep -q 'heartbeat-detector' "$OUT_DIR/elasticity/decisions.csv"
 
 echo "== perf allocation pins"
 "./$BUILD_DIR/bench/perf_suite" --smoke --check \
