@@ -225,10 +225,10 @@ void ElasticityController::RampStep(int node, uint64_t gen) {
   Ramp& ramp = ramps_[node];
   if (ramp.gen != gen) return;  // superseded by a newer ramp
   if (cluster_->node_state(node) != cluster::NodeState::kUp) {
-    // The node left the membership mid-ramp; abandon the ramp (a fresh
-    // provision restarts it from the initial cap).
+    // The node left the membership mid-ramp; abandon the ramp but leave
+    // the generation alone — a pending FinishDrain is keyed on it, and a
+    // fresh provision bumps it before restarting from the initial cap.
     cluster_->node(node).gate().ClearRampCap();
-    ++ramp.gen;
     return;
   }
   ++ramp.step;
@@ -284,7 +284,12 @@ void ElasticityController::ScalerTick() {
   ScaleDecision decision = scaler_->Update(sample);
   const char* outcome = decision.reason;
   if (decision.delta > 0) {
-    // Provision the lowest-index standby node.
+    // Provision the lowest-index standby node. No health guard on purpose:
+    // standby nodes are not probed, so the controller has no measured
+    // belief about them — a node that crashed while parked is provisioned
+    // anyway, blackholes its share of arrivals for one detection window,
+    // and is then declared down like any other member. That window is the
+    // honest price of measurement-only provisioning.
     int target = -1;
     for (int i = 0; i < cluster_->size(); ++i) {
       if (cluster_->node_state(i) == cluster::NodeState::kStandby) {
@@ -311,9 +316,13 @@ void ElasticityController::ScalerTick() {
     int target = -1;
     if (cluster_->num_live() > config_.min_live) {
       for (int i = cluster_->size() - 1; i >= 0; --i) {
+        // The guard is the detector's belief, not ground truth — the
+        // autoscaler only ever acts on measured signals. A node that is in
+        // truth dead but not yet declared can be picked; the detector
+        // keeps probing draining nodes and declares it from kDrain.
         if (pool_member_[i] != 0 &&
             cluster_->node_state(i) == cluster::NodeState::kUp &&
-            !cluster_->truth_down(i)) {
+            detector_.state(i) != HealthState::kDown) {
           target = i;
           break;
         }
@@ -322,6 +331,12 @@ void ElasticityController::ScalerTick() {
     if (target < 0) {
       outcome = "no-drain-target";
     } else {
+      // Invalidate any in-flight slow-start ramp and drop its cap before
+      // stamping the completion generation: the stamp taken after the
+      // bump keeps FinishDrain live even though the abandoned RampStep
+      // still fires once (and no-ops on the generation mismatch).
+      ++ramps_[target].gen;
+      cluster_->node(target).gate().ClearRampCap();
       cluster_->ForceTransition(target, cluster::NodeState::kDrain);
       ++drains_;
       const uint64_t gen = ramps_[target].gen;

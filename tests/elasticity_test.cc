@@ -515,6 +515,45 @@ TEST(ElasticityRunTest, HeartbeatLossDuringDrainStillDeclares) {
   EXPECT_GE(CountReason(result.decisions, "underload"), 1);
 }
 
+TEST(ElasticityRunTest, DrainDuringSlowStartReturnsNodeToPool) {
+  // The opening surge provisions standby node 3 with a deliberately long
+  // slow-start (20 s, so a ramp step lands inside every 3 s window); the
+  // load drops at t=6 and the scaler drains the node while its ramp is
+  // still active. The abandoned ramp must not invalidate the pending
+  // FinishDrain: the node has to reach kStandby, proven by the second
+  // surge at t=18 provisioning it again (regression: a mid-ramp drain
+  // once left the node in kDrain forever, silently shrinking the fleet).
+  const std::string text =
+      "[experiment]\n"
+      "cluster = true\nseed = 31\nduration = 28\nwarmup = 2\n"
+      "arrival_rate = steps(220; 6:5, 18:220)\n"
+      "routing = join-shortest-queue\n"
+      "retraction = true\n"
+      "[elasticity]\n"
+      "enabled = true\ndetector = true\n"
+      "hb.interval = 0.5\nhb.timeout = 0.5\n"
+      "hb.suspect_after = 1\nhb.down_after = 4\nhb.clear_after = 2\n"
+      "hb.delay_base = 0.005\nhb.delay_load = 0.1\n"
+      "scaler = hysteresis\nscaler_interval = 0.5\n"
+      "standby = 1\nmin_live = 3\n"
+      "slow_start_initial = 4\nslow_start_duration = 20\n"
+      "drain_delay = 3\n"
+      "scaler.hysteresis.up_queue_factor = 0.3\n"
+      "scaler.hysteresis.down_queue_factor = 0.05\n"
+      "scaler.hysteresis.hold_ticks = 1\n"
+      "scaler.hysteresis.cooldown = 2\n" +
+      NodeBlock() + NodeBlock() + NodeBlock() + NodeBlock();
+  const core::SpecRunResult result =
+      RunText(text, "drain_mid_ramp.decisions.csv");
+  ASSERT_TRUE(result.cluster);
+  const core::ClusterResult& cluster = result.cluster_result;
+  EXPECT_GE(cluster.drains, 1u);
+  // Only node 3 is ever in the pool, so a second provision is only
+  // possible after the mid-ramp drain completed back to kStandby.
+  EXPECT_GE(cluster.provisions, 2u);
+  EXPECT_EQ(cluster.declared_down, 0u);  // nobody ever actually died
+}
+
 // ---------------------------------------------------------------------------
 // Bit-determinism pins of the headline scenario.
 
