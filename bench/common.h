@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <string>
 #include <thread>
 
 #include "core/experiment.h"
@@ -18,6 +20,19 @@
 #include "core/sweep.h"
 
 namespace alc::bench {
+
+/// Directory for bench artifacts (decision CSVs, traces): `--out DIR` if
+/// given, else ./bench_out — never the bare working directory, so repeated
+/// bench runs stop littering the repository root. Created on first use.
+inline std::string OutputDir(int argc, char** argv) {
+  std::string dir = "bench_out";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--out") dir = argv[i + 1];
+  }
+  std::error_code error;
+  std::filesystem::create_directories(dir, error);
+  return dir;
+}
 
 /// The canonical stationary scenario: defaults of db/config.h, admission
 /// bound range 5..750 (the paper's figure axes), measurement interval 1 s

@@ -75,7 +75,9 @@ double FirstProvisionTime(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out_dir = bench::OutputDir(argc, argv);
+  const std::string decisions_csv = out_dir + "/elasticity_flash.decisions.csv";
   bench::PrintHeader(
       "Closed-loop elasticity: flash crowd vs autoscaled standby pool",
       "an autoscaler on measured fleet signals + heartbeat failure "
@@ -120,7 +122,7 @@ int main() {
   // is the artifact (detector verdicts + scaler actions) and the identical
   // commit count demonstrates observation-only telemetry.
   core::ExperimentSpec audited = LoadBenchSpec();
-  audited.decisions_path = "elasticity_flash.decisions.csv";
+  audited.decisions_path = decisions_csv;
   const core::SpecRunResult audited_run = core::RunSpec(audited);
   const double provision_time = FirstProvisionTime(audited_run.decisions);
   const double provision_lag =
@@ -163,8 +165,8 @@ int main() {
       "the fleet (slow-start gates, cooldown between steps). Node 0 dies\n"
       "at t=60 with no oracle: the router keeps paying misroutes until\n"
       "the heartbeat detector declares it down and retraction re-homes\n"
-      "its queue. decisions.csv: elasticity_flash.decisions.csv\n",
-      kSurgeStart);
+      "its queue. decisions.csv: %s\n",
+      kSurgeStart, decisions_csv.c_str());
   return beats_fixed && lag_bounded && detection_measured && oracle_free &&
                  audit_inert
              ? 0

@@ -435,13 +435,15 @@ int main(int argc, char** argv) {
       // millions of events.
       // The failover spec run carries a higher per-commit budget: node
       // crash/rejoin churn rebuilds per-epoch routing state, and the spec
-      // layer snapshots trajectories per node (currently ~1.24/commit with
-      // the pooled displacement scratch; budget leaves headroom without
-      // masking a leaky hot path).
+      // layer snapshots trajectories per node (currently ~0.99/commit with
+      // the chunked slot pool; budget leaves headroom without masking a
+      // leaky hot path).
       // The elasticity flash-crowd run adds queue-factor shedding (each
       // retracted transaction is resubmitted on another node) plus
-      // detector-driven membership churn on top — measured ~4.08/commit,
-      // of which ~3.35 is the shedding baseline with the loop disabled.
+      // detector-driven membership churn on top — measured ~1.71/commit
+      // since the slot pool moved to chunked storage and the gate queue to
+      // a ring buffer (was ~4.08 when every migrated slot cost a deque
+      // block and every drain/refill cycle churned queue blocks).
       // The session source is pinned at exactly zero too: session state is
       // pooled and the warmup covers the pool's high-water mark, so any
       // steady-state allocation is a regression in the source itself.
@@ -456,8 +458,8 @@ int main(int argc, char** argv) {
                          r.name == "end_to_end_trace"
                      ? 0.05
                      : (r.name == "spec_node_failover"
-                            ? 1.28
-                            : (r.name == "spec_elasticity_flash" ? 4.30
+                            ? 1.05
+                            : (r.name == "spec_elasticity_flash" ? 1.90
                                                                  : -1.0)));
       if (limit >= 0.0 && r.allocs_per_item > limit) {
         std::fprintf(stderr,

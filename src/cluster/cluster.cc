@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "telemetry/audit.h"
 #include "telemetry/registry.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -48,6 +49,8 @@ Cluster::Cluster(sim::Simulator* sim, const std::vector<NodeConfig>& nodes,
       routed_(nodes.size(), 0),
       truth_down_(nodes.size(), 0),
       truth_down_since_(nodes.size(), 0.0),
+      retry_rng_(seed ^ 0x9b05688c2b3e6c1fULL),
+      shed_rng_(seed ^ 0x510e527fade682d1ULL),
       crash_kills_(nodes.size(), 0),
       retracted_(nodes.size(), 0),
       lost_(nodes.size(), 0),
@@ -88,6 +91,31 @@ void Cluster::SetRetraction(const RetractionConfig& config) {
   ALC_CHECK_GE(config.queue_factor, 0.0);
   if (config.queue_factor > 0.0) ALC_CHECK_GT(config.check_interval, 0.0);
   retraction_ = config;
+}
+
+void Cluster::SetRetry(const RetryConfig& config) {
+  ALC_CHECK(!started_);
+  if (config.enabled) {
+    ALC_CHECK_GE(config.budget, 0);
+    ALC_CHECK_GT(config.backoff_base, 0.0);
+    ALC_CHECK_GE(config.backoff_factor, 1.0);
+    ALC_CHECK_GE(config.backoff_max, config.backoff_base);
+    ALC_CHECK_GE(config.jitter, 0.0);
+    ALC_CHECK_LE(config.jitter, 1.0);
+  }
+  retry_ = config;
+}
+
+void Cluster::SetDegrade(const DegradeConfig& config) {
+  ALC_CHECK(!started_);
+  if (config.enabled) {
+    ALC_CHECK_GT(config.interval, 0.0);
+    ALC_CHECK_GT(config.shed_query, 0.0);
+    ALC_CHECK_GE(config.shed_update, config.shed_query);
+    ALC_CHECK_GT(config.restore_hysteresis, 0.0);
+    ALC_CHECK_LE(config.restore_hysteresis, 1.0);
+  }
+  degrade_ = config;
 }
 
 void Cluster::SetLifecycleListener(LifecycleListener listener) {
@@ -180,6 +208,11 @@ void Cluster::RegisterMetrics(telemetry::MetricRegistry* registry) const {
   registry->LinkCounter("cluster.arrivals_dropped", &arrivals_dropped_);
   registry->LinkCounter("cluster.epoch", &epoch_);
   registry->LinkCounter("cluster.misroutes", &misroutes_);
+  registry->LinkCounter("cluster.retries", &retries_);
+  registry->LinkCounter("cluster.dead_letters", &dead_letters_);
+  registry->LinkCounter("cluster.shed_query", &shed_query_);
+  registry->LinkCounter("cluster.shed_update", &shed_update_);
+  registry->LinkGauge("cluster.degrade_level", &degrade_level_gauge_);
   for (int i = 0; i < size(); ++i) {
     const std::string prefix = "node" + std::to_string(i) + ".";
     registry->LinkCounter(prefix + "routed", &routed_[i]);
@@ -260,6 +293,7 @@ void Cluster::Start() {
   if (retraction_.enabled && retraction_.queue_factor > 0.0) {
     ScheduleRetractionScan();
   }
+  if (degrade_.enabled) ScheduleDegradeTick();
 }
 
 MembershipView Cluster::Snapshot() {
@@ -374,6 +408,33 @@ void Cluster::RetractAndReroute(int node, int max_count, bool drop) {
     // Retraction bypasses the node's terminal paths, so the session tag
     // travels with the front-end: re-routes keep it, drops report it.
     const int32_t session = txn->session;
+    if (!drop && retry_.enabled) {
+      // Bounded retry: the re-route is deferred by a backoff delay and
+      // charged against the work unit's budget. An empty live set is no
+      // longer terminal — the resubmit re-checks membership after the
+      // backoff, so short total outages are ridden out instead of
+      // dropping the queue.
+      if (txn->retry_count >= retry_.budget) {
+        origin.ReleaseQueued(txn);
+        ++dead_letters_;
+        ++lost_[node];
+        if (session >= 0) source_->OnComplete(session, 0.0, false);
+        continue;
+      }
+      ++retracted_[node];
+      const bool preplanned = txn->preplanned;
+      const int prior = txn->retry_count;
+      if (preplanned) {
+        // Copy the plan out before the slot is released (see below);
+        // ScheduleRetry parks it in the pending slot.
+        plan_.cls = txn->cls;
+        plan_.access_items = txn->planned_items;
+        plan_.access_modes = txn->planned_modes;
+      }
+      origin.ReleaseQueued(txn);
+      ScheduleRetry(node, session, prior, preplanned);
+      continue;
+    }
     if (drop || live_scratch_.empty()) {
       origin.ReleaseQueued(txn);
       ++lost_[node];
@@ -424,6 +485,15 @@ void Cluster::RetractAndReroute(int node, int max_count, bool drop) {
 }
 
 void Cluster::RetryElsewhere(int origin) {
+  if (retry_.enabled) {
+    // Crash replays ride the same deferred backoff path as retractions.
+    // The in-flight execution state (and its retry stamp) died with the
+    // node, so the replay starts a fresh budget; what the budget guards —
+    // queued work bouncing across a sick fleet — cannot happen here
+    // because each hop of the replay is itself crash-killed first.
+    ScheduleRetry(origin, /*session=*/-1, /*prior=*/0, /*preplanned=*/false);
+    return;
+  }
   if (live_.empty()) {
     ++lost_[origin];
     return;
@@ -449,6 +519,166 @@ void Cluster::RetryElsewhere(int origin) {
     ALC_CHECK_LT(target, size());
     NoteRouted(target);
     nodes_[target]->system().SubmitExternal();
+  }
+}
+
+double Cluster::BackoffDelay(int prior_attempts) {
+  double delay = retry_.backoff_base;
+  for (int i = 0; i < prior_attempts; ++i) delay *= retry_.backoff_factor;
+  delay = std::min(delay, retry_.backoff_max);
+  if (retry_.jitter > 0.0) {
+    // Deterministic jitter: de-synchronizes retry herds without breaking
+    // bit-reproducibility — the stream is seeded, and it is only drawn
+    // when the retry path is active, so retry-off runs never see it.
+    delay *= 1.0 + retry_.jitter * (retry_rng_.NextDouble() - 0.5);
+  }
+  return delay;
+}
+
+void Cluster::ScheduleRetry(int origin, int32_t session, int prior,
+                            bool preplanned) {
+  int slot;
+  if (!retry_free_.empty()) {
+    slot = retry_free_.back();
+    retry_free_.pop_back();
+  } else {
+    slot = static_cast<int>(retry_slots_.size());
+    retry_slots_.emplace_back();
+  }
+  PendingRetry& pending = retry_slots_[slot];
+  pending.session = session;
+  pending.attempts = prior + 1;
+  pending.origin = origin;
+  pending.preplanned = preplanned;
+  if (preplanned) {
+    // The caller staged the plan in plan_; copy-assignment into the
+    // recycled slot reuses its vector capacity (no steady-state
+    // allocation).
+    pending.cls = plan_.cls;
+    pending.items = plan_.access_items;
+    pending.modes = plan_.access_modes;
+  } else {
+    pending.items.clear();
+    pending.modes.clear();
+  }
+  sim_->Schedule(BackoffDelay(prior), [this, slot] { ResubmitRetry(slot); });
+}
+
+void Cluster::ResubmitRetry(int slot) {
+  PendingRetry& pending = retry_slots_[slot];
+  const int32_t session = pending.session;
+  if (live_.empty()) {
+    // Still nowhere to go after the backoff: the work is lost. The budget
+    // is not re-charged — a dead fleet is not the bouncing the budget
+    // guards against.
+    ++lost_[pending.origin];
+    if (session >= 0) source_->OnComplete(session, 0.0, false);
+    retry_free_.push_back(slot);
+    return;
+  }
+  ++retries_;
+  if (pending.preplanned) {
+    // The retried request keeps its exact key set, so the remote/local
+    // split stays honest. No heat re-recording: the original submission
+    // already counted these accesses for the rebalancer.
+    ALC_CHECK(catalog_ != nullptr);
+    plan_.cls = pending.cls;
+    plan_.access_items = pending.items;
+    plan_.access_modes = pending.modes;
+    plan_partitions_.clear();
+    for (const db::ItemId key : plan_.access_items) {
+      plan_partitions_.push_back(catalog_->PartitionOf(key));
+    }
+    MembershipView membership = Snapshot();
+    RouteContext context;
+    context.keys = &plan_.access_items;
+    context.catalog = catalog_.get();
+    context.partitions = &plan_partitions_;
+    context.is_retraction = true;
+    const int target = policy_->Route(membership, context);
+    SubmitPlanned(target, session, pending.attempts);
+  } else if (catalog_ != nullptr) {
+    // Crash replay under placement: the original plan died with the node,
+    // so the client re-draws (models a re-issued request).
+    StampPlan(workload::Arrival{});
+    MembershipView membership = Snapshot();
+    RouteContext context;
+    context.keys = &plan_.access_items;
+    context.catalog = catalog_.get();
+    context.partitions = &plan_partitions_;
+    context.is_retraction = true;
+    const int target = policy_->Route(membership, context);
+    SubmitPlanned(target, session, pending.attempts);
+  } else {
+    MembershipView membership = Snapshot();
+    RouteContext context;
+    context.is_retraction = true;
+    const int target = policy_->Route(membership, context);
+    ALC_CHECK_GE(target, 0);
+    ALC_CHECK_LT(target, size());
+    NoteRouted(target);
+    nodes_[target]->system().SubmitExternal(session, pending.attempts);
+  }
+  retry_free_.push_back(slot);
+}
+
+void Cluster::ScheduleDegradeTick() {
+  sim_->Schedule(degrade_.interval, [this] {
+    DegradeTick();
+    ScheduleDegradeTick();
+  });
+}
+
+void Cluster::DegradeTick() {
+  if (live_.empty()) return;  // nothing to measure; hold the level
+  double sum = 0.0;
+  for (const int i : live_) {
+    const NodeView view = nodes_[i]->View();
+    sum += static_cast<double>(view.gate_queue) / std::max(view.limit, 1.0);
+  }
+  const double queue_factor = sum / static_cast<double>(live_.size());
+  const int old_level = degrade_level_;
+  // One rung per tick, in either direction: shedding escalates query-first,
+  // restoration retraces in reverse below hysteresis-scaled thresholds.
+  if (degrade_level_ < 2 && queue_factor >= degrade_.shed_update) {
+    ++degrade_level_;
+  } else if (degrade_level_ < 1 && queue_factor >= degrade_.shed_query) {
+    degrade_level_ = 1;
+  } else if (degrade_level_ == 2 &&
+             queue_factor <
+                 degrade_.shed_update * degrade_.restore_hysteresis) {
+    degrade_level_ = 1;
+  } else if (degrade_level_ == 1 &&
+             queue_factor <
+                 degrade_.shed_query * degrade_.restore_hysteresis) {
+    degrade_level_ = 0;
+  }
+  if (degrade_level_ == old_level) return;
+  degrade_level_gauge_ = static_cast<double>(degrade_level_);
+  const bool escalating = degrade_level_ > old_level;
+  const char* reason = degrade_level_ == 2   ? "shed-update"
+                       : degrade_level_ == 0 ? "restore-query"
+                       : escalating          ? "shed-query"
+                                             : "restore-update";
+  if (audit_ != nullptr) {
+    telemetry::DecisionRecord record;
+    record.time = sim_->Now();
+    record.node = -1;  // fleet-scope decision
+    record.controller = "degrade-ladder";
+    record.reason = reason;
+    record.old_limit = static_cast<double>(old_level);
+    record.new_limit = static_cast<double>(degrade_level_);
+    record.gate_queue = queue_factor;
+    audit_->Record(record);
+  }
+  if (trace_ != nullptr) {
+    trace_->Counter("degrade_level", telemetry::TraceRecorder::kClusterPid,
+                    sim_->Now(), static_cast<double>(degrade_level_));
+  }
+  if (util::Logger::level() <= util::LogLevel::kInfo) {
+    ALC_LOG(kInfo, std::string(reason) + " queue_factor=" +
+                       std::to_string(queue_factor) + " level=" +
+                       std::to_string(degrade_level_));
   }
 }
 
@@ -495,6 +725,27 @@ void Cluster::SubmitArrival(const workload::Arrival& arrival) {
   if (catalog_ != nullptr) {
     RouteOnePlaced(arrival);
     return;
+  }
+  if (degrade_level_ > 0) {
+    // Degradation ladder, class unknown at the front door (the node stamps
+    // the class after routing): level 2 sheds everything; level 1 sheds
+    // the query-fraction share statistically from the seeded shed stream
+    // (drawn only while degraded, so undegraded runs see no variates).
+    if (degrade_level_ >= 2) {
+      ++shed_update_;
+      if (arrival.session >= 0) {
+        source_->OnComplete(arrival.session, 0.0, false);
+      }
+      return;
+    }
+    if (shed_rng_.NextBernoulli(
+            configs_[0].dynamics.QueryFractionAt(sim_->Now()))) {
+      ++shed_query_;
+      if (arrival.session >= 0) {
+        source_->OnComplete(arrival.session, 0.0, false);
+      }
+      return;
+    }
   }
   MembershipView membership = Snapshot();
   const int target = policy_->Route(membership, RouteContext{});
@@ -544,7 +795,19 @@ void Cluster::NoteRouted(int target) {
   if (managed_ && truth_down_[target] != 0) ++misroutes_;
 }
 
-void Cluster::SubmitPlanned(int target, int32_t session) {
+bool Cluster::ShedArrival(db::TxnClass cls, int32_t session) {
+  if (degrade_level_ == 0) return false;
+  if (degrade_level_ == 1 && cls != db::TxnClass::kQuery) return false;
+  if (cls == db::TxnClass::kQuery) {
+    ++shed_query_;
+  } else {
+    ++shed_update_;
+  }
+  if (session >= 0) source_->OnComplete(session, 0.0, false);
+  return true;
+}
+
+void Cluster::SubmitPlanned(int target, int32_t session, int retry_count) {
   ALC_CHECK_GE(target, 0);
   ALC_CHECK_LT(target, size());
   ALC_CHECK(states_[target] == NodeState::kUp);
@@ -572,11 +835,16 @@ void Cluster::SubmitPlanned(int target, int32_t session) {
   NoteRouted(target);
   nodes_[target]->system().SubmitExternalPlanned(
       plan_.cls, plan_.access_items, plan_.access_modes, remote_flags_,
-      session);
+      session, retry_count);
 }
 
 void Cluster::RouteOnePlaced(const workload::Arrival& arrival) {
   StampPlan(arrival);
+  // The ladder sees the stamped class, so placement runs shed exactly by
+  // class. The shed plan's heat was already recorded by StampPlan — a
+  // deliberate simplification (the rebalancer sees offered, not admitted,
+  // demand).
+  if (ShedArrival(plan_.cls, arrival.session)) return;
   MembershipView membership = Snapshot();
   RouteContext context;
   context.keys = &plan_.access_items;

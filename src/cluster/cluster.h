@@ -2,6 +2,7 @@
 #define ALC_CLUSTER_CLUSTER_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -21,6 +22,7 @@
 #include "workload/source.h"
 
 namespace alc::telemetry {
+class DecisionAudit;
 class MetricRegistry;
 }  // namespace alc::telemetry
 
@@ -59,6 +61,64 @@ struct RetractionConfig {
   double queue_factor = 0.0;
   double check_interval = 1.0;
 };
+
+/// Bounded retry with exponential backoff for retracted and crash-killed
+/// work. Without it (the historical default) retractions re-route
+/// immediately and crash kills replay as instant fresh submissions; with it
+/// every re-submission is deferred by a backoff delay and charged against a
+/// per-work-unit budget — exhausting the budget dead-letters the work
+/// instead of bouncing it across a sick fleet forever.
+struct RetryConfig {
+  bool enabled = false;
+  /// Re-submissions allowed per work unit before it dead-letters.
+  int budget = 3;
+  /// Backoff delay before attempt n (0-based prior re-submissions):
+  /// min(base * factor^n, max) * (1 + jitter * U[-0.5, 0.5)).
+  double backoff_base = 0.05;
+  double backoff_factor = 2.0;
+  double backoff_max = 1.0;
+  /// Deterministic jitter width (fraction of the delay) from the cluster's
+  /// seeded retry stream; 0 disables the draw entirely.
+  double jitter = 0.2;
+};
+
+inline bool operator==(const RetryConfig& a, const RetryConfig& b) {
+  return a.enabled == b.enabled && a.budget == b.budget &&
+         a.backoff_base == b.backoff_base &&
+         a.backoff_factor == b.backoff_factor &&
+         a.backoff_max == b.backoff_max && a.jitter == b.jitter;
+}
+inline bool operator!=(const RetryConfig& a, const RetryConfig& b) {
+  return !(a == b);
+}
+
+/// Graceful-degradation ladder: when the fleet-mean gate queue factor
+/// (queue length / n*, averaged over live nodes) crosses tiered thresholds,
+/// the front door sheds fresh arrivals by transaction class — queries first
+/// (level 1), then updates too (level 2) — and restores in reverse order
+/// once the pressure falls below hysteresis-scaled thresholds. Retries and
+/// retractions are never shed: admitted-and-displaced work finishes or
+/// dead-letters through the retry budget.
+struct DegradeConfig {
+  bool enabled = false;
+  /// Evaluation period (seconds); one ladder step at most per tick.
+  double interval = 1.0;
+  /// Mean queue factor at which queries shed (ladder level 1).
+  double shed_query = 2.0;
+  /// Mean queue factor at which updates shed too (ladder level 2).
+  double shed_update = 4.0;
+  /// Restore when the factor drops below threshold * hysteresis.
+  double restore_hysteresis = 0.8;
+};
+
+inline bool operator==(const DegradeConfig& a, const DegradeConfig& b) {
+  return a.enabled == b.enabled && a.interval == b.interval &&
+         a.shed_query == b.shed_query && a.shed_update == b.shed_update &&
+         a.restore_hysteresis == b.restore_hysteresis;
+}
+inline bool operator!=(const DegradeConfig& a, const DegradeConfig& b) {
+  return !(a == b);
+}
 
 /// One TP node: a full TransactionSystem replica plus the admission gate in
 /// front of it. The per-node controller and monitor are wired by the
@@ -172,6 +232,29 @@ class Cluster : public workload::WorkloadHost {
   /// Configures cluster-level displacement. Must be called before Start().
   void SetRetraction(const RetractionConfig& config);
 
+  /// Configures bounded retry/backoff for retracted and crash-killed work.
+  /// Must be called before Start(). Only meaningful with retraction
+  /// enabled (otherwise that work is dropped before the retry path runs).
+  void SetRetry(const RetryConfig& config);
+
+  /// Configures the graceful-degradation ladder. Must be called before
+  /// Start().
+  void SetDegrade(const DegradeConfig& config);
+
+  /// Attaches the decision audit trail: degradation ladder steps record
+  /// under controller "degrade-ladder". nullptr detaches. Observation-only.
+  void SetDecisionAudit(telemetry::DecisionAudit* audit) { audit_ = audit; }
+
+  /// Deferred re-submissions executed (retry path).
+  uint64_t retries() const { return retries_; }
+  /// Work units abandoned after exhausting the retry budget.
+  uint64_t dead_letters() const { return dead_letters_; }
+  /// Fresh arrivals shed by the degradation ladder, by class.
+  uint64_t shed_query() const { return shed_query_; }
+  uint64_t shed_update() const { return shed_update_; }
+  /// Current ladder level: 0 = full service, 1 = queries shed, 2 = all shed.
+  int degrade_level() const { return degrade_level_; }
+
   /// Registers the lifecycle listener. Must be called before Start().
   void SetLifecycleListener(LifecycleListener listener);
 
@@ -281,8 +364,25 @@ class Cluster : public workload::WorkloadHost {
   /// arrival's affinity range, when present, biases the key draw.
   void StampPlan(const workload::Arrival& arrival);
   /// Routes the already-stamped plan_ to `target`: remote marking, serve
-  /// charges, submission (tagged with `session` when >= 0).
-  void SubmitPlanned(int target, int32_t session = -1);
+  /// charges, submission (tagged with `session` when >= 0; `retry_count`
+  /// carries the retry-budget progress of re-submitted work).
+  void SubmitPlanned(int target, int32_t session = -1, int retry_count = 0);
+  /// Backoff delay before a re-submission that already saw `prior_attempts`
+  /// re-submissions, with deterministic jitter from retry_rng_.
+  double BackoffDelay(int prior_attempts);
+  /// Executes the deferred re-submission parked in retry_slots_[slot].
+  void ResubmitRetry(int slot);
+  /// Parks a re-submission (retraction or crash retry) in a retry slot and
+  /// schedules ResubmitRetry after the backoff delay. `prior` is the
+  /// work unit's re-submission count before this one.
+  void ScheduleRetry(int origin, int32_t session, int prior, bool preplanned);
+  /// One degradation-ladder evaluation: steps the shed level at most one
+  /// rung per tick based on the fleet-mean gate queue factor.
+  void DegradeTick();
+  void ScheduleDegradeTick();
+  /// True when the degradation ladder sheds a fresh arrival of `cls` at
+  /// the current level; counts the shed and reports the drop.
+  bool ShedArrival(db::TxnClass cls, int32_t session);
   /// Routing bookkeeping shared by every submission path: per-node and
   /// total counts plus misroute detection against the ground truth.
   void NoteRouted(int target);
@@ -312,6 +412,32 @@ class Cluster : public workload::WorkloadHost {
   std::vector<double> truth_down_since_;  // fault start time per node
   uint64_t misroutes_ = 0;
   RetractionConfig retraction_;
+  RetryConfig retry_;
+  DegradeConfig degrade_;
+  telemetry::DecisionAudit* audit_ = nullptr;
+  /// Parked deferred re-submission. Slots live in a deque (stable
+  /// addresses) and recycle through retry_free_; the plan vectors keep
+  /// their capacity across reuses, so a steady retry stream stops
+  /// allocating once warm.
+  struct PendingRetry {
+    int32_t session = -1;
+    int attempts = 0;  // re-submissions including this one
+    int origin = -1;
+    bool preplanned = false;
+    db::TxnClass cls = db::TxnClass::kUpdater;
+    std::vector<db::ItemId> items;
+    std::vector<db::AccessMode> modes;
+  };
+  std::deque<PendingRetry> retry_slots_;
+  std::vector<int> retry_free_;
+  sim::RandomStream retry_rng_;
+  sim::RandomStream shed_rng_;
+  uint64_t retries_ = 0;
+  uint64_t dead_letters_ = 0;
+  uint64_t shed_query_ = 0;
+  uint64_t shed_update_ = 0;
+  int degrade_level_ = 0;
+  double degrade_level_gauge_ = 0.0;  // registry-linked mirror of the level
   LifecycleListener listener_;
   std::vector<uint64_t> crash_kills_;
   std::vector<uint64_t> retracted_;

@@ -2,11 +2,11 @@
 #define ALC_CONTROL_GATE_H_
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "db/system.h"
 #include "db/transaction.h"
+#include "util/ring_buffer.h"
 
 namespace alc::control {
 
@@ -82,7 +82,12 @@ class AdmissionGate {
   double ramp_cap_ = 0.0;  // 0 = no ramp in effect
   bool frozen_ = false;
   bool displacement_ = false;
-  std::deque<db::Transaction*> queue_;
+  /// FIFO admission queue. A RingBuffer rather than std::deque: the deque
+  /// frees head blocks as the queue drains and allocates fresh tail blocks
+  /// as it refills, so a steady drain/refill cycle (retraction-driven
+  /// shedding pops and repopulates this queue millions of times in surge
+  /// runs) allocates forever; the ring buffer reuses its capacity.
+  util::RingBuffer<db::Transaction*> queue_;
   uint64_t total_admitted_ = 0;
   uint64_t total_displaced_ = 0;
   uint64_t total_retracted_ = 0;

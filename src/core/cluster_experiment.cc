@@ -10,12 +10,54 @@
 #include "control/tuner.h"
 #include "core/introspect.h"
 #include "elasticity/elasticity.h"
+#include "fault/fault.h"
 #include "sim/simulator.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "workload/registry.h"
 
 namespace alc::core {
+
+namespace {
+
+// Narrow adapter giving the fault injector its host powers: lifecycle
+// faults go through ground-truth injection on managed-membership fleets
+// (so the detector has to find them) and forced transitions otherwise;
+// measured-path aggregates land directly on the node subsystems.
+class ClusterFaultHost : public fault::FaultHost {
+ public:
+  explicit ClusterFaultHost(cluster::Cluster* cluster) : cluster_(cluster) {}
+
+  int num_nodes() const override { return cluster_->size(); }
+
+  void CrashNode(int node) override {
+    if (cluster_->managed_membership()) {
+      cluster_->InjectTruth(node, cluster::NodeState::kDown);
+    } else {
+      cluster_->ForceTransition(node, cluster::NodeState::kDown);
+    }
+  }
+
+  void RepairNode(int node) override {
+    if (cluster_->managed_membership()) {
+      cluster_->InjectTruth(node, cluster::NodeState::kUp);
+    } else {
+      cluster_->ForceTransition(node, cluster::NodeState::kUp);
+    }
+  }
+
+  void ApplyPerturbation(int node,
+                         const fault::NodePerturbation& p) override {
+    db::TransactionSystem& system = cluster_->node(node).system();
+    system.disk().SetStallFactor(p.disk_factor);
+    system.cpu().SetSpeedFactor(p.cpu_factor);
+  }
+
+ private:
+  cluster::Cluster* cluster_;
+};
+
+}  // namespace
 
 ClusterExperiment::ClusterExperiment(const ClusterScenarioConfig& scenario)
     : scenario_(scenario) {
@@ -65,6 +107,9 @@ ClusterResult ClusterExperiment::Run() {
     cluster.EnablePlacement(scenario_.placement);
   }
   cluster.SetRetraction(scenario_.retraction);
+  cluster.SetRetry(scenario_.retry);
+  cluster.SetDegrade(scenario_.degrade);
+  if (audit_ != nullptr) cluster.SetDecisionAudit(audit_);
   if (trace_ != nullptr) cluster.SetTraceRecorder(trace_);
 
   // Elasticity wiring happens before Start(): managed membership flips the
@@ -232,6 +277,22 @@ ClusterResult ClusterExperiment::Run() {
     elasticity_loop->Start();
   }
 
+  // The fault injector schedules its window edges before Start() for the
+  // same reason; it perturbs probes through the elasticity loop and the
+  // measured path through the host adapter, nothing else.
+  ClusterFaultHost fault_host(&cluster);
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (scenario_.fault.enabled) {
+    injector = std::make_unique<fault::FaultInjector>(
+        &simulator, &fault_host, scenario_.fault, scenario_.seed, audit_,
+        trace_);
+    if (elasticity_loop != nullptr) {
+      elasticity_loop->SetProbePerturber(injector.get());
+    }
+    injector->RegisterMetrics(&registry);
+    injector->Start();
+  }
+
   cluster.Start();
   for (auto& monitor : monitors) monitor->Start();
   simulator.RunUntil(scenario_.duration);
@@ -249,9 +310,20 @@ ClusterResult ClusterExperiment::Run() {
     result.suspicions = elasticity_loop->suspicions();
     result.false_suspicions = elasticity_loop->false_suspicions();
     result.declared_down = elasticity_loop->declared_down();
+    result.false_declarations = elasticity_loop->false_declarations();
     result.provisions = elasticity_loop->provisions();
     result.drains = elasticity_loop->drains();
     result.detection_latency_mean = elasticity_loop->detection_latency_mean();
+  }
+  result.retries = cluster.retries();
+  result.dead_letters = cluster.dead_letters();
+  result.shed_query = cluster.shed_query();
+  result.shed_update = cluster.shed_update();
+  if (injector != nullptr) {
+    result.faults_started = injector->faults_started();
+    result.faults_ended = injector->faults_ended();
+    result.probes_lost = injector->probes_lost();
+    result.probes_delayed = injector->probes_delayed();
   }
   if (cluster.catalog() != nullptr) {
     result.rebalances = cluster.catalog()->rebalances();

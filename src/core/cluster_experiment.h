@@ -95,10 +95,23 @@ struct ClusterResult {
   uint64_t suspicions = 0;        // detector suspicion onsets
   uint64_t false_suspicions = 0;  // ... of nodes that were actually alive
   uint64_t declared_down = 0;     // detector down declarations
+  /// Down declarations of nodes that were actually alive (quorum-level
+  /// false positives — the headline detector-quality signal).
+  uint64_t false_declarations = 0;
   uint64_t provisions = 0;        // standby nodes brought into the fleet
   uint64_t drains = 0;            // fleet nodes drained back to standby
   /// Mean time from ground-truth fault to the detector's kDown declaration.
   double detection_latency_mean = 0.0;
+
+  // Robustness runs only (zero unless retry/degrade/fault configured):
+  uint64_t retries = 0;           // deferred re-submissions executed
+  uint64_t dead_letters = 0;      // work abandoned after the retry budget
+  uint64_t shed_query = 0;        // fresh queries shed by the ladder
+  uint64_t shed_update = 0;       // fresh updates shed by the ladder
+  uint64_t faults_started = 0;    // fault windows opened by the injector
+  uint64_t faults_ended = 0;      // fault windows closed by the injector
+  uint64_t probes_lost = 0;       // heartbeat probes eaten by faults
+  uint64_t probes_delayed = 0;    // heartbeat probes slowed by faults
 
   // Placement runs only (zero/empty otherwise):
   double remote_frac = 0.0;  // cluster-wide remote share of accesses

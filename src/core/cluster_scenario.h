@@ -12,6 +12,7 @@
 #include "db/schedule.h"
 #include "db/workload.h"
 #include "elasticity/config.h"
+#include "fault/config.h"
 #include "placement/catalog.h"
 #include "util/params.h"
 
@@ -64,6 +65,15 @@ struct ClusterScenarioConfig {
   /// Cluster-level displacement: front-end retraction of queued admissions
   /// from nodes that leave or degrade past the queue-factor threshold.
   cluster::RetractionConfig retraction;
+  /// Bounded retry/backoff for retracted and crash-killed work (off by
+  /// default — the historical immediate re-route).
+  cluster::RetryConfig retry;
+  /// Graceful-degradation ladder: class-tiered front-door shedding under
+  /// fleet queue pressure (off by default).
+  cluster::DegradeConfig degrade;
+  /// Spec-driven fault injection into the measured path (off by default;
+  /// see fault::FaultConfig).
+  fault::FaultConfig fault;
   /// Closed-loop elasticity: heartbeat failure detection + autoscaler over
   /// a standby pool (off by default; see elasticity::ElasticityConfig).
   elasticity::ElasticityConfig elasticity;

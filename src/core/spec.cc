@@ -11,6 +11,7 @@
 #include "cluster/registry.h"
 #include "control/registry.h"
 #include "elasticity/autoscaler.h"
+#include "fault/fault.h"
 #include "util/check.h"
 #include "workload/registry.h"
 
@@ -291,7 +292,120 @@ bool AssignExperimentKey(ExperimentSpec* spec, const std::string& key,
     }
     return true;
   }
+  cluster::RetryConfig* retry = &spec->retry;
+  if (key == "retry.enabled") {
+    return SetBoolField(key, value, &retry->enabled, error);
+  }
+  if (key == "retry.budget") {
+    if (!SetIntField(key, value, &retry->budget, error)) return false;
+    if (retry->budget < 0) {
+      *error = "key 'retry.budget': must be >= 0";
+      return false;
+    }
+    return true;
+  }
+  if (key == "retry.backoff_base") {
+    if (!SetDoubleField(key, value, &retry->backoff_base, error)) return false;
+    if (retry->backoff_base <= 0.0) {
+      *error = "key 'retry.backoff_base': must be > 0";
+      return false;
+    }
+    return true;
+  }
+  if (key == "retry.backoff_factor") {
+    if (!SetDoubleField(key, value, &retry->backoff_factor, error)) {
+      return false;
+    }
+    if (retry->backoff_factor < 1.0) {
+      *error = "key 'retry.backoff_factor': must be >= 1";
+      return false;
+    }
+    return true;
+  }
+  if (key == "retry.backoff_max") {
+    if (!SetDoubleField(key, value, &retry->backoff_max, error)) return false;
+    if (retry->backoff_max <= 0.0) {
+      *error = "key 'retry.backoff_max': must be > 0";
+      return false;
+    }
+    return true;
+  }
+  if (key == "retry.jitter") {
+    if (!SetDoubleField(key, value, &retry->jitter, error)) return false;
+    if (retry->jitter < 0.0 || retry->jitter > 1.0) {
+      *error = "key 'retry.jitter': must be in [0, 1]";
+      return false;
+    }
+    return true;
+  }
+  cluster::DegradeConfig* degrade = &spec->degrade;
+  if (key == "degrade.enabled") {
+    return SetBoolField(key, value, &degrade->enabled, error);
+  }
+  if (key == "degrade.interval") {
+    if (!SetDoubleField(key, value, &degrade->interval, error)) return false;
+    if (degrade->interval <= 0.0) {
+      *error = "key 'degrade.interval': must be > 0";
+      return false;
+    }
+    return true;
+  }
+  if (key == "degrade.shed_query") {
+    if (!SetDoubleField(key, value, &degrade->shed_query, error)) {
+      return false;
+    }
+    if (degrade->shed_query <= 0.0) {
+      *error = "key 'degrade.shed_query': must be > 0";
+      return false;
+    }
+    return true;
+  }
+  if (key == "degrade.shed_update") {
+    if (!SetDoubleField(key, value, &degrade->shed_update, error)) {
+      return false;
+    }
+    if (degrade->shed_update <= 0.0) {
+      *error = "key 'degrade.shed_update': must be > 0";
+      return false;
+    }
+    return true;
+  }
+  if (key == "degrade.restore_hysteresis") {
+    if (!SetDoubleField(key, value, &degrade->restore_hysteresis, error)) {
+      return false;
+    }
+    if (degrade->restore_hysteresis <= 0.0 ||
+        degrade->restore_hysteresis > 1.0) {
+      *error = "key 'degrade.restore_hysteresis': must be in (0, 1]";
+      return false;
+    }
+    return true;
+  }
   *error = "unknown experiment key '" + key + "'";
+  return false;
+}
+
+bool AssignFaultKey(ExperimentSpec* spec, const std::string& key,
+                    const std::string& value, std::string* error) {
+  if (key == "enabled") {
+    return SetBoolField(key, value, &spec->fault.enabled, error);
+  }
+  if (key == "inject") {
+    fault::FaultSpec parsed;
+    std::string message;
+    if (!fault::ParseFaultSpec(value, &parsed, &message)) {
+      *error = "key 'inject': " + message;
+      return false;
+    }
+    if (!CheckRegistered(fault::FaultRegistry::Global(), "fault kind",
+                         parsed.kind, error)) {
+      return false;
+    }
+    // Each inject line appends; a spec lists one fault window per line.
+    spec->fault.faults.push_back(std::move(parsed));
+    return true;
+  }
+  *error = "unknown fault key '" + key + "'";
   return false;
 }
 
@@ -516,6 +630,81 @@ bool AssignElasticityKey(ExperimentSpec* spec, const std::string& key,
     if (!SetDoubleField(key, value, &hb->delay_load, error)) return false;
     if (hb->delay_load < 0.0) {
       *error = "key 'hb.delay_load': must be >= 0";
+      return false;
+    }
+    return true;
+  }
+  if (key == "hb.kind") {
+    if (value != "consecutive" && value != "phi") {
+      *error = "key 'hb.kind': expected consecutive/phi, got '" + value + "'";
+      return false;
+    }
+    hb->kind = value;
+    return true;
+  }
+  if (key == "hb.phi_suspect") {
+    if (!SetDoubleField(key, value, &hb->phi_suspect, error)) return false;
+    if (hb->phi_suspect <= 0.0) {
+      *error = "key 'hb.phi_suspect': must be > 0";
+      return false;
+    }
+    return true;
+  }
+  if (key == "hb.phi_down") {
+    if (!SetDoubleField(key, value, &hb->phi_down, error)) return false;
+    if (hb->phi_down <= 0.0) {
+      *error = "key 'hb.phi_down': must be > 0";
+      return false;
+    }
+    return true;
+  }
+  if (key == "hb.phi_window") {
+    if (!SetIntField(key, value, &hb->phi_window, error)) return false;
+    if (hb->phi_window < 1) {
+      *error = "key 'hb.phi_window': must be >= 1";
+      return false;
+    }
+    return true;
+  }
+  if (key == "hb.observers") {
+    if (!SetIntField(key, value, &hb->observers, error)) return false;
+    if (hb->observers < 1) {
+      *error = "key 'hb.observers': must be >= 1";
+      return false;
+    }
+    return true;
+  }
+  if (key == "hb.quorum") {
+    if (!SetIntField(key, value, &hb->quorum, error)) return false;
+    if (hb->quorum < 1) {
+      *error = "key 'hb.quorum': must be >= 1";
+      return false;
+    }
+    return true;
+  }
+  if (key == "hb.observer_jitter") {
+    if (!SetDoubleField(key, value, &hb->observer_jitter, error)) {
+      return false;
+    }
+    if (hb->observer_jitter < 0.0) {
+      *error = "key 'hb.observer_jitter': must be >= 0";
+      return false;
+    }
+    return true;
+  }
+  if (key == "hb.delay_source") {
+    if (value != "occupancy" && value != "response") {
+      *error = "key 'hb.delay_source': expected occupancy/response, got '" +
+               value + "'";
+      return false;
+    }
+    hb->delay_source = value;
+    return true;
+  }
+  if (key == "hb.delay_response") {
+    if (!SetDoubleField(key, value, &hb->delay_response, error)) return false;
+    if (hb->delay_response < 0.0) {
+      *error = "key 'hb.delay_response': must be >= 0";
       return false;
     }
     return true;
@@ -907,6 +1096,18 @@ std::string PrintSpec(const ExperimentSpec& spec) {
   EmitBool(&out, "retraction", spec.retraction);
   EmitDouble(&out, "retraction_queue_factor", spec.retraction_queue_factor);
   EmitDouble(&out, "retraction_interval", spec.retraction_interval);
+  EmitBool(&out, "retry.enabled", spec.retry.enabled);
+  EmitInt(&out, "retry.budget", spec.retry.budget);
+  EmitDouble(&out, "retry.backoff_base", spec.retry.backoff_base);
+  EmitDouble(&out, "retry.backoff_factor", spec.retry.backoff_factor);
+  EmitDouble(&out, "retry.backoff_max", spec.retry.backoff_max);
+  EmitDouble(&out, "retry.jitter", spec.retry.jitter);
+  EmitBool(&out, "degrade.enabled", spec.degrade.enabled);
+  EmitDouble(&out, "degrade.interval", spec.degrade.interval);
+  EmitDouble(&out, "degrade.shed_query", spec.degrade.shed_query);
+  EmitDouble(&out, "degrade.shed_update", spec.degrade.shed_update);
+  EmitDouble(&out, "degrade.restore_hysteresis",
+             spec.degrade.restore_hysteresis);
 
   out += "\n[workload]\n";
   Emit(&out, "source", spec.workload.source);
@@ -957,6 +1158,15 @@ std::string PrintSpec(const ExperimentSpec& spec) {
   EmitInt(&out, "hb.clear_after", heartbeat.clear_after);
   EmitDouble(&out, "hb.delay_base", heartbeat.delay_base);
   EmitDouble(&out, "hb.delay_load", heartbeat.delay_load);
+  Emit(&out, "hb.kind", heartbeat.kind);
+  EmitDouble(&out, "hb.phi_suspect", heartbeat.phi_suspect);
+  EmitDouble(&out, "hb.phi_down", heartbeat.phi_down);
+  EmitInt(&out, "hb.phi_window", heartbeat.phi_window);
+  EmitInt(&out, "hb.observers", heartbeat.observers);
+  EmitInt(&out, "hb.quorum", heartbeat.quorum);
+  EmitDouble(&out, "hb.observer_jitter", heartbeat.observer_jitter);
+  Emit(&out, "hb.delay_source", heartbeat.delay_source);
+  EmitDouble(&out, "hb.delay_response", heartbeat.delay_response);
   Emit(&out, "scaler", elastic.scaler);
   EmitDouble(&out, "scaler_interval", elastic.scaler_interval);
   EmitInt(&out, "standby", elastic.standby);
@@ -966,6 +1176,12 @@ std::string PrintSpec(const ExperimentSpec& spec) {
   EmitDouble(&out, "drain_delay", elastic.drain_delay);
   for (const auto& [key, value] : elastic.scaler_params.entries()) {
     Emit(&out, "scaler." + key, value);
+  }
+
+  out += "\n[fault]\n";
+  EmitBool(&out, "enabled", spec.fault.enabled);
+  for (const fault::FaultSpec& injected : spec.fault.faults) {
+    Emit(&out, "inject", injected.ToString());
   }
 
   for (const NodeSpec& node : spec.nodes) {
@@ -986,6 +1202,7 @@ bool ParseSpec(const std::string& text, ExperimentSpec* out,
     kWorkload,
     kPlacement,
     kElasticity,
+    kFault,
     kNode
   };
   Section section = Section::kExperiment;
@@ -1029,6 +1246,8 @@ bool ParseSpec(const std::string& text, ExperimentSpec* out,
         section = Section::kPlacement;
       } else if (name == "elasticity") {
         section = Section::kElasticity;
+      } else if (name == "fault") {
+        section = Section::kFault;
       } else if (name == "node") {
         spec.nodes.emplace_back();
         node_states.emplace_back();
@@ -1079,6 +1298,9 @@ bool ParseSpec(const std::string& text, ExperimentSpec* out,
         break;
       case Section::kElasticity:
         ok = AssignElasticityKey(&spec, key, value, &message);
+        break;
+      case Section::kFault:
+        ok = AssignFaultKey(&spec, key, value, &message);
         break;
       case Section::kNode:
         ok = AssignNodeKey(&spec.nodes.back(), key, value, named,
@@ -1169,6 +1391,58 @@ bool ParseSpec(const std::string& text, ExperimentSpec* out,
       }
       return false;
     }
+    if (spec.retry.enabled) {
+      if (error != nullptr) {
+        *error = "retry requires cluster mode (cluster = true)";
+      }
+      return false;
+    }
+    if (spec.degrade.enabled) {
+      if (error != nullptr) {
+        *error = "degrade requires cluster mode (cluster = true)";
+      }
+      return false;
+    }
+    if (spec.fault.enabled) {
+      if (error != nullptr) {
+        *error = "fault injection requires cluster mode (cluster = true)";
+      }
+      return false;
+    }
+  }
+  if (spec.retry.enabled && spec.retry.backoff_max < spec.retry.backoff_base) {
+    if (error != nullptr) {
+      *error = "retry.backoff_max must be >= retry.backoff_base";
+    }
+    return false;
+  }
+  if (spec.degrade.enabled &&
+      spec.degrade.shed_update < spec.degrade.shed_query) {
+    if (error != nullptr) {
+      *error = "degrade.shed_update must be >= degrade.shed_query";
+    }
+    return false;
+  }
+  for (const fault::FaultSpec& injected : spec.fault.faults) {
+    // Window and target validation a per-key validator cannot see (the
+    // node list is only final after [node] expansion).
+    if (injected.start < 0.0 || injected.end <= injected.start) {
+      if (error != nullptr) {
+        *error = "fault '" + injected.ToString() +
+                 "': window must satisfy 0 <= start < end";
+      }
+      return false;
+    }
+    for (int node : injected.nodes) {
+      if (node < 0 || node >= static_cast<int>(spec.nodes.size())) {
+        if (error != nullptr) {
+          *error = "fault '" + injected.ToString() + "': node " +
+                   std::to_string(node) + " out of range (fleet has " +
+                   std::to_string(spec.nodes.size()) + " nodes)";
+        }
+        return false;
+      }
+    }
   }
   if (spec.elasticity.enabled) {
     // Cross-field checks a per-key validator cannot see. Matching aborts
@@ -1178,6 +1452,20 @@ bool ParseSpec(const std::string& text, ExperimentSpec* out,
         spec.elasticity.heartbeat.suspect_after) {
       if (error != nullptr) {
         *error = "elasticity hb.down_after must be >= hb.suspect_after";
+      }
+      return false;
+    }
+    if (spec.elasticity.heartbeat.phi_down <
+        spec.elasticity.heartbeat.phi_suspect) {
+      if (error != nullptr) {
+        *error = "elasticity hb.phi_down must be >= hb.phi_suspect";
+      }
+      return false;
+    }
+    if (spec.elasticity.heartbeat.quorum >
+        spec.elasticity.heartbeat.observers) {
+      if (error != nullptr) {
+        *error = "elasticity hb.quorum must be <= hb.observers";
       }
       return false;
     }
@@ -1257,6 +1545,15 @@ bool ApplySpecOverride(ExperimentSpec* spec, const std::string& key,
       }
       return false;
     }
+    if (HasPrefix(key, "retry.") || HasPrefix(key, "degrade.") ||
+        HasPrefix(key, "fault.")) {
+      if (error != nullptr) {
+        *error = "override '" + key +
+                 "': robustness features require cluster mode "
+                 "(cluster = true)";
+      }
+      return false;
+    }
   }
 
   if (key == "seed") {
@@ -1298,6 +1595,13 @@ bool ApplySpecOverride(ExperimentSpec* spec, const std::string& key,
   }
   if (HasPrefix(key, "elasticity.")) {
     if (!AssignElasticityKey(spec, key.substr(11), value, &message)) {
+      if (error != nullptr) *error = message;
+      return false;
+    }
+    return true;
+  }
+  if (HasPrefix(key, "fault.")) {
+    if (!AssignFaultKey(spec, key.substr(6), value, &message)) {
       if (error != nullptr) *error = message;
       return false;
     }
@@ -1398,6 +1702,9 @@ ExperimentSpec SpecFromCluster(const ClusterScenarioConfig& scenario) {
   spec.retraction = scenario.retraction.enabled;
   spec.retraction_queue_factor = scenario.retraction.queue_factor;
   spec.retraction_interval = scenario.retraction.check_interval;
+  spec.retry = scenario.retry;
+  spec.degrade = scenario.degrade;
+  spec.fault = scenario.fault;
   spec.placement_enabled = scenario.placement_enabled;
   spec.placement = scenario.placement.placement;
   spec.placement_workload = scenario.placement.workload;
@@ -1442,6 +1749,9 @@ ClusterScenarioConfig ToClusterScenario(const ExperimentSpec& spec) {
   scenario.retraction.enabled = spec.retraction;
   scenario.retraction.queue_factor = spec.retraction_queue_factor;
   scenario.retraction.check_interval = spec.retraction_interval;
+  scenario.retry = spec.retry;
+  scenario.degrade = spec.degrade;
+  scenario.fault = spec.fault;
   scenario.placement_enabled = spec.placement_enabled;
   scenario.placement.placement = spec.placement;
   scenario.placement.workload = spec.placement_workload;

@@ -114,6 +114,17 @@ struct ExperimentSpec {
   double retraction_queue_factor = 0.0;
   double retraction_interval = 1.0;
 
+  /// Cluster mode: bounded retry/backoff for retracted and crash-killed
+  /// work ("retry.*" keys), and the class-tiered graceful-degradation
+  /// ladder ("degrade.*" keys). Both off by default.
+  cluster::RetryConfig retry;
+  cluster::DegradeConfig degrade;
+
+  /// Cluster mode: spec-driven fault injection ([fault] section) — probe
+  /// loss/delay storms, partitions, disk stalls, CPU degradation, and
+  /// crash bursts perturbing the measured path only.
+  fault::FaultConfig fault;
+
   /// When non-empty, RunSpec records a Chrome trace-event JSON of the run
   /// (transaction lifecycle, gate decisions, controller limit changes,
   /// membership transitions) and writes it here; empty disables tracing.
@@ -150,6 +161,8 @@ struct ExperimentSpec {
            retraction == other.retraction &&
            retraction_queue_factor == other.retraction_queue_factor &&
            retraction_interval == other.retraction_interval &&
+           retry == other.retry && degrade == other.degrade &&
+           fault == other.fault &&
            trace_path == other.trace_path &&
            decisions_path == other.decisions_path &&
            placement_enabled == other.placement_enabled &&

@@ -28,7 +28,8 @@ void CpuSubsystem::StartService(double service_time, sim::EventCell done) {
   busy_time_accum_ += busy_ * (sim_->Now() - busy_since_);
   busy_since_ = sim_->Now();
   ++busy_;
-  const double speed = std::max(speed_.Value(sim_->Now()), 1e-6);
+  const double speed =
+      std::max(speed_.Value(sim_->Now()) * speed_factor_, 1e-6);
   // this + the moved cell is exactly EventQueue::Cell's inline capacity, so
   // the completion event carries the continuation without allocating.
   sim_->Schedule(service_time / speed,

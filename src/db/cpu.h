@@ -33,6 +33,13 @@ class CpuSubsystem {
   /// throttling, co-located work stealing cycles).
   void SetSpeedSchedule(Schedule speed);
 
+  /// Multiplier on top of the speed schedule (default 1), actuated by the
+  /// fault injector for cpu-degrade windows: effective speed is
+  /// schedule * factor, read at service start like the schedule itself.
+  /// A factor of exactly 1 is bit-neutral.
+  void SetSpeedFactor(double factor) { speed_factor_ = factor; }
+  double speed_factor() const { return speed_factor_; }
+
   int num_processors() const { return num_processors_; }
   int busy() const { return busy_; }
   size_t queue_length() const { return queue_.size(); }
@@ -56,6 +63,7 @@ class CpuSubsystem {
   sim::Simulator* sim_;
   int num_processors_;
   Schedule speed_ = Schedule::Constant(1.0);
+  double speed_factor_ = 1.0;
   int busy_ = 0;
   /// Ring, not deque: a saturated CPU cycles this queue constantly and a
   /// deque allocates/frees a block every few operations.

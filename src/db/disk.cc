@@ -15,7 +15,8 @@ DiskSubsystem::DiskSubsystem(sim::Simulator* sim, double service_time)
 void DiskSubsystem::Request(sim::EventCell done) {
   ++in_flight_;
   // this + the moved cell fits EventQueue::Cell's inline buffer exactly.
-  sim_->Schedule(service_time_, [this, done = std::move(done)]() mutable {
+  sim_->Schedule(service_time_ * stall_factor_,
+                 [this, done = std::move(done)]() mutable {
     --in_flight_;
     ++completed_;
     done();

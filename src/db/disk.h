@@ -22,6 +22,13 @@ class DiskSubsystem {
   /// captures stay in the cell's inline buffer (no allocation).
   void Request(sim::EventCell done);
 
+  /// Multiplier on the constant service time (default 1), actuated by the
+  /// fault injector for disk-stall windows; read per request, so a window
+  /// edge affects only I/Os issued after it. A factor of exactly 1 is
+  /// bit-neutral.
+  void SetStallFactor(double factor) { stall_factor_ = factor; }
+  double stall_factor() const { return stall_factor_; }
+
   uint64_t completed() const { return completed_; }
   int in_flight() const { return in_flight_; }
   double service_time() const { return service_time_; }
@@ -29,6 +36,7 @@ class DiskSubsystem {
  private:
   sim::Simulator* sim_;
   double service_time_;
+  double stall_factor_ = 1.0;
   uint64_t completed_ = 0;
   int in_flight_ = 0;
 };

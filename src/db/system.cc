@@ -116,7 +116,7 @@ void TransactionSystem::Start() {
   }
 }
 
-void TransactionSystem::SubmitExternal(int32_t session) {
+void TransactionSystem::SubmitExternal(int32_t session, int retry_count) {
   ALC_CHECK(started_);
   ALC_CHECK(config_.arrivals == ArrivalMode::kExternal);
   Transaction* txn = AcquireFromPool();
@@ -124,12 +124,13 @@ void TransactionSystem::SubmitExternal(int32_t session) {
   // Safe to tag after the submission hook: no phase completes
   // synchronously, so the slot cannot have reached the session hook yet.
   txn->session = session;
+  txn->retry_count = retry_count;
 }
 
 void TransactionSystem::SubmitExternalPlanned(
     TxnClass cls, const std::vector<ItemId>& items,
     const std::vector<AccessMode>& modes,
-    const std::vector<uint8_t>& remote, int32_t session) {
+    const std::vector<uint8_t>& remote, int32_t session, int retry_count) {
   ALC_CHECK(started_);
   ALC_CHECK(config_.arrivals == ArrivalMode::kExternal);
   ALC_CHECK(!items.empty());
@@ -149,6 +150,7 @@ void TransactionSystem::SubmitExternalPlanned(
   txn->planned_modes = modes;
   txn->planned_remote = remote;
   txn->session = session;
+  txn->retry_count = retry_count;
   ++metrics_.counters.submitted;
   on_submit_(txn);
 }
@@ -176,6 +178,7 @@ void TransactionSystem::InitSubmission(Transaction* txn) {
   txn->planned_remote.clear();
   // Likewise a recycled slot must not report to a previous session.
   txn->session = -1;
+  txn->retry_count = 0;
 }
 
 void TransactionSystem::ScheduleNextArrival() {

@@ -1,7 +1,6 @@
 #ifndef ALC_DB_SYSTEM_H_
 #define ALC_DB_SYSTEM_H_
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -19,6 +18,7 @@
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "telemetry/trace.h"
+#include "util/chunk_vector.h"
 
 namespace alc::db {
 
@@ -85,8 +85,10 @@ class TransactionSystem {
   /// entry point a cluster router uses to place work on this node; the node
   /// stamps the work unit (class, access count) from its own workload
   /// dynamics at the current time. `session >= 0` tags the work for the
-  /// session hook (see SetSessionHook).
-  void SubmitExternal(int32_t session = -1);
+  /// session hook (see SetSessionHook). `retry_count` stamps how many times
+  /// the front-end has already re-submitted this work unit (bounded-retry
+  /// accounting); 0 for first-time arrivals.
+  void SubmitExternal(int32_t session = -1, int retry_count = 0);
 
   /// External mode only: submits one transaction whose access plan was
   /// already drawn by the cluster front-end from the global keyspace
@@ -99,7 +101,7 @@ class TransactionSystem {
   void SubmitExternalPlanned(TxnClass cls, const std::vector<ItemId>& items,
                              const std::vector<AccessMode>& modes,
                              const std::vector<uint8_t>& remote,
-                             int32_t session = -1);
+                             int32_t session = -1, int retry_count = 0);
 
   /// Admits a queued transaction into execution (gate-facing API).
   void Admit(Transaction* txn);
@@ -200,8 +202,9 @@ class TransactionSystem {
   LockManager* lock_manager_ = nullptr;  // borrowed view into cc_
 
   /// Closed mode: one slot per terminal, reused. Open mode: a growing pool
-  /// with a free list (stable addresses via deque).
-  std::deque<Transaction> transactions_;
+  /// with a free list (stable addresses via chunked storage; one heap
+  /// allocation per 64 slots instead of std::deque's one per slot).
+  util::ChunkVector<Transaction> transactions_;
   std::vector<Transaction*> free_pool_;  // open mode: idle work units
   std::function<void(Transaction*)> on_submit_;
   std::function<void(Transaction*)> on_departure_;

@@ -78,6 +78,11 @@ struct Transaction {
   /// hook so closed-loop sources can drive their think/issue cycle.
   int32_t session = -1;
 
+  /// How many times the cluster front-end has already re-submitted this
+  /// work unit (retraction/crash retries with a retry budget). Stamped at
+  /// submission like `session`; 0 for first-time arrivals.
+  int retry_count = 0;
+
   /// Pending restart-delay event, cancellable on displacement.
   sim::EventHandle restart_event;
 

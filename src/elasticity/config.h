@@ -26,12 +26,49 @@ struct HeartbeatConfig {
   double delay_base = 0.005;  // modeled rtt of an idle node
   double delay_load = 2.0;    // rtt growth per unit of occupancy / n*
 
+  /// Detector estimator: "consecutive" is the PR 9 miss-counting machine
+  /// (bit-identical to it); "phi" is a phi-accrual estimator over the
+  /// inter-arrival history of good beats — suspicion level
+  ///   phi = log10(P(no beat for this long)) ~ elapsed / mean * log10(e)
+  /// crosses `phi_suspect` / `phi_down` instead of counting misses.
+  /// Recovery uses `clear_after` consecutive good beats in both modes.
+  std::string kind = "consecutive";
+  double phi_suspect = 1.0;  // phi above this -> suspected
+  double phi_down = 2.0;     // phi above this -> declared down
+  int phi_window = 8;        // inter-good-beat intervals remembered
+
+  /// Quorum vote across K virtual observers. Each observer sees the same
+  /// probe stream with its own deterministic rtt jitter (observer 0 is
+  /// jitter-free, so observers = 1 reproduces the single-prober PR 9
+  /// detector exactly); a node is declared down only when at least
+  /// `quorum` observers hold it down, and suspected when any observer is
+  /// non-alive.
+  int observers = 1;
+  int quorum = 1;
+  /// Relative rtt jitter amplitude for observers >= 1 (0 = all observers
+  /// identical): rtt_k = rtt * (1 + observer_jitter * (u - 0.5)).
+  double observer_jitter = 0.0;
+
+  /// Probe-delay model: "occupancy" is the PR 9 proxy above; "response"
+  /// derives the rtt from the node's measured response-time percentiles
+  /// (rtt = delay_base + delay_response * p95 of the inter-probe window),
+  /// falling back to the occupancy proxy while telemetry is cold or
+  /// per-phase collection is off.
+  std::string delay_source = "occupancy";
+  double delay_response = 1.0;  // rtt growth per second of response p95
+
   bool operator==(const HeartbeatConfig& other) const {
     return interval == other.interval && timeout == other.timeout &&
            suspect_after == other.suspect_after &&
            down_after == other.down_after &&
            clear_after == other.clear_after &&
-           delay_base == other.delay_base && delay_load == other.delay_load;
+           delay_base == other.delay_base && delay_load == other.delay_load &&
+           kind == other.kind && phi_suspect == other.phi_suspect &&
+           phi_down == other.phi_down && phi_window == other.phi_window &&
+           observers == other.observers && quorum == other.quorum &&
+           observer_jitter == other.observer_jitter &&
+           delay_source == other.delay_source &&
+           delay_response == other.delay_response;
   }
   bool operator!=(const HeartbeatConfig& other) const {
     return !(*this == other);

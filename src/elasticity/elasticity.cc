@@ -20,6 +20,10 @@ ElasticityController::ElasticityController(sim::Simulator* sim,
       config_(config),
       audit_(audit),
       trace_(trace),
+      // Salted off the experiment seed; drawn from only for observer >= 1
+      // probes with a nonzero jitter, so single-observer detectors stay
+      // bit-identical to builds without the stream.
+      hb_rng_(seed ^ 0x5be0cd19137e2179ULL),
       detector_(config.heartbeat, cluster->size()),
       pool_member_(cluster->size(), 0),
       ramps_(cluster->size()),
@@ -30,6 +34,11 @@ ElasticityController::ElasticityController(sim::Simulator* sim,
   ALC_CHECK_GT(config.heartbeat.interval, 0.0);
   ALC_CHECK_GT(config.scaler_interval, 0.0);
   ALC_CHECK_GE(config.min_live, 1);
+  ALC_CHECK(config.heartbeat.delay_source == "occupancy" ||
+            config.heartbeat.delay_source == "response");
+  if (config.heartbeat.delay_source == "response") {
+    probe_hists_.resize(static_cast<size_t>(cluster->size()));
+  }
   if (config.detector) ALC_CHECK(cluster->managed_membership());
   AutoscalerContext context;
   context.params = &config_.scaler_params;
@@ -54,6 +63,8 @@ void ElasticityController::RegisterMetrics(
   registry->LinkCounter("elasticity.suspicions", &suspicions_);
   registry->LinkCounter("elasticity.false_suspicions", &false_suspicions_);
   registry->LinkCounter("elasticity.declared_down", &declared_down_);
+  registry->LinkCounter("elasticity.false_declarations",
+                        &false_declarations_);
   registry->LinkCounter("elasticity.recoveries", &recoveries_);
   registry->LinkCounter("elasticity.provisions", &provisions_);
   registry->LinkCounter("elasticity.drains", &drains_);
@@ -78,6 +89,12 @@ void ElasticityController::Start() {
       prev_hists_[i] = cluster_->node(i).system().metrics().response_hist;
     }
     sim_->Schedule(config_.scaler_interval, [this] { ScalerTick(); });
+  }
+  if (!probe_hists_.empty()) {
+    // Same for the response-based probe-delay windows.
+    for (int i = 0; i < cluster_->size(); ++i) {
+      probe_hists_[i] = cluster_->node(i).system().metrics().response_hist;
+    }
   }
   UpdatePoolGauge();
 }
@@ -115,6 +132,10 @@ void ElasticityController::RecordDetector(int node, const char* reason,
     record.state_names[record.num_state] = "detect_latency";
     record.state_values[record.num_state++] = latency;
   }
+  if (config_.heartbeat.kind == "phi") {
+    record.state_names[record.num_state] = "phi";
+    record.state_values[record.num_state++] = detector_.phi(node);
+  }
   audit_->Record(record);
 }
 
@@ -129,78 +150,121 @@ void ElasticityController::HeartbeatTick(int node) {
     return;
   }
 
-  // Modeled probe round-trip: grows with the node's front-end occupancy
-  // relative to its admission limit, so deep overload looks like silence.
-  // The denominator is the gate's configured limit, not the slow-start
-  // effective limit — a ramped cap throttles admission, not the node's
-  // ability to answer a probe (using the ramp cap would flap freshly
-  // provisioned nodes straight back out of the membership).
-  const cluster::NodeView view = cluster_->node(node).View();
-  const double rel = static_cast<double>(cluster::Occupancy(view)) /
-                     std::max(cluster_->node(node).gate().limit(), 1.0);
-  const double rtt =
-      config_.heartbeat.delay_base * (1.0 + config_.heartbeat.delay_load * rel);
-  const bool missed = cluster_->truth_down(node) || rtt > config_.heartbeat.timeout;
+  // Modeled probe round-trip. The default "occupancy" model grows with the
+  // node's front-end occupancy relative to its admission limit, so deep
+  // overload looks like silence. The denominator is the gate's configured
+  // limit, not the slow-start effective limit — a ramped cap throttles
+  // admission, not the node's ability to answer a probe (using the ramp
+  // cap would flap freshly provisioned nodes straight back out of the
+  // membership). The "response" model reads the node's measured response
+  // times instead — rtt = delay_base + delay_response * p95 of the window
+  // since the previous probe — and falls back to the occupancy proxy
+  // while the window is empty or the node runs with per-phase telemetry
+  // off.
+  double rtt = 0.0;
+  bool modeled = false;
+  if (!probe_hists_.empty() &&
+      cluster_->node(node).system().config().telemetry.per_phase) {
+    const telemetry::LogHistogram& hist =
+        cluster_->node(node).system().metrics().response_hist;
+    probe_delta_ = hist;
+    probe_delta_.Subtract(probe_hists_[node]);
+    probe_hists_[node] = hist;
+    if (probe_delta_.count() > 0) {
+      rtt = config_.heartbeat.delay_base +
+            config_.heartbeat.delay_response * probe_delta_.Quantile(0.95);
+      modeled = true;
+    }
+  }
+  if (!modeled) {
+    const cluster::NodeView view = cluster_->node(node).View();
+    const double rel = static_cast<double>(cluster::Occupancy(view)) /
+                       std::max(cluster_->node(node).gate().limit(), 1.0);
+    rtt = config_.heartbeat.delay_base *
+          (1.0 + config_.heartbeat.delay_load * rel);
+  }
+  // Injected probe-delay / partition / loss faults perturb only this
+  // measured path; with no perturber attached nothing below changes.
+  if (perturber_ != nullptr) rtt += perturber_->ProbeExtraDelay(node);
 
+  const bool truth_down = cluster_->truth_down(node);
   const int live_before = cluster_->num_live();
-  switch (detector_.Observe(node, missed)) {
-    case HealthEvent::kNone:
-      break;
-    case HealthEvent::kSuspected: {
-      ++suspicions_;
-      const bool real = cluster_->truth_down(node);
-      if (!real) ++false_suspicions_;
-      if (trace_ != nullptr) {
-        trace_->Instant("suspect", node, sim_->Now());
-      }
-      RecordDetector(node, real ? "suspect" : "false-suspect", live_before,
-                     rtt, 0.0);
-      break;
+  // K virtual observers share the probe but see it through their own
+  // deterministic rtt jitter (observer 0 jitter-free, so a single-observer
+  // detector reproduces the PR 9 stream exactly). Each observer loses
+  // probes independently under injected loss. Edges come from the quorum
+  // aggregate, so at most one declaration fires per round.
+  for (int obs = 0; obs < config_.heartbeat.observers; ++obs) {
+    double rtt_k = rtt;
+    if (obs > 0 && config_.heartbeat.observer_jitter > 0.0) {
+      rtt_k *= 1.0 + config_.heartbeat.observer_jitter *
+                         (hb_rng_.NextDouble() - 0.5);
     }
-    case HealthEvent::kDeclaredDown: {
-      ++declared_down_;
-      double latency = 0.0;
-      const bool real = cluster_->truth_down(node);
-      if (real) {
-        latency = sim_->Now() - cluster_->truth_down_since(node);
-        detection_latency_last_ = latency;
-        detection_latency_sum_ += latency;
-        ++detections_;
-        detection_latency_mean_ = detection_latency_sum_ /
-                                  static_cast<double>(detections_);
-      } else if (detector_.consecutive_misses(node) >=
-                 config_.heartbeat.down_after) {
-        // A declaration of a live node went through the suspect stage (or
-        // skipped it when the thresholds coincide) — either way it is a
-        // false declaration.
-        if (config_.heartbeat.suspect_after >= config_.heartbeat.down_after) {
-          ++false_suspicions_;
+    const bool lost = perturber_ != nullptr && perturber_->ProbeLost(node);
+    const bool missed =
+        truth_down || lost || rtt_k > config_.heartbeat.timeout;
+    switch (detector_.Observe(node, obs, missed, sim_->Now())) {
+      case HealthEvent::kNone:
+        break;
+      case HealthEvent::kSuspected: {
+        ++suspicions_;
+        const bool real = cluster_->truth_down(node);
+        if (!real) ++false_suspicions_;
+        if (trace_ != nullptr) {
+          trace_->Instant("suspect", node, sim_->Now());
         }
+        RecordDetector(node, real ? "suspect" : "false-suspect", live_before,
+                       rtt_k, 0.0);
+        break;
       }
-      // Declare it: the membership finally learns what ground truth has
-      // known for `latency` seconds. The piled-up gate queue moves through
-      // the retraction path now.
-      if (state == cluster::NodeState::kUp ||
-          state == cluster::NodeState::kDrain) {
-        cluster_->ForceTransition(node, cluster::NodeState::kDown);
+      case HealthEvent::kDeclaredDown: {
+        ++declared_down_;
+        double latency = 0.0;
+        const bool real = cluster_->truth_down(node);
+        if (real) {
+          latency = sim_->Now() - cluster_->truth_down_since(node);
+          detection_latency_last_ = latency;
+          detection_latency_sum_ += latency;
+          ++detections_;
+          detection_latency_mean_ =
+              detection_latency_sum_ / static_cast<double>(detections_);
+        } else {
+          ++false_declarations_;
+          if (detector_.consecutive_misses(node) >=
+                  config_.heartbeat.down_after &&
+              config_.heartbeat.suspect_after >=
+                  config_.heartbeat.down_after) {
+            // A declaration of a live node that skipped the suspect stage
+            // (coinciding thresholds) still counts as a false suspicion.
+            ++false_suspicions_;
+          }
+        }
+        // Declare it: the membership finally learns what ground truth has
+        // known for `latency` seconds. The piled-up gate queue moves
+        // through the retraction path now.
+        const cluster::NodeState now_state = cluster_->node_state(node);
+        if (now_state == cluster::NodeState::kUp ||
+            now_state == cluster::NodeState::kDrain) {
+          cluster_->ForceTransition(node, cluster::NodeState::kDown);
+        }
+        RecordDetector(node, real ? "down-confirmed" : "down-false",
+                       live_before, rtt_k, latency);
+        break;
       }
-      RecordDetector(node, real ? "down-confirmed" : "down-false",
-                     live_before, rtt, latency);
-      break;
-    }
-    case HealthEvent::kCleared: {
-      if (trace_ != nullptr) trace_->Instant("clear", node, sim_->Now());
-      RecordDetector(node, "clear", live_before, rtt, 0.0);
-      break;
-    }
-    case HealthEvent::kRecovered: {
-      ++recoveries_;
-      if (state == cluster::NodeState::kDown) {
-        cluster_->ForceTransition(node, cluster::NodeState::kUp);
-        StartRamp(node);
+      case HealthEvent::kCleared: {
+        if (trace_ != nullptr) trace_->Instant("clear", node, sim_->Now());
+        RecordDetector(node, "clear", live_before, rtt_k, 0.0);
+        break;
       }
-      RecordDetector(node, "recover", live_before, rtt, 0.0);
-      break;
+      case HealthEvent::kRecovered: {
+        ++recoveries_;
+        if (cluster_->node_state(node) == cluster::NodeState::kDown) {
+          cluster_->ForceTransition(node, cluster::NodeState::kUp);
+          StartRamp(node);
+        }
+        RecordDetector(node, "recover", live_before, rtt_k, 0.0);
+        break;
+      }
     }
   }
   sim_->Schedule(config_.heartbeat.interval,

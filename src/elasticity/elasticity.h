@@ -9,6 +9,8 @@
 #include "elasticity/autoscaler.h"
 #include "elasticity/config.h"
 #include "elasticity/heartbeat.h"
+#include "elasticity/probe.h"
+#include "sim/random.h"
 #include "sim/simulator.h"
 #include "telemetry/audit.h"
 #include "telemetry/histogram.h"
@@ -49,6 +51,11 @@ class ElasticityController {
 
   void Start();
 
+  /// Attaches a measured-path probe perturber (the fault injector). With
+  /// none attached the probe path makes no perturber calls at all, so
+  /// unfaulted runs stay bit-identical. Call before Start().
+  void SetProbePerturber(ProbePerturber* perturber) { perturber_ = perturber; }
+
   /// Links the loop's counters and gauges under "elasticity.".
   /// Observation-only; this object must outlive the registry's last
   /// Snapshot().
@@ -60,6 +67,8 @@ class ElasticityController {
   uint64_t suspicions() const { return suspicions_; }
   uint64_t false_suspicions() const { return false_suspicions_; }
   uint64_t declared_down() const { return declared_down_; }
+  /// Down declarations of nodes whose ground truth was alive.
+  uint64_t false_declarations() const { return false_declarations_; }
   uint64_t recoveries() const { return recoveries_; }
   /// Mean / last time from ground-truth fault to kDown declaration.
   double detection_latency_mean() const { return detection_latency_mean_; }
@@ -88,6 +97,10 @@ class ElasticityController {
   ElasticityConfig config_;
   telemetry::DecisionAudit* audit_;
   telemetry::TraceRecorder* trace_;
+  ProbePerturber* perturber_ = nullptr;
+  /// Observer rtt jitter stream — drawn from only for observers >= 1 with
+  /// a nonzero jitter amplitude, so single-observer runs consume nothing.
+  sim::RandomStream hb_rng_;
   HeartbeatDetector detector_;
   std::unique_ptr<AutoscalerPolicy> scaler_;
   bool scaling_enabled_ = false;
@@ -111,9 +124,16 @@ class ElasticityController {
   telemetry::LogHistogram window_;
   telemetry::LogHistogram delta_;
 
+  /// Probe-delay model "response": per-node response histogram at the
+  /// previous probe, plus scratch for the inter-probe delta (allocated
+  /// only when that model is selected).
+  std::vector<telemetry::LogHistogram> probe_hists_;
+  telemetry::LogHistogram probe_delta_;
+
   uint64_t suspicions_ = 0;
   uint64_t false_suspicions_ = 0;
   uint64_t declared_down_ = 0;
+  uint64_t false_declarations_ = 0;
   uint64_t recoveries_ = 0;
   uint64_t provisions_ = 0;
   uint64_t drains_ = 0;

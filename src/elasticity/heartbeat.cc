@@ -1,8 +1,16 @@
 #include "elasticity/heartbeat.h"
 
+#include <cstddef>
+
 #include "util/check.h"
 
 namespace alc::elasticity {
+
+namespace {
+// log10(e): converts the exponential-arrival survival exponent to the
+// base-10 suspicion level phi-accrual detectors report.
+constexpr double kLog10E = 0.43429448190325176;
+}  // namespace
 
 const char* HealthStateName(HealthState state) {
   switch (state) {
@@ -18,45 +26,162 @@ const char* HealthStateName(HealthState state) {
 
 HeartbeatDetector::HeartbeatDetector(const HeartbeatConfig& config,
                                      int num_nodes)
-    : config_(config), nodes_(num_nodes) {
+    : config_(config),
+      phi_mode_(config.kind == "phi"),
+      observers_(config.observers),
+      machines_(static_cast<size_t>(num_nodes) *
+                static_cast<size_t>(config.observers)),
+      entries_(static_cast<size_t>(num_nodes)) {
+  ALC_CHECK(config_.kind == "consecutive" || config_.kind == "phi");
   ALC_CHECK_GE(config_.suspect_after, 1);
   ALC_CHECK_GE(config_.down_after, config_.suspect_after);
   ALC_CHECK_GE(config_.clear_after, 1);
+  ALC_CHECK_GT(config_.phi_suspect, 0.0);
+  ALC_CHECK_GE(config_.phi_down, config_.phi_suspect);
+  ALC_CHECK_GE(config_.phi_window, 1);
+  ALC_CHECK_GE(config_.observers, 1);
+  ALC_CHECK_GE(config_.quorum, 1);
+  ALC_CHECK_LE(config_.quorum, config_.observers);
+  if (phi_mode_) {
+    for (Machine& m : machines_) {
+      m.intervals.assign(static_cast<size_t>(config_.phi_window), 0.0);
+    }
+  }
 }
 
-HealthEvent HeartbeatDetector::Observe(int node, bool missed) {
-  NodeHealth& h = nodes_[node];
-  if (missed) {
-    ++h.misses;
-    h.goods = 0;
-    if (h.state == HealthState::kAlive && h.misses >= config_.suspect_after &&
-        h.misses < config_.down_after) {
-      h.state = HealthState::kSuspect;
-      return HealthEvent::kSuspected;
+void HeartbeatDetector::ObserveMachine(Machine* m, bool missed, double now) {
+  if (!phi_mode_) {
+    // The PR 9 consecutive-miss machine, verbatim.
+    if (missed) {
+      ++m->misses;
+      m->goods = 0;
+      if (m->state == HealthState::kAlive &&
+          m->misses >= config_.suspect_after &&
+          m->misses < config_.down_after) {
+        m->state = HealthState::kSuspect;
+        return;
+      }
+      if (m->state != HealthState::kDown && m->misses >= config_.down_after) {
+        // With suspect_after == down_after a machine goes down from kAlive
+        // directly — the suspicion edge is skipped, not synthesized.
+        m->state = HealthState::kDown;
+      }
+      return;
     }
-    if (h.state != HealthState::kDown && h.misses >= config_.down_after) {
-      // With suspect_after == down_after a node can be declared down from
-      // kAlive directly — the suspicion edge is skipped, not synthesized.
-      h.state = HealthState::kDown;
+    ++m->goods;
+    m->misses = 0;
+    if (m->state != HealthState::kAlive && m->goods >= config_.clear_after) {
+      m->state = HealthState::kAlive;
+      m->goods = 0;
+    }
+    return;
+  }
+
+  // Phi-accrual: suspicion grows with the time since the last good beat,
+  // scaled by the observed mean inter-good-beat interval.
+  if (m->last_good < 0.0) {
+    // First observation: pretend a good beat arrived one interval ago so
+    // the very first miss carries a finite, small phi.
+    m->last_good = now - config_.interval;
+  }
+  if (missed) {
+    ++m->misses;
+    m->goods = 0;
+    double mean = config_.interval;
+    if (m->interval_count > 0) {
+      double sum = 0.0;
+      for (int i = 0; i < m->interval_count; ++i) {
+        sum += m->intervals[static_cast<size_t>(i)];
+      }
+      mean = sum / m->interval_count;
+      if (mean <= 0.0) mean = config_.interval;
+    }
+    m->last_phi = (now - m->last_good) / mean * kLog10E;
+    if (m->state != HealthState::kDown && m->last_phi >= config_.phi_down) {
+      m->state = HealthState::kDown;
+    } else if (m->state == HealthState::kAlive &&
+               m->last_phi >= config_.phi_suspect) {
+      m->state = HealthState::kSuspect;
+    }
+    return;
+  }
+  const double interval = now - m->last_good;
+  if (interval > 0.0) {
+    m->intervals[static_cast<size_t>(m->interval_next)] = interval;
+    m->interval_next = (m->interval_next + 1) % config_.phi_window;
+    if (m->interval_count < config_.phi_window) ++m->interval_count;
+  }
+  m->last_good = now;
+  m->last_phi = 0.0;
+  ++m->goods;
+  m->misses = 0;
+  if (m->state != HealthState::kAlive && m->goods >= config_.clear_after) {
+    m->state = HealthState::kAlive;
+    m->goods = 0;
+  }
+}
+
+HealthEvent HeartbeatDetector::Aggregate(int node) {
+  NodeEntry& entry = entries_[static_cast<size_t>(node)];
+  const Machine* base =
+      &machines_[static_cast<size_t>(node) * static_cast<size_t>(observers_)];
+  int down_votes = 0;
+  bool any_nonalive = false;
+  for (int k = 0; k < observers_; ++k) {
+    if (base[k].state == HealthState::kDown) ++down_votes;
+    if (base[k].state != HealthState::kAlive) any_nonalive = true;
+  }
+  const HealthState prev = entry.aggregate;
+  const HealthState next = down_votes >= config_.quorum ? HealthState::kDown
+                           : any_nonalive              ? HealthState::kSuspect
+                                                       : HealthState::kAlive;
+  entry.aggregate = next;
+  if (next == HealthState::kDown) {
+    if (!entry.declared) {
+      entry.declared = true;
       return HealthEvent::kDeclaredDown;
     }
     return HealthEvent::kNone;
   }
-  ++h.goods;
-  h.misses = 0;
-  if (h.state == HealthState::kSuspect && h.goods >= config_.clear_after) {
-    h.state = HealthState::kAlive;
-    h.goods = 0;
-    return HealthEvent::kCleared;
+  if (next == HealthState::kAlive) {
+    if (entry.declared) {
+      entry.declared = false;
+      return HealthEvent::kRecovered;
+    }
+    if (prev == HealthState::kSuspect) return HealthEvent::kCleared;
+    return HealthEvent::kNone;
   }
-  if (h.state == HealthState::kDown && h.goods >= config_.clear_after) {
-    h.state = HealthState::kAlive;
-    h.goods = 0;
-    return HealthEvent::kRecovered;
+  // next == kSuspect: only the fresh onset from a clean kAlive is an edge.
+  if (prev == HealthState::kAlive && !entry.declared) {
+    return HealthEvent::kSuspected;
   }
   return HealthEvent::kNone;
 }
 
-void HeartbeatDetector::Reset(int node) { nodes_[node] = NodeHealth{}; }
+HealthEvent HeartbeatDetector::Observe(int node, int observer, bool missed,
+                                       double now) {
+  ALC_DCHECK(observer >= 0 && observer < observers_);
+  Machine& m = machines_[static_cast<size_t>(node) *
+                             static_cast<size_t>(observers_) +
+                         static_cast<size_t>(observer)];
+  ObserveMachine(&m, missed, now);
+  return Aggregate(node);
+}
+
+void HeartbeatDetector::Reset(int node) {
+  Machine* base =
+      &machines_[static_cast<size_t>(node) * static_cast<size_t>(observers_)];
+  for (int k = 0; k < observers_; ++k) {
+    Machine& m = base[k];
+    m.state = HealthState::kAlive;
+    m.misses = 0;
+    m.goods = 0;
+    m.last_good = -1.0;
+    m.interval_count = 0;
+    m.interval_next = 0;
+    m.last_phi = 0.0;
+  }
+  entries_[static_cast<size_t>(node)] = NodeEntry{};
+}
 
 }  // namespace alc::elasticity

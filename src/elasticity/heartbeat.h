@@ -19,41 +19,93 @@ const char* HealthStateName(HealthState state);
 /// Edge produced by one heartbeat observation.
 enum class HealthEvent {
   kNone,          // no state change
-  kSuspected,     // kAlive -> kSuspect (suspect_after consecutive misses)
-  kDeclaredDown,  // -> kDown (down_after consecutive misses)
-  kCleared,       // kSuspect -> kAlive (clear_after consecutive good beats)
-  kRecovered,     // kDown -> kAlive (clear_after consecutive good beats)
+  kSuspected,     // kAlive -> kSuspect (any observer turned non-alive)
+  kDeclaredDown,  // -> kDown (the down vote reached quorum)
+  kCleared,       // kSuspect -> kAlive (every observer cleared)
+  kRecovered,     // kDown -> kAlive after a down declaration
 };
 
-/// Pure per-node miss/clear counting state machine — no clocks, no events,
+/// Pure failure-detection state machine — no clocks of its own, no events,
 /// no cluster knowledge. The ElasticityController drives it with one
-/// Observe() per heartbeat and acts on the returned edges. Keeping the
-/// machine pure makes the threshold logic unit-testable without a
-/// simulator.
+/// Observe() per (node, observer) per heartbeat round and acts on the
+/// returned edges; keeping the machine pure makes the estimator logic
+/// unit-testable without a simulator.
+///
+/// Two estimators (HeartbeatConfig::kind):
+///  - "consecutive": the PR 9 miss/clear counting machine, kept
+///    bit-identical (with observers = quorum = 1 the whole detector
+///    reproduces the PR 9 stream exactly).
+///  - "phi": phi-accrual over the inter-arrival history of good beats.
+///    On a miss, phi = (now - last_good) / mean_interval * log10(e)
+///    (the exponential-arrival suspicion level); crossing `phi_suspect` /
+///    `phi_down` replaces the miss counters. The interval history is a
+///    bounded window of `phi_window` samples; recovery still takes
+///    `clear_after` consecutive good beats.
+///
+/// Above the per-observer machines sits an N-observer quorum vote: a node
+/// aggregates to kDown only when at least `quorum` of its K observers hold
+/// it down, to kSuspect when any observer is non-alive, and to kAlive when
+/// every observer is alive. Edges are emitted on the aggregate, so one
+/// jittery observer alone can raise suspicion but never a down
+/// declaration.
 class HeartbeatDetector {
  public:
   HeartbeatDetector(const HeartbeatConfig& config, int num_nodes);
 
-  /// Consumes one heartbeat outcome for `node` (missed = no response within
-  /// the timeout) and returns the state edge it caused, if any.
-  HealthEvent Observe(int node, bool missed);
+  /// Consumes one heartbeat outcome for `node` as seen by `observer`
+  /// (missed = no response within the timeout; `now` is the probe time,
+  /// used by the phi estimator) and returns the aggregate state edge it
+  /// caused, if any.
+  HealthEvent Observe(int node, int observer, bool missed, double now);
 
   /// Forgets everything about `node` (used when a node leaves the fleet for
   /// the standby pool — its next provisioning starts with a clean slate).
   void Reset(int node);
 
-  HealthState state(int node) const { return nodes_[node].state; }
-  int consecutive_misses(int node) const { return nodes_[node].misses; }
+  /// The quorum-aggregate health of `node`.
+  HealthState state(int node) const { return entries_[node].aggregate; }
+  /// Observer 0's consecutive miss count (the PR 9 reporting stream).
+  int consecutive_misses(int node) const {
+    return machines_[static_cast<size_t>(node) * observers_].misses;
+  }
+  /// Observer 0's last computed phi (0 when kind != "phi" or no miss yet).
+  double phi(int node) const {
+    return machines_[static_cast<size_t>(node) * observers_].last_phi;
+  }
 
  private:
-  struct NodeHealth {
+  /// One observer's view of one node.
+  struct Machine {
     HealthState state = HealthState::kAlive;
     int misses = 0;  // consecutive missed beats
     int goods = 0;   // consecutive good beats
+    // Phi estimator state: time of the last good beat (< 0 until the
+    // first observation initializes it) and the bounded window of
+    // inter-good-beat intervals.
+    double last_good = -1.0;
+    std::vector<double> intervals;
+    int interval_count = 0;
+    int interval_next = 0;
+    double last_phi = 0.0;
   };
 
+  /// Aggregate vote state of one node.
+  struct NodeEntry {
+    HealthState aggregate = HealthState::kAlive;
+    /// A down declaration is in force (cleared by the kRecovered edge);
+    /// distinguishes kCleared from kRecovered when the aggregate returns
+    /// to kAlive.
+    bool declared = false;
+  };
+
+  void ObserveMachine(Machine* m, bool missed, double now);
+  HealthEvent Aggregate(int node);
+
   HeartbeatConfig config_;
-  std::vector<NodeHealth> nodes_;
+  bool phi_mode_;
+  int observers_;
+  std::vector<Machine> machines_;  // num_nodes * observers_, node-major
+  std::vector<NodeEntry> entries_;
 };
 
 }  // namespace alc::elasticity

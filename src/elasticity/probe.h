@@ -1,0 +1,25 @@
+#ifndef ALC_ELASTICITY_PROBE_H_
+#define ALC_ELASTICITY_PROBE_H_
+
+namespace alc::elasticity {
+
+/// Measured-path perturbation hook for heartbeat probes. The fault
+/// injector implements this interface; the elasticity controller consults
+/// it (when one is attached) once per probe it sends. With no perturber
+/// attached the controller makes no calls at all, so an unfaulted run is
+/// bit-identical to one built without the hook.
+class ProbePerturber {
+ public:
+  virtual ~ProbePerturber() = default;
+
+  /// Extra round-trip delay (seconds, >= 0) added to the probe of `node`.
+  virtual double ProbeExtraDelay(int node) = 0;
+
+  /// True when the probe to `node` is lost outright (no reply observed).
+  /// May draw from the perturber's own RNG stream.
+  virtual bool ProbeLost(int node) = 0;
+};
+
+}  // namespace alc::elasticity
+
+#endif  // ALC_ELASTICITY_PROBE_H_

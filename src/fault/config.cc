@@ -1,0 +1,102 @@
+#include "fault/config.h"
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/params.h"
+
+namespace alc::fault {
+
+std::string FaultSpec::ToString() const {
+  std::string out = kind;
+  out += '(';
+  out += util::FormatDouble(start);
+  out += ':';
+  out += util::FormatDouble(end);
+  out += "; nodes=";
+  if (nodes.empty()) {
+    out += "all";
+  } else {
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (i > 0) out += '+';
+      out += std::to_string(nodes[i]);
+    }
+  }
+  out += "; magnitude=";
+  out += util::FormatDouble(magnitude);
+  out += ')';
+  return out;
+}
+
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+bool ParseFaultSpec(const std::string& text, FaultSpec* out,
+                    std::string* error) {
+  const std::string trimmed = util::TrimWhitespace(text);
+  const size_t open = trimmed.find('(');
+  if (open == std::string::npos || trimmed.back() != ')') {
+    return Fail(error, "fault spec '" + trimmed +
+                           "' is not of the form kind(start:end; ...)");
+  }
+  FaultSpec spec;
+  spec.kind = util::TrimWhitespace(trimmed.substr(0, open));
+  if (spec.kind.empty()) {
+    return Fail(error, "fault spec '" + trimmed + "' has an empty kind");
+  }
+  const std::string body =
+      trimmed.substr(open + 1, trimmed.size() - open - 2);
+  const std::vector<std::string> parts = util::SplitTrimmed(body, ';');
+  if (parts.empty()) {
+    return Fail(error, "fault spec '" + trimmed + "' has an empty body");
+  }
+  // First part is the window "start:end"; the rest are key=value pairs.
+  const std::vector<std::string> window = util::SplitTrimmed(parts[0], ':');
+  if (window.size() != 2 || !util::ParseDouble(window[0], &spec.start) ||
+      !util::ParseDouble(window[1], &spec.end)) {
+    return Fail(error, "fault spec '" + trimmed +
+                           "' needs a start:end window, got '" + parts[0] +
+                           "'");
+  }
+  for (size_t i = 1; i < parts.size(); ++i) {
+    const size_t eq = parts[i].find('=');
+    if (eq == std::string::npos) {
+      return Fail(error, "fault spec '" + trimmed +
+                             "' has a malformed option '" + parts[i] + "'");
+    }
+    const std::string key = util::TrimWhitespace(parts[i].substr(0, eq));
+    const std::string value = util::TrimWhitespace(parts[i].substr(eq + 1));
+    if (key == "nodes") {
+      if (value != "all") {
+        for (const std::string& item : util::SplitTrimmed(value, '+')) {
+          long long node = 0;
+          if (!util::ParseInt(item, &node) || node < 0) {
+            return Fail(error, "fault spec '" + trimmed +
+                                   "' has a bad node index '" + item + "'");
+          }
+          spec.nodes.push_back(static_cast<int>(node));
+        }
+      }
+    } else if (key == "magnitude") {
+      if (!util::ParseDouble(value, &spec.magnitude)) {
+        return Fail(error, "fault spec '" + trimmed +
+                               "' has a bad magnitude '" + value + "'");
+      }
+    } else {
+      return Fail(error, "fault spec '" + trimmed +
+                             "' has an unknown option '" + key + "'");
+    }
+  }
+  *out = std::move(spec);
+  return true;
+}
+
+}  // namespace alc::fault

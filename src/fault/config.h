@@ -1,0 +1,61 @@
+#ifndef ALC_FAULT_CONFIG_H_
+#define ALC_FAULT_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+namespace alc::fault {
+
+/// One scheduled fault window: a registered fault kind applied to a node
+/// subset over [start, end). The textual form round-trips exactly
+/// (ToString -> ParseFaultSpec -> operator==):
+///
+///   kind(start:end; nodes=0+2; magnitude=0.05)
+///   kind(start:end; nodes=all; magnitude=0)
+///
+/// `nodes` lists node indices joined by '+' ("all" = every node);
+/// `magnitude` is kind-specific (seconds of probe delay, a loss
+/// probability, a service-time or CPU-speed factor; unused kinds keep 0).
+/// Doubles print in the shortest exact round-trip form (util::FormatDouble)
+/// so spec files diff cleanly and re-parse bit-identically.
+struct FaultSpec {
+  std::string kind;
+  double start = 0.0;
+  double end = 0.0;
+  /// Target node indices; empty means every node in the cluster.
+  std::vector<int> nodes;
+  double magnitude = 0.0;
+
+  std::string ToString() const;
+
+  bool operator==(const FaultSpec& other) const {
+    return kind == other.kind && start == other.start && end == other.end &&
+           nodes == other.nodes && magnitude == other.magnitude;
+  }
+  bool operator!=(const FaultSpec& other) const { return !(*this == other); }
+};
+
+/// The `[fault]` section of an experiment spec: a switch plus the list of
+/// fault windows to inject, in declaration order.
+struct FaultConfig {
+  bool enabled = false;
+  std::vector<FaultSpec> faults;
+
+  bool operator==(const FaultConfig& other) const {
+    return enabled == other.enabled && faults == other.faults;
+  }
+  bool operator!=(const FaultConfig& other) const {
+    return !(*this == other);
+  }
+};
+
+/// Parses the `kind(start:end; nodes=...; magnitude=...)` form. The kind
+/// name is not validated against the registry here (the spec layer does
+/// that); this only checks the syntax. On failure returns false and, when
+/// `error` is non-null, describes what was malformed.
+bool ParseFaultSpec(const std::string& text, FaultSpec* out,
+                    std::string* error);
+
+}  // namespace alc::fault
+
+#endif  // ALC_FAULT_CONFIG_H_

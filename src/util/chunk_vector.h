@@ -1,0 +1,81 @@
+#ifndef ALC_UTIL_CHUNK_VECTOR_H_
+#define ALC_UTIL_CHUNK_VECTOR_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace alc::util {
+
+/// Grow-only sequence with stable element addresses, stored in fixed-size
+/// chunks. The std::deque alternative allocates one block per element once
+/// sizeof(T) exceeds its block size — for a large record like a pooled
+/// transaction slot that is one heap allocation per slot, and surge
+/// workloads create slots by the tens of thousands. Here a chunk holds
+/// kChunkSize elements, so slot-pool growth costs 1/kChunkSize as many
+/// allocations while keeping the pointer stability the free lists rely on.
+///
+/// Deliberately minimal: default-constructible T, index access, grow-only
+/// resize, emplace_back of a default-constructed element, and forward
+/// iteration in index order. No erase — pool slots are recycled through
+/// external free lists, never destroyed.
+template <typename T, size_t kChunkSize = 64>
+class ChunkVector {
+ public:
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](size_t i) { return chunks_[i / kChunkSize][i % kChunkSize]; }
+  const T& operator[](size_t i) const {
+    return chunks_[i / kChunkSize][i % kChunkSize];
+  }
+
+  T& back() { return (*this)[size_ - 1]; }
+
+  /// Appends a default-constructed element (chunks are default-constructed
+  /// eagerly on allocation; this just exposes the next slot).
+  T& emplace_back() {
+    if (size_ == chunks_.size() * kChunkSize) {
+      chunks_.push_back(std::make_unique<T[]>(kChunkSize));
+    }
+    return (*this)[size_++];
+  }
+
+  /// Grow-only: requests below the current size keep every live element
+  /// (shrinking would invalidate the stable addresses handed out).
+  void resize(size_t n) {
+    while (size_ < n) emplace_back();
+  }
+
+  template <typename Vec, typename Ref>
+  class Iter {
+   public:
+    Iter(Vec* v, size_t i) : v_(v), i_(i) {}
+    Ref operator*() const { return (*v_)[i_]; }
+    Iter& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator!=(const Iter& other) const { return i_ != other.i_; }
+
+   private:
+    Vec* v_;
+    size_t i_;
+  };
+
+  using iterator = Iter<ChunkVector, T&>;
+  using const_iterator = Iter<const ChunkVector, const T&>;
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, size_); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size_); }
+
+ private:
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  size_t size_ = 0;
+};
+
+}  // namespace alc::util
+
+#endif  // ALC_UTIL_CHUNK_VECTOR_H_

@@ -26,7 +26,29 @@ class RingBuffer {
   T& front() { return items_[head_]; }
   const T& front() const { return items_[head_]; }
 
+  T& back() { return items_.back(); }
+  const T& back() const { return items_.back(); }
+
   void push_back(T value) { items_.push_back(std::move(value)); }
+
+  void pop_back() {
+    items_.pop_back();
+    if (head_ == items_.size()) {
+      items_.clear();
+      head_ = 0;
+    }
+  }
+
+  /// Inserts at the front. O(1) while the compacted prefix has dead slots
+  /// (the common case after any pop_front); degrades to one bulk shift when
+  /// the head is already at the storage origin.
+  void push_front(T value) {
+    if (head_ > 0) {
+      items_[--head_] = std::move(value);
+    } else {
+      items_.insert(items_.begin(), std::move(value));
+    }
+  }
 
   template <typename... Args>
   void emplace_back(Args&&... args) {

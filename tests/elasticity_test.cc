@@ -42,16 +42,16 @@ elasticity::HeartbeatConfig DetectorConfig() {
 
 TEST(HeartbeatDetectorTest, ConsecutiveMissThresholds) {
   elasticity::HeartbeatDetector detector(DetectorConfig(), 2);
-  EXPECT_EQ(detector.Observe(0, true), HealthEvent::kNone);
-  EXPECT_EQ(detector.Observe(0, true), HealthEvent::kSuspected);
+  EXPECT_EQ(detector.Observe(0, 0, true, 0.0), HealthEvent::kNone);
+  EXPECT_EQ(detector.Observe(0, 0, true, 0.0), HealthEvent::kSuspected);
   EXPECT_EQ(detector.state(0), HealthState::kSuspect);
-  EXPECT_EQ(detector.Observe(0, true), HealthEvent::kNone);
-  EXPECT_EQ(detector.Observe(0, true), HealthEvent::kDeclaredDown);
+  EXPECT_EQ(detector.Observe(0, 0, true, 0.0), HealthEvent::kNone);
+  EXPECT_EQ(detector.Observe(0, 0, true, 0.0), HealthEvent::kDeclaredDown);
   EXPECT_EQ(detector.state(0), HealthState::kDown);
   EXPECT_EQ(detector.consecutive_misses(0), 4);
   // Recovery needs clear_after consecutive good beats.
-  EXPECT_EQ(detector.Observe(0, false), HealthEvent::kNone);
-  EXPECT_EQ(detector.Observe(0, false), HealthEvent::kRecovered);
+  EXPECT_EQ(detector.Observe(0, 0, false, 0.0), HealthEvent::kNone);
+  EXPECT_EQ(detector.Observe(0, 0, false, 0.0), HealthEvent::kRecovered);
   EXPECT_EQ(detector.state(0), HealthState::kAlive);
   // Node 1 was never touched.
   EXPECT_EQ(detector.state(1), HealthState::kAlive);
@@ -59,35 +59,35 @@ TEST(HeartbeatDetectorTest, ConsecutiveMissThresholds) {
 
 TEST(HeartbeatDetectorTest, SuspectClearsWithoutDeclaration) {
   elasticity::HeartbeatDetector detector(DetectorConfig(), 1);
-  EXPECT_EQ(detector.Observe(0, true), HealthEvent::kNone);
-  EXPECT_EQ(detector.Observe(0, true), HealthEvent::kSuspected);
+  EXPECT_EQ(detector.Observe(0, 0, true, 0.0), HealthEvent::kNone);
+  EXPECT_EQ(detector.Observe(0, 0, true, 0.0), HealthEvent::kSuspected);
   // The node answers again before down_after: cleared, never declared.
-  EXPECT_EQ(detector.Observe(0, false), HealthEvent::kNone);
-  EXPECT_EQ(detector.Observe(0, false), HealthEvent::kCleared);
+  EXPECT_EQ(detector.Observe(0, 0, false, 0.0), HealthEvent::kNone);
+  EXPECT_EQ(detector.Observe(0, 0, false, 0.0), HealthEvent::kCleared);
   EXPECT_EQ(detector.state(0), HealthState::kAlive);
   EXPECT_EQ(detector.consecutive_misses(0), 0);
 }
 
 TEST(HeartbeatDetectorTest, GoodBeatResetsMissStreak) {
   elasticity::HeartbeatDetector detector(DetectorConfig(), 1);
-  EXPECT_EQ(detector.Observe(0, true), HealthEvent::kNone);
-  EXPECT_EQ(detector.Observe(0, false), HealthEvent::kNone);
+  EXPECT_EQ(detector.Observe(0, 0, true, 0.0), HealthEvent::kNone);
+  EXPECT_EQ(detector.Observe(0, 0, false, 0.0), HealthEvent::kNone);
   EXPECT_EQ(detector.consecutive_misses(0), 0);
   // The streak must rebuild from scratch.
-  EXPECT_EQ(detector.Observe(0, true), HealthEvent::kNone);
-  EXPECT_EQ(detector.Observe(0, true), HealthEvent::kSuspected);
+  EXPECT_EQ(detector.Observe(0, 0, true, 0.0), HealthEvent::kNone);
+  EXPECT_EQ(detector.Observe(0, 0, true, 0.0), HealthEvent::kSuspected);
 }
 
 TEST(HeartbeatDetectorTest, ResetForgetsHistory) {
   elasticity::HeartbeatDetector detector(DetectorConfig(), 1);
-  detector.Observe(0, true);
-  detector.Observe(0, true);
-  detector.Observe(0, true);
+  detector.Observe(0, 0, true, 0.0);
+  detector.Observe(0, 0, true, 0.0);
+  detector.Observe(0, 0, true, 0.0);
   ASSERT_EQ(detector.state(0), HealthState::kSuspect);
   detector.Reset(0);
   EXPECT_EQ(detector.state(0), HealthState::kAlive);
   EXPECT_EQ(detector.consecutive_misses(0), 0);
-  EXPECT_EQ(detector.Observe(0, true), HealthEvent::kNone);
+  EXPECT_EQ(detector.Observe(0, 0, true, 0.0), HealthEvent::kNone);
 }
 
 // ---------------------------------------------------------------------------

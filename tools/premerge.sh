@@ -9,8 +9,11 @@
 #      match the committed manifests bit-for-bit on the comparable
 #      sections, plus an end-to-end run of the closed-loop elasticity
 #      spec (heartbeat detector + autoscaler over the standby pool)
-#   4. perf_suite --smoke --check: the allocation pins (event engine,
-#      session source) must hold
+#   4. the fault_storm spec end to end: the [fault] injector, phi/quorum
+#      detection, bounded retry, and the degradation ladder must all
+#      leave their marks in the manifest and decision audit
+#   5. perf_suite --smoke --check: the allocation pins (event engine,
+#      session source, cluster pools) must hold
 #
 #   $ tools/premerge.sh            # uses ./build
 #   $ BUILD_DIR=build-rel tools/premerge.sh
@@ -56,6 +59,15 @@ echo "== elasticity: closed-loop flash crowd"
   --decisions "$OUT_DIR/elasticity/decisions.csv" >/dev/null
 grep -q 'elasticity.declared_down' "$OUT_DIR/elasticity/run.json"
 grep -q 'heartbeat-detector' "$OUT_DIR/elasticity/decisions.csv"
+
+echo "== fault storm: injector + hardened detection/response"
+"./$BUILD_DIR/tools/alc_run" specs/fault_storm.spec \
+  --out "$OUT_DIR/fault-storm" \
+  --decisions "$OUT_DIR/fault-storm/decisions.csv" >/dev/null
+grep -q 'fault.started' "$OUT_DIR/fault-storm/run.json"
+grep -q 'cluster.dead_letters' "$OUT_DIR/fault-storm/run.json"
+grep -q 'fault-injector' "$OUT_DIR/fault-storm/decisions.csv"
+grep -q 'degrade-ladder' "$OUT_DIR/fault-storm/decisions.csv"
 
 echo "== perf allocation pins"
 "./$BUILD_DIR/bench/perf_suite" --smoke --check \
